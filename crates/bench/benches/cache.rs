@@ -1,0 +1,73 @@
+//! §8.2 bench: repeated top-k via predicate cache vs boundary pruning.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snowprune_cache::{contributing_partitions_topk, CacheEntry, CacheLookup, EntryKind, PredicateCache};
+use snowprune_exec::{ExecConfig, Executor};
+use snowprune_plan::{fingerprint, FingerprintMode, PlanBuilder};
+use snowprune_storage::{Catalog, Field, Layout, Schema, TableBuilder};
+use snowprune_types::{ScalarType, Value};
+
+fn bench_cache(c: &mut Criterion) {
+    let schema = Schema::new(vec![
+        Field::new("v", ScalarType::Int),
+        Field::new("p", ScalarType::Int),
+    ]);
+    let cat = Catalog::new();
+    let mut b = TableBuilder::new("t", schema.clone())
+        .target_rows_per_partition(500)
+        .layout(Layout::Shuffle(5));
+    for i in 0..50_000i64 {
+        b.push_row(vec![Value::Int((i * 37) % 100_000), Value::Int(i)]);
+    }
+    let handle = cat.register(b.build());
+    let plan = PlanBuilder::scan("t", schema)
+        .order_by("v", true)
+        .limit(10)
+        .build();
+    let mut g = c.benchmark_group("cache");
+    g.sample_size(20);
+    g.bench_function("topk_pruning_shuffled", |b| {
+        let exec = Executor::new(cat.clone(), ExecConfig::default());
+        b.iter(|| std::hint::black_box(exec.run(&plan).unwrap()))
+    });
+    g.bench_function("topk_cached_replay", |b| {
+        // Populate once, then measure lookup + replay cost.
+        let mut cache = PredicateCache::new(8);
+        let fp = fingerprint(&plan, FingerprintMode::Exact);
+        let parts = {
+            let t = handle.read();
+            contributing_partitions_topk(&t, None, "v", 10, true).unwrap()
+        };
+        cache.insert(
+            fp,
+            CacheEntry {
+                kind: EntryKind::TopK { order_column: "v".into() },
+                table: "t".into(),
+                partitions: parts,
+                table_version: handle.read().version(),
+                appended: Vec::new(),
+            },
+        );
+        let t = handle.read().clone();
+        b.iter(|| {
+            let CacheLookup::Hit(parts) = cache.lookup(fp) else { panic!() };
+            // Replay: load only the cached partitions.
+            let mut top: Vec<i64> = Vec::new();
+            for id in parts {
+                let p = t.partition(id).unwrap();
+                for i in 0..p.row_count() {
+                    if let Value::Int(v) = p.column(0).value_at(i) {
+                        top.push(v);
+                    }
+                }
+            }
+            top.sort_unstable_by(|a, b| b.cmp(a));
+            top.truncate(10);
+            std::hint::black_box(top)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

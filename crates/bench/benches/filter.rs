@@ -1,0 +1,56 @@
+//! §3 filter pruning microbenches: compile-time pruning throughput and the
+//! Figure 4 scenario, with reorder/cutoff ablations (§3.2).
+
+#![allow(clippy::field_reassign_with_default)] // config tweak idiom
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snowprune_core::filter::{FilterPruneConfig, FilterPruner};
+use snowprune_expr::dsl::{col, lit};
+use snowprune_storage::{Field, Layout, Schema, TableBuilder};
+use snowprune_types::{ScalarType, Value};
+
+fn table(parts: usize) -> snowprune_storage::Table {
+    let schema = Schema::new(vec![
+        Field::new("ts", ScalarType::Int),
+        Field::new("metric", ScalarType::Int),
+    ]);
+    let mut b = TableBuilder::new("t", schema)
+        .target_rows_per_partition(100)
+        .layout(Layout::ClusterBy(vec!["ts".into()]));
+    for i in 0..(parts * 100) as i64 {
+        b.push_row(vec![Value::Int(i), Value::Int(i % 997)]);
+    }
+    b.build()
+}
+
+fn bench_filter(c: &mut Criterion) {
+    let t = table(500);
+    let metas: Vec<_> = t.metadata().into_iter().cloned().collect();
+    let pred = col("ts")
+        .between(lit(1000i64), lit(3000i64))
+        .and(col("metric").lt(lit(500i64)))
+        .bind(t.schema())
+        .unwrap();
+    let mut g = c.benchmark_group("filter_pruning");
+    g.sample_size(20);
+    for (label, reorder, cutoff) in [
+        ("adaptive", true, true),
+        ("no_reorder", false, true),
+        ("no_cutoff", true, false),
+        ("static", false, false),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut cfg = FilterPruneConfig::default();
+                cfg.reorder = reorder;
+                cfg.cutoff = cutoff;
+                let mut pruner = FilterPruner::new(&pred, cfg);
+                std::hint::black_box(pruner.prune(&metas))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_filter);
+criterion_main!(benches);

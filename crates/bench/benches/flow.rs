@@ -1,0 +1,39 @@
+//! Figure 1 / Figure 11 companion: end-to-end workload execution with all
+//! pruning on vs all pruning off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snowprune_exec::{ExecConfig, Executor};
+use snowprune_workload::{generate, WorkloadConfig};
+
+fn bench_flow(c: &mut Criterion) {
+    let wl = generate(
+        &WorkloadConfig {
+            queries: 40,
+            rows_per_partition: 250,
+            fact_partitions: 24,
+        },
+        7,
+    );
+    let mut g = c.benchmark_group("flow");
+    g.sample_size(10);
+    g.bench_function("workload_pruned", |b| {
+        let exec = Executor::new(wl.catalog.clone(), ExecConfig::default());
+        b.iter(|| {
+            for q in &wl.queries {
+                std::hint::black_box(exec.run(&q.plan).unwrap());
+            }
+        })
+    });
+    g.bench_function("workload_unpruned", |b| {
+        let exec = Executor::new(wl.catalog.clone(), ExecConfig::no_pruning());
+        b.iter(|| {
+            for q in &wl.queries {
+                std::hint::black_box(exec.run(&q.plan).unwrap());
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_flow);
+criterion_main!(benches);

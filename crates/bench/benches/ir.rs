@@ -1,0 +1,46 @@
+//! §5.1 lineage bench: exhaustive vs TA vs WAND vs Block-Max WAND.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snowprune_ir::{block_max_wand, exhaustive_topk, threshold_algorithm, wand, Posting, PostingList};
+
+fn lists() -> Vec<PostingList> {
+    let mut state = 99u64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    (0..3)
+        .map(|_| {
+            let mut postings = Vec::new();
+            for d in 0..20_000u32 {
+                if next() % 2 == 0 {
+                    postings.push(Posting {
+                        doc: d,
+                        score: (next() % 1000) as f64,
+                    });
+                }
+            }
+            PostingList::new(postings, 128)
+        })
+        .collect()
+}
+
+fn bench_ir(c: &mut Criterion) {
+    let ls = lists();
+    let mut g = c.benchmark_group("ir_topk");
+    g.sample_size(20);
+    g.bench_function("exhaustive", |b| {
+        b.iter(|| std::hint::black_box(exhaustive_topk(&ls, 10)))
+    });
+    g.bench_function("ta", |b| {
+        b.iter(|| std::hint::black_box(threshold_algorithm(&ls, 10)))
+    });
+    g.bench_function("wand", |b| b.iter(|| std::hint::black_box(wand(&ls, 10))));
+    g.bench_function("block_max_wand", |b| {
+        b.iter(|| std::hint::black_box(block_max_wand(&ls, 10)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ir);
+criterion_main!(benches);

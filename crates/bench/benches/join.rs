@@ -1,0 +1,72 @@
+//! §6 join pruning bench: probe-side scan-set reduction with different
+//! build-side summaries (Figure 10 scenario).
+
+#![allow(clippy::field_reassign_with_default)] // config tweak idiom
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snowprune_core::join::SummaryKind;
+use snowprune_exec::{ExecConfig, Executor};
+use snowprune_expr::dsl::{col, lit};
+use snowprune_plan::{JoinType, PlanBuilder};
+use snowprune_storage::{Catalog, Field, Layout, Schema, TableBuilder};
+use snowprune_types::{ScalarType, Value};
+
+fn setup() -> (Catalog, Schema, Schema) {
+    let dim_schema = Schema::new(vec![
+        Field::new("id", ScalarType::Int),
+        Field::new("w", ScalarType::Int),
+    ]);
+    let fact_schema = Schema::new(vec![
+        Field::new("fk", ScalarType::Int),
+        Field::new("m", ScalarType::Int),
+    ]);
+    let c = Catalog::new();
+    let mut dim = TableBuilder::new("dim", dim_schema.clone()).target_rows_per_partition(1000);
+    for i in 0..1000i64 {
+        dim.push_row(vec![Value::Int(i * 97), Value::Int(i % 50)]);
+    }
+    c.register(dim.build());
+    let mut fact = TableBuilder::new("fact", fact_schema.clone())
+        .target_rows_per_partition(500)
+        .layout(Layout::ClusterBy(vec!["fk".into()]));
+    for i in 0..80_000i64 {
+        fact.push_row(vec![Value::Int(i % 97_000), Value::Int(i)]);
+    }
+    c.register(fact.build());
+    (c, dim_schema, fact_schema)
+}
+
+fn bench_join(c: &mut Criterion) {
+    let (cat, dim_schema, fact_schema) = setup();
+    let plan = PlanBuilder::scan("dim", dim_schema)
+        .filter(col("w").lt(lit(3i64)))
+        .join(
+            PlanBuilder::scan("fact", fact_schema),
+            "id",
+            "fk",
+            JoinType::Inner,
+        )
+        .build();
+    let mut g = c.benchmark_group("join");
+    g.sample_size(10);
+    for (label, enabled, kind, bloom) in [
+        ("range_set", true, SummaryKind::RangeSet { budget: 128 }, true),
+        ("minmax", true, SummaryKind::MinMax, true),
+        ("exact", true, SummaryKind::Exact, true),
+        ("no_prune_bloom", false, SummaryKind::MinMax, true),
+        ("no_prune_no_bloom", false, SummaryKind::MinMax, false),
+    ] {
+        g.bench_function(label, |b| {
+            let mut cfg = ExecConfig::default();
+            cfg.enable_join_pruning = enabled;
+            cfg.join_summary = kind;
+            cfg.join_bloom = bloom;
+            let exec = Executor::new(cat.clone(), cfg);
+            b.iter(|| std::hint::black_box(exec.run(&plan).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_join);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! §4 LIMIT pruning bench: Table 2 scenario — LIMIT with and without
+//! pruning, sequential and parallel (the §4.4 n-worker effect).
+
+#![allow(clippy::field_reassign_with_default)] // config tweak idiom
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snowprune_exec::{ExecConfig, Executor};
+use snowprune_expr::dsl::{col, lit};
+use snowprune_plan::PlanBuilder;
+use snowprune_storage::{Catalog, Field, Layout, Schema, TableBuilder};
+use snowprune_types::{ScalarType, Value};
+
+fn bench_limit(c: &mut Criterion) {
+    let schema = Schema::new(vec![
+        Field::new("ts", ScalarType::Int),
+        Field::new("m", ScalarType::Int),
+    ]);
+    let cat = Catalog::new();
+    let mut b = TableBuilder::new("t", schema.clone())
+        .target_rows_per_partition(500)
+        .layout(Layout::ClusterBy(vec!["ts".into()]));
+    for i in 0..100_000i64 {
+        b.push_row(vec![Value::Int(i), Value::Int(i % 7)]);
+    }
+    cat.register(b.build());
+    let plan = PlanBuilder::scan("t", schema)
+        .filter(col("ts").lt(lit(50_000i64)))
+        .limit(20)
+        .build();
+    let mut g = c.benchmark_group("limit");
+    g.sample_size(20);
+    for (label, pruning, workers) in [
+        ("pruned_1w", true, 1usize),
+        ("pruned_4w", true, 4),
+        ("early_stop_1w", false, 1),
+        ("early_stop_4w", false, 4),
+    ] {
+        g.bench_function(label, |b| {
+            let mut cfg = ExecConfig::default();
+            cfg.enable_limit_pruning = pruning;
+            cfg.workers = workers;
+            let exec = Executor::new(cat.clone(), cfg);
+            b.iter(|| std::hint::black_box(exec.run(&plan).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_limit);
+criterion_main!(benches);

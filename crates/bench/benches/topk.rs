@@ -1,0 +1,58 @@
+//! §5 top-k pruning benches: Figure 8 (ordering strategies) and Figure 9
+//! (pruning on/off runtime), plus §5.4 boundary initialization.
+
+#![allow(clippy::field_reassign_with_default)] // config tweak idiom
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snowprune_core::topk::PartitionOrder;
+use snowprune_exec::{ExecConfig, Executor};
+use snowprune_expr::dsl::{col, lit};
+use snowprune_plan::PlanBuilder;
+use snowprune_storage::{Catalog, Field, Layout, Schema, TableBuilder};
+use snowprune_types::{ScalarType, Value};
+
+fn catalog(layout: Layout) -> (Catalog, Schema) {
+    let schema = Schema::new(vec![
+        Field::new("v", ScalarType::Int),
+        Field::new("s", ScalarType::Int),
+    ]);
+    let mut b = TableBuilder::new("t", schema.clone())
+        .target_rows_per_partition(400)
+        .layout(layout);
+    for i in 0..60_000i64 {
+        b.push_row(vec![Value::Int((i * 37) % 100_000, ), Value::Int(i % 130)]);
+    }
+    let c = Catalog::new();
+    c.register(b.build());
+    (c, schema)
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let (cat, schema) = catalog(Layout::ClusterBy(vec!["v".into()]));
+    let plan = PlanBuilder::scan("t", schema)
+        .filter(col("s").ge(lit(50i64)))
+        .order_by("v", true)
+        .limit(10)
+        .build();
+    let mut g = c.benchmark_group("topk");
+    g.sample_size(20);
+    for (label, enable, order, init) in [
+        ("pruned_sorted", true, PartitionOrder::ByBoundary, true),
+        ("pruned_random", true, PartitionOrder::Random { seed: 3 }, false),
+        ("pruned_no_init", true, PartitionOrder::ByBoundary, false),
+        ("unpruned", false, PartitionOrder::Unsorted, false),
+    ] {
+        g.bench_function(label, |b| {
+            let mut cfg = ExecConfig::default();
+            cfg.enable_topk_pruning = enable;
+            cfg.topk_order = order;
+            cfg.topk_init_boundary = init;
+            let exec = Executor::new(cat.clone(), cfg);
+            b.iter(|| std::hint::black_box(exec.run(&plan).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_topk);
+criterion_main!(benches);

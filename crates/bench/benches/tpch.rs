@@ -1,0 +1,31 @@
+//! Figure 13 bench: TPC-H queries with pruning on vs off (tiny scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snowprune_exec::{ExecConfig, Executor};
+use snowprune_workload::{generate_tpch, tpch_query, TpchConfig};
+
+fn bench_tpch(c: &mut Criterion) {
+    let catalog = generate_tpch(&TpchConfig {
+        scale: 0.005,
+        rows_per_partition: 600,
+        clustered: true,
+        seed: 1,
+    });
+    let mut g = c.benchmark_group("tpch");
+    g.sample_size(10);
+    for q in [1usize, 6, 14] {
+        let plan = tpch_query(q);
+        g.bench_function(format!("q{q}_pruned"), |b| {
+            let exec = Executor::new(catalog.clone(), ExecConfig::default());
+            b.iter(|| std::hint::black_box(exec.run(&plan).unwrap()))
+        });
+        g.bench_function(format!("q{q}_unpruned"), |b| {
+            let exec = Executor::new(catalog.clone(), ExecConfig::no_pruning());
+            b.iter(|| std::hint::black_box(exec.run(&plan).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tpch);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! The reproduction harness: regenerates every table and figure of the
+//! paper's evaluation.
+//!
+//! ```text
+//! cargo run -p snowprune-bench --release --bin reproduce -- all
+//! cargo run -p snowprune-bench --release --bin reproduce -- fig13 --scale 0.05
+//! ```
+
+use snowprune_bench::{experiments as e, tpch_exp as t};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let scale = args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(0.02);
+    let queries = args
+        .iter()
+        .position(|a| a == "--queries")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(400);
+    let seed = 2024_11_05;
+
+    let run = |id: &str| -> Option<String> {
+        match id {
+            "fig1" => Some(e::fig01_overview(queries, seed)),
+            "fig4" => Some(e::fig04_filter_cdf(queries, seed)),
+            "tab1" => Some(e::tab1_query_mix(20_000, seed)),
+            "fig6" => Some(e::fig06_k_cdf(100_000, seed)),
+            "tab2" => Some(e::tab2_limit_breakdown(queries.max(2000), seed)),
+            "fig8" => Some(e::fig08_topk_sorting(queries, seed)),
+            "fig9" => Some(e::fig09_topk_impact(queries, seed)),
+            "fig10" => Some(e::fig10_join_cdf(queries, seed)),
+            "fig11" => Some(e::fig11_flow(queries, seed)),
+            "fig12" => Some(e::fig12_repetitiveness(seed)),
+            "fig13" => Some(format!(
+                "{}{}",
+                t::fig13_tpch(scale, seed),
+                t::fig13_tpch_unclustered(scale, seed)
+            )),
+            "cache" => Some(t::ext_cache(seed)),
+            "ablations" => Some(t::ablations(seed)),
+            _ => None,
+        }
+    };
+
+    let ids = [
+        "fig1", "fig4", "tab1", "fig6", "tab2", "fig8", "fig9", "fig10", "fig11", "fig12",
+        "fig13", "cache", "ablations",
+    ];
+    if which == "all" {
+        for id in ids {
+            println!("{}", run(id).unwrap());
+        }
+    } else if let Some(report) = run(which) {
+        println!("{report}");
+    } else {
+        eprintln!(
+            "unknown experiment '{which}'. available: {} all",
+            ids.join(" ")
+        );
+        std::process::exit(2);
+    }
+}

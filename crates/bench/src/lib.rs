@@ -1,0 +1,9 @@
+#![allow(clippy::field_reassign_with_default)] // config tweak idiom
+
+//! `snowprune-bench`: the reproduction harness (one runner per table and
+//! figure in the paper) plus Criterion benches. See `DESIGN.md` for the
+//! experiment index and `EXPERIMENTS.md` for recorded results.
+
+pub mod experiments;
+pub mod report;
+pub mod tpch_exp;

@@ -1,0 +1,98 @@
+//! Small reporting utilities shared by the experiment runners.
+
+/// Five-number summary plus mean, the shape behind the paper's box plots.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DistSummary {
+    pub n: usize,
+    pub min: f64,
+    pub p25: f64,
+    pub median: f64,
+    pub p75: f64,
+    pub max: f64,
+    pub mean: f64,
+}
+
+/// Summarize a sample (NaNs are rejected by debug assertion).
+pub fn summarize(values: &[f64]) -> DistSummary {
+    if values.is_empty() {
+        return DistSummary::default();
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let q = |p: f64| -> f64 {
+        let idx = (p * (v.len() - 1) as f64).round() as usize;
+        v[idx.min(v.len() - 1)]
+    };
+    DistSummary {
+        n: v.len(),
+        min: v[0],
+        p25: q(0.25),
+        median: q(0.5),
+        p75: q(0.75),
+        max: v[v.len() - 1],
+        mean: v.iter().sum::<f64>() / v.len() as f64,
+    }
+}
+
+impl DistSummary {
+    pub fn row(&self, label: &str) -> String {
+        format!(
+            "{label:<18} n={:<6} min={:>6.1}% p25={:>6.1}% med={:>6.1}% p75={:>6.1}% max={:>6.1}% mean={:>6.1}%",
+            self.n,
+            self.min * 100.0,
+            self.p25 * 100.0,
+            self.median * 100.0,
+            self.p75 * 100.0,
+            self.max * 100.0,
+            self.mean * 100.0
+        )
+    }
+}
+
+/// Percentile → value pairs for CDF tables.
+pub fn cdf_table(values: &[f64], points: &[f64]) -> Vec<(f64, f64)> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    points
+        .iter()
+        .map(|&p| {
+            let idx = (p * (v.len() - 1) as f64).round() as usize;
+            (p, v[idx.min(v.len() - 1)])
+        })
+        .collect()
+}
+
+/// Fraction of samples satisfying a predicate.
+pub fn share(values: &[f64], f: impl Fn(f64) -> bool) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|&&v| f(v)).count() as f64 / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = summarize(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.median, 0.5);
+        assert_eq!(s.mean, 0.5);
+        assert_eq!(s.n, 3);
+        assert_eq!(summarize(&[]).n, 0);
+    }
+
+    #[test]
+    fn cdf_and_share() {
+        let v = vec![0.1, 0.2, 0.3, 0.4, 0.5];
+        let t = cdf_table(&v, &[0.0, 0.5, 1.0]);
+        assert_eq!(t[0].1, 0.1);
+        assert_eq!(t[1].1, 0.3);
+        assert_eq!(t[2].1, 0.5);
+        assert_eq!(share(&v, |x| x >= 0.3), 0.6);
+    }
+}

@@ -1,0 +1,331 @@
+//! The predicate cache proper.
+
+use std::collections::HashMap;
+
+use snowprune_storage::{DmlResult, PartitionId};
+
+/// What kind of result the entry caches.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EntryKind {
+    /// Partitions containing rows matching a filter predicate.
+    Filter,
+    /// Partitions contributing rows to a top-k result over this ordering
+    /// column.
+    TopK { order_column: String },
+}
+
+/// A cached contributing-partition set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheEntry {
+    pub kind: EntryKind,
+    pub table: String,
+    /// Contributing partitions at record time.
+    pub partitions: Vec<PartitionId>,
+    /// Table version the entry was recorded at.
+    pub table_version: u64,
+    /// Partitions added by later (safe) DML, appended at lookup time.
+    pub appended: Vec<PartitionId>,
+}
+
+/// Lookup outcome.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CacheLookup {
+    Miss,
+    /// The partitions to scan: cached contributors plus any partitions
+    /// added since (INSERT safety).
+    Hit(Vec<PartitionId>),
+}
+
+/// Classified DML statements, as the cache needs to distinguish them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DmlKind {
+    Insert,
+    Delete,
+    /// Updated column names.
+    Update(Vec<String>),
+}
+
+/// Hit/miss/invalidation counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub insertions: u64,
+    pub invalidations: u64,
+    pub evictions: u64,
+}
+
+/// A bounded predicate cache keyed by exact plan fingerprints
+/// (`snowprune_plan::fingerprint` with [`snowprune_plan::FingerprintMode::Exact`]).
+#[derive(Debug)]
+pub struct PredicateCache {
+    capacity: usize,
+    entries: HashMap<u64, CacheEntry>,
+    /// Insertion order for FIFO eviction.
+    order: Vec<u64>,
+    stats: CacheStats,
+}
+
+impl PredicateCache {
+    pub fn new(capacity: usize) -> Self {
+        PredicateCache {
+            capacity: capacity.max(1),
+            entries: HashMap::new(),
+            order: Vec::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up a fingerprint. A hit returns the partitions to scan.
+    pub fn lookup(&mut self, fingerprint: u64) -> CacheLookup {
+        match self.entries.get(&fingerprint) {
+            Some(entry) => {
+                self.stats.hits += 1;
+                let mut parts = entry.partitions.clone();
+                parts.extend(entry.appended.iter().copied());
+                parts.sort_unstable();
+                parts.dedup();
+                CacheLookup::Hit(parts)
+            }
+            None => {
+                self.stats.misses += 1;
+                CacheLookup::Miss
+            }
+        }
+    }
+
+    /// Record an entry (evicting FIFO when over capacity).
+    pub fn insert(&mut self, fingerprint: u64, entry: CacheEntry) {
+        if self.entries.insert(fingerprint, entry).is_none() {
+            self.order.push(fingerprint);
+        }
+        self.stats.insertions += 1;
+        while self.entries.len() > self.capacity {
+            let oldest = self.order.remove(0);
+            self.entries.remove(&oldest);
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// Apply a DML statement's effect to all entries of `table`, following
+    /// the §8.2 correctness rules.
+    pub fn on_dml(&mut self, table: &str, kind: &DmlKind, result: &DmlResult) {
+        let mut invalidated = Vec::new();
+        for (fp, entry) in self.entries.iter_mut() {
+            if entry.table != table {
+                continue;
+            }
+            let unsafe_for_topk = match (&entry.kind, kind) {
+                (EntryKind::TopK { .. }, DmlKind::Delete) => true,
+                (EntryKind::TopK { order_column }, DmlKind::Update(cols)) => {
+                    cols.iter().any(|c| c == order_column)
+                }
+                _ => false,
+            };
+            if unsafe_for_topk {
+                invalidated.push(*fp);
+                continue;
+            }
+            // Safe DML: rewrite removed partitions to their replacements and
+            // append inserted partitions as additional candidates.
+            let touched_cached = entry
+                .partitions
+                .iter()
+                .chain(entry.appended.iter())
+                .any(|p| result.partitions_removed.contains(p));
+            entry
+                .partitions
+                .retain(|p| !result.partitions_removed.contains(p));
+            entry
+                .appended
+                .retain(|p| !result.partitions_removed.contains(p));
+            match kind {
+                DmlKind::Insert => {
+                    entry.appended.extend(result.partitions_added.iter().copied());
+                }
+                _ => {
+                    // Rewrites: the replacement partitions matter only if a
+                    // cached partition was rewritten; adding them otherwise
+                    // would be correct but needlessly lossy.
+                    if touched_cached {
+                        entry.appended.extend(result.partitions_added.iter().copied());
+                    }
+                }
+            }
+            entry.table_version = result.new_version;
+        }
+        for fp in invalidated {
+            self.entries.remove(&fp);
+            self.order.retain(|f| *f != fp);
+            self.stats.invalidations += 1;
+        }
+    }
+
+    /// Drop every entry for a table (e.g. table replaced).
+    pub fn invalidate_table(&mut self, table: &str) {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| e.table != table);
+        self.order = self
+            .order
+            .iter()
+            .copied()
+            .filter(|fp| self.entries.contains_key(fp))
+            .collect();
+        self.stats.invalidations += (before - self.entries.len()) as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topk_entry() -> CacheEntry {
+        CacheEntry {
+            kind: EntryKind::TopK {
+                order_column: "num_sightings".into(),
+            },
+            table: "t".into(),
+            partitions: vec![3, 7],
+            table_version: 1,
+            appended: Vec::new(),
+        }
+    }
+
+    fn dml(added: Vec<u64>, removed: Vec<u64>) -> DmlResult {
+        DmlResult {
+            rows_affected: 1,
+            partitions_added: added,
+            partitions_removed: removed,
+            new_version: 2,
+        }
+    }
+
+    #[test]
+    fn hit_and_miss() {
+        let mut c = PredicateCache::new(4);
+        assert_eq!(c.lookup(1), CacheLookup::Miss);
+        c.insert(1, topk_entry());
+        assert_eq!(c.lookup(1), CacheLookup::Hit(vec![3, 7]));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn insert_appends_new_partitions() {
+        let mut c = PredicateCache::new(4);
+        c.insert(1, topk_entry());
+        c.on_dml("t", &DmlKind::Insert, &dml(vec![9], vec![]));
+        assert_eq!(c.lookup(1), CacheLookup::Hit(vec![3, 7, 9]));
+    }
+
+    #[test]
+    fn delete_invalidates_topk() {
+        let mut c = PredicateCache::new(4);
+        c.insert(1, topk_entry());
+        c.on_dml("t", &DmlKind::Delete, &dml(vec![10], vec![3]));
+        assert_eq!(c.lookup(1), CacheLookup::Miss);
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn update_order_column_invalidates_topk() {
+        let mut c = PredicateCache::new(4);
+        c.insert(1, topk_entry());
+        c.on_dml(
+            "t",
+            &DmlKind::Update(vec!["num_sightings".into()]),
+            &dml(vec![10], vec![7]),
+        );
+        assert_eq!(c.lookup(1), CacheLookup::Miss);
+    }
+
+    #[test]
+    fn update_other_column_rewrites_partitions() {
+        let mut c = PredicateCache::new(4);
+        c.insert(1, topk_entry());
+        // Partition 7 rewritten to 10 by an update of a non-ordering column.
+        c.on_dml(
+            "t",
+            &DmlKind::Update(vec!["species".into()]),
+            &dml(vec![10], vec![7]),
+        );
+        assert_eq!(c.lookup(1), CacheLookup::Hit(vec![3, 10]));
+    }
+
+    #[test]
+    fn update_untouched_partition_is_noop_for_entry() {
+        let mut c = PredicateCache::new(4);
+        c.insert(1, topk_entry());
+        // Rewrite of partition 5, which the entry does not reference.
+        c.on_dml(
+            "t",
+            &DmlKind::Update(vec!["species".into()]),
+            &dml(vec![11], vec![5]),
+        );
+        assert_eq!(c.lookup(1), CacheLookup::Hit(vec![3, 7]));
+    }
+
+    #[test]
+    fn filter_entries_survive_all_dml() {
+        let mut c = PredicateCache::new(4);
+        c.insert(
+            2,
+            CacheEntry {
+                kind: EntryKind::Filter,
+                table: "t".into(),
+                partitions: vec![1, 2],
+                table_version: 1,
+                appended: Vec::new(),
+            },
+        );
+        c.on_dml("t", &DmlKind::Delete, &dml(vec![5], vec![2]));
+        assert_eq!(c.lookup(2), CacheLookup::Hit(vec![1, 5]));
+        c.on_dml(
+            "t",
+            &DmlKind::Update(vec!["x".into()]),
+            &dml(vec![6], vec![1]),
+        );
+        assert_eq!(c.lookup(2), CacheLookup::Hit(vec![5, 6]));
+    }
+
+    #[test]
+    fn other_tables_unaffected() {
+        let mut c = PredicateCache::new(4);
+        c.insert(1, topk_entry());
+        c.on_dml("other", &DmlKind::Delete, &dml(vec![], vec![3]));
+        assert_eq!(c.lookup(1), CacheLookup::Hit(vec![3, 7]));
+    }
+
+    #[test]
+    fn fifo_eviction() {
+        let mut c = PredicateCache::new(2);
+        c.insert(1, topk_entry());
+        c.insert(2, topk_entry());
+        c.insert(3, topk_entry());
+        assert_eq!(c.lookup(1), CacheLookup::Miss);
+        assert_ne!(c.lookup(2), CacheLookup::Miss);
+        assert_ne!(c.lookup(3), CacheLookup::Miss);
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn invalidate_table_drops_all() {
+        let mut c = PredicateCache::new(4);
+        c.insert(1, topk_entry());
+        c.insert(2, topk_entry());
+        c.invalidate_table("t");
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,19 @@
+//! Predicate caching (§8.2): cache the set of micro-partitions that
+//! contributed to a query's result, keyed by exact plan fingerprint, and
+//! replay it on repeat executions — Schmidt et al.'s predicate caching
+//! extended to top-k queries with the paper's DML correctness rules:
+//!
+//! * **INSERT** — safe: partitions added after the entry was recorded are
+//!   appended to the replayed scan set, so new rows can still enter the
+//!   (top-k) result.
+//! * **DELETE** — unsafe for top-k: the replacement (k+1-th) row may live
+//!   outside the cached partitions → invalidate.
+//! * **UPDATE of the ordering column** — unsafe for top-k → invalidate.
+//! * **UPDATE of other columns / any DML for plain filter entries** —
+//!   handled by rewriting partition ids (removed → added).
+
+pub mod cache;
+pub mod populate;
+
+pub use cache::{CacheEntry, CacheLookup, CacheStats, DmlKind, EntryKind, PredicateCache};
+pub use populate::contributing_partitions_topk;

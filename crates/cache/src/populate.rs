@@ -1,0 +1,97 @@
+//! Cache population: compute the partitions that contribute rows to a
+//! top-k result, mimicking "recording partition information alongside each
+//! tuple in the top-k heap during query processing" (§8.2).
+
+use snowprune_expr::{eval_truths, selection_indices, Expr};
+use snowprune_storage::{PartitionId, Table};
+use snowprune_types::{Result, Value};
+
+/// Exactly the partitions holding rows of the top-k result for
+/// `ORDER BY order_column [DESC] LIMIT k` under `predicate`. A perfect
+/// cache entry: replaying only these partitions reproduces the result (at
+/// the recorded table version).
+pub fn contributing_partitions_topk(
+    table: &Table,
+    predicate: Option<&Expr>,
+    order_column: &str,
+    k: usize,
+    desc: bool,
+) -> Result<Vec<PartitionId>> {
+    let schema = table.schema();
+    let order_idx = schema.index_of(order_column)?;
+    let bound = predicate.map(|p| p.bind(schema)).transpose()?;
+    // Gather qualifying (order_value, partition) pairs.
+    let mut pairs: Vec<(Value, PartitionId)> = Vec::new();
+    for id in table.partition_ids() {
+        let part = table.partition(id)?;
+        let selection: Vec<usize> = match &bound {
+            Some(p) => selection_indices(&eval_truths(p, &part)),
+            None => (0..part.row_count()).collect(),
+        };
+        for i in selection {
+            let v = part.column(order_idx).value_at(i);
+            if !v.is_null() {
+                pairs.push((v, id));
+            }
+        }
+    }
+    pairs.sort_by(|a, b| {
+        let ord = a.0.total_ord_cmp(&b.0);
+        if desc {
+            ord.reverse()
+        } else {
+            ord
+        }
+    });
+    let mut contributing: Vec<PartitionId> = pairs.into_iter().take(k).map(|(_, id)| id).collect();
+    contributing.sort_unstable();
+    contributing.dedup();
+    Ok(contributing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snowprune_expr::dsl::{col, lit};
+    use snowprune_storage::{Field, Layout, Schema, TableBuilder};
+    use snowprune_types::ScalarType;
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("v", ScalarType::Int),
+            Field::new("g", ScalarType::Int),
+        ]);
+        let mut b = TableBuilder::new("t", schema)
+            .target_rows_per_partition(10)
+            .layout(Layout::ClusterBy(vec!["v".into()]));
+        for i in 0..100i64 {
+            b.push_row(vec![Value::Int(i), Value::Int(i % 4)]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn finds_top_partition_only() {
+        let t = table();
+        // Top-5 of v DESC: values 95..99, all in the last partition.
+        let parts = contributing_partitions_topk(&t, None, "v", 5, true).unwrap();
+        assert_eq!(parts, vec![9]);
+    }
+
+    #[test]
+    fn respects_predicate() {
+        let t = table();
+        // Top-3 of v DESC among v < 50: values 47..49, partition 4.
+        let pred = col("v").lt(lit(50i64));
+        let parts = contributing_partitions_topk(&t, Some(&pred), "v", 3, true).unwrap();
+        assert_eq!(parts, vec![4]);
+    }
+
+    #[test]
+    fn ascending_and_spanning() {
+        let t = table();
+        // Bottom-15 ASC spans partitions 0 and 1.
+        let parts = contributing_partitions_topk(&t, None, "v", 15, false).unwrap();
+        assert_eq!(parts, vec![0, 1]);
+    }
+}

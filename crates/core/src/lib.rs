@@ -1,0 +1,29 @@
+//! `snowprune-core`: the paper's four partition-pruning techniques.
+//!
+//! * [`filter`] — min/max filter pruning with an adaptive pruning tree:
+//!   filter reordering, pruning cutoff, compile-time/runtime split (§3).
+//! * [`limit`] — LIMIT pruning via fully-matching partitions (§4).
+//! * [`topk`] — boundary-value top-k pruning with processing-order
+//!   strategies and upfront boundary initialization (§5).
+//! * [`join`] — probe-side partition pruning from build-side value
+//!   summaries, plus a row-level Bloom filter (§6).
+//! * [`flow`] — composition bookkeeping across techniques (§7).
+//! * [`scan_set`] — the scan sets all techniques operate on (§2).
+
+pub mod filter;
+pub mod flow;
+pub mod join;
+pub mod limit;
+pub mod scan_set;
+pub mod topk;
+
+pub use filter::{FilterPruneConfig, FilterPruneResult, FilterPruner};
+pub use flow::{FlowAggregator, QueryPruningReport, TechniqueSet};
+pub use join::{
+    prune_probe_side, BloomFilter, JoinPruneResult, JoinSummary, RangeSetSummary, SummaryKind,
+};
+pub use limit::{prune_for_limit, LimitOutcome, LimitPruneResult, UnsupportedReason};
+pub use scan_set::{pruning_ratio, ScanEntry, ScanSet};
+pub use topk::{
+    initial_boundary, order_scan_set, Boundary, PartitionOrder, TopKHeap, TopKScanStats,
+};

@@ -1,0 +1,209 @@
+//! LIMIT pruning (§4): shrink the scan set to the minimal number of
+//! fully-matching partitions that cover `k` rows.
+//!
+//! If the fully-matching partitions together hold at least `k + offset`
+//! rows, the scan set becomes exactly the smallest subset of them reaching
+//! that count — globally I/O-optimal for supported queries, reading only
+//! the minimal number of partitions. Otherwise no partition can be removed
+//! (pruning must not introduce false negatives), but fully-matching
+//! partitions are moved to the front of the processing order, which still
+//! lets execution halt early.
+
+use snowprune_types::MatchClass;
+
+use crate::scan_set::ScanSet;
+
+/// How a LIMIT query interacted with LIMIT pruning — the categories of
+/// Table 2 in the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LimitOutcome {
+    /// Scan set already at ≤ 1 partition after filter pruning; nothing to do.
+    AlreadyMinimal,
+    /// The plan shape prevented pushing the LIMIT to a scan, or no
+    /// fully-matching partitions could cover `k`.
+    Unsupported(UnsupportedReason),
+    /// Pruned to exactly one partition.
+    PrunedToOne,
+    /// Pruned to more than one partition (large `k`), still optimal.
+    PrunedToMany(usize),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnsupportedReason {
+    /// The LIMIT could not be pushed down to a table scan (§4.3).
+    PlanShape,
+    /// Fully-matching partitions cover fewer than `k + offset` rows.
+    InsufficientFullyMatching,
+}
+
+/// Result of LIMIT pruning on one scan set.
+#[derive(Clone, Debug)]
+pub struct LimitPruneResult {
+    pub scan_set: ScanSet,
+    pub outcome: LimitOutcome,
+    pub partitions_before: usize,
+}
+
+impl LimitPruneResult {
+    pub fn pruning_ratio(&self) -> f64 {
+        crate::scan_set::pruning_ratio(self.partitions_before, self.scan_set.len())
+    }
+}
+
+/// Apply LIMIT pruning to a scan set that already went through filter
+/// pruning (which annotated match classes). `needed` is `k + offset`.
+pub fn prune_for_limit(scan_set: &ScanSet, needed: u64) -> LimitPruneResult {
+    let before = scan_set.len();
+    if before <= 1 {
+        return LimitPruneResult {
+            scan_set: scan_set.clone(),
+            outcome: LimitOutcome::AlreadyMinimal,
+            partitions_before: before,
+        };
+    }
+    // LIMIT 0 still needs schema discovery but zero rows: one fully-matching
+    // partition — or none at all — satisfies it. Treat needed == 0 as
+    // needing zero rows: the empty scan set is correct.
+    if needed == 0 {
+        return LimitPruneResult {
+            scan_set: ScanSet::default(),
+            outcome: if before == 0 {
+                LimitOutcome::AlreadyMinimal
+            } else {
+                LimitOutcome::PrunedToMany(0)
+            },
+            partitions_before: before,
+        };
+    }
+    let mut fully: Vec<&crate::scan_set::ScanEntry> = scan_set.fully_matching().collect();
+    let covered: u64 = fully.iter().map(|e| e.row_count).sum();
+    if covered < needed {
+        // Cannot prune; reorder fully-matching first so execution reaches k
+        // fastest (§4.1: "starting the table scan with fully-matching
+        // partitions promises faster query execution times").
+        let mut entries = scan_set.entries.clone();
+        entries.sort_by_key(|e| match e.class {
+            MatchClass::FullyMatching => 0u8,
+            MatchClass::PartiallyMatching => 1,
+            MatchClass::NotMatching => 2,
+        });
+        return LimitPruneResult {
+            scan_set: ScanSet { entries },
+            outcome: LimitOutcome::Unsupported(UnsupportedReason::InsufficientFullyMatching),
+            partitions_before: before,
+        };
+    }
+    // Minimal partition count: take fully-matching partitions largest-first.
+    fully.sort_by(|a, b| b.row_count.cmp(&a.row_count).then(a.id.cmp(&b.id)));
+    let mut chosen = Vec::new();
+    let mut rows = 0u64;
+    for e in fully {
+        chosen.push(e.clone());
+        rows += e.row_count;
+        if rows >= needed {
+            break;
+        }
+    }
+    let outcome = if chosen.len() == 1 {
+        LimitOutcome::PrunedToOne
+    } else {
+        LimitOutcome::PrunedToMany(chosen.len())
+    };
+    LimitPruneResult {
+        scan_set: ScanSet { entries: chosen },
+        outcome,
+        partitions_before: before,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan_set::ScanEntry;
+
+    fn entry(id: u64, class: MatchClass, rows: u64) -> ScanEntry {
+        ScanEntry {
+            id,
+            class,
+            row_count: rows,
+            bytes: rows * 64,
+        }
+    }
+
+    fn figure5_scan_set() -> ScanSet {
+        // After filter pruning on Figure 5: partitions 2 and 4 partially
+        // match, partition 3 fully matches (3 rows each).
+        ScanSet {
+            entries: vec![
+                entry(2, MatchClass::PartiallyMatching, 3),
+                entry(3, MatchClass::FullyMatching, 3),
+                entry(4, MatchClass::PartiallyMatching, 3),
+            ],
+        }
+    }
+
+    #[test]
+    fn figure5_limit3_prunes_to_partition3() {
+        let res = prune_for_limit(&figure5_scan_set(), 3);
+        assert_eq!(res.outcome, LimitOutcome::PrunedToOne);
+        assert_eq!(res.scan_set.ids(), vec![3]);
+        assert!((res.pruning_ratio() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn limit_exceeding_fully_matching_rows_is_unsupported() {
+        let res = prune_for_limit(&figure5_scan_set(), 4);
+        assert_eq!(
+            res.outcome,
+            LimitOutcome::Unsupported(UnsupportedReason::InsufficientFullyMatching)
+        );
+        // But the fully-matching partition moved to the front.
+        assert_eq!(res.scan_set.ids()[0], 3);
+        assert_eq!(res.scan_set.len(), 3);
+    }
+
+    #[test]
+    fn large_k_takes_minimal_number_of_partitions() {
+        let ss = ScanSet {
+            entries: vec![
+                entry(0, MatchClass::FullyMatching, 10),
+                entry(1, MatchClass::FullyMatching, 50),
+                entry(2, MatchClass::FullyMatching, 30),
+                entry(3, MatchClass::PartiallyMatching, 100),
+            ],
+        };
+        let res = prune_for_limit(&ss, 60);
+        // 50 + 30 = 80 >= 60 with two partitions (the two largest).
+        assert_eq!(res.outcome, LimitOutcome::PrunedToMany(2));
+        assert_eq!(res.scan_set.ids(), vec![1, 2]);
+    }
+
+    #[test]
+    fn no_predicate_table_is_all_fully_matching() {
+        // Without predicates every partition is fully matching (§4.2).
+        let ss = ScanSet {
+            entries: (0..10)
+                .map(|i| entry(i, MatchClass::FullyMatching, 100))
+                .collect(),
+        };
+        let res = prune_for_limit(&ss, 150);
+        assert_eq!(res.outcome, LimitOutcome::PrunedToMany(2));
+    }
+
+    #[test]
+    fn single_partition_already_minimal() {
+        let ss = ScanSet {
+            entries: vec![entry(0, MatchClass::PartiallyMatching, 5)],
+        };
+        let res = prune_for_limit(&ss, 3);
+        assert_eq!(res.outcome, LimitOutcome::AlreadyMinimal);
+        assert_eq!(res.scan_set.len(), 1);
+    }
+
+    #[test]
+    fn limit_zero_empties_scan_set() {
+        // BI tools issue LIMIT 0 for schema discovery (§4.1 footnote).
+        let res = prune_for_limit(&figure5_scan_set(), 0);
+        assert!(res.scan_set.is_empty());
+    }
+}

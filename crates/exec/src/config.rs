@@ -1,0 +1,61 @@
+//! Execution configuration: which pruning techniques run, and how.
+
+use snowprune_core::filter::FilterPruneConfig;
+use snowprune_core::join::SummaryKind;
+use snowprune_core::topk::PartitionOrder;
+use snowprune_storage::IoCostModel;
+
+/// Knobs controlling the pruning behaviour of the [`crate::Executor`].
+/// Every paper experiment toggles some subset of these.
+#[derive(Clone, Debug)]
+pub struct ExecConfig {
+    pub enable_filter_pruning: bool,
+    pub enable_limit_pruning: bool,
+    pub enable_join_pruning: bool,
+    pub enable_topk_pruning: bool,
+    /// Partition processing order for top-k scans (§5.3).
+    pub topk_order: PartitionOrder,
+    /// Upfront boundary initialization from fully-matching partitions (§5.4).
+    pub topk_init_boundary: bool,
+    /// Build-side summary type for join pruning (§6.1).
+    pub join_summary: SummaryKind,
+    /// Row-level Bloom filter inside the join operator.
+    pub join_bloom: bool,
+    /// Worker threads for parallel table scans (the virtual-warehouse
+    /// stand-in). 1 = sequential.
+    pub workers: usize,
+    pub filter: FilterPruneConfig,
+    pub io_cost: IoCostModel,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            enable_filter_pruning: true,
+            enable_limit_pruning: true,
+            enable_join_pruning: true,
+            enable_topk_pruning: true,
+            topk_order: PartitionOrder::ByBoundary,
+            topk_init_boundary: true,
+            join_summary: SummaryKind::RangeSet { budget: 128 },
+            join_bloom: true,
+            workers: 1,
+            filter: FilterPruneConfig::default(),
+            io_cost: IoCostModel::default(),
+        }
+    }
+}
+
+impl ExecConfig {
+    /// Baseline configuration with every pruning technique disabled.
+    pub fn no_pruning() -> Self {
+        ExecConfig {
+            enable_filter_pruning: false,
+            enable_limit_pruning: false,
+            enable_join_pruning: false,
+            enable_topk_pruning: false,
+            join_bloom: false,
+            ..Default::default()
+        }
+    }
+}

@@ -1,0 +1,993 @@
+//! The query executor: runs logical plans against a catalog with all four
+//! pruning techniques wired in at their proper phases (§7):
+//!
+//! 1. **Filter pruning** at scan compilation (compile time).
+//! 2. **LIMIT pruning** when the LIMIT pushes down to a scan (compile time).
+//! 3. **Join pruning** after the build side materializes (runtime).
+//! 4. **Top-k pruning** via a boundary shared between the top-k heap and
+//!    the scan, with the scan pipelined partition-at-a-time (runtime).
+
+use std::ops::ControlFlow;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use snowprune_core::filter::FilterPruner;
+use snowprune_core::join::{prune_probe_side, BloomFilter, JoinSummary};
+use snowprune_core::limit::{prune_for_limit, LimitOutcome};
+use snowprune_core::topk::{initial_boundary, order_scan_set, Boundary, TopKHeap, TopKScanStats};
+use snowprune_core::QueryPruningReport;
+use snowprune_plan::{
+    detect_topk, limit_pushdown, JoinType, LimitPushdown, Plan, SortKey, TopKShape, TopKSpec,
+};
+use snowprune_storage::{Catalog, IoSnapshot, IoStats, PartitionMeta, Schema, Table};
+use snowprune_types::{Error, Result, Value};
+
+use crate::agg::{aggregate_rows, DistinctKeyTopK};
+use crate::config::ExecConfig;
+use crate::rows::RowSet;
+use crate::scan::{stream_scan, stream_scan_parallel, CompiledScan, ScanHooks};
+
+/// Execution report: core pruning accounting plus technique-level detail.
+#[derive(Clone, Debug, Default)]
+pub struct ExecReport {
+    pub pruning: QueryPruningReport,
+    pub limit_outcome: Option<LimitOutcome>,
+    pub topk_shape: Option<TopKShape>,
+    pub topk_stats: TopKScanStats,
+    pub join_summary_bytes: u64,
+    /// Rows skipped by the row-level Bloom filter inside joins.
+    pub bloom_skipped_rows: u64,
+}
+
+/// The result of running one query.
+#[derive(Clone, Debug)]
+pub struct QueryOutput {
+    pub rows: RowSet,
+    pub report: ExecReport,
+    /// I/O performed by this query (counter delta).
+    pub io: IoSnapshot,
+    pub wall: Duration,
+}
+
+#[derive(Default)]
+struct RunState {
+    report: ExecReport,
+    limit_override: Option<LimitOverride>,
+}
+
+struct LimitOverride {
+    table: String,
+    scan: CompiledScan,
+}
+
+/// The pruning-aware query executor.
+pub struct Executor {
+    catalog: Catalog,
+    cfg: ExecConfig,
+    io: IoStats,
+}
+
+impl Executor {
+    pub fn new(catalog: Catalog, cfg: ExecConfig) -> Self {
+        Executor {
+            catalog,
+            cfg,
+            io: IoStats::new(),
+        }
+    }
+
+    pub fn config(&self) -> &ExecConfig {
+        &self.cfg
+    }
+
+    pub fn io(&self) -> &IoStats {
+        &self.io
+    }
+
+    /// Execute a plan, returning rows plus the pruning report.
+    pub fn run(&self, plan: &Plan) -> Result<QueryOutput> {
+        plan.check()?;
+        let io_before = self.io.snapshot();
+        let start = Instant::now();
+        let mut st = RunState::default();
+        let topk = detect_topk(plan);
+        st.report.pruning.topk_eligible = topk.is_some();
+        st.report.pruning.limit_eligible =
+            !matches!(limit_pushdown(plan), LimitPushdown::NotALimitQuery);
+        st.report.pruning.join_eligible = has_join(plan);
+        st.report.pruning.filter_eligible = has_predicate(plan);
+        let rows = match (&topk, self.cfg.enable_topk_pruning) {
+            (Some(spec), true) => self.exec_topk(plan, spec, &mut st)?,
+            _ => self.exec_node(plan, &mut st)?,
+        };
+        let wall = start.elapsed();
+        let io = self.io.snapshot().since(&io_before);
+        st.report.pruning.partitions_scanned = io.partitions_loaded;
+        Ok(QueryOutput {
+            rows,
+            report: st.report,
+            io,
+            wall,
+        })
+    }
+
+    // ---- generic recursive execution ----------------------------------
+
+    fn exec_node(&self, plan: &Plan, st: &mut RunState) -> Result<RowSet> {
+        match plan {
+            Plan::Scan {
+                table, predicate, ..
+            } => self.exec_scan(table, predicate.as_ref(), st),
+            Plan::Filter { input, predicate } => {
+                let input_rows = self.exec_node(input, st)?;
+                let bound = predicate.bind(&input_rows.schema)?;
+                let rows = input_rows
+                    .rows
+                    .into_iter()
+                    .filter(|r| snowprune_expr::eval_predicate(&bound, r).qualifies())
+                    .collect();
+                Ok(RowSet {
+                    schema: input_rows.schema,
+                    rows,
+                })
+            }
+            Plan::Project { input, columns } => {
+                let input_rows = self.exec_node(input, st)?;
+                let idxs: Vec<usize> = columns
+                    .iter()
+                    .map(|c| input_rows.schema.index_of(c))
+                    .collect::<Result<_>>()?;
+                let schema = plan.schema()?;
+                let rows = input_rows
+                    .rows
+                    .into_iter()
+                    .map(|r| idxs.iter().map(|&i| r[i].clone()).collect())
+                    .collect();
+                Ok(RowSet { schema, rows })
+            }
+            Plan::Join { .. } => self.exec_join(plan, st, None),
+            Plan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let input_rows = self.exec_node(input, st)?;
+                let rows =
+                    aggregate_rows(&input_rows.schema, input_rows.rows, group_by, aggs, None)?;
+                Ok(RowSet {
+                    schema: plan.schema()?,
+                    rows,
+                })
+            }
+            Plan::Sort { input, keys } => {
+                let input_rows = self.exec_node(input, st)?;
+                sort_rows(input_rows, keys)
+            }
+            Plan::Limit { input, k, offset } => self.exec_limit(plan, input, *k, *offset, st),
+        }
+    }
+
+    fn exec_limit(
+        &self,
+        whole: &Plan,
+        input: &Plan,
+        k: u64,
+        offset: u64,
+        st: &mut RunState,
+    ) -> Result<RowSet> {
+        let need = (k + offset) as usize;
+        // Compile-time LIMIT pruning (§4).
+        if self.cfg.enable_limit_pruning && self.cfg.enable_filter_pruning {
+            match limit_pushdown(whole) {
+                LimitPushdown::Supported {
+                    table, predicates, ..
+                } => {
+                    let conj = predicates.into_iter().reduce(|a, b| a.and(b));
+                    let handle = self.catalog.get(&table)?;
+                    let snapshot = Arc::new(handle.read().clone());
+                    let mut scan = CompiledScan::compile(
+                        &table,
+                        snapshot,
+                        conj.as_ref(),
+                        true,
+                        &self.cfg.filter,
+                        &self.io,
+                        &self.cfg.io_cost,
+                    )?;
+                    st.report.pruning.partitions_total += scan.partitions_total as u64;
+                    st.report.pruning.pruned_by_filter += scan.pruned_by_filter;
+                    st.report.pruning.fully_matching += scan.fully_matching;
+                    let res = prune_for_limit(&scan.scan_set, k + offset);
+                    st.report.limit_outcome = Some(res.outcome);
+                    st.report.pruning.pruned_by_limit +=
+                        (res.partitions_before - res.scan_set.len()) as u64;
+                    scan.scan_set = res.scan_set;
+                    st.limit_override = Some(LimitOverride { table, scan });
+                }
+                LimitPushdown::Unsupported { .. } => {
+                    st.report.limit_outcome =
+                        Some(LimitOutcome::Unsupported(
+                            snowprune_core::limit::UnsupportedReason::PlanShape,
+                        ));
+                }
+                LimitPushdown::NotALimitQuery => {}
+            }
+        }
+        // Execute with early termination where the chain allows streaming.
+        let rows = if let Some(streamed) = self.try_stream_limited(input, need, st)? {
+            streamed
+        } else {
+            self.exec_node(input, st)?
+        };
+        let mut out = rows.rows;
+        out.truncate(need);
+        let final_rows = out.into_iter().skip(offset as usize).collect();
+        st.limit_override = None;
+        Ok(RowSet {
+            schema: rows.schema,
+            rows: final_rows,
+        })
+    }
+
+    /// Stream a Filter*/Project* chain over a scan, stopping once `need`
+    /// rows are produced ("most systems halt query processing when the
+    /// LIMIT has been reached"). Returns `None` for non-streamable plans.
+    fn try_stream_limited(
+        &self,
+        plan: &Plan,
+        need: usize,
+        st: &mut RunState,
+    ) -> Result<Option<RowSet>> {
+        let Some((chain, table, predicate)) = split_chain(plan) else {
+            return Ok(None);
+        };
+        let scan = self.prepare_scan(table, predicate, st)?;
+        let schema = plan.schema()?;
+        let bound_chain = bind_chain(&chain, &scan.schema)?;
+        if self.cfg.workers > 1 {
+            // Parallel workers each race to fill the limit: the §4.4 catch —
+            // n workers read at least n partitions even if 1 would do.
+            let rows = Mutex::new(Vec::new());
+            stream_scan_parallel(
+                &scan,
+                &self.io,
+                &self.cfg.io_cost,
+                self.cfg.workers,
+                None,
+                &|part, sel| {
+                    let mut local = Vec::new();
+                    for &i in sel {
+                        if let Some(r) = apply_chain(&bound_chain, part.row(i)) {
+                            local.push(r);
+                        }
+                    }
+                    rows.lock().extend(local);
+                },
+                &|| rows.lock().len() >= need,
+            );
+            let mut out = rows.into_inner();
+            out.truncate(need);
+            return Ok(Some(RowSet { schema, rows: out }));
+        }
+        let mut out = Vec::with_capacity(need.min(4096));
+        let runtime_pruner = self.runtime_pruner_for(&scan);
+        let hooks = ScanHooks {
+            boundary: None,
+            runtime_pruner: runtime_pruner.as_ref(),
+        };
+        let stats = stream_scan(&scan, &self.io, &self.cfg.io_cost, &hooks, |part, sel| {
+            for &i in sel {
+                if let Some(r) = apply_chain(&bound_chain, part.row(i)) {
+                    out.push(r);
+                }
+            }
+            if out.len() >= need {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        st.report.pruning.pruned_by_filter += stats.skipped_by_runtime_filter;
+        out.truncate(need);
+        Ok(Some(RowSet { schema, rows: out }))
+    }
+
+    // ---- scans ----------------------------------------------------------
+
+    /// Compile (or fetch the LIMIT-pruned override for) a scan, recording
+    /// report counters exactly once.
+    fn prepare_scan(
+        &self,
+        table: &str,
+        predicate: Option<&snowprune_expr::Expr>,
+        st: &mut RunState,
+    ) -> Result<CompiledScan> {
+        if let Some(ov) = &st.limit_override {
+            if ov.table == table {
+                // Counted when the override was created.
+                return Ok(ov.scan.clone());
+            }
+        }
+        let handle = self.catalog.get(table)?;
+        let snapshot = Arc::new(handle.read().clone());
+        let scan = CompiledScan::compile(
+            table,
+            snapshot,
+            predicate,
+            self.cfg.enable_filter_pruning,
+            &self.cfg.filter,
+            &self.io,
+            &self.cfg.io_cost,
+        )?;
+        st.report.pruning.partitions_total += scan.partitions_total as u64;
+        st.report.pruning.pruned_by_filter += scan.pruned_by_filter;
+        st.report.pruning.fully_matching += scan.fully_matching;
+        Ok(scan)
+    }
+
+    fn runtime_pruner_for(&self, scan: &CompiledScan) -> Option<Mutex<FilterPruner>> {
+        if scan.deferred_ids.is_empty() {
+            return None;
+        }
+        scan.predicate
+            .as_ref()
+            .map(|p| Mutex::new(FilterPruner::new(p, self.cfg.filter.clone())))
+    }
+
+    fn exec_scan(
+        &self,
+        table: &str,
+        predicate: Option<&snowprune_expr::Expr>,
+        st: &mut RunState,
+    ) -> Result<RowSet> {
+        let scan = self.prepare_scan(table, predicate, st)?;
+        let schema = scan.schema.clone();
+        let runtime_pruner = self.runtime_pruner_for(&scan);
+        if self.cfg.workers > 1 {
+            let rows = Mutex::new(Vec::new());
+            stream_scan_parallel(
+                &scan,
+                &self.io,
+                &self.cfg.io_cost,
+                self.cfg.workers,
+                None,
+                &|part, sel| {
+                    let mut local: Vec<Vec<Value>> = sel.iter().map(|&i| part.row(i)).collect();
+                    rows.lock().append(&mut local);
+                },
+                &|| false,
+            );
+            return Ok(RowSet {
+                schema,
+                rows: rows.into_inner(),
+            });
+        }
+        let mut rows = Vec::new();
+        let hooks = ScanHooks {
+            boundary: None,
+            runtime_pruner: runtime_pruner.as_ref(),
+        };
+        let stats = stream_scan(&scan, &self.io, &self.cfg.io_cost, &hooks, |part, sel| {
+            rows.extend(sel.iter().map(|&i| part.row(i)));
+            ControlFlow::Continue(())
+        });
+        st.report.pruning.pruned_by_filter += stats.skipped_by_runtime_filter;
+        Ok(RowSet { schema, rows })
+    }
+
+    // ---- joins ----------------------------------------------------------
+
+    /// Execute a join. When `spine` is set, the given side streams through
+    /// `spine`'s sink instead of materializing (top-k pipelines).
+    fn exec_join(
+        &self,
+        plan: &Plan,
+        st: &mut RunState,
+        spine: Option<&mut SpineSink<'_>>,
+    ) -> Result<RowSet> {
+        let Plan::Join {
+            build,
+            probe,
+            build_key,
+            probe_key,
+            join_type,
+        } = plan
+        else {
+            return Err(Error::Invalid("exec_join on non-join".into()));
+        };
+        let out_schema = plan.schema()?;
+        // Where joined rows go: materialized output, or straight into the
+        // top-k spine sink so boundary updates apply mid-stream.
+        let mut out: Vec<Vec<Value>> = Vec::new();
+        let spine_hook = spine
+            .as_ref()
+            .map(|s| (s.spec, Arc::clone(s.boundary)));
+        match join_type {
+            JoinType::Inner => {
+                let build_rows = self.exec_node(build, st)?;
+                let bk = build_rows.schema.index_of(build_key)?;
+                let keys: Vec<Value> = build_rows.rows.iter().map(|r| r[bk].clone()).collect();
+                let summary = JoinSummary::build(keys.iter(), self.cfg.join_summary);
+                st.report.join_summary_bytes += summary.serialized_bytes() as u64;
+                let mut table: std::collections::HashMap<Value, Vec<usize>> =
+                    std::collections::HashMap::new();
+                let mut bloom = self.cfg.join_bloom.then(|| {
+                    let mut bf = BloomFilter::with_capacity(build_rows.rows.len());
+                    for key in &keys {
+                        if !key.is_null() {
+                            bf.insert(key);
+                        }
+                    }
+                    bf
+                });
+                for (i, key) in keys.iter().enumerate() {
+                    if !key.is_null() {
+                        table.entry(key.clone()).or_default().push(i);
+                    }
+                }
+                if bloom.is_some() && table.is_empty() {
+                    bloom = None; // nothing to probe anyway
+                }
+                let bloom_skips = std::cell::Cell::new(0u64);
+                let summary_opt = self.cfg.enable_join_pruning.then_some(&summary);
+                let probe_schema = probe.schema()?;
+                let pk = probe_schema.index_of(probe_key)?;
+                {
+                    let mut mat_sink = |r: Vec<Value>| out.push(r);
+                    let row_sink: &mut dyn FnMut(Vec<Value>) = match spine {
+                        Some(sp) => &mut *sp.f,
+                        None => &mut mat_sink,
+                    };
+                    let mut emit = |probe_row: Vec<Value>| {
+                        let pk_val = &probe_row[pk];
+                        if pk_val.is_null() {
+                            return;
+                        }
+                        if let Some(bf) = &bloom {
+                            if !bf.might_contain(pk_val) {
+                                bloom_skips.set(bloom_skips.get() + 1);
+                                return;
+                            }
+                        }
+                        if let Some(matches) = table.get(pk_val) {
+                            for &bi in matches {
+                                let mut row = build_rows.rows[bi].clone();
+                                row.extend(probe_row.iter().cloned());
+                                row_sink(row);
+                            }
+                        }
+                    };
+                    self.exec_side_with_pruning(
+                        probe,
+                        summary_opt,
+                        probe_key,
+                        spine_hook.as_ref().map(|(spec, b)| (*spec, b)),
+                        st,
+                        &mut emit,
+                    )?;
+                }
+                st.report.bloom_skipped_rows += bloom_skips.get();
+                Ok(RowSet {
+                    schema: out_schema,
+                    rows: out,
+                })
+            }
+            JoinType::OuterPreserveBuild => {
+                // The preserved build side streams; the probe side is the
+                // lookup table. Without a spine we can materialize the build
+                // first and use its keys to join-prune the probe (§6); with
+                // a top-k spine the build streams, so the probe is loaded
+                // unpruned (its keys are needed before any build row flows).
+                let build_schema = build.schema()?;
+                let bk = build_schema.index_of(build_key)?;
+                let (probe_rows, prebuilt) = match spine {
+                    Some(_) => {
+                        let mut rows = Vec::new();
+                        let probe_schema = probe.schema()?;
+                        self.exec_side_with_pruning(probe, None, probe_key, None, st, &mut |r| {
+                            rows.push(r)
+                        })?;
+                        (
+                            RowSet {
+                                schema: probe_schema,
+                                rows,
+                            },
+                            None,
+                        )
+                    }
+                    None => {
+                        let build_rows = self.exec_node(build, st)?;
+                        let keys: Vec<Value> =
+                            build_rows.rows.iter().map(|r| r[bk].clone()).collect();
+                        let summary = JoinSummary::build(keys.iter(), self.cfg.join_summary);
+                        st.report.join_summary_bytes += summary.serialized_bytes() as u64;
+                        let summary_opt = self.cfg.enable_join_pruning.then_some(&summary);
+                        let mut rows = Vec::new();
+                        let probe_schema = probe.schema()?;
+                        self.exec_side_with_pruning(
+                            probe,
+                            summary_opt,
+                            probe_key,
+                            None,
+                            st,
+                            &mut |r| rows.push(r),
+                        )?;
+                        (
+                            RowSet {
+                                schema: probe_schema,
+                                rows,
+                            },
+                            Some(build_rows),
+                        )
+                    }
+                };
+                let pk = probe_rows.schema.index_of(probe_key)?;
+                let mut lookup: std::collections::HashMap<Value, Vec<usize>> =
+                    std::collections::HashMap::new();
+                for (i, r) in probe_rows.rows.iter().enumerate() {
+                    if !r[pk].is_null() {
+                        lookup.entry(r[pk].clone()).or_default().push(i);
+                    }
+                }
+                let probe_width = probe_rows.schema.len();
+                {
+                    let mut mat_sink = |r: Vec<Value>| out.push(r);
+                    let (row_sink, spine_parts): (
+                        &mut dyn FnMut(Vec<Value>),
+                        Option<(&TopKSpec, &Arc<Boundary>)>,
+                    ) = match spine {
+                        Some(sp) => (&mut *sp.f, Some((sp.spec, sp.boundary))),
+                        None => (&mut mat_sink, None),
+                    };
+                    let mut join_one = |row: Vec<Value>| {
+                        let key = &row[bk];
+                        match lookup.get(key) {
+                            Some(matches) if !key.is_null() => {
+                                for &pi in matches {
+                                    let mut joined = row.clone();
+                                    joined.extend(probe_rows.rows[pi].iter().cloned());
+                                    row_sink(joined);
+                                }
+                            }
+                            _ => {
+                                let mut joined = row;
+                                joined.extend(std::iter::repeat_n(Value::Null, probe_width));
+                                row_sink(joined);
+                            }
+                        }
+                    };
+                    match (spine_parts, prebuilt) {
+                        (Some((spec, boundary)), _) => {
+                            // Figure 7c: the build side streams through the
+                            // spine so boundary pruning applies to it.
+                            self.stream_spine_node(build, spec, boundary, st, &mut join_one)?;
+                        }
+                        (None, Some(build_rows)) => {
+                            for r in build_rows.rows {
+                                join_one(r);
+                            }
+                        }
+                        (None, None) => unreachable!("non-spine path prebuilds"),
+                    }
+                }
+                Ok(RowSet {
+                    schema: out_schema,
+                    rows: out,
+                })
+            }
+        }
+    }
+
+    /// Execute a probe side (Filter*/Project* chain over a scan) with
+    /// join pruning applied to its scan set, streaming rows into `sink`.
+    /// Falls back to materialized execution for other shapes.
+    fn exec_side_with_pruning(
+        &self,
+        plan: &Plan,
+        summary: Option<&JoinSummary>,
+        key_column: &str,
+        topk: Option<(&TopKSpec, &Arc<Boundary>)>,
+        st: &mut RunState,
+        sink: &mut dyn FnMut(Vec<Value>),
+    ) -> Result<()> {
+        if let Some((chain, table, predicate)) = split_chain(plan) {
+            let mut scan = self.prepare_scan(table, predicate, st)?;
+            if let Some(summary) = summary {
+                if let Ok(key_idx) = scan.schema.index_of(key_column) {
+                    let metas: Vec<PartitionMeta> =
+                        scan.table.metadata().into_iter().cloned().collect();
+                    let res = prune_probe_side(summary, &scan.scan_set, &metas, key_idx);
+                    st.report.pruning.pruned_by_join += res.pruned as u64;
+                    scan.scan_set = res.scan_set;
+                }
+            }
+            // Figure 7b: when this side is the top-k spine target, install
+            // the boundary hook, order the scan set, and seed the boundary.
+            let mut boundary_hook: Option<(&Arc<Boundary>, usize)> = None;
+            if let Some((spec, boundary)) = topk {
+                if scan.table_name == spec.target_table {
+                    if let Ok(order_col) = scan.schema.index_of(&spec.order_column) {
+                        let metas: Vec<PartitionMeta> =
+                            scan.table.metadata().into_iter().cloned().collect();
+                        order_scan_set(
+                            &mut scan.scan_set,
+                            &metas,
+                            order_col,
+                            spec.desc,
+                            self.cfg.topk_order,
+                        );
+                        if self.cfg.topk_init_boundary {
+                            if let Some(init) = initial_boundary(
+                                &scan.scan_set,
+                                &metas,
+                                order_col,
+                                spec.k + spec.offset,
+                                spec.desc,
+                            ) {
+                                boundary.tighten(&init);
+                            }
+                        }
+                        boundary_hook = Some((boundary, order_col));
+                    }
+                }
+            }
+            let bound_chain = bind_chain(&chain, &scan.schema)?;
+            let runtime_pruner = self.runtime_pruner_for(&scan);
+            let hooks = ScanHooks {
+                boundary: boundary_hook,
+                runtime_pruner: runtime_pruner.as_ref(),
+            };
+            let stats = stream_scan(&scan, &self.io, &self.cfg.io_cost, &hooks, |part, sel| {
+                for &i in sel {
+                    if let Some(r) = apply_chain(&bound_chain, part.row(i)) {
+                        sink(r);
+                    }
+                }
+                ControlFlow::Continue(())
+            });
+            if boundary_hook.is_some() {
+                st.report.topk_stats.partitions_considered += stats.considered;
+                st.report.topk_stats.partitions_skipped += stats.skipped_by_boundary;
+                st.report.pruning.pruned_by_topk += stats.skipped_by_boundary;
+            }
+            st.report.pruning.pruned_by_filter += stats.skipped_by_runtime_filter;
+            return Ok(());
+        }
+        let rows = self.exec_node(plan, st)?;
+        for r in rows.rows {
+            sink(r);
+        }
+        Ok(())
+    }
+
+    // ---- top-k ----------------------------------------------------------
+
+    fn exec_topk(&self, plan: &Plan, spec: &TopKSpec, st: &mut RunState) -> Result<RowSet> {
+        let Plan::Limit { input, k, offset } = plan else {
+            return self.exec_node(plan, st);
+        };
+        let Plan::Sort { input: below, .. } = input.as_ref() else {
+            return self.exec_node(plan, st);
+        };
+        let n = (k + offset) as usize;
+        st.report.topk_shape = Some(spec.shape);
+        let boundary = Boundary::new(spec.desc);
+
+        if spec.shape == TopKShape::AboveAggregation {
+            return self.exec_topk_aggregation(below, spec, n, *offset as usize, &boundary, st);
+        }
+
+        let below_schema = below.schema()?;
+        let order_idx = below_schema.index_of(&spec.order_column)?;
+        let heap = Mutex::new(TopKHeap::new(n, spec.desc, Arc::clone(&boundary)));
+        let mut sink = |row: Vec<Value>| {
+            let key = row[order_idx].clone();
+            heap.lock().insert(key, row);
+        };
+        self.stream_spine_node(below, spec, &boundary, st, &mut sink)?;
+
+        let rows: Vec<Vec<Value>> = heap
+            .into_inner()
+            .into_sorted()
+            .into_iter()
+            .map(|(_, r)| r)
+            .skip(*offset as usize)
+            .collect();
+        Ok(RowSet {
+            schema: below_schema,
+            rows,
+        })
+    }
+
+    /// Figure 7d: TopK over GROUP BY with the ORDER BY column among the
+    /// grouping keys. The aggregation filters groups through a distinct-key
+    /// top-k which shares the scan's pruning boundary.
+    fn exec_topk_aggregation(
+        &self,
+        agg_plan: &Plan,
+        spec: &TopKSpec,
+        n: usize,
+        offset: usize,
+        boundary: &Arc<Boundary>,
+        st: &mut RunState,
+    ) -> Result<RowSet> {
+        let Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } = agg_plan
+        else {
+            // Shape said aggregation but the node is not: fall back.
+            let mut st2 = RunState::default();
+            let r = self.exec_node(agg_plan, &mut st2)?;
+            st.report.pruning.partitions_total += st2.report.pruning.partitions_total;
+            return Ok(r);
+        };
+        let input_schema = input.schema()?;
+        let key_pos = group_by
+            .iter()
+            .position(|g| *g == spec.order_column)
+            .ok_or_else(|| Error::Invalid("order column not in group by".into()))?;
+        let key_idx = input_schema.index_of(&group_by[key_pos])?;
+        let mut topk_keys = DistinctKeyTopK::new(n, spec.desc, Arc::clone(boundary));
+        let mut staged: Vec<Vec<Value>> = Vec::new();
+        let mut sink = |row: Vec<Value>| {
+            if topk_keys.offer(&row[key_idx]) {
+                staged.push(row);
+            }
+        };
+        self.stream_spine_node(input, spec, boundary, st, &mut sink)?;
+        drop(sink);
+        let grouped = aggregate_rows(&input_schema, staged, group_by, aggs, None)?;
+        let schema = agg_plan.schema()?;
+        let order_in_out = schema.index_of(&spec.order_column)?;
+        let mut rows = grouped;
+        rows.sort_by(|a, b| {
+            let ord = a[order_in_out].total_ord_cmp(&b[order_in_out]);
+            if spec.desc {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+        rows.truncate(n);
+        let rows = rows.into_iter().skip(offset).collect();
+        Ok(RowSet { schema, rows })
+    }
+
+    /// Stream the top-k spine: rows flow partition-at-a-time from the
+    /// target scan up through filters/projections/joins into `sink`, so
+    /// boundary updates from the heap immediately affect later partitions.
+    fn stream_spine_node(
+        &self,
+        plan: &Plan,
+        spec: &TopKSpec,
+        boundary: &Arc<Boundary>,
+        st: &mut RunState,
+        sink: &mut dyn FnMut(Vec<Value>),
+    ) -> Result<()> {
+        match plan {
+            Plan::Scan {
+                table, predicate, ..
+            } if *table == spec.target_table => {
+                let mut scan = self.prepare_scan(table, predicate.as_ref(), st)?;
+                let order_col = scan.schema.index_of(&spec.order_column)?;
+                let metas: Vec<PartitionMeta> =
+                    scan.table.metadata().into_iter().cloned().collect();
+                order_scan_set(
+                    &mut scan.scan_set,
+                    &metas,
+                    order_col,
+                    spec.desc,
+                    self.cfg.topk_order,
+                );
+                if self.cfg.topk_init_boundary {
+                    if let Some(init) = initial_boundary(
+                        &scan.scan_set,
+                        &metas,
+                        order_col,
+                        spec.k + spec.offset,
+                        spec.desc,
+                    ) {
+                        boundary.tighten(&init);
+                    }
+                }
+                let runtime_pruner = self.runtime_pruner_for(&scan);
+                let hooks = ScanHooks {
+                    boundary: Some((boundary, order_col)),
+                    runtime_pruner: runtime_pruner.as_ref(),
+                };
+                let stats =
+                    stream_scan(&scan, &self.io, &self.cfg.io_cost, &hooks, |part, sel| {
+                        for &i in sel {
+                            sink(part.row(i));
+                        }
+                        ControlFlow::Continue(())
+                    });
+                st.report.topk_stats.partitions_considered += stats.considered;
+                st.report.topk_stats.partitions_skipped += stats.skipped_by_boundary;
+                st.report.pruning.pruned_by_topk += stats.skipped_by_boundary;
+                st.report.pruning.pruned_by_filter += stats.skipped_by_runtime_filter;
+                Ok(())
+            }
+            Plan::Scan { .. } => {
+                let rows = self.exec_node(plan, st)?;
+                for r in rows.rows {
+                    sink(r);
+                }
+                Ok(())
+            }
+            Plan::Filter { input, predicate } => {
+                let schema = input.schema()?;
+                let bound = predicate.bind(&schema)?;
+                let mut wrapped = |row: Vec<Value>| {
+                    if snowprune_expr::eval_predicate(&bound, &row).qualifies() {
+                        sink(row);
+                    }
+                };
+                self.stream_spine_node(input, spec, boundary, st, &mut wrapped)
+            }
+            Plan::Project { input, columns } => {
+                let schema = input.schema()?;
+                let idxs: Vec<usize> = columns
+                    .iter()
+                    .map(|c| schema.index_of(c))
+                    .collect::<Result<_>>()?;
+                let mut wrapped = |row: Vec<Value>| {
+                    sink(idxs.iter().map(|&i| row[i].clone()).collect());
+                };
+                self.stream_spine_node(input, spec, boundary, st, &mut wrapped)
+            }
+            Plan::Join { .. } => {
+                let mut spine_sink = SpineSink {
+                    spec,
+                    boundary,
+                    f: sink,
+                };
+                self.exec_join(plan, st, Some(&mut spine_sink))?;
+                Ok(())
+            }
+            other => {
+                let rows = self.exec_node(other, st)?;
+                for r in rows.rows {
+                    sink(r);
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A streaming sink handed through joins on the top-k spine.
+struct SpineSink<'a> {
+    spec: &'a TopKSpec,
+    boundary: &'a Arc<Boundary>,
+    f: &'a mut dyn FnMut(Vec<Value>),
+}
+
+// ---- helpers -------------------------------------------------------------
+
+/// Chain operators (bottom-up application order).
+enum ChainOp {
+    Filter(snowprune_expr::Expr),
+    Project(Vec<String>),
+}
+
+enum BoundChainOp {
+    Filter(snowprune_expr::Expr),
+    Project(Vec<usize>),
+}
+
+/// Decompose a Filter*/Project* chain over a single scan. Returns ops in
+/// bottom-up order plus the scan's table and predicate.
+fn split_chain(plan: &Plan) -> Option<(Vec<ChainOp>, &str, Option<&snowprune_expr::Expr>)> {
+    match plan {
+        Plan::Scan {
+            table, predicate, ..
+        } => Some((Vec::new(), table.as_str(), predicate.as_ref())),
+        Plan::Filter { input, predicate } => {
+            let (mut ops, t, p) = split_chain(input)?;
+            ops.push(ChainOp::Filter(predicate.clone()));
+            Some((ops, t, p))
+        }
+        Plan::Project { input, columns } => {
+            let (mut ops, t, p) = split_chain(input)?;
+            ops.push(ChainOp::Project(columns.clone()));
+            Some((ops, t, p))
+        }
+        _ => None,
+    }
+}
+
+/// Bind chain expressions against the evolving schema.
+fn bind_chain(ops: &[ChainOp], scan_schema: &Schema) -> Result<Vec<BoundChainOp>> {
+    let mut schema = scan_schema.clone();
+    let mut out = Vec::with_capacity(ops.len());
+    for op in ops {
+        match op {
+            ChainOp::Filter(e) => out.push(BoundChainOp::Filter(e.bind(&schema)?)),
+            ChainOp::Project(cols) => {
+                let idxs: Vec<usize> = cols
+                    .iter()
+                    .map(|c| schema.index_of(c))
+                    .collect::<Result<_>>()?;
+                let fields = idxs
+                    .iter()
+                    .map(|&i| schema.fields()[i].clone())
+                    .collect::<Vec<_>>();
+                schema = Schema::new(fields);
+                out.push(BoundChainOp::Project(idxs));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Run a row through the bound chain; `None` when filtered out.
+fn apply_chain(ops: &[BoundChainOp], mut row: Vec<Value>) -> Option<Vec<Value>> {
+    for op in ops {
+        match op {
+            BoundChainOp::Filter(e) => {
+                if !snowprune_expr::eval_predicate(e, &row).qualifies() {
+                    return None;
+                }
+            }
+            BoundChainOp::Project(idxs) => {
+                row = idxs.iter().map(|&i| row[i].clone()).collect();
+            }
+        }
+    }
+    Some(row)
+}
+
+fn sort_rows(input: RowSet, keys: &[SortKey]) -> Result<RowSet> {
+    let bound: Vec<(snowprune_expr::Expr, bool)> = keys
+        .iter()
+        .map(|k| Ok((k.expr.bind(&input.schema)?, k.desc)))
+        .collect::<Result<_>>()?;
+    let mut rows = input.rows;
+    rows.sort_by(|a, b| {
+        for (expr, desc) in &bound {
+            let va = snowprune_expr::eval_value(expr, a);
+            let vb = snowprune_expr::eval_value(expr, b);
+            let ord = va.total_ord_cmp(&vb);
+            let ord = if *desc { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(RowSet {
+        schema: input.schema,
+        rows,
+    })
+}
+
+fn has_join(plan: &Plan) -> bool {
+    let mut found = false;
+    plan.visit(&mut |p| {
+        if matches!(p, Plan::Join { .. }) {
+            found = true;
+        }
+    });
+    found
+}
+
+fn has_predicate(plan: &Plan) -> bool {
+    let mut found = false;
+    plan.visit(&mut |p| match p {
+        Plan::Filter { .. } => found = true,
+        Plan::Scan {
+            predicate: Some(_), ..
+        } => found = true,
+        _ => {}
+    });
+    found
+}
+
+/// Convenience: snapshot a table out of a catalog (test helper).
+pub fn snapshot_table(catalog: &Catalog, name: &str) -> Result<Arc<Table>> {
+    Ok(Arc::new(catalog.get(name)?.read().clone()))
+}

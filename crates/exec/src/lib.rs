@@ -1,0 +1,15 @@
+//! `snowprune-exec`: a vectorized-ish, pipelining execution engine with the
+//! paper's runtime pruning hooks: deferred filter pruning, join pruning via
+//! sideways information passing, and boundary-driven top-k pruning, over
+//! sequential or parallel (virtual-warehouse style) scans.
+
+pub mod agg;
+pub mod config;
+pub mod exec;
+pub mod rows;
+pub mod scan;
+
+pub use config::ExecConfig;
+pub use exec::{ExecReport, Executor, QueryOutput};
+pub use rows::RowSet;
+pub use scan::{CompiledScan, ScanHooks, ScanRunStats};

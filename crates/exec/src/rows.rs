@@ -1,0 +1,73 @@
+//! Materialized row sets flowing between (non-pipelined) operators.
+
+use snowprune_storage::Schema;
+use snowprune_types::Value;
+
+/// A materialized intermediate result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RowSet {
+    pub schema: Schema,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl RowSet {
+    pub fn empty(schema: Schema) -> Self {
+        RowSet {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Column values by name.
+    pub fn column(&self, name: &str) -> snowprune_types::Result<Vec<Value>> {
+        let idx = self.schema.index_of(name)?;
+        Ok(self.rows.iter().map(|r| r[idx].clone()).collect())
+    }
+
+    /// Sort rows by a column (for deterministic test comparisons).
+    pub fn sorted_by(&self, name: &str, desc: bool) -> snowprune_types::Result<RowSet> {
+        let idx = self.schema.index_of(name)?;
+        let mut rows = self.rows.clone();
+        rows.sort_by(|a, b| {
+            let ord = a[idx].total_ord_cmp(&b[idx]);
+            if desc {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+        Ok(RowSet {
+            schema: self.schema.clone(),
+            rows,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snowprune_storage::Field;
+    use snowprune_types::ScalarType;
+
+    #[test]
+    fn column_extraction_and_sorting() {
+        let schema = Schema::new(vec![Field::new("x", ScalarType::Int)]);
+        let rs = RowSet {
+            schema,
+            rows: vec![vec![Value::Int(3)], vec![Value::Int(1)], vec![Value::Int(2)]],
+        };
+        assert_eq!(
+            rs.sorted_by("x", false).unwrap().column("x").unwrap(),
+            vec![Value::Int(1), Value::Int(2), Value::Int(3)]
+        );
+        assert!(rs.column("missing").is_err());
+    }
+}

@@ -1,0 +1,435 @@
+//! Table-scan compilation and partition streaming with runtime pruning
+//! hooks (deferred filter pruning, top-k boundaries).
+
+use std::collections::HashSet;
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use snowprune_core::filter::{FilterPruneConfig, FilterPruner};
+use snowprune_core::scan_set::ScanSet;
+use snowprune_core::topk::Boundary;
+use snowprune_expr::Expr;
+use snowprune_storage::{IoCostModel, IoStats, MicroPartition, PartitionId, PartitionMeta, Schema, Table};
+use snowprune_types::Result;
+
+/// A table scan after compile-time filter pruning.
+#[derive(Clone)]
+pub struct CompiledScan {
+    pub table_name: String,
+    /// Consistent snapshot of the table (partitions are immutable `Arc`s).
+    pub table: Arc<Table>,
+    pub schema: Schema,
+    /// Bound scan predicate (pushed-down filters).
+    pub predicate: Option<Expr>,
+    pub scan_set: ScanSet,
+    pub partitions_total: usize,
+    pub pruned_by_filter: u64,
+    pub fully_matching: u64,
+    /// Partitions whose compile-time pruning was deferred (§3.2); they sit
+    /// in the scan set and are re-checked by the runtime pruner.
+    pub deferred_ids: HashSet<PartitionId>,
+}
+
+impl CompiledScan {
+    /// Compile a scan: snapshot the table, bind the predicate, and run
+    /// compile-time filter pruning within the configured budget.
+    pub fn compile(
+        table_name: &str,
+        table: Arc<Table>,
+        predicate: Option<&Expr>,
+        enable_filter_pruning: bool,
+        filter_cfg: &FilterPruneConfig,
+        io: &IoStats,
+        io_cost: &IoCostModel,
+    ) -> Result<CompiledScan> {
+        let schema = table.schema().clone();
+        let bound = predicate.map(|p| p.bind(&schema)).transpose()?;
+        let metas: Vec<PartitionMeta> = table.read_metadata(io, io_cost);
+        let partitions_total = metas.len();
+        let (scan_set, pruned, fully, deferred_ids) = match (&bound, enable_filter_pruning) {
+            (Some(pred), true) => {
+                let mut pruner = FilterPruner::new(pred, filter_cfg.clone());
+                let res = pruner.prune(&metas);
+                let deferred: HashSet<PartitionId> = res
+                    .scan_set
+                    .entries
+                    .iter()
+                    .rev()
+                    .take(res.deferred)
+                    .map(|e| e.id)
+                    .collect();
+                (
+                    res.scan_set,
+                    res.pruned as u64,
+                    res.fully_matching as u64,
+                    deferred,
+                )
+            }
+            _ => {
+                // No predicate: every partition is trivially fully matching
+                // (§4.2), which LIMIT pruning exploits.
+                let mut ss = ScanSet::full(&metas);
+                if bound.is_none() {
+                    for e in &mut ss.entries {
+                        e.class = snowprune_types::MatchClass::FullyMatching;
+                    }
+                }
+                (ss, 0, if bound.is_none() { partitions_total as u64 } else { 0 }, HashSet::new())
+            }
+        };
+        Ok(CompiledScan {
+            table_name: table_name.to_owned(),
+            table,
+            schema,
+            predicate: bound,
+            scan_set,
+            partitions_total,
+            pruned_by_filter: pruned,
+            fully_matching: fully,
+            deferred_ids,
+        })
+    }
+}
+
+/// Counters from one scan execution.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScanRunStats {
+    pub considered: u64,
+    pub loaded: u64,
+    pub skipped_by_boundary: u64,
+    pub skipped_by_runtime_filter: u64,
+    pub rows_emitted: u64,
+}
+
+/// Runtime hooks consulted before loading each partition.
+pub struct ScanHooks<'a> {
+    /// Top-k boundary and the ORDER BY column index.
+    pub boundary: Option<(&'a Arc<Boundary>, usize)>,
+    /// Runtime filter pruner for deferred partitions.
+    pub runtime_pruner: Option<&'a Mutex<FilterPruner>>,
+}
+
+impl ScanHooks<'_> {
+    pub fn none() -> ScanHooks<'static> {
+        ScanHooks {
+            boundary: None,
+            runtime_pruner: None,
+        }
+    }
+}
+
+/// Stream the scan's partitions sequentially, invoking `sink` with each
+/// loaded partition and the selected row indices. `sink` may stop the scan
+/// early (LIMIT-style).
+pub fn stream_scan(
+    scan: &CompiledScan,
+    io: &IoStats,
+    io_cost: &IoCostModel,
+    hooks: &ScanHooks<'_>,
+    mut sink: impl FnMut(&MicroPartition, &[usize]) -> ControlFlow<()>,
+) -> ScanRunStats {
+    let mut stats = ScanRunStats::default();
+    for entry in &scan.scan_set.entries {
+        stats.considered += 1;
+        let Ok(meta) = scan.table.partition_meta(entry.id) else {
+            continue;
+        };
+        if let Some((boundary, col)) = hooks.boundary {
+            if boundary.should_skip(&meta.zone_maps[col]) {
+                stats.skipped_by_boundary += 1;
+                continue;
+            }
+        }
+        if let Some(pruner) = hooks.runtime_pruner {
+            if scan.deferred_ids.contains(&entry.id)
+                && pruner.lock().evaluate(&meta.zone_maps).prunable()
+            {
+                stats.skipped_by_runtime_filter += 1;
+                continue;
+            }
+        }
+        let Ok(part) = scan.table.load_partition(entry.id, io, io_cost) else {
+            continue;
+        };
+        stats.loaded += 1;
+        let selection = select_rows(scan, entry, &part);
+        stats.rows_emitted += selection.len() as u64;
+        if sink(&part, &selection).is_break() {
+            break;
+        }
+    }
+    stats
+}
+
+/// Evaluate the scan predicate on a partition. Fully-matching partitions
+/// skip predicate evaluation entirely (a real CPU saving from §4's
+/// classification).
+fn select_rows(
+    scan: &CompiledScan,
+    entry: &snowprune_core::scan_set::ScanEntry,
+    part: &MicroPartition,
+) -> Vec<usize> {
+    match (&scan.predicate, entry.class) {
+        (None, _) | (_, snowprune_types::MatchClass::FullyMatching) => {
+            (0..part.row_count()).collect()
+        }
+        (Some(pred), _) => {
+            let truths = snowprune_expr::eval_truths(pred, part);
+            snowprune_expr::selection_indices(&truths)
+        }
+    }
+}
+
+/// Parallel variant: `workers` threads pull partitions from a shared queue
+/// (the virtual-warehouse stand-in). `sink` must be thread-safe; `stop`
+/// lets LIMIT-style consumers halt the fleet. Returns aggregated stats.
+pub fn stream_scan_parallel(
+    scan: &CompiledScan,
+    io: &IoStats,
+    io_cost: &IoCostModel,
+    workers: usize,
+    boundary: Option<(&Arc<Boundary>, usize)>,
+    sink: &(dyn Fn(&MicroPartition, &[usize]) + Sync),
+    stop: &(dyn Fn() -> bool + Sync),
+) -> ScanRunStats {
+    let next = AtomicUsize::new(0);
+    let considered = AtomicU64::new(0);
+    let loaded = AtomicU64::new(0);
+    let skipped = AtomicU64::new(0);
+    let rows = AtomicU64::new(0);
+    let entries = &scan.scan_set.entries;
+    crossbeam::scope(|s| {
+        for _ in 0..workers.max(1) {
+            s.spawn(|_| {
+                // Workers are pre-assigned their first partition before any
+                // early-stop coordination, modelling distributed scan-set
+                // assignment: this is why, without LIMIT pruning, n workers
+                // read at least n partitions even when one would do (§4.4).
+                let mut first = true;
+                loop {
+                    if !first && stop() {
+                        break;
+                    }
+                    first = false;
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= entries.len() {
+                    break;
+                }
+                let entry = &entries[i];
+                considered.fetch_add(1, Ordering::Relaxed);
+                let Ok(meta) = scan.table.partition_meta(entry.id) else {
+                    continue;
+                };
+                if let Some((b, col)) = boundary {
+                    if b.should_skip(&meta.zone_maps[col]) {
+                        skipped.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                }
+                let Ok(part) = scan.table.load_partition(entry.id, io, io_cost) else {
+                    continue;
+                };
+                loaded.fetch_add(1, Ordering::Relaxed);
+                let selection = select_rows(scan, entry, &part);
+                rows.fetch_add(selection.len() as u64, Ordering::Relaxed);
+                sink(&part, &selection);
+            }
+            });
+        }
+    })
+    .expect("scan workers");
+    ScanRunStats {
+        considered: considered.into_inner(),
+        loaded: loaded.into_inner(),
+        skipped_by_boundary: skipped.into_inner(),
+        skipped_by_runtime_filter: 0,
+        rows_emitted: rows.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snowprune_expr::dsl::{col, lit};
+    use snowprune_storage::{Field, Layout, TableBuilder};
+    use snowprune_types::{ScalarType, Value};
+
+    fn table() -> Arc<Table> {
+        let schema = Schema::new(vec![Field::new("x", ScalarType::Int)]);
+        let mut b = TableBuilder::new("t", schema)
+            .target_rows_per_partition(10)
+            .layout(Layout::ClusterBy(vec!["x".into()]));
+        for i in 0..200i64 {
+            b.push_row(vec![Value::Int(i)]);
+        }
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn compile_prunes_and_marks_fully_matching() {
+        let t = table();
+        let io = IoStats::new();
+        let scan = CompiledScan::compile(
+            "t",
+            t,
+            Some(&col("x").lt(lit(25i64))),
+            true,
+            &FilterPruneConfig::default(),
+            &io,
+            &IoCostModel::free(),
+        )
+        .unwrap();
+        assert_eq!(scan.partitions_total, 20);
+        assert_eq!(scan.scan_set.len(), 3); // x in [0,25): partitions 0,1,2
+        assert_eq!(scan.pruned_by_filter, 17);
+        assert_eq!(scan.fully_matching, 2); // partitions 0 and 1 fully inside
+        assert_eq!(io.snapshot().metadata_reads, 20);
+    }
+
+    #[test]
+    fn stream_applies_predicate_and_counts_io() {
+        let t = table();
+        let io = IoStats::new();
+        let model = IoCostModel::free();
+        let scan = CompiledScan::compile(
+            "t",
+            t,
+            Some(&col("x").lt(lit(25i64))),
+            true,
+            &FilterPruneConfig::default(),
+            &io,
+            &model,
+        )
+        .unwrap();
+        let mut rows = Vec::new();
+        let stats = stream_scan(&scan, &io, &model, &ScanHooks::none(), |part, sel| {
+            for &i in sel {
+                rows.push(part.row(i)[0].clone());
+            }
+            ControlFlow::Continue(())
+        });
+        assert_eq!(rows.len(), 25);
+        assert_eq!(stats.loaded, 3);
+        assert_eq!(io.snapshot().partitions_loaded, 3);
+    }
+
+    #[test]
+    fn no_pruning_configuration_scans_everything() {
+        let t = table();
+        let io = IoStats::new();
+        let scan = CompiledScan::compile(
+            "t",
+            t,
+            Some(&col("x").lt(lit(25i64))),
+            false, // pruning disabled
+            &FilterPruneConfig::default(),
+            &io,
+            &IoCostModel::free(),
+        )
+        .unwrap();
+        assert_eq!(scan.scan_set.len(), 20);
+        let stats = stream_scan(
+            &scan,
+            &io,
+            &IoCostModel::free(),
+            &ScanHooks::none(),
+            |_, _| ControlFlow::Continue(()),
+        );
+        assert_eq!(stats.loaded, 20);
+        assert_eq!(stats.rows_emitted, 25, "same rows, more I/O");
+    }
+
+    #[test]
+    fn early_stop_halts_scan() {
+        let t = table();
+        let io = IoStats::new();
+        let scan = CompiledScan::compile(
+            "t",
+            t,
+            None,
+            true,
+            &FilterPruneConfig::default(),
+            &io,
+            &IoCostModel::free(),
+        )
+        .unwrap();
+        let mut n = 0u64;
+        stream_scan(&scan, &io, &IoCostModel::free(), &ScanHooks::none(), |_, sel| {
+            n += sel.len() as u64;
+            if n >= 15 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        assert_eq!(io.snapshot().partitions_loaded, 2);
+    }
+
+    #[test]
+    fn boundary_hook_skips_partitions() {
+        let t = table();
+        let io = IoStats::new();
+        let scan = CompiledScan::compile(
+            "t",
+            t,
+            None,
+            true,
+            &FilterPruneConfig::default(),
+            &io,
+            &IoCostModel::free(),
+        )
+        .unwrap();
+        let boundary = Boundary::new(true);
+        boundary.tighten(&Value::Int(150));
+        let hooks = ScanHooks {
+            boundary: Some((&boundary, 0)),
+            runtime_pruner: None,
+        };
+        let stats = stream_scan(&scan, &io, &IoCostModel::free(), &hooks, |_, _| {
+            ControlFlow::Continue(())
+        });
+        // Partitions with max <= 150: ids 0..=14 skipped (max 149 in id 14),
+        // partition 15 has max 159 > 150.
+        assert_eq!(stats.skipped_by_boundary, 15);
+        assert_eq!(stats.loaded, 5);
+    }
+
+    #[test]
+    fn parallel_scan_matches_sequential_rows() {
+        let t = table();
+        let io = IoStats::new();
+        let model = IoCostModel::free();
+        let scan = CompiledScan::compile(
+            "t",
+            t,
+            Some(&col("x").ge(lit(100i64))),
+            true,
+            &FilterPruneConfig::default(),
+            &io,
+            &model,
+        )
+        .unwrap();
+        let rows = Mutex::new(Vec::new());
+        let stats = stream_scan_parallel(
+            &scan,
+            &io,
+            &model,
+            4,
+            None,
+            &|part, sel| {
+                let mut g = rows.lock();
+                for &i in sel {
+                    g.push(part.row(i)[0].clone());
+                }
+            },
+            &|| false,
+        );
+        let mut got = rows.into_inner();
+        got.sort_by(|a, b| a.total_ord_cmp(b));
+        assert_eq!(got.len(), 100);
+        assert_eq!(got[0], Value::Int(100));
+        assert_eq!(stats.loaded, 10);
+    }
+}

@@ -1,0 +1,17 @@
+//! Information-retrieval top-k baselines (§5.1 of the paper): the
+//! Threshold Algorithm (TAAT), WAND, and Block-Max WAND (DAAT), plus an
+//! exhaustive scorer as ground truth.
+//!
+//! The paper's top-k partition pruning is the relational adaptation of the
+//! block-max idea: a micro-partition's zone-map max plays the role of a
+//! block-max score, and the heap's k-th value plays the role of the
+//! threshold θ. These implementations exist to (a) document that lineage
+//! in executable form and (b) serve as ablation baselines in the benches.
+
+pub mod lists;
+pub mod ta;
+pub mod wand;
+
+pub use lists::{Posting, PostingList, ScoredDoc};
+pub use ta::threshold_algorithm;
+pub use wand::{block_max_wand, exhaustive_topk, wand, WandStats};

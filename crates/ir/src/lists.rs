@@ -1,0 +1,132 @@
+//! Posting lists: `(doc_id, score)` pairs sorted by document id, with
+//! list-level and block-level max scores.
+
+/// One posting.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Posting {
+    pub doc: u32,
+    pub score: f64,
+}
+
+/// A document with its aggregated score.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScoredDoc {
+    pub doc: u32,
+    pub score: f64,
+}
+
+/// Block metadata: the max score within a fixed span of postings.
+#[derive(Clone, Copy, Debug)]
+pub struct Block {
+    /// Index of the first posting of the block.
+    pub start: usize,
+    /// Last doc id covered by the block.
+    pub last_doc: u32,
+    pub max_score: f64,
+}
+
+/// A doc-sorted posting list with block-max metadata.
+#[derive(Clone, Debug)]
+pub struct PostingList {
+    pub postings: Vec<Posting>,
+    pub max_score: f64,
+    pub blocks: Vec<Block>,
+}
+
+impl PostingList {
+    /// Build from postings (sorted by doc id internally). `block_size`
+    /// controls block-max granularity (the analogue of partition size).
+    pub fn new(mut postings: Vec<Posting>, block_size: usize) -> Self {
+        assert!(block_size > 0);
+        postings.sort_by_key(|p| p.doc);
+        postings.dedup_by_key(|p| p.doc);
+        let max_score = postings.iter().map(|p| p.score).fold(0.0, f64::max);
+        let blocks = postings
+            .chunks(block_size)
+            .enumerate()
+            .map(|(i, chunk)| Block {
+                start: i * block_size,
+                last_doc: chunk.last().unwrap().doc,
+                max_score: chunk.iter().map(|p| p.score).fold(0.0, f64::max),
+            })
+            .collect();
+        PostingList {
+            postings,
+            max_score,
+            blocks,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.postings.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.postings.is_empty()
+    }
+
+    /// Index of the first posting with `doc >= target`, starting at `from`.
+    pub fn seek(&self, from: usize, target: u32) -> usize {
+        let slice = &self.postings[from..];
+        from + slice.partition_point(|p| p.doc < target)
+    }
+
+    /// The block containing posting index `idx`.
+    pub fn block_of(&self, idx: usize) -> &Block {
+        let bs = self.block_size();
+        &self.blocks[idx / bs]
+    }
+
+    fn block_size(&self) -> usize {
+        if self.blocks.len() <= 1 {
+            self.postings.len().max(1)
+        } else {
+            self.blocks[1].start - self.blocks[0].start
+        }
+    }
+
+    /// Random-access score lookup (used by the Threshold Algorithm).
+    pub fn score_of(&self, doc: u32) -> Option<f64> {
+        self.postings
+            .binary_search_by_key(&doc, |p| p.doc)
+            .ok()
+            .map(|i| self.postings[i].score)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list() -> PostingList {
+        PostingList::new(
+            vec![
+                Posting { doc: 5, score: 1.0 },
+                Posting { doc: 1, score: 3.0 },
+                Posting { doc: 9, score: 2.0 },
+                Posting { doc: 12, score: 0.5 },
+            ],
+            2,
+        )
+    }
+
+    #[test]
+    fn sorts_and_blocks() {
+        let l = list();
+        assert_eq!(l.postings[0].doc, 1);
+        assert_eq!(l.max_score, 3.0);
+        assert_eq!(l.blocks.len(), 2);
+        assert_eq!(l.blocks[0].last_doc, 5);
+        assert_eq!(l.blocks[0].max_score, 3.0);
+        assert_eq!(l.blocks[1].max_score, 2.0);
+    }
+
+    #[test]
+    fn seek_and_lookup() {
+        let l = list();
+        assert_eq!(l.seek(0, 6), 2); // first doc >= 6 is 9 at index 2
+        assert_eq!(l.seek(2, 100), 4);
+        assert_eq!(l.score_of(9), Some(2.0));
+        assert_eq!(l.score_of(2), None);
+    }
+}

@@ -1,0 +1,139 @@
+//! Fagin's Threshold Algorithm (TA) for term-at-a-time top-k joins over
+//! score-sorted lists [Fagin et al. 2003].
+
+use std::collections::HashSet;
+
+use crate::lists::{PostingList, ScoredDoc};
+
+/// Statistics from a TA run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TaStats {
+    /// Sorted-access steps (rounds × lists).
+    pub sorted_accesses: u64,
+    /// Random-access score lookups.
+    pub random_accesses: u64,
+}
+
+/// Run TA: lists are traversed in descending score order in lock-step; for
+/// every newly seen doc the full score is assembled via random access; the
+/// algorithm halts when the k-th best full score is at least the threshold
+/// (sum of the current positions' scores).
+pub fn threshold_algorithm(lists: &[PostingList], k: usize) -> (Vec<ScoredDoc>, TaStats) {
+    let mut stats = TaStats::default();
+    if k == 0 || lists.is_empty() {
+        return (Vec::new(), stats);
+    }
+    // Score-descending views.
+    let sorted: Vec<Vec<usize>> = lists
+        .iter()
+        .map(|l| {
+            let mut idx: Vec<usize> = (0..l.len()).collect();
+            idx.sort_by(|&a, &b| {
+                l.postings[b]
+                    .score
+                    .partial_cmp(&l.postings[a].score)
+                    .unwrap()
+            });
+            idx
+        })
+        .collect();
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut top: Vec<ScoredDoc> = Vec::new();
+    let max_depth = sorted.iter().map(Vec::len).max().unwrap_or(0);
+    for depth in 0..max_depth {
+        let mut threshold = 0.0;
+        for (li, list) in lists.iter().enumerate() {
+            let Some(&pi) = sorted[li].get(depth) else {
+                continue;
+            };
+            stats.sorted_accesses += 1;
+            let posting = list.postings[pi];
+            threshold += posting.score;
+            if seen.insert(posting.doc) {
+                // Assemble the document's full score across all lists.
+                let mut score = 0.0;
+                for other in lists {
+                    stats.random_accesses += 1;
+                    score += other.score_of(posting.doc).unwrap_or(0.0);
+                }
+                push_top(&mut top, ScoredDoc { doc: posting.doc, score }, k);
+            }
+        }
+        if top.len() >= k && top.last().map(|d| d.score).unwrap_or(0.0) >= threshold {
+            break;
+        }
+    }
+    (top, stats)
+}
+
+fn push_top(top: &mut Vec<ScoredDoc>, d: ScoredDoc, k: usize) {
+    top.push(d);
+    top.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap().then(a.doc.cmp(&b.doc)));
+    top.truncate(k);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lists::Posting;
+    use crate::wand::exhaustive_topk;
+
+    fn lists() -> Vec<PostingList> {
+        let l1 = PostingList::new(
+            (0..100u32)
+                .map(|d| Posting {
+                    doc: d,
+                    score: ((d * 7) % 13) as f64,
+                })
+                .collect(),
+            8,
+        );
+        let l2 = PostingList::new(
+            (0..100u32)
+                .step_by(3)
+                .map(|d| Posting {
+                    doc: d,
+                    score: ((d * 11) % 17) as f64,
+                })
+                .collect(),
+            8,
+        );
+        vec![l1, l2]
+    }
+
+    #[test]
+    fn matches_exhaustive_scores() {
+        let ls = lists();
+        let (ta, stats) = threshold_algorithm(&ls, 5);
+        let exact = exhaustive_topk(&ls, 5);
+        let ta_scores: Vec<f64> = ta.iter().map(|d| d.score).collect();
+        let exact_scores: Vec<f64> = exact.iter().map(|d| d.score).collect();
+        assert_eq!(ta_scores, exact_scores);
+        assert!(stats.sorted_accesses > 0);
+    }
+
+    #[test]
+    fn early_termination_beats_full_scan() {
+        // A list with one huge score should let TA stop early.
+        let mut postings: Vec<Posting> = (0..1000u32)
+            .map(|d| Posting {
+                doc: d,
+                score: 1.0,
+            })
+            .collect();
+        postings[500].score = 1000.0;
+        let ls = vec![PostingList::new(postings, 64)];
+        let (top, stats) = threshold_algorithm(&ls, 1);
+        assert_eq!(top[0].doc, 500);
+        assert!(
+            stats.sorted_accesses < 100,
+            "TA should stop after a few rounds: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        let (top, _) = threshold_algorithm(&lists(), 0);
+        assert!(top.is_empty());
+    }
+}

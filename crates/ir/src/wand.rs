@@ -1,0 +1,248 @@
+//! WAND [Broder et al. 2003] and Block-Max WAND [Ding & Suel 2011]:
+//! document-at-a-time top-k with upper-bound skipping — the direct
+//! ancestors of the paper's partition-level top-k pruning.
+
+use crate::lists::{PostingList, ScoredDoc};
+
+/// Work counters for comparing the algorithms.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WandStats {
+    /// Documents fully scored.
+    pub docs_scored: u64,
+    /// Pivot-selection iterations.
+    pub pivots: u64,
+    /// Postings skipped via block-max checks (BMW only).
+    pub block_skips: u64,
+}
+
+/// Exhaustive baseline: score every document (the "standard heap-based
+/// approach" of §5 in IR clothing).
+pub fn exhaustive_topk(lists: &[PostingList], k: usize) -> Vec<ScoredDoc> {
+    use std::collections::HashMap;
+    let mut scores: HashMap<u32, f64> = HashMap::new();
+    for l in lists {
+        for p in &l.postings {
+            *scores.entry(p.doc).or_insert(0.0) += p.score;
+        }
+    }
+    let mut docs: Vec<ScoredDoc> = scores
+        .into_iter()
+        .map(|(doc, score)| ScoredDoc { doc, score })
+        .collect();
+    docs.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap().then(a.doc.cmp(&b.doc)));
+    docs.truncate(k);
+    docs
+}
+
+struct Cursor {
+    list: usize,
+    pos: usize,
+}
+
+/// Shared WAND/BMW driver. `block_max` enables the BMW refinement.
+fn wand_driver(lists: &[PostingList], k: usize, block_max: bool) -> (Vec<ScoredDoc>, WandStats) {
+    let mut stats = WandStats::default();
+    if k == 0 || lists.is_empty() {
+        return (Vec::new(), stats);
+    }
+    let mut cursors: Vec<Cursor> = (0..lists.len()).map(|i| Cursor { list: i, pos: 0 }).collect();
+    let mut top: Vec<ScoredDoc> = Vec::new();
+    let mut theta = 0.0f64;
+    loop {
+        // Drop exhausted cursors; sort by current doc.
+        cursors.retain(|c| c.pos < lists[c.list].len());
+        if cursors.is_empty() {
+            break;
+        }
+        cursors.sort_by_key(|c| lists[c.list].postings[c.pos].doc);
+        stats.pivots += 1;
+        // Find the pivot: the first cursor where the accumulated list
+        // upper bounds exceed θ.
+        let mut acc = 0.0;
+        let mut pivot_idx = None;
+        for (i, c) in cursors.iter().enumerate() {
+            acc += lists[c.list].max_score;
+            if acc > theta || top.len() < k {
+                pivot_idx = Some(i);
+                break;
+            }
+        }
+        let Some(pi) = pivot_idx else {
+            break; // no document can beat θ anymore
+        };
+        let pivot_doc = lists[cursors[pi].list].postings[cursors[pi].pos].doc;
+        // BMW refinement: check the *block* maxes at the pivot; if they
+        // cannot beat θ, skip past the earliest block boundary.
+        if block_max && top.len() >= k {
+            let mut block_sum = 0.0;
+            for c in &cursors[..=pi] {
+                let idx = lists[c.list].seek(c.pos, pivot_doc);
+                if idx < lists[c.list].len() {
+                    block_sum += lists[c.list].block_of(idx).max_score;
+                }
+            }
+            if block_sum <= theta {
+                // Skip: advance every cursor up to the pivot beyond the
+                // smallest block boundary. The skip must not pass the next
+                // cursor's current doc — documents beyond it can appear in
+                // lists outside the pivot set, whose bounds were not
+                // included in `block_sum`.
+                let mut next_doc = cursors[..=pi]
+                    .iter()
+                    .map(|c| {
+                        let idx = lists[c.list].seek(c.pos, pivot_doc);
+                        if idx < lists[c.list].len() {
+                            lists[c.list].block_of(idx).last_doc.saturating_add(1)
+                        } else {
+                            u32::MAX
+                        }
+                    })
+                    .min()
+                    .unwrap_or(u32::MAX);
+                if let Some(c) = cursors.get(pi + 1) {
+                    next_doc = next_doc.min(lists[c.list].postings[c.pos].doc);
+                }
+                let next_doc = next_doc.max(pivot_doc.saturating_add(1));
+                for c in cursors[..=pi].iter_mut() {
+                    let target = next_doc;
+                    c.pos = lists[c.list].seek(c.pos, target);
+                    stats.block_skips += 1;
+                }
+                continue;
+            }
+        }
+        // If the first cursor is already at the pivot, fully score it.
+        if lists[cursors[0].list].postings[cursors[0].pos].doc == pivot_doc {
+            let mut score = 0.0;
+            for c in cursors.iter_mut() {
+                let idx = lists[c.list].seek(c.pos, pivot_doc);
+                if idx < lists[c.list].len() && lists[c.list].postings[idx].doc == pivot_doc {
+                    score += lists[c.list].postings[idx].score;
+                    c.pos = idx + 1;
+                } else {
+                    c.pos = idx;
+                }
+            }
+            stats.docs_scored += 1;
+            push_top(&mut top, ScoredDoc { doc: pivot_doc, score }, k);
+            if top.len() >= k {
+                theta = top.last().unwrap().score;
+            }
+        } else {
+            // Advance all cursors before the pivot to the pivot doc.
+            for c in cursors[..pi].iter_mut() {
+                c.pos = lists[c.list].seek(c.pos, pivot_doc);
+            }
+        }
+    }
+    (top, stats)
+}
+
+fn push_top(top: &mut Vec<ScoredDoc>, d: ScoredDoc, k: usize) {
+    top.push(d);
+    top.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap().then(a.doc.cmp(&b.doc)));
+    top.truncate(k);
+}
+
+/// WAND with list-level upper bounds.
+pub fn wand(lists: &[PostingList], k: usize) -> (Vec<ScoredDoc>, WandStats) {
+    wand_driver(lists, k, false)
+}
+
+/// Block-Max WAND: WAND plus block-level upper bounds.
+pub fn block_max_wand(lists: &[PostingList], k: usize) -> (Vec<ScoredDoc>, WandStats) {
+    wand_driver(lists, k, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lists::Posting;
+
+    fn synth_lists(seed: u64, lists_n: usize, docs: u32) -> Vec<PostingList> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        (0..lists_n)
+            .map(|_| {
+                let mut postings = Vec::new();
+                for d in 0..docs {
+                    if next() % 3 != 0 {
+                        // Integral scores keep f64 sums exact regardless of
+                        // accumulation order.
+                        postings.push(Posting {
+                            doc: d,
+                            score: (next() % 1000) as f64,
+                        });
+                    }
+                }
+                PostingList::new(postings, 32)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn wand_matches_exhaustive() {
+        for seed in [1u64, 7, 42] {
+            let lists = synth_lists(seed, 3, 500);
+            let exact = exhaustive_topk(&lists, 10);
+            let (w, _) = wand(&lists, 10);
+            let ws: Vec<f64> = w.iter().map(|d| d.score).collect();
+            let es: Vec<f64> = exact.iter().map(|d| d.score).collect();
+            assert_eq!(ws, es, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn bmw_matches_exhaustive_and_skips() {
+        for seed in [3u64, 9, 21] {
+            let lists = synth_lists(seed, 3, 2000);
+            let exact = exhaustive_topk(&lists, 5);
+            let (b, stats) = block_max_wand(&lists, 5);
+            let bs: Vec<f64> = b.iter().map(|d| d.score).collect();
+            let es: Vec<f64> = exact.iter().map(|d| d.score).collect();
+            assert_eq!(bs, es, "seed {seed}");
+            assert!(stats.docs_scored > 0);
+        }
+    }
+
+    #[test]
+    fn bmw_scores_fewer_docs_on_skewed_data() {
+        // One list with a few giant scores clustered in one block: BMW can
+        // skip most blocks once θ is high.
+        let mut postings: Vec<Posting> = (0..10_000u32)
+            .map(|d| Posting {
+                doc: d,
+                score: 1.0 + (d % 7) as f64 * 0.01,
+            })
+            .collect();
+        for d in 5_000..5_010 {
+            postings[d as usize].score = 500.0 + d as f64;
+        }
+        let lists = vec![PostingList::new(postings, 128)];
+        let (_, full) = wand(&lists, 10);
+        let (top, bmw) = block_max_wand(&lists, 10);
+        assert_eq!(top.len(), 10);
+        assert!(top.iter().all(|d| d.score >= 500.0));
+        assert!(
+            bmw.docs_scored < full.docs_scored,
+            "BMW {} vs WAND {}",
+            bmw.docs_scored,
+            full.docs_scored
+        );
+        assert!(bmw.block_skips > 0);
+    }
+
+    #[test]
+    fn single_list_wand_is_correct() {
+        let lists = synth_lists(5, 1, 300);
+        let exact = exhaustive_topk(&lists, 7);
+        let (w, _) = wand(&lists, 7);
+        assert_eq!(
+            w.iter().map(|d| d.doc).collect::<Vec<_>>(),
+            exact.iter().map(|d| d.doc).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,543 @@
+//! Plan analyses feeding the pruning techniques:
+//!
+//! * [`limit_pushdown`] — can the `LIMIT k` reach a table scan (§4.3)?
+//! * [`detect_topk`] — is this a top-k plan, and which of the Figure 7
+//!   shapes does it take?
+//! * [`fingerprint`] — plan hashing for repetitiveness analysis (Figure 12)
+//!   and the predicate cache (§8.2).
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use snowprune_expr::Expr;
+
+use crate::plan::{JoinType, Plan, SortKey};
+
+/// Outcome of LIMIT pushdown analysis.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LimitPushdown {
+    /// The plan has no LIMIT (or `Sort` sits between LIMIT and the rest,
+    /// making it a top-k query instead).
+    NotALimitQuery,
+    /// The LIMIT reaches this table with the given effective predicates.
+    Supported {
+        table: String,
+        k: u64,
+        offset: u64,
+        /// Conjunction of all predicates between the LIMIT and the scan
+        /// (including the scan's own pushed-down predicate).
+        predicates: Vec<Expr>,
+    },
+    /// An operator between LIMIT and scan blocks the pushdown
+    /// (aggregation, inner join probe-only path, ...). Feeds Table 2's
+    /// "unsupported shapes".
+    Unsupported { blocker: &'static str },
+}
+
+/// Walk from the top of the plan and decide where the LIMIT lands.
+pub fn limit_pushdown(plan: &Plan) -> LimitPushdown {
+    let Plan::Limit { input, k, offset } = plan else {
+        return LimitPushdown::NotALimitQuery;
+    };
+    // Sort directly below the limit means top-k, not LIMIT pruning.
+    if matches!(input.as_ref(), Plan::Sort { .. }) {
+        return LimitPushdown::NotALimitQuery;
+    }
+    push_through(input, *k, *offset, Vec::new())
+}
+
+fn push_through(plan: &Plan, k: u64, offset: u64, mut preds: Vec<Expr>) -> LimitPushdown {
+    match plan {
+        Plan::Scan {
+            table, predicate, ..
+        } => {
+            if let Some(p) = predicate {
+                preds.push(p.clone());
+            }
+            LimitPushdown::Supported {
+                table: table.clone(),
+                k,
+                offset,
+                predicates: preds,
+            }
+        }
+        // Filters do not block: LIMIT pruning handles predicates via
+        // fully-matching partitions (§4.1).
+        Plan::Filter { input, predicate } => {
+            preds.push(predicate.clone());
+            push_through(input, k, offset, preds)
+        }
+        Plan::Project { input, .. } => push_through(input, k, offset, preds),
+        // §4.3: the one join exception — the preserved (build) side of an
+        // outer join forwards every row at least once, so `k` build rows
+        // guarantee `k` output rows.
+        Plan::Join {
+            build, join_type, ..
+        } if *join_type == JoinType::OuterPreserveBuild => push_through(build, k, offset, preds),
+        Plan::Join { .. } => LimitPushdown::Unsupported { blocker: "join" },
+        Plan::Aggregate { .. } => LimitPushdown::Unsupported {
+            blocker: "aggregation",
+        },
+        Plan::Sort { .. } => LimitPushdown::Unsupported { blocker: "sort" },
+        Plan::Limit { input, .. } => push_through(input, k, offset, preds),
+    }
+}
+
+/// Which Figure 7 shape a detected top-k query takes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TopKShape {
+    /// (a) TopK above a table scan (possibly through filters/projections).
+    AboveScan,
+    /// (b) TopK above a join, ORDER BY column from the probe side.
+    JoinProbeSide,
+    /// (c) TopK replicated to the build side of an outer join.
+    OuterJoinBuildSide,
+    /// (d) TopK above an aggregation with ORDER BY ⊆ GROUP BY keys.
+    AboveAggregation,
+}
+
+/// A detected top-k query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TopKSpec {
+    pub k: u64,
+    pub offset: u64,
+    /// The ORDER BY column driving the pruning boundary.
+    pub order_column: String,
+    pub desc: bool,
+    pub shape: TopKShape,
+    /// Table whose scan can consume the boundary.
+    pub target_table: String,
+    /// Effective predicates between the TopK operator and the target scan.
+    pub predicates: Vec<Expr>,
+}
+
+/// Detect `Sort + Limit` (top-k) and classify it per Figure 7. Returns
+/// `None` for non-top-k plans and for top-k plans whose shape does not
+/// support boundary pruning (e.g. ORDER BY an aggregate output).
+pub fn detect_topk(plan: &Plan) -> Option<TopKSpec> {
+    let Plan::Limit { input, k, offset } = plan else {
+        return None;
+    };
+    let Plan::Sort { input: below, keys } = input.as_ref() else {
+        return None;
+    };
+    let [SortKey { expr, desc }] = keys.as_slice() else {
+        return None; // multi-key top-k: boundary pruning needs the primary key only;
+                     // conservatively unsupported here.
+    };
+    let Expr::Column(c) = expr else {
+        return None; // ORDER BY over an expression: unsupported for pruning.
+    };
+    let order_column = c.name.clone();
+    classify(below, &order_column, *k, *offset, *desc, Vec::new(), true)
+}
+
+fn classify(
+    plan: &Plan,
+    order_column: &str,
+    k: u64,
+    offset: u64,
+    desc: bool,
+    mut preds: Vec<Expr>,
+    directly_above: bool,
+) -> Option<TopKSpec> {
+    match plan {
+        Plan::Scan {
+            table,
+            schema,
+            predicate,
+        } => {
+            if !schema.contains(order_column) {
+                return None;
+            }
+            if let Some(p) = predicate {
+                preds.push(p.clone());
+            }
+            Some(TopKSpec {
+                k,
+                offset,
+                order_column: order_column.to_owned(),
+                desc,
+                shape: TopKShape::AboveScan,
+                target_table: table.clone(),
+                predicates: preds,
+            })
+        }
+        // Figure 7a: filters between scan and TopK are fine — the boundary
+        // is built from rows that survive the filter.
+        Plan::Filter { input, predicate } => {
+            preds.push(predicate.clone());
+            classify(input, order_column, k, offset, desc, preds, directly_above)
+        }
+        Plan::Project { input, columns } => {
+            if !columns.iter().any(|c| c == order_column) {
+                return None;
+            }
+            classify(input, order_column, k, offset, desc, preds, directly_above)
+        }
+        Plan::Join {
+            build,
+            probe,
+            join_type,
+            ..
+        } => {
+            let from_probe = probe.produces_column(order_column);
+            let from_build = build.produces_column(order_column);
+            if from_probe && !from_build {
+                // Figure 7b: prune the probe side.
+                let inner = classify(probe, order_column, k, offset, desc, preds, false)?;
+                Some(TopKSpec {
+                    shape: TopKShape::JoinProbeSide,
+                    ..inner
+                })
+            } else if from_build && *join_type == JoinType::OuterPreserveBuild {
+                // Figure 7c: replicate TopK to the preserved build side.
+                let inner = classify(build, order_column, k, offset, desc, preds, false)?;
+                Some(TopKSpec {
+                    shape: TopKShape::OuterJoinBuildSide,
+                    ..inner
+                })
+            } else {
+                None
+            }
+        }
+        Plan::Aggregate {
+            input, group_by, ..
+        } => {
+            // Figure 7d: pruning through GROUP BY requires the ORDER BY
+            // column to be one of the grouping keys (not an aggregate).
+            if !group_by.iter().any(|g| g == order_column) {
+                return None;
+            }
+            let inner = classify(input, order_column, k, offset, desc, preds, false)?;
+            // Only classify as AboveAggregation when the aggregate is the
+            // node directly below the TopK (otherwise keep the inner shape).
+            Some(TopKSpec {
+                shape: if directly_above {
+                    TopKShape::AboveAggregation
+                } else {
+                    inner.shape
+                },
+                ..inner
+            })
+        }
+        Plan::Sort { input, .. } | Plan::Limit { input, .. } => {
+            classify(input, order_column, k, offset, desc, preds, false)
+        }
+    }
+}
+
+/// Fingerprint mode: `Shape` strips literals (Figure 12's "plan shapes");
+/// `Exact` keeps them (predicate-cache keys, §8.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FingerprintMode {
+    Shape,
+    Exact,
+}
+
+/// Stable hash of a plan.
+pub fn fingerprint(plan: &Plan, mode: FingerprintMode) -> u64 {
+    let mut h = DefaultHasher::new();
+    hash_plan(plan, mode, &mut h);
+    h.finish()
+}
+
+fn hash_plan(plan: &Plan, mode: FingerprintMode, h: &mut DefaultHasher) {
+    match plan {
+        Plan::Scan {
+            table, predicate, ..
+        } => {
+            0u8.hash(h);
+            table.hash(h);
+            if let Some(p) = predicate {
+                hash_expr(p, mode, h);
+            }
+        }
+        Plan::Filter { input, predicate } => {
+            1u8.hash(h);
+            hash_expr(predicate, mode, h);
+            hash_plan(input, mode, h);
+        }
+        Plan::Project { input, columns } => {
+            2u8.hash(h);
+            columns.hash(h);
+            hash_plan(input, mode, h);
+        }
+        Plan::Join {
+            build,
+            probe,
+            build_key,
+            probe_key,
+            join_type,
+        } => {
+            3u8.hash(h);
+            build_key.hash(h);
+            probe_key.hash(h);
+            join_type.hash(h);
+            hash_plan(build, mode, h);
+            hash_plan(probe, mode, h);
+        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            4u8.hash(h);
+            group_by.hash(h);
+            for a in aggs {
+                a.output_name().hash(h);
+            }
+            hash_plan(input, mode, h);
+        }
+        Plan::Sort { input, keys } => {
+            5u8.hash(h);
+            for k in keys {
+                hash_expr(&k.expr, mode, h);
+                k.desc.hash(h);
+            }
+            hash_plan(input, mode, h);
+        }
+        Plan::Limit { input, k, offset } => {
+            6u8.hash(h);
+            if mode == FingerprintMode::Exact {
+                k.hash(h);
+                offset.hash(h);
+            }
+            hash_plan(input, mode, h);
+        }
+    }
+}
+
+fn hash_expr(e: &Expr, mode: FingerprintMode, h: &mut DefaultHasher) {
+    // Render to text; in Shape mode, literals become placeholders.
+    let s = e.to_string();
+    if mode == FingerprintMode::Exact {
+        s.hash(h);
+    } else {
+        shape_of(e).hash(h);
+    }
+}
+
+fn shape_of(e: &Expr) -> String {
+    match e {
+        Expr::Literal(_) => "?".into(),
+        Expr::Column(c) => c.name.clone(),
+        Expr::Cmp(op, a, b) => format!("({} {} {})", shape_of(a), op.sql(), shape_of(b)),
+        Expr::And(xs) => format!(
+            "AND({})",
+            xs.iter().map(shape_of).collect::<Vec<_>>().join(",")
+        ),
+        Expr::Or(xs) => format!(
+            "OR({})",
+            xs.iter().map(shape_of).collect::<Vec<_>>().join(",")
+        ),
+        Expr::Not(x) => format!("NOT({})", shape_of(x)),
+        Expr::IsNull(x) => format!("ISNULL({})", shape_of(x)),
+        Expr::Arith(op, a, b) => format!("({} {} {})", shape_of(a), op.sql(), shape_of(b)),
+        Expr::Neg(x) => format!("NEG({})", shape_of(x)),
+        Expr::If(c, t, e2) => format!("IF({},{},{})", shape_of(c), shape_of(t), shape_of(e2)),
+        Expr::Like(x, _) => format!("LIKE({},?)", shape_of(x)),
+        Expr::StartsWith(x, _) => format!("SW({},?)", shape_of(x)),
+        Expr::InList(x, _) => format!("IN({},?)", shape_of(x)),
+        Expr::Coalesce(xs) => format!(
+            "COALESCE({})",
+            xs.iter().map(shape_of).collect::<Vec<_>>().join(",")
+        ),
+        Expr::Abs(x) => format!("ABS({})", shape_of(x)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{AggFunc, PlanBuilder};
+    use snowprune_expr::dsl::{col, lit};
+    use snowprune_storage::{Field, Schema};
+    use snowprune_types::ScalarType;
+
+    fn tracking() -> Schema {
+        Schema::new(vec![
+            Field::new("area", ScalarType::Str),
+            Field::new("species", ScalarType::Str),
+            Field::new("s", ScalarType::Int),
+            Field::new("num_sightings", ScalarType::Int),
+        ])
+    }
+
+    fn trails() -> Schema {
+        Schema::new(vec![
+            Field::new("mountain", ScalarType::Str),
+            Field::new("altit", ScalarType::Int),
+        ])
+    }
+
+    #[test]
+    fn limit_pushdown_through_filter() {
+        let p = PlanBuilder::scan("tracking_data", tracking())
+            .filter(col("species").like("Alpine%"))
+            .limit(3)
+            .build();
+        match limit_pushdown(&p) {
+            LimitPushdown::Supported {
+                table, k, predicates, ..
+            } => {
+                assert_eq!(table, "tracking_data");
+                assert_eq!(k, 3);
+                assert_eq!(predicates.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn limit_blocked_by_aggregate_and_inner_join() {
+        let agg = PlanBuilder::scan("tracking_data", tracking())
+            .aggregate(vec!["species"], vec![AggFunc::CountStar])
+            .limit(10)
+            .build();
+        assert_eq!(
+            limit_pushdown(&agg),
+            LimitPushdown::Unsupported { blocker: "aggregation" }
+        );
+        let join = PlanBuilder::scan("trails", trails())
+            .join(
+                PlanBuilder::scan("tracking_data", tracking()),
+                "mountain",
+                "area",
+                JoinType::Inner,
+            )
+            .limit(10)
+            .build();
+        assert_eq!(limit_pushdown(&join), LimitPushdown::Unsupported { blocker: "join" });
+    }
+
+    #[test]
+    fn limit_passes_outer_join_build_side() {
+        let p = PlanBuilder::scan("trails", trails())
+            .join(
+                PlanBuilder::scan("tracking_data", tracking()),
+                "mountain",
+                "area",
+                JoinType::OuterPreserveBuild,
+            )
+            .limit(5)
+            .build();
+        match limit_pushdown(&p) {
+            LimitPushdown::Supported { table, .. } => assert_eq!(table, "trails"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn topk_not_a_limit_query() {
+        let p = PlanBuilder::scan("tracking_data", tracking())
+            .order_by("num_sightings", true)
+            .limit(3)
+            .build();
+        assert_eq!(limit_pushdown(&p), LimitPushdown::NotALimitQuery);
+        let spec = detect_topk(&p).unwrap();
+        assert_eq!(spec.shape, TopKShape::AboveScan);
+        assert_eq!(spec.order_column, "num_sightings");
+        assert!(spec.desc);
+    }
+
+    #[test]
+    fn topk_shapes_of_figure7() {
+        // (a) with filter in between.
+        let a = PlanBuilder::scan("tracking_data", tracking())
+            .filter(col("s").ge(lit(50i64)))
+            .order_by("num_sightings", true)
+            .limit(3)
+            .build();
+        assert_eq!(detect_topk(&a).unwrap().shape, TopKShape::AboveScan);
+        assert_eq!(detect_topk(&a).unwrap().predicates.len(), 1);
+
+        // (b) order column from probe side.
+        let b = PlanBuilder::scan("trails", trails())
+            .join(
+                PlanBuilder::scan("tracking_data", tracking()),
+                "mountain",
+                "area",
+                JoinType::Inner,
+            )
+            .order_by("num_sightings", true)
+            .limit(3)
+            .build();
+        let sb = detect_topk(&b).unwrap();
+        assert_eq!(sb.shape, TopKShape::JoinProbeSide);
+        assert_eq!(sb.target_table, "tracking_data");
+
+        // (c) order column from the preserved build side of an outer join.
+        let c = PlanBuilder::scan("trails", trails())
+            .join(
+                PlanBuilder::scan("tracking_data", tracking()),
+                "mountain",
+                "area",
+                JoinType::OuterPreserveBuild,
+            )
+            .order_by("altit", false)
+            .limit(3)
+            .build();
+        let sc = detect_topk(&c).unwrap();
+        assert_eq!(sc.shape, TopKShape::OuterJoinBuildSide);
+        assert_eq!(sc.target_table, "trails");
+        // Same plan as inner join: build-side pruning unsupported.
+        let c_inner = PlanBuilder::scan("trails", trails())
+            .join(
+                PlanBuilder::scan("tracking_data", tracking()),
+                "mountain",
+                "area",
+                JoinType::Inner,
+            )
+            .order_by("altit", false)
+            .limit(3)
+            .build();
+        assert!(detect_topk(&c_inner).is_none());
+
+        // (d) ORDER BY a grouping key.
+        let d = PlanBuilder::scan("tracking_data", tracking())
+            .aggregate(vec!["species"], vec![AggFunc::CountStar])
+            .order_by("species", true)
+            .limit(3)
+            .build();
+        assert_eq!(detect_topk(&d).unwrap().shape, TopKShape::AboveAggregation);
+
+        // ORDER BY an aggregate output: unsupported.
+        let e = PlanBuilder::scan("tracking_data", tracking())
+            .aggregate(vec!["species"], vec![AggFunc::CountStar])
+            .order_by("count", true)
+            .limit(3)
+            .build();
+        assert!(detect_topk(&e).is_none());
+    }
+
+    #[test]
+    fn fingerprints_distinguish_literals_only_in_exact_mode() {
+        let q = |k: i64| {
+            PlanBuilder::scan("tracking_data", tracking())
+                .filter(col("s").ge(lit(k)))
+                .order_by("num_sightings", true)
+                .limit(3)
+                .build()
+        };
+        let (p1, p2) = (q(50), (q(99)));
+        assert_eq!(
+            fingerprint(&p1, FingerprintMode::Shape),
+            fingerprint(&p2, FingerprintMode::Shape)
+        );
+        assert_ne!(
+            fingerprint(&p1, FingerprintMode::Exact),
+            fingerprint(&p2, FingerprintMode::Exact)
+        );
+        // Different order column changes the shape too.
+        let p3 = PlanBuilder::scan("tracking_data", tracking())
+            .filter(col("s").ge(lit(50i64)))
+            .order_by("s", true)
+            .limit(3)
+            .build();
+        assert_ne!(
+            fingerprint(&p1, FingerprintMode::Shape),
+            fingerprint(&p3, FingerprintMode::Shape)
+        );
+    }
+}

@@ -1,0 +1,10 @@
+//! Logical plans and the plan analyses behind LIMIT pruning (§4.3), top-k
+//! shape detection (Figure 7), and plan fingerprinting (Figure 12, §8.2).
+
+pub mod analyze;
+pub mod plan;
+
+pub use analyze::{
+    detect_topk, fingerprint, limit_pushdown, FingerprintMode, LimitPushdown, TopKShape, TopKSpec,
+};
+pub use plan::{to_sql, AggFunc, JoinType, Plan, PlanBuilder, SortKey};

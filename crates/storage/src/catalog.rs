@@ -1,0 +1,64 @@
+//! A tiny catalog standing in for the cloud-services metadata layer (§2):
+//! name → table resolution with shared, concurrently readable tables.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use snowprune_types::{Error, Result};
+
+use crate::table::Table;
+
+/// Shared handle to a table.
+pub type TableRef = Arc<RwLock<Table>>;
+
+/// Name → table mapping.
+#[derive(Clone, Default)]
+pub struct Catalog {
+    tables: Arc<RwLock<HashMap<String, TableRef>>>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn register(&self, table: Table) -> TableRef {
+        let name = table.name().to_owned();
+        let handle: TableRef = Arc::new(RwLock::new(table));
+        self.tables.write().insert(name, Arc::clone(&handle));
+        handle
+    }
+
+    pub fn get(&self, name: &str) -> Result<TableRef> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("table {name}")))
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Field, Schema};
+    use crate::table::TableBuilder;
+    use snowprune_types::ScalarType;
+
+    #[test]
+    fn register_and_lookup() {
+        let cat = Catalog::new();
+        let schema = Schema::new(vec![Field::new("a", ScalarType::Int)]);
+        cat.register(TableBuilder::new("t1", schema).build());
+        assert!(cat.get("t1").is_ok());
+        assert!(cat.get("t2").is_err());
+        assert_eq!(cat.table_names(), vec!["t1".to_owned()]);
+    }
+}

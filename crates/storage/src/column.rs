@@ -1,0 +1,351 @@
+//! Typed columnar storage for one column of one micro-partition.
+//!
+//! Micro-partitions use a PAX-style layout (§2): all rows of a partition
+//! live together, organized column-by-column. Each column chunk stores a
+//! typed vector plus an optional validity bitmap.
+
+use snowprune_types::{ScalarType, Value};
+
+/// A packed validity bitmap; bit set = value present (non-null).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    pub fn new_set(len: usize) -> Self {
+        let mut words = vec![u64::MAX; len.div_ceil(64)];
+        if len % 64 != 0 {
+            if let Some(last) = words.last_mut() {
+                *last = (1u64 << (len % 64)) - 1;
+            }
+        }
+        Bitmap { words, len }
+    }
+
+    pub fn new_unset(len: usize) -> Self {
+        Bitmap {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, v: bool) {
+        debug_assert!(i < self.len);
+        let w = &mut self.words[i / 64];
+        if v {
+            *w |= 1 << (i % 64);
+        } else {
+            *w &= !(1 << (i % 64));
+        }
+    }
+
+    pub fn push(&mut self, v: bool) {
+        if self.len % 64 == 0 {
+            self.words.push(0);
+        }
+        self.len += 1;
+        let i = self.len - 1;
+        self.set(i, v);
+    }
+
+    /// Number of set bits.
+    pub fn count_set(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// The typed values of a column chunk. Null slots hold a type-appropriate
+/// placeholder and are masked by the chunk's validity bitmap.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ColumnValues {
+    Bool(Vec<bool>),
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Str(Vec<String>),
+    Date(Vec<i32>),
+    Timestamp(Vec<i64>),
+}
+
+impl ColumnValues {
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnValues::Bool(v) => v.len(),
+            ColumnValues::Int(v) => v.len(),
+            ColumnValues::Float(v) => v.len(),
+            ColumnValues::Str(v) => v.len(),
+            ColumnValues::Date(v) => v.len(),
+            ColumnValues::Timestamp(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn scalar_type(&self) -> ScalarType {
+        match self {
+            ColumnValues::Bool(_) => ScalarType::Bool,
+            ColumnValues::Int(_) => ScalarType::Int,
+            ColumnValues::Float(_) => ScalarType::Float,
+            ColumnValues::Str(_) => ScalarType::Str,
+            ColumnValues::Date(_) => ScalarType::Date,
+            ColumnValues::Timestamp(_) => ScalarType::Timestamp,
+        }
+    }
+
+    fn empty_for(ty: ScalarType) -> ColumnValues {
+        match ty {
+            ScalarType::Bool => ColumnValues::Bool(Vec::new()),
+            ScalarType::Int => ColumnValues::Int(Vec::new()),
+            ScalarType::Float => ColumnValues::Float(Vec::new()),
+            ScalarType::Str => ColumnValues::Str(Vec::new()),
+            ScalarType::Date => ColumnValues::Date(Vec::new()),
+            ScalarType::Timestamp => ColumnValues::Timestamp(Vec::new()),
+        }
+    }
+}
+
+/// One column of one micro-partition: typed values + validity.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColumnChunk {
+    values: ColumnValues,
+    /// `None` means all values are valid (no nulls).
+    validity: Option<Bitmap>,
+}
+
+impl ColumnChunk {
+    pub fn new(values: ColumnValues, validity: Option<Bitmap>) -> Self {
+        if let Some(v) = &validity {
+            assert_eq!(v.len(), values.len(), "validity/values length mismatch");
+        }
+        ColumnChunk { values, validity }
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    pub fn scalar_type(&self) -> ScalarType {
+        self.values.scalar_type()
+    }
+
+    pub fn values(&self) -> &ColumnValues {
+        &self.values
+    }
+
+    pub fn validity(&self) -> Option<&Bitmap> {
+        self.validity.as_ref()
+    }
+
+    #[inline]
+    pub fn is_valid(&self, i: usize) -> bool {
+        self.validity.as_ref().is_none_or(|b| b.get(i))
+    }
+
+    pub fn null_count(&self) -> usize {
+        match &self.validity {
+            None => 0,
+            Some(b) => b.len() - b.count_set(),
+        }
+    }
+
+    /// Materialize row `i` as a [`Value`]. Prefer the typed accessors in hot
+    /// paths; this is for row-at-a-time consumers (joins, results).
+    pub fn value_at(&self, i: usize) -> Value {
+        if !self.is_valid(i) {
+            return Value::Null;
+        }
+        match &self.values {
+            ColumnValues::Bool(v) => Value::Bool(v[i]),
+            ColumnValues::Int(v) => Value::Int(v[i]),
+            ColumnValues::Float(v) => Value::Float(v[i]),
+            ColumnValues::Str(v) => Value::Str(v[i].clone()),
+            ColumnValues::Date(v) => Value::Date(v[i]),
+            ColumnValues::Timestamp(v) => Value::Timestamp(v[i]),
+        }
+    }
+
+    /// Iterate rows as values (allocates for strings).
+    pub fn iter_values(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(|i| self.value_at(i))
+    }
+
+    /// Approximate encoded size in bytes (drives partition sizing and I/O
+    /// accounting).
+    pub fn approx_bytes(&self) -> usize {
+        let data = match &self.values {
+            ColumnValues::Bool(v) => v.len(),
+            ColumnValues::Int(v) => v.len() * 8,
+            ColumnValues::Float(v) => v.len() * 8,
+            ColumnValues::Str(v) => v.iter().map(|s| s.len() + 4).sum(),
+            ColumnValues::Date(v) => v.len() * 4,
+            ColumnValues::Timestamp(v) => v.len() * 8,
+        };
+        data + self.validity.as_ref().map_or(0, |b| b.len() / 8 + 1)
+    }
+
+    /// Gather the rows at `indices` into a new chunk.
+    pub fn take(&self, indices: &[usize]) -> ColumnChunk {
+        let mut b = ColumnBuilder::new(self.scalar_type());
+        for &i in indices {
+            b.push(self.value_at(i));
+        }
+        b.finish()
+    }
+}
+
+/// Incremental builder for a [`ColumnChunk`].
+#[derive(Debug)]
+pub struct ColumnBuilder {
+    values: ColumnValues,
+    validity: Bitmap,
+    any_null: bool,
+}
+
+impl ColumnBuilder {
+    pub fn new(ty: ScalarType) -> Self {
+        ColumnBuilder {
+            values: ColumnValues::empty_for(ty),
+            validity: Bitmap::new_set(0),
+            any_null: false,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Push a value, converting `Null` into a masked placeholder. Panics on
+    /// a type mismatch — schema enforcement happens at the table layer.
+    pub fn push(&mut self, v: Value) {
+        let valid = !v.is_null();
+        if !valid {
+            self.any_null = true;
+        }
+        self.validity.push(valid);
+        match (&mut self.values, v) {
+            (ColumnValues::Bool(c), Value::Bool(x)) => c.push(x),
+            (ColumnValues::Bool(c), Value::Null) => c.push(false),
+            (ColumnValues::Int(c), Value::Int(x)) => c.push(x),
+            (ColumnValues::Int(c), Value::Null) => c.push(0),
+            (ColumnValues::Float(c), Value::Float(x)) => c.push(x),
+            (ColumnValues::Float(c), Value::Int(x)) => c.push(x as f64),
+            (ColumnValues::Float(c), Value::Null) => c.push(0.0),
+            (ColumnValues::Str(c), Value::Str(x)) => c.push(x),
+            (ColumnValues::Str(c), Value::Null) => c.push(String::new()),
+            (ColumnValues::Date(c), Value::Date(x)) => c.push(x),
+            (ColumnValues::Date(c), Value::Null) => c.push(0),
+            (ColumnValues::Timestamp(c), Value::Timestamp(x)) => c.push(x),
+            (ColumnValues::Timestamp(c), Value::Null) => c.push(0),
+            (vals, v) => panic!(
+                "type mismatch pushing {:?} into {:?} column",
+                v.scalar_type(),
+                vals.scalar_type()
+            ),
+        }
+    }
+
+    pub fn finish(self) -> ColumnChunk {
+        let validity = if self.any_null { Some(self.validity) } else { None };
+        ColumnChunk {
+            values: self.values,
+            validity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitmap_roundtrip() {
+        let mut b = Bitmap::new_unset(130);
+        b.set(0, true);
+        b.set(64, true);
+        b.set(129, true);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert!(!b.get(1) && !b.get(63) && !b.get(128));
+        assert_eq!(b.count_set(), 3);
+    }
+
+    #[test]
+    fn bitmap_push_across_word_boundary() {
+        let mut b = Bitmap::new_set(0);
+        for i in 0..100 {
+            b.push(i % 3 == 0);
+        }
+        assert_eq!(b.len(), 100);
+        assert_eq!(b.count_set(), 34);
+        assert!(b.get(99) && !b.get(98));
+    }
+
+    #[test]
+    fn builder_handles_nulls_and_coercion() {
+        let mut b = ColumnBuilder::new(ScalarType::Float);
+        b.push(Value::Float(1.5));
+        b.push(Value::Null);
+        b.push(Value::Int(2)); // int literal into float column
+        let chunk = b.finish();
+        assert_eq!(chunk.len(), 3);
+        assert_eq!(chunk.null_count(), 1);
+        assert_eq!(chunk.value_at(0), Value::Float(1.5));
+        assert_eq!(chunk.value_at(1), Value::Null);
+        assert_eq!(chunk.value_at(2), Value::Float(2.0));
+    }
+
+    #[test]
+    fn no_validity_bitmap_when_dense() {
+        let mut b = ColumnBuilder::new(ScalarType::Int);
+        b.push(Value::Int(1));
+        b.push(Value::Int(2));
+        let chunk = b.finish();
+        assert!(chunk.validity().is_none());
+        assert_eq!(chunk.null_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn builder_rejects_wrong_type() {
+        let mut b = ColumnBuilder::new(ScalarType::Int);
+        b.push(Value::Str("boom".into()));
+    }
+
+    #[test]
+    fn take_gathers_rows() {
+        let mut b = ColumnBuilder::new(ScalarType::Str);
+        for s in ["a", "b", "c", "d"] {
+            b.push(Value::Str(s.into()));
+        }
+        let chunk = b.finish();
+        let taken = chunk.take(&[3, 1]);
+        assert_eq!(taken.value_at(0), Value::Str("d".into()));
+        assert_eq!(taken.value_at(1), Value::Str("b".into()));
+    }
+}

@@ -1,0 +1,449 @@
+//! Tables: ordered collections of micro-partitions plus a version counter
+//! for DML tracking (consumed by the predicate cache, §8.2).
+
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+use snowprune_types::{Error, Result, Value, DEFAULT_STRING_PREFIX};
+
+use crate::column::{ColumnBuilder, ColumnChunk};
+use crate::io::{IoCostModel, IoStats};
+use crate::partition::{MicroPartition, PartitionId, PartitionMeta};
+use crate::schema::Schema;
+
+/// How rows are laid out across micro-partitions at build time. The paper
+/// stresses (§1) that achievable pruning depends primarily on this layout.
+#[derive(Clone, Debug, Default)]
+pub enum Layout {
+    /// Keep insertion order.
+    #[default]
+    Natural,
+    /// Sort by the named columns before partitioning (clustering keys).
+    ClusterBy(Vec<String>),
+    /// Deterministically shuffle rows (worst case for pruning).
+    Shuffle(u64),
+}
+
+/// Builder that accumulates rows and splits them into micro-partitions.
+pub struct TableBuilder {
+    name: String,
+    schema: Schema,
+    rows: Vec<Vec<Value>>,
+    target_rows_per_partition: usize,
+    layout: Layout,
+    string_prefix: usize,
+}
+
+impl TableBuilder {
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        TableBuilder {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+            target_rows_per_partition: 10_000,
+            layout: Layout::Natural,
+            string_prefix: DEFAULT_STRING_PREFIX,
+        }
+    }
+
+    /// Target number of rows per micro-partition (the stand-in for the
+    /// 50–500 MB micro-partition size of §2).
+    pub fn target_rows_per_partition(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        self.target_rows_per_partition = n;
+        self
+    }
+
+    pub fn layout(mut self, layout: Layout) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Metadata string-truncation length (see `snowprune_types::zonemap`).
+    pub fn string_prefix(mut self, n: usize) -> Self {
+        self.string_prefix = n;
+        self
+    }
+
+    pub fn push_row(&mut self, row: Vec<Value>) {
+        debug_assert_eq!(row.len(), self.schema.len());
+        self.rows.push(row);
+    }
+
+    pub fn extend_rows(&mut self, rows: impl IntoIterator<Item = Vec<Value>>) {
+        self.rows.extend(rows);
+    }
+
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn build(self) -> Table {
+        let TableBuilder {
+            name,
+            schema,
+            mut rows,
+            target_rows_per_partition,
+            layout,
+            string_prefix,
+        } = self;
+        apply_layout(&mut rows, &schema, &layout);
+        let mut table = Table {
+            name,
+            schema,
+            partitions: Vec::new(),
+            version: 0,
+            next_partition_id: 0,
+            string_prefix,
+            target_rows_per_partition,
+        };
+        table.append_partitions(rows);
+        table
+    }
+}
+
+fn apply_layout(rows: &mut [Vec<Value>], schema: &Schema, layout: &Layout) {
+    match layout {
+        Layout::Natural => {}
+        Layout::ClusterBy(cols) => {
+            let idxs: Vec<usize> = cols
+                .iter()
+                .map(|c| schema.index_of(c).expect("clustering column exists"))
+                .collect();
+            rows.sort_by(|a, b| {
+                for &i in &idxs {
+                    match a[i].total_ord_cmp(&b[i]) {
+                        Ordering::Equal => continue,
+                        other => return other,
+                    }
+                }
+                Ordering::Equal
+            });
+        }
+        Layout::Shuffle(seed) => {
+            // Fisher–Yates with a splitmix64 stream; deterministic per seed.
+            let mut state = *seed ^ 0x9e37_79b9_7f4a_7c15;
+            let mut next = move || {
+                state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            for i in (1..rows.len()).rev() {
+                let j = (next() % (i as u64 + 1)) as usize;
+                rows.swap(i, j);
+            }
+        }
+    }
+}
+
+/// A table: schema + micro-partitions. DML operations bump `version` and
+/// report which partitions changed, which the predicate cache consumes.
+#[derive(Clone, Debug)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    partitions: Vec<Arc<MicroPartition>>,
+    version: u64,
+    next_partition_id: u64,
+    string_prefix: usize,
+    target_rows_per_partition: usize,
+}
+
+/// Result of a DML statement.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DmlResult {
+    pub rows_affected: u64,
+    /// Partitions added by the statement (INSERTs and rewrites).
+    pub partitions_added: Vec<PartitionId>,
+    /// Partitions removed/rewritten by the statement.
+    pub partitions_removed: Vec<PartitionId>,
+    /// Table version after the statement.
+    pub new_version: u64,
+}
+
+impl Table {
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    pub fn total_rows(&self) -> u64 {
+        self.partitions.iter().map(|p| p.meta.row_count).sum()
+    }
+
+    /// All partition ids in table order (the unpruned scan set).
+    pub fn partition_ids(&self) -> Vec<PartitionId> {
+        self.partitions.iter().map(|p| p.meta.id).collect()
+    }
+
+    /// Read partition metadata through the metadata service, charging one
+    /// metadata read per partition.
+    pub fn read_metadata(&self, io: &IoStats, model: &IoCostModel) -> Vec<PartitionMeta> {
+        self.partitions
+            .iter()
+            .map(|p| {
+                io.record_metadata_read(model);
+                p.meta.clone()
+            })
+            .collect()
+    }
+
+    /// Metadata access without I/O accounting (for tests and planning code
+    /// that has already paid for the metadata).
+    pub fn metadata(&self) -> Vec<&PartitionMeta> {
+        self.partitions.iter().map(|p| &p.meta).collect()
+    }
+
+    pub fn partition_meta(&self, id: PartitionId) -> Result<&PartitionMeta> {
+        self.find(id).map(|p| &p.meta)
+    }
+
+    /// Load a partition's data from the object store, charging its bytes.
+    pub fn load_partition(
+        &self,
+        id: PartitionId,
+        io: &IoStats,
+        model: &IoCostModel,
+    ) -> Result<Arc<MicroPartition>> {
+        let p = self.find(id)?;
+        io.record_partition_load(p.meta.bytes, model);
+        Ok(Arc::clone(p))
+    }
+
+    /// Direct access without accounting (tests only).
+    pub fn partition(&self, id: PartitionId) -> Result<Arc<MicroPartition>> {
+        self.find(id).map(Arc::clone)
+    }
+
+    fn find(&self, id: PartitionId) -> Result<&Arc<MicroPartition>> {
+        self.partitions
+            .iter()
+            .find(|p| p.meta.id == id)
+            .ok_or_else(|| Error::NotFound(format!("partition {id} of table {}", self.name)))
+    }
+
+    fn append_partitions(&mut self, rows: Vec<Vec<Value>>) -> Vec<PartitionId> {
+        let mut added = Vec::new();
+        for chunk in rows.chunks(self.target_rows_per_partition) {
+            if chunk.is_empty() {
+                continue;
+            }
+            let mut builders: Vec<ColumnBuilder> = self
+                .schema
+                .fields()
+                .iter()
+                .map(|f| ColumnBuilder::new(f.ty))
+                .collect();
+            for row in chunk {
+                for (b, v) in builders.iter_mut().zip(row.iter()) {
+                    b.push(v.clone());
+                }
+            }
+            let columns: Vec<ColumnChunk> = builders.into_iter().map(ColumnBuilder::finish).collect();
+            let id = self.next_partition_id;
+            self.next_partition_id += 1;
+            let p = MicroPartition::from_chunks_with_prefix(id, &self.schema, columns, self.string_prefix);
+            added.push(id);
+            self.partitions.push(Arc::new(p));
+        }
+        added
+    }
+
+    /// INSERT: append rows as new micro-partitions (immutable partitions,
+    /// as in the paper's storage model).
+    pub fn insert_rows(&mut self, rows: Vec<Vec<Value>>) -> DmlResult {
+        let n = rows.len() as u64;
+        let added = self.append_partitions(rows);
+        self.version += 1;
+        DmlResult {
+            rows_affected: n,
+            partitions_added: added,
+            partitions_removed: Vec::new(),
+            new_version: self.version,
+        }
+    }
+
+    /// DELETE rows matching `pred`; affected partitions are rewritten
+    /// (copy-on-write, preserving partition immutability).
+    pub fn delete_rows(&mut self, pred: impl Fn(&[Value]) -> bool) -> DmlResult {
+        self.rewrite_rows(|row| if pred(row) { None } else { Some(row.to_vec()) })
+    }
+
+    /// UPDATE: apply `f` to each row; `f` returns the new row.
+    pub fn update_rows(&mut self, f: impl Fn(&[Value]) -> Vec<Value>) -> DmlResult {
+        let mut changed = 0u64;
+        let res = self.rewrite_rows(|row| {
+            let new = f(row);
+            if new != row {
+                changed += 1;
+            }
+            Some(new)
+        });
+        DmlResult {
+            rows_affected: changed,
+            ..res
+        }
+    }
+
+    fn rewrite_rows(&mut self, mut f: impl FnMut(&[Value]) -> Option<Vec<Value>>) -> DmlResult {
+        let mut removed = Vec::new();
+        let mut added = Vec::new();
+        let mut affected = 0u64;
+        let old = std::mem::take(&mut self.partitions);
+        for p in old {
+            let mut new_rows = Vec::with_capacity(p.row_count());
+            let mut dirty = false;
+            for i in 0..p.row_count() {
+                let row = p.row(i);
+                match f(&row) {
+                    Some(new) => {
+                        if new != row {
+                            dirty = true;
+                            affected += 1;
+                        }
+                        new_rows.push(new);
+                    }
+                    None => {
+                        dirty = true;
+                        affected += 1;
+                    }
+                }
+            }
+            if dirty {
+                removed.push(p.meta.id);
+                added.extend(self.append_partitions(new_rows));
+            } else {
+                self.partitions.push(p);
+            }
+        }
+        self.version += 1;
+        DmlResult {
+            rows_affected: affected,
+            partitions_added: added,
+            partitions_removed: removed,
+            new_version: self.version,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+    use snowprune_types::ScalarType;
+
+    fn build(layout: Layout, per_part: usize) -> Table {
+        let schema = Schema::new(vec![
+            Field::new("k", ScalarType::Int),
+            Field::new("v", ScalarType::Str),
+        ]);
+        let mut b = TableBuilder::new("t", schema)
+            .target_rows_per_partition(per_part)
+            .layout(layout);
+        for i in 0..100i64 {
+            b.push_row(vec![Value::Int(97 - i), Value::Str(format!("row{i}"))]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn splits_into_partitions() {
+        let t = build(Layout::Natural, 30);
+        assert_eq!(t.partition_count(), 4); // 30+30+30+10
+        assert_eq!(t.total_rows(), 100);
+        let last = t.partition(3).unwrap();
+        assert_eq!(last.row_count(), 10);
+    }
+
+    #[test]
+    fn clustering_tightens_zone_maps() {
+        let natural = build(Layout::Shuffle(42), 25);
+        let clustered = build(Layout::ClusterBy(vec!["k".into()]), 25);
+        // With clustering, partition 0 holds the 25 smallest keys.
+        let c0 = clustered.partition(0).unwrap();
+        assert_eq!(c0.meta.zone_map(0).min, Some(Value::Int(-2)));
+        assert_eq!(c0.meta.zone_map(0).max, Some(Value::Int(22)));
+        // Shuffled partitions have much wider ranges than clustered ones.
+        let width = |t: &Table| -> i64 {
+            t.metadata()
+                .iter()
+                .map(|m| {
+                    m.zone_map(0).max.as_ref().unwrap().as_i64().unwrap()
+                        - m.zone_map(0).min.as_ref().unwrap().as_i64().unwrap()
+                })
+                .sum()
+        };
+        assert!(width(&natural) > 2 * width(&clustered));
+    }
+
+    #[test]
+    fn load_accounts_io() {
+        let t = build(Layout::Natural, 50);
+        let io = IoStats::new();
+        let model = IoCostModel::default();
+        t.read_metadata(&io, &model);
+        t.load_partition(0, &io, &model).unwrap();
+        let s = io.snapshot();
+        assert_eq!(s.metadata_reads, 2);
+        assert_eq!(s.partitions_loaded, 1);
+        assert!(s.bytes_loaded > 0);
+    }
+
+    #[test]
+    fn insert_appends_partitions_and_bumps_version() {
+        let mut t = build(Layout::Natural, 50);
+        assert_eq!(t.version(), 0);
+        let res = t.insert_rows(vec![vec![Value::Int(999), Value::Str("new".into())]]);
+        assert_eq!(res.rows_affected, 1);
+        assert_eq!(res.partitions_added.len(), 1);
+        assert!(res.partitions_removed.is_empty());
+        assert_eq!(t.version(), 1);
+        assert_eq!(t.total_rows(), 101);
+    }
+
+    #[test]
+    fn delete_rewrites_only_affected_partitions() {
+        let mut t = build(Layout::ClusterBy(vec!["k".into()]), 25);
+        // Keys run -2..=97; delete a key living in exactly one partition.
+        let res = t.delete_rows(|row| row[0] == Value::Int(0));
+        assert_eq!(res.rows_affected, 1);
+        assert_eq!(res.partitions_removed.len(), 1);
+        assert_eq!(t.total_rows(), 99);
+        // Untouched partitions keep their ids.
+        assert!(t.partition(3).is_ok());
+    }
+
+    #[test]
+    fn update_reports_changed_rows() {
+        let mut t = build(Layout::Natural, 50);
+        let res = t.update_rows(|row| {
+            let mut r = row.to_vec();
+            if r[0] == Value::Int(5) {
+                r[1] = Value::Str("updated".into());
+            }
+            r
+        });
+        assert_eq!(res.rows_affected, 1);
+        assert_eq!(t.total_rows(), 100);
+    }
+
+    #[test]
+    fn shuffle_is_deterministic() {
+        let a = build(Layout::Shuffle(7), 30);
+        let b = build(Layout::Shuffle(7), 30);
+        assert_eq!(a.partition(0).unwrap().row(0), b.partition(0).unwrap().row(0));
+    }
+}

@@ -1,0 +1,46 @@
+//! Foundational types for `snowprune`: the SQL value model, zone maps,
+//! value ranges (interval arithmetic), and the pruning verdict lattice.
+//!
+//! This crate is dependency-light and shared by every other crate in the
+//! workspace. See `DESIGN.md` at the repository root for how these pieces
+//! map onto the paper.
+
+pub mod range;
+pub mod value;
+pub mod verdict;
+pub mod zonemap;
+
+pub use range::ValueRange;
+pub use value::{arith, KeyValue, ScalarType, Value};
+pub use verdict::{MatchClass, Verdict};
+pub use zonemap::{ZoneMap, DEFAULT_STRING_PREFIX};
+
+/// Errors shared across the workspace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// A column referenced by name or index does not exist.
+    UnknownColumn(String),
+    /// An operation received a value of an unexpected type.
+    TypeMismatch { expected: String, found: String },
+    /// A table, partition, or other object was not found.
+    NotFound(String),
+    /// The request is structurally invalid (e.g. malformed plan).
+    Invalid(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            Error::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            Error::NotFound(what) => write!(f, "not found: {what}"),
+            Error::Invalid(msg) => write!(f, "invalid request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;

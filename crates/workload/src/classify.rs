@@ -1,0 +1,105 @@
+//! SQL-text query classification, mirroring how the paper derives Table 1
+//! ("based on pattern-matching on SQL texts").
+
+/// The Table 1 categories.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SqlClass {
+    /// LIMIT without ORDER BY, no WHERE.
+    LimitNoPredicate,
+    /// LIMIT without ORDER BY, with WHERE.
+    LimitWithPredicate,
+    /// ORDER BY x LIMIT k, no GROUP BY.
+    OrderByLimit,
+    /// GROUP BY x ORDER BY x LIMIT k (ordering on a grouping key).
+    GroupByOrderByKeyLimit,
+    /// GROUP BY y ORDER BY agg(x) LIMIT k.
+    GroupByOrderByAggLimit,
+    /// Anything else.
+    Other,
+}
+
+/// Classify one SQL text (uppercase-insensitive substring matching, as a
+/// production telemetry pipeline would).
+pub fn classify_sql(sql: &str) -> SqlClass {
+    let up = sql.to_uppercase();
+    let has_limit = up.contains(" LIMIT ");
+    if !has_limit {
+        return SqlClass::Other;
+    }
+    let has_order = up.contains(" ORDER BY ");
+    let has_group = up.contains(" GROUP BY ");
+    let has_where = up.contains(" WHERE ");
+    if !has_order {
+        return if has_where {
+            SqlClass::LimitWithPredicate
+        } else {
+            SqlClass::LimitNoPredicate
+        };
+    }
+    if !has_group {
+        return SqlClass::OrderByLimit;
+    }
+    // ORDER BY an aggregate (SUM/COUNT/MIN/MAX/AVG...) vs a grouping key.
+    let order_clause = up
+        .split(" ORDER BY ")
+        .nth(1)
+        .unwrap_or("")
+        .split(" LIMIT ")
+        .next()
+        .unwrap_or("");
+    let aggy = ["SUM", "COUNT", "MIN", "MAX", "AVG"]
+        .iter()
+        .any(|a| order_clause.contains(a));
+    if aggy {
+        SqlClass::GroupByOrderByAggLimit
+    } else {
+        SqlClass::GroupByOrderByKeyLimit
+    }
+}
+
+/// Aggregate classification shares over a workload's SQL texts.
+pub fn classify_workload<'a>(sqls: impl IntoIterator<Item = &'a str>) -> Vec<(SqlClass, f64)> {
+    use std::collections::HashMap;
+    let mut counts: HashMap<SqlClass, u64> = HashMap::new();
+    let mut total = 0u64;
+    for sql in sqls {
+        *counts.entry(classify_sql(sql)).or_insert(0) += 1;
+        total += 1;
+    }
+    let mut out: Vec<(SqlClass, f64)> = counts
+        .into_iter()
+        .map(|(c, n)| (c, n as f64 / total.max(1) as f64))
+        .collect();
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_table1_patterns() {
+        assert_eq!(
+            classify_sql("SELECT * FROM t LIMIT 10"),
+            SqlClass::LimitNoPredicate
+        );
+        assert_eq!(
+            classify_sql("SELECT * FROM t WHERE (x > 5) LIMIT 10"),
+            SqlClass::LimitWithPredicate
+        );
+        assert_eq!(
+            classify_sql("SELECT * FROM t WHERE (x > 5) ORDER BY y DESC LIMIT 3"),
+            SqlClass::OrderByLimit
+        );
+        assert_eq!(
+            classify_sql("SELECT g, COUNT(*) FROM t GROUP BY g ORDER BY g LIMIT 5"),
+            SqlClass::GroupByOrderByKeyLimit
+        );
+        assert_eq!(
+            classify_sql("SELECT g, SUM(m) FROM t GROUP BY g ORDER BY SUM(m) DESC LIMIT 5"),
+            SqlClass::GroupByOrderByAggLimit
+        );
+        assert_eq!(classify_sql("SELECT * FROM t WHERE x = 1"), SqlClass::Other);
+    }
+}

@@ -1,0 +1,72 @@
+//! The LIMIT-k sampler, calibrated to Figure 6 of the paper:
+//! "97% of queries have k ≤ 10,000 and 99.9% have k ≤ 2,000,000", with
+//! "most queries having k = 0 or k = 1" and visible steps at round values
+//! (dashboards appending LIMIT 100/1000/10000).
+
+use rand::{Rng, RngExt};
+
+/// Sample a `k` for a LIMIT clause (the paper plots k > 0; we also emit
+/// k = 0 occasionally for the schema-discovery pattern unless
+/// `allow_zero` is false).
+pub fn sample_k(rng: &mut impl Rng, allow_zero: bool) -> u64 {
+    let r: f64 = rng.random();
+    // Piecewise mixture fit to the published anchors.
+    let k = if r < 0.08 {
+        0 // BI tools issuing LIMIT 0 for schema discovery
+    } else if r < 0.35 {
+        1
+    } else if r < 0.50 {
+        10
+    } else if r < 0.62 {
+        rng.random_range(2..100)
+    } else if r < 0.78 {
+        100
+    } else if r < 0.87 {
+        1000
+    } else if r < 0.97 {
+        10_000
+    } else if r < 0.999 {
+        rng.random_range(10_001..=2_000_000)
+    } else {
+        rng.random_range(2_000_001..=20_000_000)
+    };
+    if k == 0 && !allow_zero {
+        1
+    } else {
+        k
+    }
+}
+
+/// Empirical CDF helper for reporting Figure 6.
+pub fn cdf_at(samples: &[u64], threshold: u64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().filter(|&&k| k <= threshold).count() as f64 / samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn calibration_matches_figure6_anchors() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let samples: Vec<u64> = (0..50_000).map(|_| sample_k(&mut rng, true)).collect();
+        let p10k = cdf_at(&samples, 10_000);
+        let p2m = cdf_at(&samples, 2_000_000);
+        assert!((p10k - 0.97).abs() < 0.01, "P(k<=10000) = {p10k}");
+        assert!(p2m >= 0.998, "P(k<=2M) = {p2m}");
+        // Most queries have k = 0 or 1.
+        let small = cdf_at(&samples, 1);
+        assert!(small > 0.3, "P(k<=1) = {small}");
+    }
+
+    #[test]
+    fn allow_zero_flag() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!((0..1000).all(|_| sample_k(&mut rng, false) > 0));
+    }
+}

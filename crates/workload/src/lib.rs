@@ -1,0 +1,16 @@
+//! Workload substrates for the reproduction: a production-like generator
+//! calibrated to the paper's published statistics, and a TPC-H dbgen with
+//! the 22 queries' pruning skeletons (§8.3).
+
+pub mod classify;
+pub mod kdist;
+pub mod production;
+pub mod tpch;
+
+pub use classify::{classify_sql, classify_workload, SqlClass};
+pub use kdist::{cdf_at, sample_k};
+pub use production::{
+    generate, occurrence_histogram, repetition_shape_ids, GeneratedQuery, ProductionWorkload,
+    QueryKind, WorkloadConfig,
+};
+pub use tpch::{all_tpch_queries, date, generate_tpch, tpch_query, TpchConfig};

@@ -1,0 +1,50 @@
+//! Quickstart: build a clustered table, run a selective query, and inspect
+//! how much I/O pruning saved.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use snowprune::prelude::*;
+
+fn main() {
+    // A table of 100 micro-partitions clustered by timestamp.
+    let schema = Schema::new(vec![
+        Field::new("ts", ScalarType::Int),
+        Field::new("user_id", ScalarType::Int),
+        Field::new("metric", ScalarType::Int),
+    ]);
+    let mut builder = TableBuilder::new("events", schema.clone())
+        .target_rows_per_partition(1_000)
+        .layout(Layout::ClusterBy(vec!["ts".into()]));
+    for i in 0..100_000i64 {
+        builder.push_row(vec![
+            Value::Int(i),
+            Value::Int(i % 5_000),
+            Value::Int((i * 31) % 1_000_003),
+        ]);
+    }
+    let catalog = Catalog::new();
+    catalog.register(builder.build());
+
+    // SELECT * FROM events WHERE ts BETWEEN 42000 AND 42999
+    let plan = PlanBuilder::scan("events", schema)
+        .filter(col("ts").between(lit(42_000i64), lit(42_999i64)))
+        .build();
+
+    for (label, cfg) in [
+        ("with pruning   ", ExecConfig::default()),
+        ("without pruning", ExecConfig::no_pruning()),
+    ] {
+        let exec = Executor::new(catalog.clone(), cfg);
+        let out = exec.run(&plan).expect("query runs");
+        println!(
+            "{label}: {} rows | {:>3} of 100 partitions loaded | {:>9} bytes | {:>6.2} ms simulated I/O",
+            out.rows.len(),
+            out.io.partitions_loaded,
+            out.io.bytes_loaded,
+            out.io.simulated_io_ns as f64 / 1e6,
+        );
+    }
+    println!("\nThe fastest way of processing data is to not process it at all.");
+}

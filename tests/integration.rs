@@ -1,0 +1,231 @@
+//! Cross-crate integration tests exercising the full stack through the
+//! `snowprune` facade: storage → expressions → planning → pruning →
+//! execution → caching.
+
+#![allow(clippy::field_reassign_with_default)] // config tweak idiom
+
+use snowprune::cache::{CacheLookup, DmlKind, PredicateCache};
+use snowprune::plan::{fingerprint, FingerprintMode};
+use snowprune::prelude::*;
+
+fn sensor_catalog() -> Catalog {
+    let schema = Schema::new(vec![
+        Field::new("day", ScalarType::Int),
+        Field::new("sensor", ScalarType::Str),
+        Field::new("reading", ScalarType::Int),
+    ]);
+    let mut b = TableBuilder::new("readings", schema)
+        .target_rows_per_partition(250)
+        .layout(Layout::ClusterBy(vec!["day".into()]));
+    for i in 0..25_000i64 {
+        b.push_row(vec![
+            Value::Int(i / 100),
+            Value::Str(format!("s{:03}", i % 200)),
+            Value::Int((i * 7919) % 1_000_000),
+        ]);
+    }
+    let c = Catalog::new();
+    c.register(b.build());
+    c
+}
+
+fn schema_of(c: &Catalog, t: &str) -> Schema {
+    c.get(t).unwrap().read().schema().clone()
+}
+
+#[test]
+fn facade_end_to_end_filter_query() {
+    let catalog = sensor_catalog();
+    let plan = PlanBuilder::scan("readings", schema_of(&catalog, "readings"))
+        .filter(col("day").between(lit(100i64), lit(104i64)))
+        .build();
+    let exec = Executor::new(catalog, ExecConfig::default());
+    let out = exec.run(&plan).unwrap();
+    assert_eq!(out.rows.len(), 500);
+    assert!(out.report.pruning.filter_ratio() > 0.95);
+}
+
+#[test]
+fn pruning_configs_agree_on_results() {
+    // Every combination of enabled techniques yields identical rows.
+    let catalog = sensor_catalog();
+    let plan = PlanBuilder::scan("readings", schema_of(&catalog, "readings"))
+        .filter(col("sensor").like("s00%"))
+        .order_by("reading", true)
+        .limit(12)
+        .build();
+    let mut key_sets = Vec::new();
+    for mask in 0..8u8 {
+        let mut cfg = ExecConfig::default();
+        cfg.enable_filter_pruning = mask & 1 != 0;
+        cfg.enable_limit_pruning = mask & 2 != 0;
+        cfg.enable_topk_pruning = mask & 4 != 0;
+        let exec = Executor::new(catalog.clone(), cfg);
+        let out = exec.run(&plan).unwrap();
+        let keys: Vec<Value> = out.rows.rows.iter().map(|r| r[2].clone()).collect();
+        key_sets.push(keys);
+    }
+    for ks in &key_sets[1..] {
+        assert_eq!(ks, &key_sets[0]);
+    }
+}
+
+#[test]
+fn dml_then_query_sees_new_data_under_pruning() {
+    let catalog = sensor_catalog();
+    let schema = schema_of(&catalog, "readings");
+    let handle = catalog.get("readings").unwrap();
+    handle.write().insert_rows(vec![vec![
+        Value::Int(999),
+        Value::Str("s999".into()),
+        Value::Int(123),
+    ]]);
+    let plan = PlanBuilder::scan("readings", schema)
+        .filter(col("day").eq(lit(999i64)))
+        .build();
+    let exec = Executor::new(catalog, ExecConfig::default());
+    let out = exec.run(&plan).unwrap();
+    assert_eq!(out.rows.len(), 1);
+    assert_eq!(out.io.partitions_loaded, 1, "only the new partition");
+}
+
+#[test]
+fn predicate_cache_round_trip_with_dml() {
+    let catalog = sensor_catalog();
+    let schema = schema_of(&catalog, "readings");
+    let handle = catalog.get("readings").unwrap();
+    let plan = PlanBuilder::scan("readings", schema)
+        .order_by("reading", true)
+        .limit(5)
+        .build();
+    let fp = fingerprint(&plan, FingerprintMode::Exact);
+    let mut cache = PredicateCache::new(8);
+    // Populate from the exact contributing partitions.
+    let parts = {
+        let t = handle.read();
+        snowprune::cache::contributing_partitions_topk(&t, None, "reading", 5, true).unwrap()
+    };
+    cache.insert(
+        fp,
+        snowprune::cache::CacheEntry {
+            kind: snowprune::cache::EntryKind::TopK {
+                order_column: "reading".into(),
+            },
+            table: "readings".into(),
+            partitions: parts.clone(),
+            table_version: handle.read().version(),
+            appended: Vec::new(),
+        },
+    );
+    // Replaying the cached partitions reproduces the exact top-k multiset.
+    let expected: Vec<Value> = {
+        let exec = Executor::new(catalog.clone(), ExecConfig::default());
+        exec.run(&plan)
+            .unwrap()
+            .rows
+            .rows
+            .iter()
+            .map(|r| r[2].clone())
+            .collect()
+    };
+    let CacheLookup::Hit(cached) = cache.lookup(fp) else {
+        panic!("expected hit");
+    };
+    let mut replayed: Vec<i64> = Vec::new();
+    {
+        let t = handle.read();
+        for id in cached {
+            let p = t.partition(id).unwrap();
+            for i in 0..p.row_count() {
+                replayed.push(p.column(2).value_at(i).as_i64().unwrap());
+            }
+        }
+    }
+    replayed.sort_unstable_by(|a, b| b.cmp(a));
+    replayed.truncate(5);
+    let expected_ints: Vec<i64> = expected.iter().map(|v| v.as_i64().unwrap()).collect();
+    assert_eq!(replayed, expected_ints);
+    // INSERT with a new global maximum: cache appends the new partition, so
+    // replay still finds the new top-1.
+    let res = handle.write().insert_rows(vec![vec![
+        Value::Int(1_000),
+        Value::Str("s_new".into()),
+        Value::Int(99_999_999),
+    ]]);
+    cache.on_dml("readings", &DmlKind::Insert, &res);
+    let CacheLookup::Hit(after_insert) = cache.lookup(fp) else {
+        panic!("insert must not invalidate");
+    };
+    assert!(after_insert.len() > parts.len());
+    // DELETE invalidates the top-k entry.
+    let res = handle.write().delete_rows(|r| r[2] == Value::Int(99_999_999));
+    cache.on_dml("readings", &DmlKind::Delete, &res);
+    assert_eq!(cache.lookup(fp), CacheLookup::Miss);
+}
+
+#[test]
+fn tpch_q6_pruning_beats_baseline_io() {
+    let catalog = snowprune::workload::generate_tpch(&snowprune::workload::TpchConfig {
+        scale: 0.003,
+        rows_per_partition: 400,
+        clustered: true,
+        seed: 5,
+    });
+    let plan = snowprune::workload::tpch_query(6);
+    let pruned = Executor::new(catalog.clone(), ExecConfig::default())
+        .run(&plan)
+        .unwrap();
+    let baseline = Executor::new(catalog, ExecConfig::no_pruning())
+        .run(&plan)
+        .unwrap();
+    // Same rows.
+    assert_eq!(pruned.rows.len(), baseline.rows.len());
+    assert!(!pruned.rows.is_empty());
+    // Far less I/O (Q6 is the classic one-year shipdate range).
+    assert!(pruned.io.partitions_loaded * 2 < baseline.io.partitions_loaded);
+}
+
+#[test]
+fn ir_baselines_agree_with_partition_topk_on_same_data() {
+    // Build a column, expose it both as posting lists and as a table;
+    // top-k via BMW and via partition pruning must find the same values.
+    let n = 20_000u32;
+    let score = |d: u32| ((d as u64 * 2_654_435_761) % 100_000) as i64;
+    let postings: Vec<snowprune::ir::Posting> = (0..n)
+        .map(|d| snowprune::ir::Posting {
+            doc: d,
+            score: score(d) as f64,
+        })
+        .collect();
+    let lists = vec![snowprune::ir::PostingList::new(postings, 256)];
+    let (bmw, _) = snowprune::ir::block_max_wand(&lists, 10);
+    let schema = Schema::new(vec![Field::new("v", ScalarType::Int)]);
+    let mut b = TableBuilder::new("t", schema.clone()).target_rows_per_partition(256);
+    for d in 0..n {
+        b.push_row(vec![Value::Int(score(d))]);
+    }
+    let catalog = Catalog::new();
+    catalog.register(b.build());
+    let plan = PlanBuilder::scan("t", schema).order_by("v", true).limit(10).build();
+    let out = Executor::new(catalog, ExecConfig::default()).run(&plan).unwrap();
+    let engine_top: Vec<f64> = out.rows.rows.iter().map(|r| r[0].as_i64().unwrap() as f64).collect();
+    let bmw_top: Vec<f64> = bmw.iter().map(|d| d.score).collect();
+    assert_eq!(engine_top, bmw_top);
+}
+
+#[test]
+fn lake_table_scan_matches_regular_table() {
+    let schema = Schema::new(vec![Field::new("x", ScalarType::Int)]);
+    let rows: Vec<Vec<Value>> = (0..5_000i64).map(|i| vec![Value::Int(i)]).collect();
+    let lake = LakeTable::from_rows(
+        "lake", schema.clone(), rows, 1_000, 250, 50, true, true, true,
+    );
+    let catalog = Catalog::new();
+    catalog.register(lake.to_table());
+    let plan = PlanBuilder::scan("lake", schema)
+        .filter(col("x").between(lit(1_000i64), lit(1_249i64)))
+        .build();
+    let out = Executor::new(catalog, ExecConfig::default()).run(&plan).unwrap();
+    assert_eq!(out.rows.len(), 250);
+    assert_eq!(out.io.partitions_loaded, 1, "one row group's partition");
+}
