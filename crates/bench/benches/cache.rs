@@ -1,7 +1,9 @@
 //! §8.2 bench: repeated top-k via predicate cache vs boundary pruning.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use snowprune_cache::{contributing_partitions_topk, CacheEntry, CacheLookup, EntryKind, PredicateCache};
+use snowprune_cache::{
+    contributing_partitions_topk, CacheEntry, CacheLookup, EntryKind, PredicateCache,
+};
 use snowprune_exec::{ExecConfig, Executor};
 use snowprune_plan::{fingerprint, FingerprintMode, PlanBuilder};
 use snowprune_storage::{Catalog, Field, Layout, Schema, TableBuilder};
@@ -41,7 +43,9 @@ fn bench_cache(c: &mut Criterion) {
         cache.insert(
             fp,
             CacheEntry {
-                kind: EntryKind::TopK { order_column: "v".into() },
+                kind: EntryKind::TopK {
+                    order_column: "v".into(),
+                },
                 table: "t".into(),
                 partitions: parts,
                 table_version: handle.read().version(),
@@ -50,7 +54,9 @@ fn bench_cache(c: &mut Criterion) {
         );
         let t = handle.read().clone();
         b.iter(|| {
-            let CacheLookup::Hit(parts) = cache.lookup(fp) else { panic!() };
+            let CacheLookup::Hit(parts) = cache.lookup(fp) else {
+                panic!()
+            };
             // Replay: load only the cached partitions.
             let mut top: Vec<i64> = Vec::new();
             for id in parts {

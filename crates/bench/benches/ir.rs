@@ -1,12 +1,16 @@
 //! §5.1 lineage bench: exhaustive vs TA vs WAND vs Block-Max WAND.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use snowprune_ir::{block_max_wand, exhaustive_topk, threshold_algorithm, wand, Posting, PostingList};
+use snowprune_ir::{
+    block_max_wand, exhaustive_topk, threshold_algorithm, wand, Posting, PostingList,
+};
 
 fn lists() -> Vec<PostingList> {
     let mut state = 99u64;
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 33) as u32
     };
     (0..3)

@@ -50,7 +50,12 @@ fn bench_join(c: &mut Criterion) {
     let mut g = c.benchmark_group("join");
     g.sample_size(10);
     for (label, enabled, kind, bloom) in [
-        ("range_set", true, SummaryKind::RangeSet { budget: 128 }, true),
+        (
+            "range_set",
+            true,
+            SummaryKind::RangeSet { budget: 128 },
+            true,
+        ),
         ("minmax", true, SummaryKind::MinMax, true),
         ("exact", true, SummaryKind::Exact, true),
         ("no_prune_bloom", false, SummaryKind::MinMax, true),

@@ -20,7 +20,7 @@ fn catalog(layout: Layout) -> (Catalog, Schema) {
         .target_rows_per_partition(400)
         .layout(layout);
     for i in 0..60_000i64 {
-        b.push_row(vec![Value::Int((i * 37) % 100_000, ), Value::Int(i % 130)]);
+        b.push_row(vec![Value::Int((i * 37) % 100_000), Value::Int(i % 130)]);
     }
     let c = Catalog::new();
     c.register(b.build());
@@ -38,7 +38,12 @@ fn bench_topk(c: &mut Criterion) {
     g.sample_size(20);
     for (label, enable, order, init) in [
         ("pruned_sorted", true, PartitionOrder::ByBoundary, true),
-        ("pruned_random", true, PartitionOrder::Random { seed: 3 }, false),
+        (
+            "pruned_random",
+            true,
+            PartitionOrder::Random { seed: 3 },
+            false,
+        ),
         ("pruned_no_init", true, PartitionOrder::ByBoundary, false),
         ("unpruned", false, PartitionOrder::Unsorted, false),
     ] {

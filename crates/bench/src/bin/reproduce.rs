@@ -10,28 +10,59 @@ use snowprune_bench::{experiments as e, tpch_exp as t};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let which = args.first().map(String::as_str).unwrap_or("all");
-    let scale = args
-        .iter()
-        .position(|a| a == "--scale")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse::<f64>().ok())
-        .unwrap_or(0.02);
-    let queries = args
-        .iter()
-        .position(|a| a == "--queries")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse::<usize>().ok())
-        .unwrap_or(400);
-    let seed = 2024_11_05;
+    // One pass over the args: valued flags consume their value here, so the
+    // experiment-id scan below can never mistake a value for an id.
+    // `--smoke`: tiny-scale pass over every experiment, used by CI to keep
+    // the reproduction binary from rotting without paying full runtime.
+    let mut smoke = false;
+    let mut scale_arg: Option<f64> = None;
+    let mut queries_arg: Option<usize> = None;
+    let mut which: Option<&str> = None;
+    let mut i = 0;
+    fn flag_value<T: std::str::FromStr>(args: &[String], i: usize) -> T {
+        args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+            eprintln!(
+                "flag {} needs a {} value",
+                args[i - 1],
+                std::any::type_name::<T>()
+            );
+            std::process::exit(2);
+        })
+    }
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--scale" => {
+                i += 1;
+                scale_arg = Some(flag_value(&args, i));
+            }
+            "--queries" => {
+                i += 1;
+                queries_arg = Some(flag_value(&args, i));
+            }
+            a if a.starts_with("--") => {
+                eprintln!("unknown flag '{a}'. available: --smoke --scale <f64> --queries <n>");
+                std::process::exit(2);
+            }
+            a => which = which.or(Some(a)),
+        }
+        i += 1;
+    }
+    let which = which.unwrap_or("all");
+    let scale = scale_arg.unwrap_or(if smoke { 0.005 } else { 0.02 });
+    let queries = queries_arg.unwrap_or(if smoke { 40 } else { 400 });
+    let seed = 20241105; // 2024-11-05, the paper's camera-ready era
+    let mix_queries = if smoke { 1_000 } else { 20_000 };
+    let k_samples = if smoke { 5_000 } else { 100_000 };
+    let limit_floor = if smoke { 200 } else { 2_000 };
 
     let run = |id: &str| -> Option<String> {
         match id {
             "fig1" => Some(e::fig01_overview(queries, seed)),
             "fig4" => Some(e::fig04_filter_cdf(queries, seed)),
-            "tab1" => Some(e::tab1_query_mix(20_000, seed)),
-            "fig6" => Some(e::fig06_k_cdf(100_000, seed)),
-            "tab2" => Some(e::tab2_limit_breakdown(queries.max(2000), seed)),
+            "tab1" => Some(e::tab1_query_mix(mix_queries, seed)),
+            "fig6" => Some(e::fig06_k_cdf(k_samples, seed)),
+            "tab2" => Some(e::tab2_limit_breakdown(queries.max(limit_floor), seed)),
             "fig8" => Some(e::fig08_topk_sorting(queries, seed)),
             "fig9" => Some(e::fig09_topk_impact(queries, seed)),
             "fig10" => Some(e::fig10_join_cdf(queries, seed)),
@@ -49,8 +80,19 @@ fn main() {
     };
 
     let ids = [
-        "fig1", "fig4", "tab1", "fig6", "tab2", "fig8", "fig9", "fig10", "fig11", "fig12",
-        "fig13", "cache", "ablations",
+        "fig1",
+        "fig4",
+        "tab1",
+        "fig6",
+        "tab2",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "cache",
+        "ablations",
     ];
     if which == "all" {
         for id in ids {

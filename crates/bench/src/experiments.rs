@@ -24,9 +24,7 @@ pub fn harness_workload(queries: usize, seed: u64) -> snowprune_workload::Produc
 }
 
 /// Run every query with the default (all-pruning) configuration.
-pub fn run_workload(
-    wl: &snowprune_workload::ProductionWorkload,
-) -> Vec<(QueryKind, QueryOutput)> {
+pub fn run_workload(wl: &snowprune_workload::ProductionWorkload) -> Vec<(QueryKind, QueryOutput)> {
     let exec = Executor::new(wl.catalog.clone(), ExecConfig::default());
     wl.queries
         .iter()
@@ -54,8 +52,7 @@ pub fn fig01_overview(queries: usize, seed: u64) -> String {
         ) {
             limit.push(p.limit_ratio());
         }
-        if out.report.topk_stats.partitions_considered > 0 && p.topk_eligible
-        {
+        if out.report.topk_stats.partitions_considered > 0 && p.topk_eligible {
             topk.push(out.report.topk_stats.pruning_ratio());
         }
         if p.join_eligible && p.pruned_by_join > 0 {
@@ -67,7 +64,8 @@ pub fn fig01_overview(queries: usize, seed: u64) -> String {
     s += &format!("{}\n", summarize(&limit).row("limit"));
     s += &format!("{}\n", summarize(&topk).row("top-k"));
     s += &format!("{}\n", summarize(&join).row("join"));
-    s += "paper: filter ~99% for applicable, limit 70%, top-k 77%, join 79% (means over eligible)\n";
+    s +=
+        "paper: filter ~99% for applicable, limit 70%, top-k 77%, join 79% (means over eligible)\n";
     s
 }
 
@@ -282,15 +280,11 @@ pub fn fig09_topk_impact(queries: usize, seed: u64) -> String {
         buckets[b].1.push(ratio);
         buckets[b].2.push(change);
     }
-    let mut s = String::from(
-        "## Figure 9 — top-k pruning ratio and runtime change by baseline size\n",
-    );
+    let mut s =
+        String::from("## Figure 9 — top-k pruning ratio and runtime change by baseline size\n");
     for (label, ratios, changes) in &buckets {
         s += &format!("{}\n", summarize(ratios).row(&format!("{label} ratio")));
-        s += &format!(
-            "{}\n",
-            summarize(changes).row(&format!("{label} dI/O"))
-        );
+        s += &format!("{}\n", summarize(changes).row(&format!("{label} dI/O")));
     }
     s += "paper: pruning-ratio and runtime-improvement CDFs track each other; avg ratio ~77%\n";
     s
@@ -341,7 +335,10 @@ pub fn fig11_flow(queries: usize, seed: u64) -> String {
 /// Figure 12: repetitiveness of top-k plan shapes.
 pub fn fig12_repetitiveness(seed: u64) -> String {
     let mut s = String::from("## Figure 12 — repetitiveness of top-k plan shapes\n");
-    for (label, n, paper) in [("3 days", 3000usize, "85/9/3/1/1/2"), ("1 month", 30_000, "87/8/2/1/0/2")] {
+    for (label, n, paper) in [
+        ("3 days", 3000usize, "85/9/3/1/1/2"),
+        ("1 month", 30_000, "87/8/2/1/0/2"),
+    ] {
         let ids = repetition_shape_ids(n, seed);
         let hist = occurrence_histogram(&ids);
         let cells: Vec<String> = hist

@@ -47,9 +47,7 @@ pub fn fig13_tpch(scale: f64, seed: u64) -> String {
     let mut sorted = ratios.clone();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let median = sorted.get(sorted.len() / 2).copied().unwrap_or(0.0);
-    s += &format!(
-        "  average {mean:.1}% (paper 28.7%), median {median:.1}% (paper 8.3%)\n"
-    );
+    s += &format!("  average {mean:.1}% (paper 28.7%), median {median:.1}% (paper 8.3%)\n");
     s
 }
 
@@ -136,10 +134,14 @@ pub fn ext_cache(seed: u64) -> String {
             pruned.report.pruning.partitions_total,
         );
         // DML rules: INSERT keeps the entry (appending), DELETE kills it.
-        let res = handle.write().insert_rows(vec![vec![Value::Int(999_999), Value::Int(-1)]]);
+        let res = handle
+            .write()
+            .insert_rows(vec![vec![Value::Int(999_999), Value::Int(-1)]]);
         cache.on_dml("t", &DmlKind::Insert, &res);
         let after_insert = matches!(cache.lookup(fp), CacheLookup::Hit(_));
-        let res = handle.write().delete_rows(|row| row[0] == Value::Int(999_999));
+        let res = handle
+            .write()
+            .delete_rows(|row| row[0] == Value::Int(999_999));
         cache.on_dml("t", &DmlKind::Delete, &res);
         let after_delete = matches!(cache.lookup(fp), CacheLookup::Hit(_));
         s += &format!(
@@ -203,9 +205,7 @@ pub fn ablations(seed: u64) -> String {
                 considered += out.report.topk_stats.partitions_considered;
             }
         }
-        s += &format!(
-            "  topk init_boundary={init:<5} skipped {skipped:>6} of {considered}\n"
-        );
+        s += &format!("  topk init_boundary={init:<5} skipped {skipped:>6} of {considered}\n");
     }
     s
 }

@@ -153,14 +153,18 @@ impl PredicateCache {
                 .retain(|p| !result.partitions_removed.contains(p));
             match kind {
                 DmlKind::Insert => {
-                    entry.appended.extend(result.partitions_added.iter().copied());
+                    entry
+                        .appended
+                        .extend(result.partitions_added.iter().copied());
                 }
                 _ => {
                     // Rewrites: the replacement partitions matter only if a
                     // cached partition was rewritten; adding them otherwise
                     // would be correct but needlessly lossy.
                     if touched_cached {
-                        entry.appended.extend(result.partitions_added.iter().copied());
+                        entry
+                            .appended
+                            .extend(result.partitions_added.iter().copied());
                     }
                 }
             }

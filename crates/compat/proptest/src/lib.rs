@@ -1,0 +1,637 @@
+//! Minimal, deterministic stand-in for the `proptest` crate.
+//!
+//! The build environment has no cargo registry access, so this crate
+//! re-implements the subset of proptest's API the workspace's property
+//! tests use: `Strategy` with `prop_map` / `prop_recursive` / `boxed`,
+//! range and tuple strategies, `Just`, weighted `prop_oneof!`,
+//! `collection::vec`, `option::of`, `any::<bool>()`, simple
+//! character-class regex string strategies, and the `proptest!` test
+//! macro with `ProptestConfig::with_cases`.
+//!
+//! Differences from real proptest, deliberate for the offline shim:
+//!
+//! * **No shrinking.** A failing case panics with the formatted assertion
+//!   message; the run is deterministic (fixed per-case seeds), so any
+//!   failure is reproducible by re-running the test.
+//! * **Regex strategies** support only the subset the tests use:
+//!   sequences of literal characters and `[...]` classes (with `a-z`
+//!   ranges), each optionally quantified by `{m,n}`, `{n}`, `?`, `*`, `+`.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::sync::Arc;
+
+use rand::{RngCore, RngExt, SeedableRng};
+
+/// Deterministic RNG handed to strategies during generation.
+pub struct TestRng(rand::StdRng);
+
+impl TestRng {
+    pub fn from_case(test_name: &str, case: u32) -> Self {
+        // Stable per-test stream: FNV-1a over the test name, mixed with
+        // the case index so every case draws a fresh but reproducible seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        Self(rand::StdRng::seed_from_u64(
+            h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        self.0.random_range(0..n.max(1))
+    }
+}
+
+/// Run-length configuration; mirrors `proptest::test_runner::ProptestConfig`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Mirror of `proptest::strategy::Strategy`, reduced to generation.
+pub trait Strategy: Clone {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Value) -> U + Clone,
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(move |rng| self.generate(rng)))
+    }
+
+    /// Build a recursive strategy: `recurse` receives a strategy for the
+    /// levels below and returns the strategy for one level up. `depth`
+    /// bounds nesting; the size/branch hints are accepted for API parity
+    /// but unused.
+    fn prop_recursive<F, R>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+        R: Strategy<Value = Self::Value> + 'static,
+    {
+        let mut current = self.clone().boxed();
+        for _ in 0..depth {
+            let deeper = recurse(current).boxed();
+            // Keep leaves likelier than recursion so expected size stays
+            // small even at full depth.
+            current = Union::new(vec![(3, self.clone().boxed()), (2, deeper)]).boxed();
+        }
+        current
+    }
+}
+
+/// Type-erased strategy; `Arc` so recursive closures can clone it freely.
+pub struct BoxedStrategy<T>(Arc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        Self(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `Strategy::prop_map` adapter.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U + Clone,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Weighted choice between boxed strategies; target of `prop_oneof!`.
+pub struct Union<T> {
+    branches: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Self {
+            branches: self.branches.clone(),
+            total: self.total,
+        }
+    }
+}
+
+impl<T> Union<T> {
+    pub fn new(branches: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(
+            !branches.is_empty(),
+            "prop_oneof! needs at least one branch"
+        );
+        let total = branches.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! weights sum to zero");
+        Self { branches, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total as usize) as u32;
+        for (weight, branch) in &self.branches {
+            if pick < *weight {
+                return branch.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weight bookkeeping out of sync")
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7)
+}
+
+/// Types with a canonical `any::<T>()` strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.0.random()
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.0.random()
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Inclusive-lo, exclusive-hi element-count range for `collection::vec`.
+#[derive(Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n + 1 }
+    }
+}
+
+pub mod collection {
+    use super::*;
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.lo + rng.below(self.size.hi - self.size.lo);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod option {
+    use super::*;
+
+    #[derive(Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // Match real proptest's default: Some three times out of four.
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+
+    pub fn of<S: Strategy>(strategy: S) -> OptionStrategy<S> {
+        OptionStrategy(strategy)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mini-regex string strategies: `"[a-c]{0,6}"` etc.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+enum RegexAtom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Clone)]
+struct RegexPart {
+    atom: RegexAtom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<RegexPart> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut parts = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|c| *c == ']')
+                .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"))
+                + i;
+            let mut ranges = Vec::new();
+            let mut j = i + 1;
+            assert!(
+                j >= close || chars[j] != '^',
+                "negated class in pattern {pattern:?}: the shim does not \
+                 support [^...]"
+            );
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    ranges.push((chars[j], chars[j + 2]));
+                    j += 3;
+                } else {
+                    ranges.push((chars[j], chars[j]));
+                    j += 1;
+                }
+            }
+            i = close + 1;
+            RegexAtom::Class(ranges)
+        } else {
+            let c = if chars[i] == '\\' {
+                i += 1;
+                chars[i]
+            } else {
+                // Fail fast on regex features the shim doesn't implement,
+                // instead of silently generating the metachar literally.
+                assert!(
+                    !matches!(chars[i], '|' | '.' | '(' | ')' | '^' | '$'),
+                    "unsupported regex metachar {:?} in pattern {pattern:?} \
+                     (shim supports literals, [...] classes, and quantifiers); \
+                     escape it with \\\\ for a literal",
+                    chars[i]
+                );
+                chars[i]
+            };
+            i += 1;
+            RegexAtom::Literal(c)
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|c| *c == '}')
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.parse().expect("bad {m,n} lower bound"),
+                    hi.parse().expect("bad {m,n} upper bound"),
+                ),
+                None => {
+                    let n = body.parse().expect("bad {n} count");
+                    (n, n)
+                }
+            }
+        } else if i < chars.len() && (chars[i] == '*' || chars[i] == '+' || chars[i] == '?') {
+            let q = chars[i];
+            i += 1;
+            match q {
+                '*' => (0, 8),
+                '+' => (1, 8),
+                _ => (0, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        parts.push(RegexPart { atom, min, max });
+    }
+    parts
+}
+
+/// `&str` patterns are strategies producing matching `String`s, mirroring
+/// proptest's regex support (restricted to the subset documented above).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for part in parse_pattern(self) {
+            let count = part.min + rng.below(part.max - part.min + 1);
+            for _ in 0..count {
+                match &part.atom {
+                    RegexAtom::Literal(c) => out.push(*c),
+                    RegexAtom::Class(ranges) => {
+                        let (lo, hi) = ranges[rng.below(ranges.len())];
+                        let span = hi as u32 - lo as u32 + 1;
+                        let c = char::from_u32(lo as u32 + rng.below(span as usize) as u32)
+                            .expect("char class range produced invalid scalar");
+                        out.push(c);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Weighted (`w => strat`) or unweighted choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+/// Assertion inside `proptest!` bodies; panics (fails the case) on false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Equality assertion inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Declares `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut prop_rng =
+                        $crate::TestRng::from_case(stringify!($name), case);
+                    $(let $arg = $crate::Strategy::generate(&$strategy, &mut prop_rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_case("shim_self_test", 0)
+    }
+
+    #[test]
+    fn regex_class_with_counts() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-c]{0,6}".generate(&mut r);
+            assert!(s.len() <= 6);
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn regex_literal_dash_and_specials() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-cAIM%_-]{0,5}".generate(&mut r);
+            assert!(s.len() <= 5);
+            assert!(
+                s.chars()
+                    .all(|c| ('a'..='c').contains(&c) || "AIM%_-".contains(c)),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn union_respects_zero_pick_edge() {
+        let mut r = rng();
+        let u = prop_oneof![3 => Just(1i32), 1 => Just(2i32)];
+        let mut seen = [false; 2];
+        for _ in 0..200 {
+            seen[(u.generate(&mut r) - 1) as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn vec_and_option_sizes() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = collection::vec(0i64..5, 1..4).generate(&mut r);
+            assert!((1..4).contains(&v.len()));
+            let _ = option::of(0i64..5).generate(&mut r);
+        }
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf(i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(v) => usize::from((0..10).contains(v)),
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = (0i64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 24, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(depth(&strat.generate(&mut r)) <= 4);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Minimal, deterministic stand-in for the `rand` crate.
+//!
+//! Implements exactly the API surface the workspace uses — `StdRng`
+//! seeded via `SeedableRng::seed_from_u64`, `Rng::random`, and
+//! `Rng::random_range` over integer and float ranges — on top of
+//! xoshiro256++ with a SplitMix64 seeder (the same construction rand's
+//! `SmallRng` uses). Being a different generator than the real `StdRng`
+//! (ChaCha12) is fine: all workspace callers treat the stream as an
+//! arbitrary deterministic source, never as a cross-crate fixture.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs {
+    pub use crate::StdRng;
+}
+
+/// Mirror of `rand::SeedableRng`, reduced to the one constructor used.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly by `Rng::random`.
+pub trait Standard: Sized {
+    fn sample(rng: &mut dyn RngCore) -> Self;
+}
+
+/// Ranges that can be sampled uniformly by `RngExt::random_range`.
+/// Generic over the output type so untyped integer literals infer from
+/// the call site, matching real rand's `SampleRange<T>`.
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// Object-safe raw-word source backing the generic helpers.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Mirror of `rand::Rng`; usable as a generic bound. The sampling
+/// methods live on [`RngExt`], matching how the workspace imports them.
+pub trait Rng: RngCore {}
+
+impl<T: RngCore> Rng for T {}
+
+/// Extension trait carrying the sampling methods (`rand` 0.9 style).
+pub trait RngExt: RngCore {
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<T: RngCore> RngExt for T {}
+
+/// xoshiro256++ generator standing in for `rand::rngs::StdRng`.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, per Blackman & Vigna's reference seeding.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+impl Standard for f64 {
+    fn sample(rng: &mut dyn RngCore) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn sample(rng: &mut dyn RngCore) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn sample(rng: &mut dyn RngCore) -> u64 {
+        rng.next_u64()
+    }
+}
+
+/// Uniform draw from `[0, n)` by widening multiply (Lemire's method,
+/// without the rejection step — the sub-ULP bias is irrelevant here).
+fn below(rng: &mut dyn RngCore, n: u64) -> u64 {
+    ((rng.next_u64() as u128 * n as u128) >> 64) as u64
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + below(rng, span) as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range in random_range");
+                let wide_span = end as i128 - start as i128 + 1;
+                if wide_span > u64::MAX as i128 {
+                    // Full-width range: every value of the type is valid,
+                    // so a raw draw is already uniform (the truncated span
+                    // would overflow to 0 and degenerate to `start`).
+                    return rng.next_u64() as $t;
+                }
+                (start as i128 + below(rng, wide_span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut dyn RngCore) -> f64 {
+        assert!(self.start < self.end, "empty range in random_range");
+        let v = self.start + f64::sample(rng) * (self.end - self.start);
+        // Rounding can land exactly on `end` when ulp(end) exceeds the
+        // sampled offset; clamp to keep the half-open contract.
+        if v >= self.end {
+            self.end.next_down().max(self.start)
+        } else {
+            v
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[allow(unused_imports)]
+    use crate::RngExt as _;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.random_range(-20i64..20);
+            assert!((-20..20).contains(&v));
+            let f = rng.random_range(0.001f64..0.02);
+            assert!((0.001..0.02).contains(&f));
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Minimal API-surface stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derives and defines the
+//! marker traits under the same names so both the macro and trait
+//! namespaces resolve. See `serde_derive`'s crate docs for why this exists.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the shim).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the shim).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,20 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The workspace builds in an offline environment with no cargo registry,
+//! so `#[derive(Serialize, Deserialize)]` must resolve without pulling in
+//! the real proc-macro crate (which needs `syn`/`quote`). Nothing in the
+//! workspace serializes through serde yet — the derives only mark types as
+//! wire-ready for a future PR — so emitting no impls is sufficient. When
+//! real serialization lands, these expansions grow with it.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -350,7 +350,7 @@ impl FilterPruner {
     pub fn evaluate(&mut self, zone_maps: &[ZoneMap]) -> Verdict {
         self.evaluated += 1;
         let v = self.tree.evaluate(zone_maps);
-        if self.evaluated % self.cfg.adapt_interval == 0 {
+        if self.evaluated.is_multiple_of(self.cfg.adapt_interval) {
             if self.cfg.reorder {
                 self.tree.reorder();
             }
@@ -426,7 +426,8 @@ impl FilterPruner {
     /// Pre-order leaf predicate order (exposed for reordering tests).
     pub fn leaf_order(&self) -> Vec<String> {
         let mut out = Vec::new();
-        self.tree.for_each_leaf(&mut |l| out.push(l.expr.to_string()));
+        self.tree
+            .for_each_leaf(&mut |l| out.push(l.expr.to_string()));
         out
     }
 
@@ -495,10 +496,7 @@ mod tests {
     fn reordering_moves_effective_cheap_filter_first() {
         let t = table();
         // Leaf 0: ineffective (y never prunes); leaf 1: highly effective.
-        let pred = bound(
-            col("y").ge(lit(0i64)).and(col("x").lt(lit(500i64))),
-            &t,
-        );
+        let pred = bound(col("y").ge(lit(0i64)).and(col("x").lt(lit(500i64))), &t);
         let mut cfg = FilterPruneConfig::default();
         cfg.adapt_interval = 16;
         cfg.cutoff = false;
@@ -519,10 +517,7 @@ mod tests {
     #[test]
     fn cutoff_disables_slow_ineffective_leaf_under_and() {
         let t = table();
-        let pred = bound(
-            col("y").ge(lit(0i64)).and(col("x").lt(lit(500i64))),
-            &t,
-        );
+        let pred = bound(col("y").ge(lit(0i64)).and(col("x").lt(lit(500i64))), &t);
         let mut cfg = FilterPruneConfig::default();
         cfg.adapt_interval = 8;
         cfg.cutoff_min_evals = 8;
@@ -539,10 +534,7 @@ mod tests {
     #[test]
     fn cutoff_never_disables_under_or() {
         let t = table();
-        let pred = bound(
-            col("y").ge(lit(0i64)).or(col("x").lt(lit(500i64))),
-            &t,
-        );
+        let pred = bound(col("y").ge(lit(0i64)).or(col("x").lt(lit(500i64))), &t);
         let mut cfg = FilterPruneConfig::default();
         cfg.adapt_interval = 8;
         cfg.cutoff_min_evals = 8;
@@ -584,17 +576,18 @@ mod tests {
         let metas: Vec<_> = t.metadata().into_iter().cloned().collect();
         let res = pruner.prune(&metas);
         assert_eq!(res.deferred, 100);
-        assert_eq!(res.scan_set.len(), 100, "deferred partitions stay in the scan set");
+        assert_eq!(
+            res.scan_set.len(),
+            100,
+            "deferred partitions stay in the scan set"
+        );
         assert_eq!(res.pruned, 0);
     }
 
     #[test]
     fn or_of_ranges_prunes_only_outside_both() {
         let t = table();
-        let pred = bound(
-            col("x").lt(lit(300i64)).or(col("x").ge(lit(9_700i64))),
-            &t,
-        );
+        let pred = bound(col("x").lt(lit(300i64)).or(col("x").ge(lit(9_700i64))), &t);
         let mut pruner = FilterPruner::new(&pred, FilterPruneConfig::default());
         let metas: Vec<_> = t.metadata().into_iter().cloned().collect();
         let res = pruner.prune(&metas);

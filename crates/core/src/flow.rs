@@ -149,7 +149,10 @@ impl FlowAggregator {
 
     pub fn add(&mut self, report: &QueryPruningReport) {
         self.queries += 1;
-        *self.combo_counts.entry(report.techniques_used()).or_insert(0) += 1;
+        *self
+            .combo_counts
+            .entry(report.techniques_used())
+            .or_insert(0) += 1;
         self.total_partitions += report.partitions_total;
         self.total_scanned += report.partitions_scanned;
     }
@@ -214,24 +217,25 @@ mod tests {
         assert_eq!(r.join_ratio(), 0.5); // 25 of the remaining 50
         assert_eq!(r.topk_ratio(), 0.4); // 10 of the remaining 25
         assert_eq!(r.overall_pruning_ratio(), 0.85);
-        assert_eq!(
-            r.techniques_used().label(),
-            "filter+join+topk"
-        );
+        assert_eq!(r.techniques_used().label(), "filter+join+topk");
     }
 
     #[test]
     fn aggregator_counts_combinations() {
         let mut agg = FlowAggregator::new();
-        let mut r1 = QueryPruningReport::default();
-        r1.partitions_total = 10;
-        r1.pruned_by_filter = 5;
-        r1.partitions_scanned = 5;
+        let r1 = QueryPruningReport {
+            partitions_total: 10,
+            pruned_by_filter: 5,
+            partitions_scanned: 5,
+            ..Default::default()
+        };
         agg.add(&r1);
         agg.add(&r1);
-        let mut r2 = QueryPruningReport::default();
-        r2.partitions_total = 10;
-        r2.partitions_scanned = 10;
+        let r2 = QueryPruningReport {
+            partitions_total: 10,
+            partitions_scanned: 10,
+            ..Default::default()
+        };
         agg.add(&r2);
         assert_eq!(agg.queries, 3);
         assert!((agg.share_using(TechniqueSet::FILTER) - 2.0 / 3.0).abs() < 1e-9);

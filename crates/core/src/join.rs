@@ -42,13 +42,18 @@ pub enum JoinSummary {
 pub enum SummaryKind {
     MinMax,
     /// Range set with at most this many ranges.
-    RangeSet { budget: usize },
+    RangeSet {
+        budget: usize,
+    },
     Exact,
 }
 
 impl JoinSummary {
     /// Summarize build-side key values (nulls never join and are dropped).
-    pub fn build<'a>(values: impl IntoIterator<Item = &'a Value>, kind: SummaryKind) -> JoinSummary {
+    pub fn build<'a>(
+        values: impl IntoIterator<Item = &'a Value>,
+        kind: SummaryKind,
+    ) -> JoinSummary {
         let mut keys: Vec<Value> = values
             .into_iter()
             .filter(|v| !v.is_null())
@@ -88,9 +93,7 @@ impl JoinSummary {
                 max: smax,
             } => range_overlaps(min, max.as_ref(), smin, Some(smax)),
             JoinSummary::RangeSet(rs) => rs.overlaps(min, max.as_ref()),
-            JoinSummary::Exact(keys) => keys
-                .iter()
-                .any(|k| value_in_range(k, min, max.as_ref())),
+            JoinSummary::Exact(keys) => keys.iter().any(|k| value_in_range(k, min, max.as_ref())),
         }
     }
 
@@ -177,9 +180,9 @@ impl RangeSetSummary {
     /// Binary-search overlap test against [lo, hi].
     pub fn overlaps(&self, lo: &Value, hi: Option<&Value>) -> bool {
         // Find the first range whose end >= lo, then check it starts <= hi.
-        let idx = self.ranges.partition_point(|(_, end)| {
-            matches!(end.sql_cmp(lo), Some(Ordering::Less))
-        });
+        let idx = self
+            .ranges
+            .partition_point(|(_, end)| matches!(end.sql_cmp(lo), Some(Ordering::Less)));
         match self.ranges.get(idx) {
             None => {
                 // lo is above all ranges; if any comparison was incomparable
@@ -435,10 +438,8 @@ mod tests {
                 .collect(),
         };
         // Build keys live only in partitions 1 and 7's ranges.
-        let summary = JoinSummary::build(
-            &ints(&[150, 160, 720]),
-            SummaryKind::RangeSet { budget: 4 },
-        );
+        let summary =
+            JoinSummary::build(&ints(&[150, 160, 720]), SummaryKind::RangeSet { budget: 4 });
         let res = prune_probe_side(&summary, &ss, &metas, 0);
         assert_eq!(res.scan_set.ids(), vec![1, 7]);
         assert_eq!(res.pruned, 8);

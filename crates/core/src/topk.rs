@@ -326,12 +326,7 @@ pub fn order_scan_set(
                     (Some(_), None) => Ordering::Greater,
                     (Some(x), Some(y)) => {
                         let ord = x.total_ord_cmp(&y);
-                        if desc {
-                            ord.reverse()
-                        } else {
-                            ord
-                        }
-                        .then(a.id.cmp(&b.id))
+                        if desc { ord.reverse() } else { ord }.then(a.id.cmp(&b.id))
                     }
                 }
             });
@@ -539,7 +534,10 @@ mod tests {
         assert!(!b.should_skip(&zm(0, 7, 5)));
         // Once the heap's k-th value reaches the bound, inclusive applies.
         b.tighten_inclusive(&Value::Int(7));
-        assert!(b.should_skip(&zm(0, 7, 5)), "max == heap k-th cannot improve");
+        assert!(
+            b.should_skip(&zm(0, 7, 5)),
+            "max == heap k-th cannot improve"
+        );
         assert!(b.should_skip(&zm(0, 6, 5)));
         assert!(!b.should_skip(&zm(0, 8, 5)));
         // All-null ordering column: skip.

@@ -218,7 +218,11 @@ pub fn aggregate_rows(
         .collect::<Result<_>>()?;
     let agg_idx: Vec<Option<usize>> = aggs
         .iter()
-        .map(|a| a.input_column().map(|c| input_schema.index_of(c)).transpose())
+        .map(|a| {
+            a.input_column()
+                .map(|c| input_schema.index_of(c))
+                .transpose()
+        })
         .collect::<Result<_>>()?;
     let agg_float: Vec<bool> = agg_idx
         .iter()

@@ -206,10 +206,9 @@ impl Executor {
                     st.limit_override = Some(LimitOverride { table, scan });
                 }
                 LimitPushdown::Unsupported { .. } => {
-                    st.report.limit_outcome =
-                        Some(LimitOutcome::Unsupported(
-                            snowprune_core::limit::UnsupportedReason::PlanShape,
-                        ));
+                    st.report.limit_outcome = Some(LimitOutcome::Unsupported(
+                        snowprune_core::limit::UnsupportedReason::PlanShape,
+                    ));
                 }
                 LimitPushdown::NotALimitQuery => {}
             }
@@ -400,9 +399,7 @@ impl Executor {
         // Where joined rows go: materialized output, or straight into the
         // top-k spine sink so boundary updates apply mid-stream.
         let mut out: Vec<Vec<Value>> = Vec::new();
-        let spine_hook = spine
-            .as_ref()
-            .map(|s| (s.spec, Arc::clone(s.boundary)));
+        let spine_hook = spine.as_ref().map(|s| (s.spec, Arc::clone(s.boundary)));
         match join_type {
             JoinType::Inner => {
                 let build_rows = self.exec_node(build, st)?;
@@ -533,10 +530,7 @@ impl Executor {
                 let probe_width = probe_rows.schema.len();
                 {
                     let mut mat_sink = |r: Vec<Value>| out.push(r);
-                    let (row_sink, spine_parts): (
-                        &mut dyn FnMut(Vec<Value>),
-                        Option<(&TopKSpec, &Arc<Boundary>)>,
-                    ) = match spine {
+                    let (row_sink, spine_parts): (RowSink<'_>, SpineParts<'_>) = match spine {
                         Some(sp) => (&mut *sp.f, Some((sp.spec, sp.boundary))),
                         None => (&mut mat_sink, None),
                     };
@@ -732,13 +726,14 @@ impl Executor {
         let key_idx = input_schema.index_of(&group_by[key_pos])?;
         let mut topk_keys = DistinctKeyTopK::new(n, spec.desc, Arc::clone(boundary));
         let mut staged: Vec<Vec<Value>> = Vec::new();
-        let mut sink = |row: Vec<Value>| {
-            if topk_keys.offer(&row[key_idx]) {
-                staged.push(row);
-            }
-        };
-        self.stream_spine_node(input, spec, boundary, st, &mut sink)?;
-        drop(sink);
+        {
+            let mut sink = |row: Vec<Value>| {
+                if topk_keys.offer(&row[key_idx]) {
+                    staged.push(row);
+                }
+            };
+            self.stream_spine_node(input, spec, boundary, st, &mut sink)?;
+        }
         let grouped = aggregate_rows(&input_schema, staged, group_by, aggs, None)?;
         let schema = agg_plan.schema()?;
         let order_in_out = schema.index_of(&spec.order_column)?;
@@ -798,13 +793,12 @@ impl Executor {
                     boundary: Some((boundary, order_col)),
                     runtime_pruner: runtime_pruner.as_ref(),
                 };
-                let stats =
-                    stream_scan(&scan, &self.io, &self.cfg.io_cost, &hooks, |part, sel| {
-                        for &i in sel {
-                            sink(part.row(i));
-                        }
-                        ControlFlow::Continue(())
-                    });
+                let stats = stream_scan(&scan, &self.io, &self.cfg.io_cost, &hooks, |part, sel| {
+                    for &i in sel {
+                        sink(part.row(i));
+                    }
+                    ControlFlow::Continue(())
+                });
                 st.report.topk_stats.partitions_considered += stats.considered;
                 st.report.topk_stats.partitions_skipped += stats.skipped_by_boundary;
                 st.report.pruning.pruned_by_topk += stats.skipped_by_boundary;
@@ -858,6 +852,12 @@ impl Executor {
         }
     }
 }
+
+/// A row consumer on the streaming path.
+type RowSink<'a> = &'a mut dyn FnMut(Vec<Value>);
+
+/// Top-k spec and boundary carried alongside a spine sink.
+type SpineParts<'a> = Option<(&'a TopKSpec, &'a Arc<Boundary>)>;
 
 /// A streaming sink handed through joins on the top-k spine.
 struct SpineSink<'a> {

@@ -62,7 +62,11 @@ mod tests {
         let schema = Schema::new(vec![Field::new("x", ScalarType::Int)]);
         let rs = RowSet {
             schema,
-            rows: vec![vec![Value::Int(3)], vec![Value::Int(1)], vec![Value::Int(2)]],
+            rows: vec![
+                vec![Value::Int(3)],
+                vec![Value::Int(1)],
+                vec![Value::Int(2)],
+            ],
         };
         assert_eq!(
             rs.sorted_by("x", false).unwrap().column("x").unwrap(),

@@ -11,7 +11,9 @@ use snowprune_core::filter::{FilterPruneConfig, FilterPruner};
 use snowprune_core::scan_set::ScanSet;
 use snowprune_core::topk::Boundary;
 use snowprune_expr::Expr;
-use snowprune_storage::{IoCostModel, IoStats, MicroPartition, PartitionId, PartitionMeta, Schema, Table};
+use snowprune_storage::{
+    IoCostModel, IoStats, MicroPartition, PartitionId, PartitionMeta, Schema, Table,
+};
 use snowprune_types::Result;
 
 /// A table scan after compile-time filter pruning.
@@ -76,7 +78,16 @@ impl CompiledScan {
                         e.class = snowprune_types::MatchClass::FullyMatching;
                     }
                 }
-                (ss, 0, if bound.is_none() { partitions_total as u64 } else { 0 }, HashSet::new())
+                (
+                    ss,
+                    0,
+                    if bound.is_none() {
+                        partitions_total as u64
+                    } else {
+                        0
+                    },
+                    HashSet::new(),
+                )
             }
         };
         Ok(CompiledScan {
@@ -200,9 +211,9 @@ pub fn stream_scan_parallel(
     let skipped = AtomicU64::new(0);
     let rows = AtomicU64::new(0);
     let entries = &scan.scan_set.entries;
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..workers.max(1) {
-            s.spawn(|_| {
+            s.spawn(|| {
                 // Workers are pre-assigned their first partition before any
                 // early-stop coordination, modelling distributed scan-set
                 // assignment: this is why, without LIMIT pruning, n workers
@@ -214,32 +225,31 @@ pub fn stream_scan_parallel(
                     }
                     first = false;
                     let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= entries.len() {
-                    break;
-                }
-                let entry = &entries[i];
-                considered.fetch_add(1, Ordering::Relaxed);
-                let Ok(meta) = scan.table.partition_meta(entry.id) else {
-                    continue;
-                };
-                if let Some((b, col)) = boundary {
-                    if b.should_skip(&meta.zone_maps[col]) {
-                        skipped.fetch_add(1, Ordering::Relaxed);
-                        continue;
+                    if i >= entries.len() {
+                        break;
                     }
+                    let entry = &entries[i];
+                    considered.fetch_add(1, Ordering::Relaxed);
+                    let Ok(meta) = scan.table.partition_meta(entry.id) else {
+                        continue;
+                    };
+                    if let Some((b, col)) = boundary {
+                        if b.should_skip(&meta.zone_maps[col]) {
+                            skipped.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                    }
+                    let Ok(part) = scan.table.load_partition(entry.id, io, io_cost) else {
+                        continue;
+                    };
+                    loaded.fetch_add(1, Ordering::Relaxed);
+                    let selection = select_rows(scan, entry, &part);
+                    rows.fetch_add(selection.len() as u64, Ordering::Relaxed);
+                    sink(&part, &selection);
                 }
-                let Ok(part) = scan.table.load_partition(entry.id, io, io_cost) else {
-                    continue;
-                };
-                loaded.fetch_add(1, Ordering::Relaxed);
-                let selection = select_rows(scan, entry, &part);
-                rows.fetch_add(selection.len() as u64, Ordering::Relaxed);
-                sink(&part, &selection);
-            }
             });
         }
-    })
-    .expect("scan workers");
+    });
     ScanRunStats {
         considered: considered.into_inner(),
         loaded: loaded.into_inner(),
@@ -356,14 +366,20 @@ mod tests {
         )
         .unwrap();
         let mut n = 0u64;
-        stream_scan(&scan, &io, &IoCostModel::free(), &ScanHooks::none(), |_, sel| {
-            n += sel.len() as u64;
-            if n >= 15 {
-                ControlFlow::Break(())
-            } else {
-                ControlFlow::Continue(())
-            }
-        });
+        stream_scan(
+            &scan,
+            &io,
+            &IoCostModel::free(),
+            &ScanHooks::none(),
+            |_, sel| {
+                n += sel.len() as u64;
+                if n >= 15 {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            },
+        );
         assert_eq!(io.snapshot().partitions_loaded, 2);
     }
 

@@ -47,7 +47,13 @@ fn wildlife_catalog() -> Catalog {
     let mut tracking = TableBuilder::new("tracking_data", tracking_schema)
         .target_rows_per_partition(100)
         .layout(Layout::ClusterBy(vec!["num_sightings".into()]));
-    let species = ["Alpine Ibex", "Alpine Goat", "Brown Bear", "Red Fox", "Snow Vole"];
+    let species = [
+        "Alpine Ibex",
+        "Alpine Goat",
+        "Brown Bear",
+        "Red Fox",
+        "Snow Vole",
+    ];
     for i in 0..5000i64 {
         tracking.push_row(vec![
             Value::Str(format!("M{}", i % 20)),
@@ -88,7 +94,12 @@ fn sorted_rows(out: &QueryOutput) -> Vec<Vec<Value>> {
 #[test]
 fn filter_query_same_rows_less_io() {
     let catalog = wildlife_catalog();
-    let schema = catalog.get("tracking_data").unwrap().read().schema().clone();
+    let schema = catalog
+        .get("tracking_data")
+        .unwrap()
+        .read()
+        .schema()
+        .clone();
     let plan = PlanBuilder::scan("tracking_data", schema)
         .filter(col("num_sightings").lt(lit(500i64)))
         .build();
@@ -125,7 +136,12 @@ fn complex_expression_filter_matches_baseline() {
 #[test]
 fn limit_without_predicate_prunes_to_one_partition() {
     let catalog = wildlife_catalog();
-    let schema = catalog.get("tracking_data").unwrap().read().schema().clone();
+    let schema = catalog
+        .get("tracking_data")
+        .unwrap()
+        .read()
+        .schema()
+        .clone();
     let plan = PlanBuilder::scan("tracking_data", schema).limit(10).build();
     let exec = Executor::new(catalog, ExecConfig::default());
     let out = exec.run(&plan).unwrap();
@@ -141,7 +157,12 @@ fn limit_without_predicate_prunes_to_one_partition() {
 #[test]
 fn limit_with_predicate_uses_fully_matching_partitions() {
     let catalog = wildlife_catalog();
-    let schema = catalog.get("tracking_data").unwrap().read().schema().clone();
+    let schema = catalog
+        .get("tracking_data")
+        .unwrap()
+        .read()
+        .schema()
+        .clone();
     // num_sightings < 2000 matches whole clustered partitions.
     let plan = PlanBuilder::scan("tracking_data", schema)
         .filter(col("num_sightings").lt(lit(2000i64)))
@@ -160,7 +181,12 @@ fn limit_with_predicate_uses_fully_matching_partitions() {
 #[test]
 fn limit_offset_is_honoured() {
     let catalog = wildlife_catalog();
-    let schema = catalog.get("tracking_data").unwrap().read().schema().clone();
+    let schema = catalog
+        .get("tracking_data")
+        .unwrap()
+        .read()
+        .schema()
+        .clone();
     let plan = PlanBuilder::scan("tracking_data", schema)
         .limit_offset(10, 5)
         .build();
@@ -172,7 +198,12 @@ fn limit_offset_is_honoured() {
 #[test]
 fn topk_above_scan_matches_baseline() {
     let catalog = wildlife_catalog();
-    let schema = catalog.get("tracking_data").unwrap().read().schema().clone();
+    let schema = catalog
+        .get("tracking_data")
+        .unwrap()
+        .read()
+        .schema()
+        .clone();
     let plan = PlanBuilder::scan("tracking_data", schema)
         .filter(col("species").like("Alpine%").and(col("s").ge(lit(50i64))))
         .order_by("num_sightings", true)
@@ -180,9 +211,8 @@ fn topk_above_scan_matches_baseline() {
         .build();
     let (pruned, baseline) = run_both(&plan);
     // Ties make row identity ambiguous; the ORDER BY key multiset must match.
-    let keys = |o: &QueryOutput| -> Vec<Value> {
-        o.rows.rows.iter().map(|r| r[3].clone()).collect()
-    };
+    let keys =
+        |o: &QueryOutput| -> Vec<Value> { o.rows.rows.iter().map(|r| r[3].clone()).collect() };
     assert_eq!(keys(&pruned), keys(&baseline));
     assert_eq!(pruned.rows.len(), 3);
     assert!(
@@ -196,15 +226,19 @@ fn topk_above_scan_matches_baseline() {
 #[test]
 fn topk_ascending_matches_baseline() {
     let catalog = wildlife_catalog();
-    let schema = catalog.get("tracking_data").unwrap().read().schema().clone();
+    let schema = catalog
+        .get("tracking_data")
+        .unwrap()
+        .read()
+        .schema()
+        .clone();
     let plan = PlanBuilder::scan("tracking_data", schema)
         .order_by("num_sightings", false)
         .limit(7)
         .build();
     let (pruned, baseline) = run_both(&plan);
-    let keys = |o: &QueryOutput| -> Vec<Value> {
-        o.rows.rows.iter().map(|r| r[3].clone()).collect()
-    };
+    let keys =
+        |o: &QueryOutput| -> Vec<Value> { o.rows.rows.iter().map(|r| r[3].clone()).collect() };
     assert_eq!(keys(&pruned), keys(&baseline));
 }
 
@@ -212,7 +246,12 @@ fn topk_ascending_matches_baseline() {
 fn topk_join_probe_side_matches_baseline() {
     let catalog = wildlife_catalog();
     let trails = catalog.get("trails").unwrap().read().schema().clone();
-    let tracking = catalog.get("tracking_data").unwrap().read().schema().clone();
+    let tracking = catalog
+        .get("tracking_data")
+        .unwrap()
+        .read()
+        .schema()
+        .clone();
     let plan = PlanBuilder::scan("trails", trails)
         .filter(col("altit").gt(lit(6000i64)))
         .join(
@@ -226,21 +265,25 @@ fn topk_join_probe_side_matches_baseline() {
         .build();
     let (pruned, baseline) = run_both(&plan);
     let keys = |o: &QueryOutput| -> Vec<Value> {
-        o.rows
-            .rows
-            .iter()
-            .map(|r| r[r.len() - 1].clone())
-            .collect()
+        o.rows.rows.iter().map(|r| r[r.len() - 1].clone()).collect()
     };
     assert_eq!(keys(&pruned), keys(&baseline));
-    assert_eq!(pruned.report.topk_shape, Some(snowprune_plan::TopKShape::JoinProbeSide));
+    assert_eq!(
+        pruned.report.topk_shape,
+        Some(snowprune_plan::TopKShape::JoinProbeSide)
+    );
 }
 
 #[test]
 fn topk_outer_join_build_side_matches_baseline() {
     let catalog = wildlife_catalog();
     let trails = catalog.get("trails").unwrap().read().schema().clone();
-    let tracking = catalog.get("tracking_data").unwrap().read().schema().clone();
+    let tracking = catalog
+        .get("tracking_data")
+        .unwrap()
+        .read()
+        .schema()
+        .clone();
     let plan = PlanBuilder::scan("trails", trails)
         .join(
             PlanBuilder::scan("tracking_data", tracking),
@@ -252,9 +295,8 @@ fn topk_outer_join_build_side_matches_baseline() {
         .limit(4)
         .build();
     let (pruned, baseline) = run_both(&plan);
-    let keys = |o: &QueryOutput| -> Vec<Value> {
-        o.rows.rows.iter().map(|r| r[3].clone()).collect()
-    };
+    let keys =
+        |o: &QueryOutput| -> Vec<Value> { o.rows.rows.iter().map(|r| r[3].clone()).collect() };
     assert_eq!(keys(&pruned), keys(&baseline));
     assert_eq!(
         pruned.report.topk_shape,
@@ -265,7 +307,12 @@ fn topk_outer_join_build_side_matches_baseline() {
 #[test]
 fn topk_aggregation_matches_baseline() {
     let catalog = wildlife_catalog();
-    let tracking = catalog.get("tracking_data").unwrap().read().schema().clone();
+    let tracking = catalog
+        .get("tracking_data")
+        .unwrap()
+        .read()
+        .schema()
+        .clone();
     // GROUP BY num_sightings ORDER BY num_sightings DESC LIMIT 5 (7d shape).
     let plan = PlanBuilder::scan("tracking_data", tracking)
         .aggregate(vec!["num_sightings"], vec![AggFunc::CountStar])
@@ -285,7 +332,12 @@ fn topk_aggregation_matches_baseline() {
 fn join_pruning_same_result_less_io() {
     let catalog = wildlife_catalog();
     let trails = catalog.get("trails").unwrap().read().schema().clone();
-    let tracking = catalog.get("tracking_data").unwrap().read().schema().clone();
+    let tracking = catalog
+        .get("tracking_data")
+        .unwrap()
+        .read()
+        .schema()
+        .clone();
     // Selective build side: few trails qualify -> probe pruning on area.
     let plan = PlanBuilder::scan("tracking_data", tracking)
         .filter(col("num_sightings").lt(lit(300i64)))
@@ -298,7 +350,11 @@ fn join_pruning_same_result_less_io() {
         .build();
     let (pruned, baseline) = run_both(&plan);
     assert_eq!(sorted_rows(&pruned), sorted_rows(&baseline));
-    assert!(pruned.report.pruning.pruned_by_join > 0, "{:?}", pruned.report.pruning);
+    assert!(
+        pruned.report.pruning.pruned_by_join > 0,
+        "{:?}",
+        pruned.report.pruning
+    );
     assert!(pruned.io.partitions_loaded < baseline.io.partitions_loaded);
 }
 
@@ -306,7 +362,12 @@ fn join_pruning_same_result_less_io() {
 fn empty_build_side_prunes_probe_entirely() {
     let catalog = wildlife_catalog();
     let trails = catalog.get("trails").unwrap().read().schema().clone();
-    let tracking = catalog.get("tracking_data").unwrap().read().schema().clone();
+    let tracking = catalog
+        .get("tracking_data")
+        .unwrap()
+        .read()
+        .schema()
+        .clone();
     let plan = PlanBuilder::scan("trails", trails)
         .filter(col("altit").gt(lit(1_000_000i64))) // nothing qualifies
         .join(
@@ -326,7 +387,12 @@ fn empty_build_side_prunes_probe_entirely() {
 #[test]
 fn aggregation_and_sort_without_limit() {
     let catalog = wildlife_catalog();
-    let tracking = catalog.get("tracking_data").unwrap().read().schema().clone();
+    let tracking = catalog
+        .get("tracking_data")
+        .unwrap()
+        .read()
+        .schema()
+        .clone();
     let plan = PlanBuilder::scan("tracking_data", tracking)
         .aggregate(
             vec!["species"],
@@ -346,7 +412,12 @@ fn aggregation_and_sort_without_limit() {
 #[test]
 fn parallel_workers_match_sequential() {
     let catalog = wildlife_catalog();
-    let tracking = catalog.get("tracking_data").unwrap().read().schema().clone();
+    let tracking = catalog
+        .get("tracking_data")
+        .unwrap()
+        .read()
+        .schema()
+        .clone();
     let plan = PlanBuilder::scan("tracking_data", tracking)
         .filter(col("s").ge(lit(60i64)))
         .build();
@@ -365,8 +436,15 @@ fn parallel_limit_reads_at_least_workers_partitions() {
     // across n machines ... the query engine reads at least n partitions,
     // even though 1 might have been enough."
     let catalog = wildlife_catalog();
-    let tracking = catalog.get("tracking_data").unwrap().read().schema().clone();
-    let plan = PlanBuilder::scan("tracking_data", tracking).limit(10).build();
+    let tracking = catalog
+        .get("tracking_data")
+        .unwrap()
+        .read()
+        .schema()
+        .clone();
+    let plan = PlanBuilder::scan("tracking_data", tracking)
+        .limit(10)
+        .build();
     let mut cfg = ExecConfig::no_pruning();
     cfg.workers = 4;
     let out = Executor::new(catalog.clone(), cfg).run(&plan).unwrap();
@@ -387,7 +465,12 @@ fn parallel_limit_reads_at_least_workers_partitions() {
 fn report_composes_filter_and_join_and_topk() {
     let catalog = wildlife_catalog();
     let trails = catalog.get("trails").unwrap().read().schema().clone();
-    let tracking = catalog.get("tracking_data").unwrap().read().schema().clone();
+    let tracking = catalog
+        .get("tracking_data")
+        .unwrap()
+        .read()
+        .schema()
+        .clone();
     // The paper's final example query (§6.1): filter + join + top-k.
     let pred = snowprune_expr::dsl::if_(
         col("unit").eq(lit("feet")),
@@ -410,14 +493,13 @@ fn report_composes_filter_and_join_and_topk() {
         .build();
     let (pruned, baseline) = run_both(&plan);
     let keys = |o: &QueryOutput| -> Vec<Value> {
-        o.rows
-            .rows
-            .iter()
-            .map(|r| r[r.len() - 1].clone())
-            .collect()
+        o.rows.rows.iter().map(|r| r[r.len() - 1].clone()).collect()
     };
     assert_eq!(keys(&pruned), keys(&baseline));
     let combo = pruned.report.pruning.techniques_used();
-    assert!(combo.contains(snowprune_core::TechniqueSet::JOIN) || pruned.report.pruning.pruned_by_join == 0);
+    assert!(
+        combo.contains(snowprune_core::TechniqueSet::JOIN)
+            || pruned.report.pruning.pruned_by_join == 0
+    );
     assert!(pruned.io.partitions_loaded <= baseline.io.partitions_loaded);
 }

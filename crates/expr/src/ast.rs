@@ -417,7 +417,9 @@ mod tests {
 
     #[test]
     fn bind_resolves_columns() {
-        let e = col("altit").gt(lit(1500i64)).and(col("name").like("Marked-%-Ridge"));
+        let e = col("altit")
+            .gt(lit(1500i64))
+            .and(col("name").like("Marked-%-Ridge"));
         assert!(!e.is_bound());
         let b = e.bind(&schema()).unwrap();
         assert!(b.is_bound());
@@ -439,13 +441,19 @@ mod tests {
         .gt(lit(1500i64))
         .and(col("name").like("Marked-%-Ridge"));
         let s = e.to_string();
-        assert!(s.contains("IF((unit = 'feet'), (altit * 0.3048), altit)"), "{s}");
+        assert!(
+            s.contains("IF((unit = 'feet'), (altit * 0.3048), altit)"),
+            "{s}"
+        );
         assert!(s.contains("LIKE 'Marked-%-Ridge'"), "{s}");
     }
 
     #[test]
     fn split_conjunction_flattens() {
-        let e = col("a").gt(lit(1i64)).and(col("b").lt(lit(2i64))).and(col("c").eq(lit(3i64)));
+        let e = col("a")
+            .gt(lit(1i64))
+            .and(col("b").lt(lit(2i64)))
+            .and(col("c").eq(lit(3i64)));
         assert_eq!(e.split_conjunction().len(), 3);
     }
 

@@ -42,6 +42,9 @@ impl Truth {
         }
     }
 
+    // Kleene negation; named after the SQL operator rather than the
+    // `std::ops::Not` trait (Truth is not a bool-like operator type).
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Truth {
         match self {
             Truth::True => Truth::False,
@@ -387,7 +390,10 @@ mod tests {
         let p = part();
         let e = col("x").gt(lit(2i64)).bind(&schema()).unwrap();
         let t = eval_truths(&e, &p);
-        assert_eq!(t, vec![Truth::False, Truth::True, Truth::Unknown, Truth::True]);
+        assert_eq!(
+            t,
+            vec![Truth::False, Truth::True, Truth::Unknown, Truth::True]
+        );
         assert_eq!(selection_indices(&t), vec![1, 3]);
     }
 
@@ -403,24 +409,26 @@ mod tests {
             .bind(&schema())
             .unwrap();
         let t = eval_truths(&e, &p);
-        assert_eq!(t, vec![Truth::False, Truth::Unknown, Truth::False, Truth::True]);
+        assert_eq!(
+            t,
+            vec![Truth::False, Truth::Unknown, Truth::False, Truth::True]
+        );
         // NOT of unknown is unknown; selection excludes it either way.
         let ne = e.not();
         let nt = eval_truths(&ne, &p);
-        assert_eq!(nt, vec![Truth::True, Truth::Unknown, Truth::True, Truth::False]);
+        assert_eq!(
+            nt,
+            vec![Truth::True, Truth::Unknown, Truth::True, Truth::False]
+        );
     }
 
     #[test]
     fn vectorized_matches_rowwise_on_complex_expr() {
         let p = part();
-        let e = if_(
-            col("s").like("alp%"),
-            col("x").mul(lit(10i64)),
-            col("x"),
-        )
-        .ge(lit(10i64))
-        .bind(&schema())
-        .unwrap();
+        let e = if_(col("s").like("alp%"), col("x").mul(lit(10i64)), col("x"))
+            .ge(lit(10i64))
+            .bind(&schema())
+            .unwrap();
         let fast = eval_truths(&e, &p);
         let slow: Vec<Truth> = (0..p.row_count())
             .map(|i| eval_predicate(&e, &p.row(i)))
@@ -454,7 +462,10 @@ mod tests {
     fn coalesce_and_abs() {
         let schema = schema();
         let row = vec![Value::Null, Value::Str("z".into())];
-        let e = coalesce(vec![col("x"), lit(-7i64)]).abs().bind(&schema).unwrap();
+        let e = coalesce(vec![col("x"), lit(-7i64)])
+            .abs()
+            .bind(&schema)
+            .unwrap();
         assert_eq!(eval_value(&e, &row), Value::Int(7));
     }
 

@@ -63,20 +63,16 @@ pub fn invert_predicate(p: &Expr) -> Option<Expr> {
                 let eqs: Vec<Expr> = vals
                     .iter()
                     .filter(|v| !v.is_null())
-                    .map(|v| {
-                        Expr::Cmp(
-                            CmpOp::Eq,
-                            x.clone(),
-                            Box::new(Expr::Literal(v.clone())),
-                        )
-                    })
+                    .map(|v| Expr::Cmp(CmpOp::Eq, x.clone(), Box::new(Expr::Literal(v.clone()))))
                     .collect();
                 let no_match = if eqs.is_empty() {
                     Expr::Literal(Value::Bool(true))
                 } else {
                     Expr::And(
                         eqs.into_iter()
-                            .map(|e| or_nulls_noexpand(Expr::Cmp(CmpOp::Ne, cmp_lhs(&e), cmp_rhs(&e))))
+                            .map(|e| {
+                                or_nulls_noexpand(Expr::Cmp(CmpOp::Ne, cmp_lhs(&e), cmp_rhs(&e)))
+                            })
                             .collect(),
                     )
                 };
@@ -252,7 +248,9 @@ mod tests {
         ];
         let preds = vec![
             col("species").like("Alpine%").and(col("s").ge(lit(50i64))),
-            col("s").lt(lit(50i64)).or(col("species").eq(lit("Red Fox"))),
+            col("s")
+                .lt(lit(50i64))
+                .or(col("species").eq(lit("Red Fox"))),
             col("s").is_null(),
             col("s").is_not_null(),
             col("species").like("Alpine%").not(),

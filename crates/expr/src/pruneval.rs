@@ -124,8 +124,16 @@ fn abs_range(r: &ValueRange) -> ValueRange {
 }
 
 fn bool_range(v: Verdict) -> ValueRange {
-    let lo = if v.may_false { Value::Bool(false) } else { Value::Bool(true) };
-    let hi = if v.may_true { Value::Bool(true) } else { Value::Bool(false) };
+    let lo = if v.may_false {
+        Value::Bool(false)
+    } else {
+        Value::Bool(true)
+    };
+    let hi = if v.may_true {
+        Value::Bool(true)
+    } else {
+        Value::Bool(false)
+    };
     // may be UNKNOWN (NULL) when neither "all" fact holds.
     let may_null = !(v.all_true || v.all_false);
     ValueRange {
@@ -151,7 +159,13 @@ pub fn prune_eval(expr: &Expr, meta: &[ZoneMap]) -> Verdict {
             }
             let t = Value::Bool(true);
             let f = Value::Bool(false);
-            leaf_verdict(r.possibly_eq(&t), r.certainly_eq(&t), r.possibly_eq(&f), r.certainly_eq(&f), r.may_null)
+            leaf_verdict(
+                r.possibly_eq(&t),
+                r.certainly_eq(&t),
+                r.possibly_eq(&f),
+                r.certainly_eq(&f),
+                r.may_null,
+            )
         }
         Expr::And(xs) => xs
             .iter()
@@ -215,9 +229,15 @@ fn cmp_verdict(op: CmpOp, a: &ValueRange, b: &ValueRange) -> Verdict {
 /// incomparable or unbounded inputs.
 fn exists_pair(op: CmpOp, a: &ValueRange, b: &ValueRange) -> bool {
     match op {
-        CmpOp::Lt => cmp_bounds(&a.lo, &b.hi) != Some(Ordering::Greater) && cmp_bounds(&a.lo, &b.hi) != Some(Ordering::Equal),
+        CmpOp::Lt => {
+            cmp_bounds(&a.lo, &b.hi) != Some(Ordering::Greater)
+                && cmp_bounds(&a.lo, &b.hi) != Some(Ordering::Equal)
+        }
         CmpOp::Le => cmp_bounds(&a.lo, &b.hi) != Some(Ordering::Greater),
-        CmpOp::Gt => cmp_bounds(&a.hi, &b.lo) != Some(Ordering::Less) && cmp_bounds(&a.hi, &b.lo) != Some(Ordering::Equal),
+        CmpOp::Gt => {
+            cmp_bounds(&a.hi, &b.lo) != Some(Ordering::Less)
+                && cmp_bounds(&a.hi, &b.lo) != Some(Ordering::Equal)
+        }
         CmpOp::Ge => cmp_bounds(&a.hi, &b.lo) != Some(Ordering::Less),
         CmpOp::Eq => a.overlaps(b),
         CmpOp::Ne => !forall_pair(CmpOp::Eq, a, b),
@@ -228,14 +248,28 @@ fn exists_pair(op: CmpOp, a: &ValueRange, b: &ValueRange) -> bool {
 fn forall_pair(op: CmpOp, a: &ValueRange, b: &ValueRange) -> bool {
     match op {
         CmpOp::Lt => cmp_bounds(&a.hi, &b.lo) == Some(Ordering::Less),
-        CmpOp::Le => matches!(cmp_bounds(&a.hi, &b.lo), Some(Ordering::Less | Ordering::Equal)),
+        CmpOp::Le => matches!(
+            cmp_bounds(&a.hi, &b.lo),
+            Some(Ordering::Less | Ordering::Equal)
+        ),
         CmpOp::Gt => cmp_bounds(&a.lo, &b.hi) == Some(Ordering::Greater),
-        CmpOp::Ge => matches!(cmp_bounds(&a.lo, &b.hi), Some(Ordering::Greater | Ordering::Equal)),
+        CmpOp::Ge => matches!(
+            cmp_bounds(&a.lo, &b.hi),
+            Some(Ordering::Greater | Ordering::Equal)
+        ),
         CmpOp::Eq => {
             // Both ranges the same single point.
             matches!(
-                (cmp_bounds(&a.lo, &a.hi), cmp_bounds(&b.lo, &b.hi), cmp_bounds(&a.lo, &b.lo)),
-                (Some(Ordering::Equal), Some(Ordering::Equal), Some(Ordering::Equal))
+                (
+                    cmp_bounds(&a.lo, &a.hi),
+                    cmp_bounds(&b.lo, &b.hi),
+                    cmp_bounds(&a.lo, &b.lo)
+                ),
+                (
+                    Some(Ordering::Equal),
+                    Some(Ordering::Equal),
+                    Some(Ordering::Equal)
+                )
             )
         }
         CmpOp::Ne => !a.overlaps(b),
@@ -290,19 +324,14 @@ fn prefix_verdict(r: &ValueRange, prefix: &str, exact: bool) -> Verdict {
     let may_t = r.possibly_ge(&p) && !below && string_possible(r);
     // all_true: min >= prefix and max < succ (every string in between
     // starts with the prefix).
-    let all_t = exact
-        && r.certainly_ge(&p)
-        && succ.as_ref().is_some_and(|s| r.certainly_lt(s));
+    let all_t = exact && r.certainly_ge(&p) && succ.as_ref().is_some_and(|s| r.certainly_lt(s));
     leaf_verdict(may_t, all_t, !all_t, !may_t, r.may_null)
 }
 
 /// Whether a range can contain string values at all.
 fn string_possible(r: &ValueRange) -> bool {
     let is_str = |v: &Option<Value>| v.as_ref().map(|x| matches!(x, Value::Str(_)));
-    match (is_str(&r.lo), is_str(&r.hi)) {
-        (Some(false), Some(false)) => false,
-        _ => true,
-    }
+    !matches!((is_str(&r.lo), is_str(&r.hi)), (Some(false), Some(false)))
 }
 
 fn in_list_verdict(r: &ValueRange, vals: &[Value]) -> Verdict {
@@ -360,7 +389,12 @@ mod tests {
     /// altit in [934, 7674], name in ["Basecamp-...","Unmarked-..."].
     fn paper_meta() -> Vec<ZoneMap> {
         vec![
-            zm(Value::Str("feet".into()), Value::Str("meters".into()), 0, 100),
+            zm(
+                Value::Str("feet".into()),
+                Value::Str("meters".into()),
+                0,
+                100,
+            ),
             zm(Value::Int(934), Value::Int(7674), 0, 100),
             zm(
                 Value::Str("Basecamp-Trail-1".into()),
@@ -417,7 +451,12 @@ mod tests {
     fn paper_example_pruned_when_altitude_low_and_meters() {
         // unit always 'meters' -> IF takes raw altit; altit max 1200 < 1500.
         let mut meta = paper_meta();
-        meta[0] = zm(Value::Str("meters".into()), Value::Str("meters".into()), 0, 100);
+        meta[0] = zm(
+            Value::Str("meters".into()),
+            Value::Str("meters".into()),
+            0,
+            100,
+        );
         meta[1] = zm(Value::Int(934), Value::Int(1200), 0, 100);
         meta[2] = zm(
             Value::Str("Marked-A-Ridge".into()),
@@ -475,17 +514,30 @@ mod tests {
         assert_eq!(v.classify(3), MatchClass::FullyMatching);
         // Partition 2 (Figure 5): species in [Alpine Bat, Red Fox], s in [6, 70].
         let meta2 = vec![
-            zm(Value::Str("Alpine Bat".into()), Value::Str("Red Fox".into()), 0, 3),
+            zm(
+                Value::Str("Alpine Bat".into()),
+                Value::Str("Red Fox".into()),
+                0,
+                3,
+            ),
             zm(Value::Int(6), Value::Int(70), 0, 3),
         ];
         let v2 = prune_eval(&pred, &meta2);
         assert_eq!(v2.classify(3), MatchClass::PartiallyMatching);
         // Partition 1 (Figure 5): species in [Brown Bear, Snow Vole] - prunable.
         let meta1 = vec![
-            zm(Value::Str("Brown Bear".into()), Value::Str("Snow Vole".into()), 0, 3),
+            zm(
+                Value::Str("Brown Bear".into()),
+                Value::Str("Snow Vole".into()),
+                0,
+                3,
+            ),
             zm(Value::Int(7), Value::Int(133), 0, 3),
         ];
-        assert_eq!(prune_eval(&pred, &meta1).classify(3), MatchClass::NotMatching);
+        assert_eq!(
+            prune_eval(&pred, &meta1).classify(3),
+            MatchClass::NotMatching
+        );
     }
 
     #[test]
@@ -588,7 +640,10 @@ mod tests {
         )];
         let pred = col("name").starts_with("Alpine").bind(&schema).unwrap();
         assert!(prune_eval(&pred, &meta).fully_matching());
-        let pred2 = col("name").starts_with("Alpine Goat x").bind(&schema).unwrap();
+        let pred2 = col("name")
+            .starts_with("Alpine Goat x")
+            .bind(&schema)
+            .unwrap();
         let v2 = prune_eval(&pred2, &meta);
         assert!(!v2.fully_matching());
     }

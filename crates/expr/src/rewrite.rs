@@ -58,7 +58,11 @@ pub fn prefix_successor(prefix: &str) -> Option<String> {
     let mut chars: Vec<char> = prefix.chars().collect();
     while let Some(&c) = chars.last() {
         // Skip the surrogate gap when incrementing.
-        let bump = if c as u32 == 0xD7FF { Some('\u{E000}') } else { char::from_u32(c as u32 + 1) };
+        let bump = if c as u32 == 0xD7FF {
+            Some('\u{E000}')
+        } else {
+            char::from_u32(c as u32 + 1)
+        };
         if let Some(next) = bump {
             *chars.last_mut().unwrap() = next;
             return Some(chars.into_iter().collect());
@@ -106,7 +110,10 @@ pub fn fold_constants(expr: &Expr) -> Expr {
             Expr::And(xs) => {
                 let folded: Vec<Expr> = xs.iter().map(fold).collect();
                 // TRUE conjuncts drop; a FALSE conjunct collapses the AND.
-                if folded.iter().any(|x| matches!(x, Expr::Literal(Value::Bool(false)))) {
+                if folded
+                    .iter()
+                    .any(|x| matches!(x, Expr::Literal(Value::Bool(false))))
+                {
                     return Expr::Literal(Value::Bool(false));
                 }
                 let kept: Vec<Expr> = folded
@@ -121,7 +128,10 @@ pub fn fold_constants(expr: &Expr) -> Expr {
             }
             Expr::Or(xs) => {
                 let folded: Vec<Expr> = xs.iter().map(fold).collect();
-                if folded.iter().any(|x| matches!(x, Expr::Literal(Value::Bool(true)))) {
+                if folded
+                    .iter()
+                    .any(|x| matches!(x, Expr::Literal(Value::Bool(true))))
+                {
                     return Expr::Literal(Value::Bool(true));
                 }
                 let kept: Vec<Expr> = folded
@@ -159,7 +169,10 @@ mod tests {
 
     #[test]
     fn like_shapes() {
-        assert_eq!(analyze_like("Marked-%-Ridge"), LikeShape::WidenedPrefix("Marked-".into()));
+        assert_eq!(
+            analyze_like("Marked-%-Ridge"),
+            LikeShape::WidenedPrefix("Marked-".into())
+        );
         assert_eq!(analyze_like("Alpine%"), LikeShape::Prefix("Alpine".into()));
         assert_eq!(analyze_like("exact"), LikeShape::Exact("exact".into()));
         assert_eq!(analyze_like("%suffix"), LikeShape::Opaque);
@@ -182,7 +195,7 @@ mod tests {
     fn prefix_successor_carry() {
         let max2 = format!("a{}", char::MAX);
         assert_eq!(prefix_successor(&max2).unwrap(), "b");
-        let all_max: String = std::iter::repeat(char::MAX).take(3).collect();
+        let all_max: String = std::iter::repeat_n(char::MAX, 3).collect();
         assert_eq!(prefix_successor(&all_max), None);
     }
 

@@ -87,9 +87,18 @@ fn value_expr() -> impl Strategy<Value = Expr> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.div(b)),
             inner.clone().prop_map(|a| a.neg()),
             inner.clone().prop_map(|a| a.abs()),
-            (inner.clone(), inner.clone(), inner.clone(), cmp_op(), inner.clone()).prop_map(
-                |(c1, c2, t, op, e)| dsl::if_(Expr::Cmp(op, Box::new(c1), Box::new(c2)), t, e)
-            ),
+            (
+                inner.clone(),
+                inner.clone(),
+                inner.clone(),
+                cmp_op(),
+                inner.clone()
+            )
+                .prop_map(|(c1, c2, t, op, e)| dsl::if_(
+                    Expr::Cmp(op, Box::new(c1), Box::new(c2)),
+                    t,
+                    e
+                )),
             proptest::collection::vec(inner, 1..3).prop_map(dsl::coalesce),
         ]
     })
@@ -98,18 +107,25 @@ fn value_expr() -> impl Strategy<Value = Expr> {
 /// Predicate expressions.
 fn predicate() -> impl Strategy<Value = Expr> {
     let leaf = prop_oneof![
-        (value_expr(), cmp_op(), value_expr())
-            .prop_map(|(a, op, b)| Expr::Cmp(op, Box::new(a), Box::new(b))),
+        (value_expr(), cmp_op(), value_expr()).prop_map(|(a, op, b)| Expr::Cmp(
+            op,
+            Box::new(a),
+            Box::new(b)
+        )),
         "[a-cAIM%_-]{0,5}".prop_map(|p| bound_col("s").like(p)),
         Just(bound_col("s").like("Alpine%")),
         Just(bound_col("s").like("Marked-%-Ridge")),
         "[a-cA]{0,3}".prop_map(|p| bound_col("s").starts_with(p)),
         int_col().prop_map(|c| c.is_null()),
         Just(bound_col("s").is_null()),
-        (int_col(), proptest::collection::vec(
-            prop_oneof![3 => (-20i64..20).prop_map(Value::Int), 1 => Just(Value::Null)],
-            0..4
-        )).prop_map(|(c, vs)| c.in_list(vs)),
+        (
+            int_col(),
+            proptest::collection::vec(
+                prop_oneof![3 => (-20i64..20).prop_map(Value::Int), 1 => Just(Value::Null)],
+                0..4
+            )
+        )
+            .prop_map(|(c, vs)| c.in_list(vs)),
     ];
     leaf.prop_recursive(3, 32, 3, |inner| {
         prop_oneof![
@@ -142,9 +158,9 @@ proptest! {
         let meta = zone_maps(&rows, prefix);
         let verdict = prune_eval(&pred, &meta);
         let truths: Vec<Truth> = rows.iter().map(|r| eval_predicate(&pred, r)).collect();
-        let any_true = truths.iter().any(|t| *t == Truth::True);
+        let any_true = truths.contains(&Truth::True);
         let all_true = truths.iter().all(|t| *t == Truth::True);
-        let any_false = truths.iter().any(|t| *t == Truth::False);
+        let any_false = truths.contains(&Truth::False);
         let all_false = truths.iter().all(|t| *t == Truth::False);
 
         if !verdict.may_true {

@@ -104,7 +104,10 @@ mod tests {
                 Posting { doc: 5, score: 1.0 },
                 Posting { doc: 1, score: 3.0 },
                 Posting { doc: 9, score: 2.0 },
-                Posting { doc: 12, score: 0.5 },
+                Posting {
+                    doc: 12,
+                    score: 0.5,
+                },
             ],
             2,
         )

@@ -56,7 +56,14 @@ pub fn threshold_algorithm(lists: &[PostingList], k: usize) -> (Vec<ScoredDoc>, 
                     stats.random_accesses += 1;
                     score += other.score_of(posting.doc).unwrap_or(0.0);
                 }
-                push_top(&mut top, ScoredDoc { doc: posting.doc, score }, k);
+                push_top(
+                    &mut top,
+                    ScoredDoc {
+                        doc: posting.doc,
+                        score,
+                    },
+                    k,
+                );
             }
         }
         if top.len() >= k && top.last().map(|d| d.score).unwrap_or(0.0) >= threshold {
@@ -68,7 +75,12 @@ pub fn threshold_algorithm(lists: &[PostingList], k: usize) -> (Vec<ScoredDoc>, 
 
 fn push_top(top: &mut Vec<ScoredDoc>, d: ScoredDoc, k: usize) {
     top.push(d);
-    top.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap().then(a.doc.cmp(&b.doc)));
+    top.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap()
+            .then(a.doc.cmp(&b.doc))
+    });
     top.truncate(k);
 }
 
@@ -116,10 +128,7 @@ mod tests {
     fn early_termination_beats_full_scan() {
         // A list with one huge score should let TA stop early.
         let mut postings: Vec<Posting> = (0..1000u32)
-            .map(|d| Posting {
-                doc: d,
-                score: 1.0,
-            })
+            .map(|d| Posting { doc: d, score: 1.0 })
             .collect();
         postings[500].score = 1000.0;
         let ls = vec![PostingList::new(postings, 64)];

@@ -29,7 +29,12 @@ pub fn exhaustive_topk(lists: &[PostingList], k: usize) -> Vec<ScoredDoc> {
         .into_iter()
         .map(|(doc, score)| ScoredDoc { doc, score })
         .collect();
-    docs.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap().then(a.doc.cmp(&b.doc)));
+    docs.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap()
+            .then(a.doc.cmp(&b.doc))
+    });
     docs.truncate(k);
     docs
 }
@@ -45,7 +50,9 @@ fn wand_driver(lists: &[PostingList], k: usize, block_max: bool) -> (Vec<ScoredD
     if k == 0 || lists.is_empty() {
         return (Vec::new(), stats);
     }
-    let mut cursors: Vec<Cursor> = (0..lists.len()).map(|i| Cursor { list: i, pos: 0 }).collect();
+    let mut cursors: Vec<Cursor> = (0..lists.len())
+        .map(|i| Cursor { list: i, pos: 0 })
+        .collect();
     let mut top: Vec<ScoredDoc> = Vec::new();
     let mut theta = 0.0f64;
     loop {
@@ -124,7 +131,14 @@ fn wand_driver(lists: &[PostingList], k: usize, block_max: bool) -> (Vec<ScoredD
                 }
             }
             stats.docs_scored += 1;
-            push_top(&mut top, ScoredDoc { doc: pivot_doc, score }, k);
+            push_top(
+                &mut top,
+                ScoredDoc {
+                    doc: pivot_doc,
+                    score,
+                },
+                k,
+            );
             if top.len() >= k {
                 theta = top.last().unwrap().score;
             }
@@ -140,7 +154,12 @@ fn wand_driver(lists: &[PostingList], k: usize, block_max: bool) -> (Vec<ScoredD
 
 fn push_top(top: &mut Vec<ScoredDoc>, d: ScoredDoc, k: usize) {
     top.push(d);
-    top.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap().then(a.doc.cmp(&b.doc)));
+    top.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap()
+            .then(a.doc.cmp(&b.doc))
+    });
     top.truncate(k);
 }
 
@@ -162,7 +181,9 @@ mod tests {
     fn synth_lists(seed: u64, lists_n: usize, docs: u32) -> Vec<PostingList> {
         let mut state = seed;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         (0..lists_n)

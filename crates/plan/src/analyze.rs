@@ -379,7 +379,10 @@ mod tests {
             .build();
         match limit_pushdown(&p) {
             LimitPushdown::Supported {
-                table, k, predicates, ..
+                table,
+                k,
+                predicates,
+                ..
             } => {
                 assert_eq!(table, "tracking_data");
                 assert_eq!(k, 3);
@@ -397,7 +400,9 @@ mod tests {
             .build();
         assert_eq!(
             limit_pushdown(&agg),
-            LimitPushdown::Unsupported { blocker: "aggregation" }
+            LimitPushdown::Unsupported {
+                blocker: "aggregation"
+            }
         );
         let join = PlanBuilder::scan("trails", trails())
             .join(
@@ -408,7 +413,10 @@ mod tests {
             )
             .limit(10)
             .build();
-        assert_eq!(limit_pushdown(&join), LimitPushdown::Unsupported { blocker: "join" });
+        assert_eq!(
+            limit_pushdown(&join),
+            LimitPushdown::Unsupported { blocker: "join" }
+        );
     }
 
     #[test]

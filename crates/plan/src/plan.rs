@@ -58,9 +58,11 @@ impl AggFunc {
     pub fn input_column(&self) -> Option<&str> {
         match self {
             AggFunc::CountStar => None,
-            AggFunc::Count(c) | AggFunc::Sum(c) | AggFunc::Min(c) | AggFunc::Max(c) | AggFunc::Avg(c) => {
-                Some(c)
-            }
+            AggFunc::Count(c)
+            | AggFunc::Sum(c)
+            | AggFunc::Min(c)
+            | AggFunc::Max(c)
+            | AggFunc::Avg(c) => Some(c),
         }
     }
 
@@ -137,10 +139,12 @@ impl Plan {
                 }
                 Ok(Schema::new(fields))
             }
-            Plan::Join { build, probe, .. } => {
-                Ok(build.schema()?.join(&probe.schema()?, "probe_"))
-            }
-            Plan::Aggregate { input, group_by, aggs } => {
+            Plan::Join { build, probe, .. } => Ok(build.schema()?.join(&probe.schema()?, "probe_")),
+            Plan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
                 let inner = input.schema()?;
                 let mut fields = Vec::new();
                 for g in group_by {
@@ -275,7 +279,13 @@ impl PlanBuilder {
     }
 
     /// `self` becomes the build (preserved, for outer joins) side.
-    pub fn join(mut self, probe: PlanBuilder, build_key: &str, probe_key: &str, join_type: JoinType) -> Self {
+    pub fn join(
+        mut self,
+        probe: PlanBuilder,
+        build_key: &str,
+        probe_key: &str,
+        join_type: JoinType,
+    ) -> Self {
         self.plan = Plan::Join {
             build: Box::new(self.plan),
             probe: Box::new(probe.plan),
@@ -556,7 +566,9 @@ mod tests {
             .filter(col("mountain").like("M%"))
             .build();
         match &p {
-            Plan::Scan { predicate: Some(e), .. } => {
+            Plan::Scan {
+                predicate: Some(e), ..
+            } => {
                 assert!(e.to_string().contains("AND"));
             }
             other => panic!("expected merged scan, got {other:?}"),

@@ -16,7 +16,7 @@ pub struct Bitmap {
 impl Bitmap {
     pub fn new_set(len: usize) -> Self {
         let mut words = vec![u64::MAX; len.div_ceil(64)];
-        if len % 64 != 0 {
+        if !len.is_multiple_of(64) {
             if let Some(last) = words.last_mut() {
                 *last = (1u64 << (len % 64)) - 1;
             }
@@ -58,7 +58,7 @@ impl Bitmap {
     }
 
     pub fn push(&mut self, v: bool) {
-        if self.len % 64 == 0 {
+        if self.len.is_multiple_of(64) {
             self.words.push(0);
         }
         self.len += 1;
@@ -272,7 +272,11 @@ impl ColumnBuilder {
     }
 
     pub fn finish(self) -> ColumnChunk {
-        let validity = if self.any_null { Some(self.validity) } else { None };
+        let validity = if self.any_null {
+            Some(self.validity)
+        } else {
+            None
+        };
         ColumnChunk {
             values: self.values,
             validity,

@@ -40,7 +40,10 @@ impl RowGroup {
     }
 
     pub fn bytes(&self) -> u64 {
-        self.columns.iter().map(ColumnChunk::approx_bytes).sum::<usize>() as u64
+        self.columns
+            .iter()
+            .map(ColumnChunk::approx_bytes)
+            .sum::<usize>() as u64
     }
 }
 
@@ -186,10 +189,7 @@ impl LakeTable {
     /// Hierarchically prune using `judge`, a metadata-only predicate
     /// evaluator (zone maps + row count → verdict). Levels without metadata
     /// are conservatively retained. Returns per-level stats.
-    pub fn prune_hierarchical(
-        &self,
-        judge: &dyn Fn(&[ZoneMap], u64) -> Verdict,
-    ) -> LakePruneStats {
+    pub fn prune_hierarchical(&self, judge: &dyn Fn(&[ZoneMap], u64) -> Verdict) -> LakePruneStats {
         let mut st = LakePruneStats {
             files_total: self.files.len(),
             ..Default::default()
@@ -286,7 +286,11 @@ fn merge_group_maps(groups: &[RowGroup]) -> Option<Vec<ZoneMap>> {
         let zm = g.zone_maps.as_ref()?;
         acc = Some(match acc {
             None => zm.clone(),
-            Some(prev) => prev.iter().zip(zm.iter()).map(|(a, b)| a.merge(b)).collect(),
+            Some(prev) => prev
+                .iter()
+                .zip(zm.iter())
+                .map(|(a, b)| a.merge(b))
+                .collect(),
         });
     }
     acc

@@ -252,10 +252,16 @@ impl Table {
                     b.push(v.clone());
                 }
             }
-            let columns: Vec<ColumnChunk> = builders.into_iter().map(ColumnBuilder::finish).collect();
+            let columns: Vec<ColumnChunk> =
+                builders.into_iter().map(ColumnBuilder::finish).collect();
             let id = self.next_partition_id;
             self.next_partition_id += 1;
-            let p = MicroPartition::from_chunks_with_prefix(id, &self.schema, columns, self.string_prefix);
+            let p = MicroPartition::from_chunks_with_prefix(
+                id,
+                &self.schema,
+                columns,
+                self.string_prefix,
+            );
             added.push(id);
             self.partitions.push(Arc::new(p));
         }
@@ -444,6 +450,9 @@ mod tests {
     fn shuffle_is_deterministic() {
         let a = build(Layout::Shuffle(7), 30);
         let b = build(Layout::Shuffle(7), 30);
-        assert_eq!(a.partition(0).unwrap().row(0), b.partition(0).unwrap().row(0));
+        assert_eq!(
+            a.partition(0).unwrap().row(0),
+            b.partition(0).unwrap().row(0)
+        );
     }
 }

@@ -204,7 +204,9 @@ impl ValueRange {
 
     pub fn neg(&self) -> ValueRange {
         let flip = |b: &Option<Value>| -> Option<Value> {
-            b.as_ref().and_then(|v| crate::value::arith::neg(v)).filter(|v| !v.is_null())
+            b.as_ref()
+                .and_then(crate::value::arith::neg)
+                .filter(|v| !v.is_null())
         };
         ValueRange {
             lo: flip(&self.hi),
@@ -339,8 +341,12 @@ impl NumInterval {
     fn apply(self, other: NumInterval, op: ArithOp) -> NumInterval {
         // Integer fast path: both intervals fully integral and finite and the
         // checked ops succeed -> exact integer bounds.
-        if let (NumBound::Int(a_lo), NumBound::Int(a_hi), NumBound::Int(b_lo), NumBound::Int(b_hi)) =
-            (self.lo, self.hi, other.lo, other.hi)
+        if let (
+            NumBound::Int(a_lo),
+            NumBound::Int(a_hi),
+            NumBound::Int(b_lo),
+            NumBound::Int(b_hi),
+        ) = (self.lo, self.hi, other.lo, other.hi)
         {
             if !matches!(op, ArithOp::Div) {
                 let int_op = |x: i64, y: i64| -> Option<i64> {

@@ -341,7 +341,10 @@ pub mod arith {
     pub fn neg(a: &Value) -> Option<Value> {
         match a {
             Value::Null => Some(Value::Null),
-            Value::Int(i) => Some(i.checked_neg().map_or(Value::Float(-(*i as f64)), Value::Int)),
+            Value::Int(i) => Some(
+                i.checked_neg()
+                    .map_or(Value::Float(-(*i as f64)), Value::Int),
+            ),
             Value::Float(f) => Some(Value::Float(-f)),
             _ => None,
         }
@@ -356,7 +359,8 @@ pub mod arith {
         match (a, b) {
             (Value::Null, _) | (_, Value::Null) => Some(Value::Null),
             (Value::Int(x), Value::Int(y)) => Some(
-                int_op(*x, *y).map_or_else(|| Value::Float(float_op(*x as f64, *y as f64)), Value::Int),
+                int_op(*x, *y)
+                    .map_or_else(|| Value::Float(float_op(*x as f64, *y as f64)), Value::Int),
             ),
             _ => {
                 let (x, y) = (a.as_f64()?, b.as_f64()?);
@@ -379,9 +383,18 @@ mod tests {
 
     #[test]
     fn numeric_coercion() {
-        assert_eq!(Value::Int(2).sql_cmp(&Value::Float(2.0)), Some(Ordering::Equal));
-        assert_eq!(Value::Int(2).sql_cmp(&Value::Float(2.5)), Some(Ordering::Less));
-        assert_eq!(Value::Float(3.0).sql_cmp(&Value::Int(2)), Some(Ordering::Greater));
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Float(3.0).sql_cmp(&Value::Int(2)),
+            Some(Ordering::Greater)
+        );
     }
 
     #[test]
@@ -410,7 +423,7 @@ mod tests {
 
     #[test]
     fn total_order_covers_all_classes() {
-        let mut vals = vec![
+        let mut vals = [
             Value::Str("b".into()),
             Value::Null,
             Value::Int(3),
@@ -429,7 +442,10 @@ mod tests {
     fn arithmetic_overflow_promotes() {
         let v = arith::add(&Value::Int(i64::MAX), &Value::Int(1)).unwrap();
         assert!(matches!(v, Value::Float(_)));
-        assert_eq!(arith::div(&Value::Int(1), &Value::Int(0)), Some(Value::Null));
+        assert_eq!(
+            arith::div(&Value::Int(1), &Value::Int(0)),
+            Some(Value::Null)
+        );
     }
 
     #[test]

@@ -201,13 +201,22 @@ mod tests {
         assert_eq!(Verdict::ALWAYS_TRUE.classify(0), MatchClass::NotMatching);
         assert_eq!(Verdict::ALWAYS_FALSE.classify(10), MatchClass::NotMatching);
         assert_eq!(Verdict::TOP.classify(10), MatchClass::PartiallyMatching);
-        assert_eq!(Verdict::ALWAYS_UNKNOWN.classify(10), MatchClass::NotMatching);
+        assert_eq!(
+            Verdict::ALWAYS_UNKNOWN.classify(10),
+            MatchClass::NotMatching
+        );
     }
 
     #[test]
     fn from_exact_matrix() {
-        assert_eq!(Verdict::from_exact(true, false, false), Verdict::ALWAYS_TRUE);
-        assert_eq!(Verdict::from_exact(false, true, false), Verdict::ALWAYS_FALSE);
+        assert_eq!(
+            Verdict::from_exact(true, false, false),
+            Verdict::ALWAYS_TRUE
+        );
+        assert_eq!(
+            Verdict::from_exact(false, true, false),
+            Verdict::ALWAYS_FALSE
+        );
         assert_eq!(
             Verdict::from_exact(false, false, true),
             Verdict::ALWAYS_UNKNOWN

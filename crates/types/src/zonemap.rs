@@ -138,7 +138,13 @@ impl ZoneMap {
         let (max, max_exact) = if self_unbounded || other_unbounded {
             (None, false)
         } else {
-            pick(&self.max, self.max_exact, &other.max, other.max_exact, false)
+            pick(
+                &self.max,
+                self.max_exact,
+                &other.max,
+                other.max_exact,
+                false,
+            )
         };
         ZoneMap {
             min,
@@ -227,7 +233,7 @@ mod tests {
 
     #[test]
     fn upper_truncation_carry() {
-        let s: String = std::iter::repeat(char::MAX).take(6).collect();
+        let s: String = std::iter::repeat_n(char::MAX, 6).collect();
         let (v, exact) = truncate_upper(&Value::Str(s), 3);
         assert_eq!(v, None);
         assert!(!exact);

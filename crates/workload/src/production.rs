@@ -109,7 +109,7 @@ fn build_tables(catalog: &Catalog, cfg: &WorkloadConfig, rng: &mut StdRng) {
             // "Partial" layout: mostly increasing ts with local jitter, the
             // common ingestion pattern (roughly time-ordered arrival).
             let ts = match name {
-                "events_partial" => i * 10 + rng.random_range(-2000..2000),
+                "events_partial" => i * 10 + rng.random_range(-2000i64..2000),
                 _ => i * 10,
             };
             b.push_row(vec![
@@ -277,10 +277,17 @@ fn gen_topk(rng: &mut StdRng, max_ts: i64) -> GeneratedQuery {
     if rng.random::<f64>() < 0.7 {
         b = b.filter(gen_predicate(rng, max_ts));
     }
-    let order_col = if rng.random::<f64>() < 0.75 { "ts" } else { "metric" };
+    let order_col = if rng.random::<f64>() < 0.75 {
+        "ts"
+    } else {
+        "metric"
+    };
     let k = sample_k(rng, false).min(1000);
     GeneratedQuery {
-        plan: b.order_by(order_col, rng.random::<f64>() < 0.8).limit(k).build(),
+        plan: b
+            .order_by(order_col, rng.random::<f64>() < 0.8)
+            .limit(k)
+            .build(),
         sql: String::new(),
         kind: QueryKind::TopK,
     }
@@ -332,8 +339,8 @@ fn gen_join(rng: &mut StdRng, max_ts: i64) -> GeneratedQuery {
     } else {
         rng.random_range(8i64..40)
     };
-    let mut dim = PlanBuilder::scan("dim_users", dim_schema())
-        .filter(col("weight").lt(lit(weight_cut)));
+    let mut dim =
+        PlanBuilder::scan("dim_users", dim_schema()).filter(col("weight").lt(lit(weight_cut)));
     // Often narrow the build side to a random id window, varying how much
     // of the probe key space the summary covers (drives the Figure 10
     // spread rather than a single ratio).
@@ -442,11 +449,17 @@ mod tests {
             wl.queries.iter().filter(|q| q.kind == k).count() as f64 / wl.queries.len() as f64
         };
         let limit_total = frac(QueryKind::LimitNoPredicate) + frac(QueryKind::LimitWithPredicate);
-        assert!((limit_total - 0.026).abs() < 0.01, "LIMIT share {limit_total}");
+        assert!(
+            (limit_total - 0.026).abs() < 0.01,
+            "LIMIT share {limit_total}"
+        );
         let topk_total = frac(QueryKind::TopK)
             + frac(QueryKind::TopKGroupByKey)
             + frac(QueryKind::TopKGroupByAgg);
-        assert!((topk_total - 0.0555).abs() < 0.015, "topk share {topk_total}");
+        assert!(
+            (topk_total - 0.0555).abs() < 0.015,
+            "topk share {topk_total}"
+        );
     }
 
     #[test]

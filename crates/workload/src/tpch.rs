@@ -56,7 +56,13 @@ impl Default for TpchConfig {
 pub const START: (i32, u32, u32) = (1992, 1, 1);
 pub const END: (i32, u32, u32) = (1998, 12, 31);
 
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const SHIPMODES: [&str; 7] = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"];
 const INSTRUCTIONS: [&str; 4] = [
@@ -66,13 +72,28 @@ const INSTRUCTIONS: [&str; 4] = [
     "TAKE BACK RETURN",
 ];
 const CONTAINERS: [&str; 8] = [
-    "SM CASE", "SM BOX", "MED BOX", "MED BAG", "LG CASE", "LG BOX", "JUMBO PACK", "WRAP JAR",
+    "SM CASE",
+    "SM BOX",
+    "MED BOX",
+    "MED BAG",
+    "LG CASE",
+    "LG BOX",
+    "JUMBO PACK",
+    "WRAP JAR",
 ];
 const TYPE_A: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
 const TYPE_B: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
 const TYPE_C: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
 const COLORS: [&str; 10] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "forest", "green", "khaki", "lemon",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "forest",
+    "green",
+    "khaki",
+    "lemon",
     "magenta",
 ];
 
@@ -90,7 +111,10 @@ pub fn generate_tpch(cfg: &TpchConfig) -> Catalog {
 
     // region + nation (fixed size).
     let mut region = TableBuilder::new("region", region_schema()).target_rows_per_partition(5);
-    for (i, name) in ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"].iter().enumerate() {
+    for (i, name) in ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+        .iter()
+        .enumerate()
+    {
         region.push_row(vec![Value::Int(i as i64), Value::Str((*name).into())]);
     }
     catalog.register(region.build());
@@ -105,8 +129,8 @@ pub fn generate_tpch(cfg: &TpchConfig) -> Catalog {
     catalog.register(nation.build());
 
     // supplier.
-    let mut supplier =
-        TableBuilder::new("supplier", supplier_schema()).target_rows_per_partition(cfg.rows_per_partition);
+    let mut supplier = TableBuilder::new("supplier", supplier_schema())
+        .target_rows_per_partition(cfg.rows_per_partition);
     for i in 0..n_suppliers {
         supplier.push_row(vec![
             Value::Int(i),
@@ -118,14 +142,14 @@ pub fn generate_tpch(cfg: &TpchConfig) -> Catalog {
     catalog.register(supplier.build());
 
     // customer.
-    let mut customer =
-        TableBuilder::new("customer", customer_schema()).target_rows_per_partition(cfg.rows_per_partition);
+    let mut customer = TableBuilder::new("customer", customer_schema())
+        .target_rows_per_partition(cfg.rows_per_partition);
     for i in 0..n_customers {
         customer.push_row(vec![
             Value::Int(i),
             Value::Str(format!("Customer#{i:09}")),
             Value::Int(rng.random_range(0..25)),
-            Value::Str(SEGMENTS[rng.random_range(0..5)].into()),
+            Value::Str(SEGMENTS[rng.random_range(0..5usize)].into()),
             Value::Float(rng.random_range(-999.99..9999.99)),
             Value::Str(format!(
                 "{}-{:03}-{:03}-{:04}",
@@ -170,8 +194,8 @@ pub fn generate_tpch(cfg: &TpchConfig) -> Catalog {
     catalog.register(part.build());
 
     // partsupp.
-    let mut partsupp =
-        TableBuilder::new("partsupp", partsupp_schema()).target_rows_per_partition(cfg.rows_per_partition);
+    let mut partsupp = TableBuilder::new("partsupp", partsupp_schema())
+        .target_rows_per_partition(cfg.rows_per_partition);
     for i in 0..n_parts {
         for j in 0..4i64 {
             partsupp.push_row(vec![
@@ -203,14 +227,14 @@ pub fn generate_tpch(cfg: &TpchConfig) -> Catalog {
         .layout(lineitem_layout);
     for ok in 0..n_orders {
         let odate = rng.random_range(start..end - 151);
-        let status = ["F", "O", "P"][rng.random_range(0..3)];
+        let status = ["F", "O", "P"][rng.random_range(0..3usize)];
         orders.push_row(vec![
             Value::Int(ok),
             Value::Int(rng.random_range(0..n_customers)),
             Value::Str(status.into()),
             Value::Float(rng.random_range(1000.0..500_000.0)),
             Value::Date(odate),
-            Value::Str(PRIORITIES[rng.random_range(0..5)].into()),
+            Value::Str(PRIORITIES[rng.random_range(0..5usize)].into()),
             // Clerk ids span 0..100000 so prefix predicates like
             // `Clerk#00000%` select ~10% rather than everything.
             Value::Str(format!("Clerk#{:09}", rng.random_range(0..100_000))),
@@ -228,13 +252,13 @@ pub fn generate_tpch(cfg: &TpchConfig) -> Catalog {
                 Value::Float(rng.random_range(900.0..105_000.0)),
                 Value::Float(rng.random_range(0..11) as f64 / 100.0),
                 Value::Float(rng.random_range(0..9) as f64 / 100.0),
-                Value::Str(["R", "A", "N"][rng.random_range(0..3)].into()),
+                Value::Str(["R", "A", "N"][rng.random_range(0..3usize)].into()),
                 Value::Str(if ship > date(1995, 6, 17) { "O" } else { "F" }.into()),
                 Value::Date(ship),
                 Value::Date(commit),
                 Value::Date(receipt),
-                Value::Str(INSTRUCTIONS[rng.random_range(0..4)].into()),
-                Value::Str(SHIPMODES[rng.random_range(0..7)].into()),
+                Value::Str(INSTRUCTIONS[rng.random_range(0..4usize)].into()),
+                Value::Str(SHIPMODES[rng.random_range(0..7usize)].into()),
             ]);
         }
     }
@@ -354,11 +378,13 @@ fn psupp() -> PlanBuilder {
 /// pruning are omitted.
 pub fn tpch_query(q: usize) -> Plan {
     match q {
-        1 => li()
-            .filter(col("l_shipdate").le(dlit(1998, 9, 2)))
-            .build(),
+        1 => li().filter(col("l_shipdate").le(dlit(1998, 9, 2))).build(),
         2 => prt()
-            .filter(col("p_size").eq(lit(15i64)).and(col("p_type").like("%BRASS")))
+            .filter(
+                col("p_size")
+                    .eq(lit(15i64))
+                    .and(col("p_type").like("%BRASS")),
+            )
             .join(psupp(), "p_partkey", "ps_partkey", JoinType::Inner)
             .build(),
         3 => cust()
@@ -537,12 +563,12 @@ pub fn tpch_query(q: usize) -> Plan {
                         Value::Str("SM CASE".into()),
                         Value::Str("SM BOX".into()),
                     ]))
-                    .or(col("p_brand").eq(lit("Brand#23")).and(
-                        col("p_container").in_list(vec![
+                    .or(col("p_brand")
+                        .eq(lit("Brand#23"))
+                        .and(col("p_container").in_list(vec![
                             Value::Str("MED BAG".into()),
                             Value::Str("MED BOX".into()),
-                        ]),
-                    )),
+                        ]))),
             )
             .join(
                 li().filter(

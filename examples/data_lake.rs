@@ -67,8 +67,13 @@ fn main() {
     println!("with full metadata:");
     println!(
         "  files {}/{} pruned, row groups {}/{}, pages {}/{}, rows scanned {}",
-        st.files_pruned, st.files_total, st.row_groups_pruned, st.row_groups_total,
-        st.pages_pruned, st.pages_total, st.rows_scanned
+        st.files_pruned,
+        st.files_total,
+        st.row_groups_pruned,
+        st.row_groups_total,
+        st.pages_pruned,
+        st.pages_total,
+        st.rows_scanned
     );
 
     let st = bare.prune_hierarchical(&judge_fn);

@@ -72,7 +72,9 @@ fn main() {
 
     // 3. "A dashboard tool might automatically append a default LIMIT" —
     //    LIMIT without predicate prunes to a single partition.
-    let q3 = PlanBuilder::scan("audit_log", schema.clone()).limit(100).build();
+    let q3 = PlanBuilder::scan("audit_log", schema.clone())
+        .limit(100)
+        .build();
     let out = exec.run(&q3).unwrap();
     println!(
         "Dashboard preview: {} rows from {} partition(s)",

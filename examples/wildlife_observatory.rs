@@ -77,7 +77,12 @@ fn build_catalog() -> Catalog {
 fn main() {
     let catalog = build_catalog();
     let trails_schema = catalog.get("trails").unwrap().read().schema().clone();
-    let tracking_schema = catalog.get("tracking_data").unwrap().read().schema().clone();
+    let tracking_schema = catalog
+        .get("tracking_data")
+        .unwrap()
+        .read()
+        .schema()
+        .clone();
     let exec = Executor::new(catalog.clone(), ExecConfig::default());
 
     // --- §3: filter pruning with a complex expression --------------------

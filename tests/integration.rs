@@ -158,7 +158,9 @@ fn predicate_cache_round_trip_with_dml() {
     };
     assert!(after_insert.len() > parts.len());
     // DELETE invalidates the top-k entry.
-    let res = handle.write().delete_rows(|r| r[2] == Value::Int(99_999_999));
+    let res = handle
+        .write()
+        .delete_rows(|r| r[2] == Value::Int(99_999_999));
     cache.on_dml("readings", &DmlKind::Delete, &res);
     assert_eq!(cache.lookup(fp), CacheLookup::Miss);
 }
@@ -206,9 +208,19 @@ fn ir_baselines_agree_with_partition_topk_on_same_data() {
     }
     let catalog = Catalog::new();
     catalog.register(b.build());
-    let plan = PlanBuilder::scan("t", schema).order_by("v", true).limit(10).build();
-    let out = Executor::new(catalog, ExecConfig::default()).run(&plan).unwrap();
-    let engine_top: Vec<f64> = out.rows.rows.iter().map(|r| r[0].as_i64().unwrap() as f64).collect();
+    let plan = PlanBuilder::scan("t", schema)
+        .order_by("v", true)
+        .limit(10)
+        .build();
+    let out = Executor::new(catalog, ExecConfig::default())
+        .run(&plan)
+        .unwrap();
+    let engine_top: Vec<f64> = out
+        .rows
+        .rows
+        .iter()
+        .map(|r| r[0].as_i64().unwrap() as f64)
+        .collect();
     let bmw_top: Vec<f64> = bmw.iter().map(|d| d.score).collect();
     assert_eq!(engine_top, bmw_top);
 }
@@ -218,14 +230,24 @@ fn lake_table_scan_matches_regular_table() {
     let schema = Schema::new(vec![Field::new("x", ScalarType::Int)]);
     let rows: Vec<Vec<Value>> = (0..5_000i64).map(|i| vec![Value::Int(i)]).collect();
     let lake = LakeTable::from_rows(
-        "lake", schema.clone(), rows, 1_000, 250, 50, true, true, true,
+        "lake",
+        schema.clone(),
+        rows,
+        1_000,
+        250,
+        50,
+        true,
+        true,
+        true,
     );
     let catalog = Catalog::new();
     catalog.register(lake.to_table());
     let plan = PlanBuilder::scan("lake", schema)
         .filter(col("x").between(lit(1_000i64), lit(1_249i64)))
         .build();
-    let out = Executor::new(catalog, ExecConfig::default()).run(&plan).unwrap();
+    let out = Executor::new(catalog, ExecConfig::default())
+        .run(&plan)
+        .unwrap();
     assert_eq!(out.rows.len(), 250);
     assert_eq!(out.io.partitions_loaded, 1, "one row group's partition");
 }
