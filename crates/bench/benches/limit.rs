@@ -38,7 +38,7 @@ fn bench_limit(c: &mut Criterion) {
         g.bench_function(label, |b| {
             let mut cfg = ExecConfig::default();
             cfg.enable_limit_pruning = pruning;
-            cfg.workers = workers;
+            cfg.scan_threads = workers;
             let exec = Executor::new(cat.clone(), cfg);
             b.iter(|| std::hint::black_box(exec.run(&plan).unwrap()))
         });

@@ -6,7 +6,7 @@
 //! cargo run -p snowprune-bench --release --bin reproduce -- fig13 --scale 0.05
 //! ```
 
-use snowprune_bench::{experiments as e, tpch_exp as t};
+use snowprune_bench::{experiments as e, pool_exp as p, tpch_exp as t};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -75,6 +75,11 @@ fn main() {
             )),
             "cache" => Some(t::ext_cache(seed)),
             "ablations" => Some(t::ablations(seed)),
+            "pool" => Some(if smoke {
+                p::ext_pool_burst_sized(seed, 8, 2, 60, 8)
+            } else {
+                p::ext_pool_burst(seed, 16, 4)
+            }),
             _ => None,
         }
     };
@@ -93,6 +98,7 @@ fn main() {
         "fig13",
         "cache",
         "ablations",
+        "pool",
     ];
     if which == "all" {
         for id in ids {

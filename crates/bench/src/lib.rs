@@ -5,5 +5,6 @@
 //! experiment index and `EXPERIMENTS.md` for recorded results.
 
 pub mod experiments;
+pub mod pool_exp;
 pub mod report;
 pub mod tpch_exp;

@@ -9,6 +9,7 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -35,6 +36,11 @@ pub struct Boundary {
     /// (bound, inclusive_ok): `inclusive_ok` is true when `bound` came
     /// from a full heap (bound == current k-th best).
     value: RwLock<(Option<Value>, bool)>,
+    /// Bumped on every effective tightening (new bound, or an inclusive
+    /// upgrade of the current bound). Because the boundary is monotone,
+    /// a worker that cached a skip decision at epoch `e` knows the decision
+    /// still holds at any later epoch — staleness can only under-prune.
+    epoch: AtomicU64,
 }
 
 impl Boundary {
@@ -42,6 +48,7 @@ impl Boundary {
         Arc::new(Boundary {
             desc,
             value: RwLock::new((None, false)),
+            epoch: AtomicU64::new(0),
         })
     }
 
@@ -51,6 +58,7 @@ impl Boundary {
         Arc::new(Boundary {
             desc,
             value: RwLock::new((initial, false)),
+            epoch: AtomicU64::new(0),
         })
     }
 
@@ -65,6 +73,18 @@ impl Boundary {
     /// Whether the inclusive skip rule currently applies.
     pub fn is_inclusive(&self) -> bool {
         self.value.read().1
+    }
+
+    /// Consistent snapshot of `(bound, inclusive)` — what a scan worker
+    /// sees when it consults the boundary between two morsels.
+    pub fn state(&self) -> (Option<Value>, bool) {
+        self.value.read().clone()
+    }
+
+    /// Number of effective tightenings so far. Strictly monotone; two
+    /// equal epochs imply identical `state()`.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(AtomicOrdering::Acquire)
     }
 
     /// Tighten the boundary with an *external* bound (upfront seeding):
@@ -94,8 +114,10 @@ impl Boundary {
         };
         if better {
             *guard = (Some(v.clone()), from_heap);
-        } else if equal && from_heap {
+            self.epoch.fetch_add(1, AtomicOrdering::Release);
+        } else if equal && from_heap && !guard.1 {
             guard.1 = true;
+            self.epoch.fetch_add(1, AtomicOrdering::Release);
         }
     }
 
@@ -112,24 +134,35 @@ impl Boundary {
         let (Some(bound), inclusive) = (&guard.0, guard.1) else {
             return false;
         };
-        if self.desc {
-            match &zm.max {
-                Some(max) => match max.sql_cmp(bound) {
-                    Some(Ordering::Less) => true,
-                    Some(Ordering::Equal) => inclusive,
-                    _ => false,
-                },
-                None => false,
-            }
-        } else {
-            match &zm.min {
-                Some(min) => match min.sql_cmp(bound) {
-                    Some(Ordering::Greater) => true,
-                    Some(Ordering::Equal) => inclusive,
-                    _ => false,
-                },
-                None => false,
-            }
+        boundary_allows_skip(self.desc, bound, inclusive, zm)
+    }
+}
+
+/// The pure skip rule, factored out of [`Boundary::should_skip`] so that
+/// pruning against a *stale snapshot* of the boundary (what pooled scan
+/// workers do between morsels) can be reasoned about and property-tested
+/// directly: because bounds only tighten, any `(bound, inclusive)` state
+/// that once allowed a skip keeps allowing it — a stale snapshot may
+/// under-prune but never over-prune. Callers must have already handled the
+/// empty / all-NULL zone-map cases.
+pub fn boundary_allows_skip(desc: bool, bound: &Value, inclusive: bool, zm: &ZoneMap) -> bool {
+    if desc {
+        match &zm.max {
+            Some(max) => match max.sql_cmp(bound) {
+                Some(Ordering::Less) => true,
+                Some(Ordering::Equal) => inclusive,
+                _ => false,
+            },
+            None => false,
+        }
+    } else {
+        match &zm.min {
+            Some(min) => match min.sql_cmp(bound) {
+                Some(Ordering::Greater) => true,
+                Some(Ordering::Equal) => inclusive,
+                _ => false,
+            },
+            None => false,
         }
     }
 }

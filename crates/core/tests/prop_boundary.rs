@@ -1,0 +1,142 @@
+//! Property test: top-k boundary behaviour under arbitrary morsel
+//! interleavings.
+//!
+//! On the shared worker pool, partitions of one query are processed by
+//! many workers in arbitrary order, and a worker may consult a boundary
+//! snapshot that is several tightenings stale. Soundness rests on two
+//! properties, checked here over random data, k, direction, interleaving,
+//! and staleness lag:
+//!
+//! 1. **The boundary only ever tightens** — its value moves monotonically
+//!    in the query direction and its epoch counter never decreases;
+//! 2. **A stale boundary may under-prune but never over-prune** — any
+//!    skip permitted by an old snapshot is still permitted by the current
+//!    one, and a scan that skips partitions based on arbitrarily stale
+//!    snapshots still produces the exact top-k.
+
+use proptest::prelude::*;
+use snowprune_core::topk::{boundary_allows_skip, Boundary, TopKHeap};
+use snowprune_types::{Value, ZoneMap};
+use std::sync::Arc;
+
+fn zone_map(values: &[i64]) -> ZoneMap {
+    ZoneMap {
+        min: values.iter().min().map(|&v| Value::Int(v)),
+        max: values.iter().max().map(|&v| Value::Int(v)),
+        min_exact: true,
+        max_exact: true,
+        null_count: 0,
+        row_count: values.len() as u64,
+    }
+}
+
+/// Deterministic shuffle (splitmix-style), standing in for the pool's
+/// nondeterministic morsel completion order.
+fn shuffled(n: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+/// Is `new` at least as tight as `old` for the given direction?
+fn tightened(desc: bool, old: &Option<Value>, new: &Option<Value>) -> bool {
+    match (old, new) {
+        (None, _) => true,
+        (Some(_), None) => false,
+        (Some(o), Some(n)) => {
+            let ord = n.total_ord_cmp(o);
+            if desc {
+                ord != std::cmp::Ordering::Less
+            } else {
+                ord != std::cmp::Ordering::Greater
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn boundary_tightens_monotonically_and_stale_skips_never_overprune(
+        partitions in proptest::collection::vec(
+            proptest::collection::vec(-100i64..100, 1..12), 1..12),
+        k in 1usize..8,
+        desc in any::<bool>(),
+        shuffle_seed in 0u64..1_000_000,
+        lag in 0usize..4,
+        seed_boundary in any::<bool>(),
+    ) {
+        let boundary = Boundary::new(desc);
+        let mut all: Vec<i64> = partitions.iter().flatten().copied().collect();
+        all.sort();
+        if desc { all.reverse(); }
+
+        // Optional sound §5.4 seeding: the exact k-th best over all rows is
+        // the tightest externally derivable bound (strict skipping).
+        if seed_boundary && all.len() >= k {
+            boundary.tighten(&Value::Int(all[k - 1]));
+        }
+
+        let mut heap = TopKHeap::new(k, desc, Arc::clone(&boundary));
+        // History of boundary states a worker might have cached.
+        let mut history = vec![boundary.state()];
+        let mut prev_epoch = boundary.epoch();
+
+        for &pi in &shuffled(partitions.len(), shuffle_seed) {
+            let part = &partitions[pi];
+            let zm = zone_map(part);
+
+            // A worker consults a snapshot up to `lag` tightenings old.
+            let stale_idx = history.len() - 1 - lag.min(history.len() - 1);
+            let (stale_bound, stale_incl) = history[stale_idx].clone();
+            let stale_skip = stale_bound
+                .as_ref()
+                .is_some_and(|b| boundary_allows_skip(desc, b, stale_incl, &zm));
+
+            // Property 2a: anything a stale snapshot skips, the live
+            // boundary skips too (staleness only under-prunes).
+            if stale_skip {
+                prop_assert!(
+                    boundary.should_skip(&zm),
+                    "stale snapshot skipped a partition the live boundary would scan"
+                );
+            } else {
+                for &v in part {
+                    heap.insert(Value::Int(v), v);
+                }
+            }
+
+            // Property 1: monotone tightening, observable via state + epoch.
+            let (old_bound, _) = &history[history.len() - 1];
+            let now = boundary.state();
+            prop_assert!(
+                tightened(desc, old_bound, &now.0),
+                "boundary loosened: {old_bound:?} -> {:?}", now.0
+            );
+            let epoch = boundary.epoch();
+            prop_assert!(epoch >= prev_epoch, "epoch went backwards");
+            prev_epoch = epoch;
+            history.push(now);
+        }
+
+        // Property 2b: despite stale-snapshot skipping, the result is the
+        // exact top-k value multiset — skipped partitions never held a row
+        // the final answer needed.
+        let got: Vec<i64> = heap.into_sorted().into_iter().map(|(_, v)| v).collect();
+        let expect: Vec<i64> = all.into_iter().take(k).collect();
+        prop_assert_eq!(got, expect,
+            "k={} desc={} lag={} seeded={}", k, desc, lag, seed_boundary);
+    }
+}

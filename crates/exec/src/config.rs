@@ -21,9 +21,15 @@ pub struct ExecConfig {
     pub join_summary: SummaryKind,
     /// Row-level Bloom filter inside the join operator.
     pub join_bloom: bool,
-    /// Worker threads for parallel table scans (the virtual-warehouse
-    /// stand-in). 1 = sequential.
-    pub workers: usize,
+    /// Scan worker threads (the virtual-warehouse stand-in). 1 = sequential
+    /// in-driver scans; > 1 = scans run as morsels on a shared
+    /// [`crate::MorselPool`] with this many workers, shared by every query
+    /// the executor (or a whole [`crate::Session`]) runs.
+    pub scan_threads: usize,
+    /// Scan-set entries per morsel handed to a pool worker. Smaller morsels
+    /// interleave queries more finely (better fairness, more queue traffic);
+    /// larger morsels amortize scheduling.
+    pub morsel_partitions: usize,
     pub filter: FilterPruneConfig,
     pub io_cost: IoCostModel,
 }
@@ -39,7 +45,8 @@ impl Default for ExecConfig {
             topk_init_boundary: true,
             join_summary: SummaryKind::RangeSet { budget: 128 },
             join_bloom: true,
-            workers: 1,
+            scan_threads: 1,
+            morsel_partitions: 4,
             filter: FilterPruneConfig::default(),
             io_cost: IoCostModel::default(),
         }
@@ -58,4 +65,23 @@ impl ExecConfig {
             ..Default::default()
         }
     }
+
+    /// Builder-style override for the scan worker count (clamped to ≥ 1).
+    pub fn with_scan_threads(mut self, n: usize) -> Self {
+        self.scan_threads = n.max(1);
+        self
+    }
+}
+
+/// Scan-thread override from the `SNOWPRUNE_SCAN_THREADS` environment
+/// variable. The CI thread-count matrix uses this to run the differential
+/// and stress suites at 1, 4, and 8 workers without code changes; defaults
+/// stay env-independent so counter-exact unit tests are unaffected.
+pub fn scan_threads_from_env() -> Option<usize> {
+    std::env::var("SNOWPRUNE_SCAN_THREADS")
+        .ok()?
+        .trim()
+        .parse()
+        .ok()
+        .filter(|&n: &usize| n >= 1)
 }

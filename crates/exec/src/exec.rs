@@ -8,6 +8,7 @@
 //!    the scan, with the scan pipelined partition-at-a-time (runtime).
 
 use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -25,8 +26,9 @@ use snowprune_types::{Error, Result, Value};
 
 use crate::agg::{aggregate_rows, DistinctKeyTopK};
 use crate::config::ExecConfig;
+use crate::pool::{MorselPool, QueryId, ScanJobSpec, ScanTicket};
 use crate::rows::RowSet;
-use crate::scan::{stream_scan, stream_scan_parallel, CompiledScan, ScanHooks};
+use crate::scan::{stream_scan, CompiledScan, ScanHooks, ScanRunStats};
 
 /// Execution report: core pruning accounting plus technique-level detail.
 #[derive(Clone, Debug, Default)]
@@ -54,6 +56,8 @@ pub struct QueryOutput {
 struct RunState {
     report: ExecReport,
     limit_override: Option<LimitOverride>,
+    /// This query's FIFO lane on the shared morsel pool.
+    lane: QueryId,
 }
 
 struct LimitOverride {
@@ -66,14 +70,33 @@ pub struct Executor {
     catalog: Catalog,
     cfg: ExecConfig,
     io: IoStats,
+    /// Shared scan worker pool; `None` runs scans sequentially in the
+    /// driver. [`Executor::new`] creates a private pool when
+    /// `scan_threads > 1`; [`Executor::with_pool`] (used by
+    /// [`crate::Session`]) shares one pool across many executors so
+    /// concurrent queries share `scan_threads` workers instead of
+    /// N×threads.
+    pool: Option<Arc<MorselPool>>,
 }
 
 impl Executor {
     pub fn new(catalog: Catalog, cfg: ExecConfig) -> Self {
+        let pool = (cfg.scan_threads > 1).then(|| MorselPool::new(cfg.scan_threads));
         Executor {
             catalog,
             cfg,
             io: IoStats::new(),
+            pool,
+        }
+    }
+
+    /// An executor drawing scan workers from an existing shared pool.
+    pub fn with_pool(catalog: Catalog, cfg: ExecConfig, pool: Arc<MorselPool>) -> Self {
+        Executor {
+            catalog,
+            cfg,
+            io: IoStats::new(),
+            pool: Some(pool),
         }
     }
 
@@ -85,12 +108,19 @@ impl Executor {
         &self.io
     }
 
+    pub fn pool(&self) -> Option<&Arc<MorselPool>> {
+        self.pool.as_ref()
+    }
+
     /// Execute a plan, returning rows plus the pruning report.
     pub fn run(&self, plan: &Plan) -> Result<QueryOutput> {
         plan.check()?;
         let io_before = self.io.snapshot();
         let start = Instant::now();
-        let mut st = RunState::default();
+        let mut st = RunState {
+            lane: self.pool.as_ref().map_or(0, |p| p.next_lane()),
+            ..RunState::default()
+        };
         let topk = detect_topk(plan);
         st.report.pruning.topk_eligible = topk.is_some();
         st.report.pruning.limit_eligible =
@@ -244,33 +274,24 @@ impl Executor {
         let scan = self.prepare_scan(table, predicate, st)?;
         let schema = plan.schema()?;
         let bound_chain = bind_chain(&chain, &scan.schema)?;
-        if self.cfg.workers > 1 {
-            // Parallel workers each race to fill the limit: the §4.4 catch —
-            // n workers read at least n partitions even if 1 would do.
-            let rows = Mutex::new(Vec::new());
-            stream_scan_parallel(
-                &scan,
-                &self.io,
-                &self.cfg.io_cost,
-                self.cfg.workers,
-                None,
-                &|part, sel| {
-                    let mut local = Vec::new();
-                    for &i in sel {
-                        if let Some(r) = apply_chain(&bound_chain, part.row(i)) {
-                            local.push(r);
-                        }
-                    }
-                    rows.lock().extend(local);
-                },
-                &|| rows.lock().len() >= need,
-            );
-            let mut out = rows.into_inner();
+        if let Some(pool) = &self.pool {
+            // Pooled morsels race to fill the limit — pre-assigned
+            // partitions still model the §4.4 catch (n workers read at
+            // least n partitions even if 1 would do). Row output is
+            // reassembled in morsel order and truncated at the
+            // deterministic prefix, so the result is byte-identical to the
+            // sequential scan no matter how morsels interleave; only the
+            // I/O overshoot is timing-dependent, exactly as in a real
+            // warehouse.
+            let pool = Arc::clone(pool);
+            let (stats, mut out) =
+                self.run_pooled_scan(&pool, st.lane, &scan, bound_chain, Some(need));
+            st.report.pruning.pruned_by_filter += stats.skipped_by_runtime_filter;
             out.truncate(need);
             return Ok(Some(RowSet { schema, rows: out }));
         }
         let mut out = Vec::with_capacity(need.min(4096));
-        let runtime_pruner = self.runtime_pruner_for(&scan);
+        let runtime_pruner = self.runtime_pruner_for(&scan).map(Mutex::new);
         let hooks = ScanHooks {
             boundary: None,
             runtime_pruner: runtime_pruner.as_ref(),
@@ -325,13 +346,13 @@ impl Executor {
         Ok(scan)
     }
 
-    fn runtime_pruner_for(&self, scan: &CompiledScan) -> Option<Mutex<FilterPruner>> {
+    fn runtime_pruner_for(&self, scan: &CompiledScan) -> Option<FilterPruner> {
         if scan.deferred_ids.is_empty() {
             return None;
         }
         scan.predicate
             .as_ref()
-            .map(|p| Mutex::new(FilterPruner::new(p, self.cfg.filter.clone())))
+            .map(|p| FilterPruner::new(p, self.cfg.filter.clone()))
     }
 
     fn exec_scan(
@@ -342,27 +363,14 @@ impl Executor {
     ) -> Result<RowSet> {
         let scan = self.prepare_scan(table, predicate, st)?;
         let schema = scan.schema.clone();
-        let runtime_pruner = self.runtime_pruner_for(&scan);
-        if self.cfg.workers > 1 {
-            let rows = Mutex::new(Vec::new());
-            stream_scan_parallel(
-                &scan,
-                &self.io,
-                &self.cfg.io_cost,
-                self.cfg.workers,
-                None,
-                &|part, sel| {
-                    let mut local: Vec<Vec<Value>> = sel.iter().map(|&i| part.row(i)).collect();
-                    rows.lock().append(&mut local);
-                },
-                &|| false,
-            );
-            return Ok(RowSet {
-                schema,
-                rows: rows.into_inner(),
-            });
+        if let Some(pool) = &self.pool {
+            let pool = Arc::clone(pool);
+            let (stats, rows) = self.run_pooled_scan(&pool, st.lane, &scan, Vec::new(), None);
+            st.report.pruning.pruned_by_filter += stats.skipped_by_runtime_filter;
+            return Ok(RowSet { schema, rows });
         }
         let mut rows = Vec::new();
+        let runtime_pruner = self.runtime_pruner_for(&scan).map(Mutex::new);
         let hooks = ScanHooks {
             boundary: None,
             runtime_pruner: runtime_pruner.as_ref(),
@@ -373,6 +381,158 @@ impl Executor {
         });
         st.report.pruning.pruned_by_filter += stats.skipped_by_runtime_filter;
         Ok(RowSet { schema, rows })
+    }
+
+    /// Run a scan as pooled morsels, applying `chain` worker-side and
+    /// collecting rows per morsel so the returned vector is in exact
+    /// scan-set order no matter which worker ran which morsel. With
+    /// `need = Some(k)`, a [`LimitTracker`] arms the deterministic
+    /// prefix-based early stop; with `None` the scan always runs to
+    /// completion.
+    fn run_pooled_scan(
+        &self,
+        pool: &Arc<MorselPool>,
+        lane: QueryId,
+        scan: &CompiledScan,
+        chain: Vec<BoundChainOp>,
+        need: Option<usize>,
+    ) -> (ScanRunStats, Vec<Vec<Value>>) {
+        let morsels = scan
+            .scan_set
+            .len()
+            .div_ceil(self.cfg.morsel_partitions.max(1));
+        let slots: Arc<Vec<Mutex<Vec<Vec<Value>>>>> =
+            Arc::new((0..morsels).map(|_| Mutex::new(Vec::new())).collect());
+        let tracker = need.map(|_| Arc::new(LimitTracker::new(morsels)));
+        let sink_slots = Arc::clone(&slots);
+        let sink_tracker = tracker.clone();
+        let chain = Arc::new(chain);
+        let sink: Box<crate::pool::PartitionSink> = Box::new(move |mi, part, sel| {
+            let mut local = Vec::with_capacity(sel.len());
+            for &i in sel {
+                if let Some(r) = apply_chain(&chain, part.row(i)) {
+                    local.push(r);
+                }
+            }
+            if let Some(t) = &sink_tracker {
+                t.rows_per_morsel[mi].fetch_add(local.len(), Ordering::AcqRel);
+            }
+            sink_slots[mi].lock().append(&mut local);
+        });
+        let (stop, on_morsel_done): (
+            Box<crate::pool::StopFn>,
+            Option<Box<crate::pool::MorselDoneFn>>,
+        ) = match (need, tracker) {
+            (Some(need), Some(t)) => {
+                let stop_t = Arc::clone(&t);
+                (
+                    Box::new(move || stop_t.prefix_rows() >= need),
+                    Some(Box::new(move |mi| t.complete(mi))),
+                )
+            }
+            _ => (Box::new(|| false), None),
+        };
+        let stats = pool
+            .submit(
+                lane,
+                ScanJobSpec {
+                    scan: scan.clone(),
+                    io: self.io.clone(),
+                    io_cost: self.cfg.io_cost,
+                    boundary: None,
+                    runtime_pruner: self.runtime_pruner_for(scan),
+                    morsel_partitions: self.cfg.morsel_partitions,
+                    sink,
+                    stop,
+                    on_morsel_done,
+                },
+            )
+            .wait();
+        let rows = slots
+            .iter()
+            .flat_map(|slot| std::mem::take(&mut *slot.lock()))
+            .collect();
+        (stats, rows)
+    }
+
+    /// Stream a scan's rows — after applying `chain` — into a driver-side
+    /// sequential `sink`, using the morsel pool when one is attached and
+    /// falling back to the in-driver sequential scan otherwise. This is
+    /// the single streaming primitive behind the top-k spine and join
+    /// probe sides, so the boundary and deferred-filter hooks behave
+    /// identically on both paths: workers prune against the live (possibly
+    /// stale) boundary, while heap updates flow back through the driver.
+    fn stream_chain_rows(
+        &self,
+        scan: &CompiledScan,
+        lane: QueryId,
+        boundary: Option<(&Arc<Boundary>, usize)>,
+        chain: &[BoundChainOp],
+        sink: &mut dyn FnMut(Vec<Value>),
+    ) -> ScanRunStats {
+        if let Some(pool) = &self.pool {
+            // Workers evaluate predicates/projections and funnel row
+            // batches through a channel; the driver applies `sink`
+            // sequentially while later morsels are still scanning, so
+            // boundary tightenings from the heap reach the workers
+            // mid-scan. The channel is bounded (a few batches per worker)
+            // so a slow driver back-pressures the workers instead of
+            // buffering the whole selected row set. Rows arrive in
+            // morsel-completion order, which is timing-dependent: for a
+            // top-k consumer this means ties at the k-th ORDER BY value
+            // are broken by arrival rather than scan order (SQL-legal;
+            // unique-key results stay fully deterministic).
+            let (tx, rx) =
+                std::sync::mpsc::sync_channel::<Vec<Vec<Value>>>(pool.worker_count() * 4);
+            let chain: Arc<Vec<BoundChainOp>> = Arc::new(chain.to_vec());
+            let ticket: ScanTicket = pool.submit(
+                lane,
+                ScanJobSpec {
+                    scan: scan.clone(),
+                    io: self.io.clone(),
+                    io_cost: self.cfg.io_cost,
+                    boundary: boundary.map(|(b, col)| (Arc::clone(b), col)),
+                    runtime_pruner: self.runtime_pruner_for(scan),
+                    morsel_partitions: self.cfg.morsel_partitions,
+                    sink: Box::new(move |_, part, sel| {
+                        let mut batch = Vec::with_capacity(sel.len());
+                        for &i in sel {
+                            if let Some(r) = apply_chain(&chain, part.row(i)) {
+                                batch.push(r);
+                            }
+                        }
+                        if !batch.is_empty() {
+                            // SyncSender sends through &self, so workers
+                            // contend only on the channel itself.
+                            let _ = tx.send(batch);
+                        }
+                    }),
+                    stop: Box::new(|| false),
+                    on_morsel_done: None,
+                },
+            );
+            // The job (and with it the sender) drops when its last morsel
+            // finishes, ending this loop.
+            for batch in rx {
+                for row in batch {
+                    sink(row);
+                }
+            }
+            return ticket.wait();
+        }
+        let runtime_pruner = self.runtime_pruner_for(scan).map(Mutex::new);
+        let hooks = ScanHooks {
+            boundary,
+            runtime_pruner: runtime_pruner.as_ref(),
+        };
+        stream_scan(scan, &self.io, &self.cfg.io_cost, &hooks, |part, sel| {
+            for &i in sel {
+                if let Some(r) = apply_chain(chain, part.row(i)) {
+                    sink(r);
+                }
+            }
+            ControlFlow::Continue(())
+        })
     }
 
     // ---- joins ----------------------------------------------------------
@@ -627,19 +787,7 @@ impl Executor {
                 }
             }
             let bound_chain = bind_chain(&chain, &scan.schema)?;
-            let runtime_pruner = self.runtime_pruner_for(&scan);
-            let hooks = ScanHooks {
-                boundary: boundary_hook,
-                runtime_pruner: runtime_pruner.as_ref(),
-            };
-            let stats = stream_scan(&scan, &self.io, &self.cfg.io_cost, &hooks, |part, sel| {
-                for &i in sel {
-                    if let Some(r) = apply_chain(&bound_chain, part.row(i)) {
-                        sink(r);
-                    }
-                }
-                ControlFlow::Continue(())
-            });
+            let stats = self.stream_chain_rows(&scan, st.lane, boundary_hook, &bound_chain, sink);
             if boundary_hook.is_some() {
                 st.report.topk_stats.partitions_considered += stats.considered;
                 st.report.topk_stats.partitions_skipped += stats.skipped_by_boundary;
@@ -712,10 +860,22 @@ impl Executor {
             aggs,
         } = agg_plan
         else {
-            // Shape said aggregation but the node is not: fall back.
-            let mut st2 = RunState::default();
+            // Shape said aggregation but the node is not: fall back on an
+            // isolated state (no limit-override leakage) that keeps this
+            // query's pool lane, then merge its pruning counters back.
+            let mut st2 = RunState {
+                lane: st.lane,
+                ..RunState::default()
+            };
             let r = self.exec_node(agg_plan, &mut st2)?;
-            st.report.pruning.partitions_total += st2.report.pruning.partitions_total;
+            let p = &mut st.report.pruning;
+            let p2 = &st2.report.pruning;
+            p.partitions_total += p2.partitions_total;
+            p.pruned_by_filter += p2.pruned_by_filter;
+            p.pruned_by_limit += p2.pruned_by_limit;
+            p.pruned_by_join += p2.pruned_by_join;
+            p.pruned_by_topk += p2.pruned_by_topk;
+            p.fully_matching += p2.fully_matching;
             return Ok(r);
         };
         let input_schema = input.schema()?;
@@ -788,17 +948,8 @@ impl Executor {
                         boundary.tighten(&init);
                     }
                 }
-                let runtime_pruner = self.runtime_pruner_for(&scan);
-                let hooks = ScanHooks {
-                    boundary: Some((boundary, order_col)),
-                    runtime_pruner: runtime_pruner.as_ref(),
-                };
-                let stats = stream_scan(&scan, &self.io, &self.cfg.io_cost, &hooks, |part, sel| {
-                    for &i in sel {
-                        sink(part.row(i));
-                    }
-                    ControlFlow::Continue(())
-                });
+                let stats =
+                    self.stream_chain_rows(&scan, st.lane, Some((boundary, order_col)), &[], sink);
                 st.report.topk_stats.partitions_considered += stats.considered;
                 st.report.topk_stats.partitions_skipped += stats.skipped_by_boundary;
                 st.report.pruning.pruned_by_topk += stats.skipped_by_boundary;
@@ -853,6 +1004,53 @@ impl Executor {
     }
 }
 
+/// Accounting for deterministic pooled-LIMIT early stop: rows produced by
+/// the contiguous *completed* morsel prefix. Once that prefix covers the
+/// LIMIT's `need`, later morsels can stop — every row of the final
+/// (ordered, truncated) result is already pinned down, so early
+/// termination cannot change the result, only how much extra I/O the
+/// in-flight morsels perform. The prefix cursor advances once per
+/// completed morsel (under a tiny mutex), keeping the hot per-partition
+/// stop check a single atomic load instead of an O(morsels) walk.
+struct LimitTracker {
+    /// Post-chain row count per morsel (atomic so readers can observe
+    /// while workers write).
+    rows_per_morsel: Vec<AtomicUsize>,
+    /// Morsel-complete flags.
+    done: Vec<AtomicBool>,
+    /// (next morsel index to absorb, rows absorbed so far).
+    cursor: Mutex<(usize, usize)>,
+    prefix_rows: AtomicUsize,
+}
+
+impl LimitTracker {
+    fn new(morsels: usize) -> Self {
+        LimitTracker {
+            rows_per_morsel: (0..morsels).map(|_| AtomicUsize::new(0)).collect(),
+            done: (0..morsels).map(|_| AtomicBool::new(false)).collect(),
+            cursor: Mutex::new((0, 0)),
+            prefix_rows: AtomicUsize::new(0),
+        }
+    }
+
+    /// Mark morsel `mi` finished and absorb any newly-contiguous prefix.
+    fn complete(&self, mi: usize) {
+        self.done[mi].store(true, Ordering::Release);
+        let mut state = self.cursor.lock();
+        let (mut cursor, mut total) = *state;
+        while cursor < self.done.len() && self.done[cursor].load(Ordering::Acquire) {
+            total += self.rows_per_morsel[cursor].load(Ordering::Acquire);
+            cursor += 1;
+        }
+        *state = (cursor, total);
+        self.prefix_rows.store(total, Ordering::Release);
+    }
+
+    fn prefix_rows(&self) -> usize {
+        self.prefix_rows.load(Ordering::Acquire)
+    }
+}
+
 /// A row consumer on the streaming path.
 type RowSink<'a> = &'a mut dyn FnMut(Vec<Value>);
 
@@ -874,6 +1072,7 @@ enum ChainOp {
     Project(Vec<String>),
 }
 
+#[derive(Clone)]
 enum BoundChainOp {
     Filter(snowprune_expr::Expr),
     Project(Vec<usize>),

@@ -1,15 +1,21 @@
 //! `snowprune-exec`: a vectorized-ish, pipelining execution engine with the
 //! paper's runtime pruning hooks: deferred filter pruning, join pruning via
 //! sideways information passing, and boundary-driven top-k pruning, over
-//! sequential or parallel (virtual-warehouse style) scans.
+//! sequential or shared-pool morsel-parallel (virtual-warehouse style)
+//! scans. See `pool.rs` for the worker model and `session.rs` for the
+//! multi-query driver.
 
 pub mod agg;
 pub mod config;
 pub mod exec;
+pub mod pool;
 pub mod rows;
 pub mod scan;
+pub mod session;
 
-pub use config::ExecConfig;
+pub use config::{scan_threads_from_env, ExecConfig};
 pub use exec::{ExecReport, Executor, QueryOutput};
+pub use pool::{MorselPool, QueryId, ScanJobSpec, ScanTicket};
 pub use rows::RowSet;
 pub use scan::{CompiledScan, ScanHooks, ScanRunStats};
+pub use session::Session;

@@ -1,9 +1,12 @@
 //! Table-scan compilation and partition streaming with runtime pruning
 //! hooks (deferred filter pruning, top-k boundaries).
+//!
+//! Sequential streaming lives here ([`stream_scan`]); parallel scans run
+//! as morsels on the shared [`crate::MorselPool`] (see `pool.rs`), which
+//! reuses this module's per-partition pipeline via [`select_rows`].
 
 use std::collections::HashSet;
 use std::ops::ControlFlow;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -177,7 +180,7 @@ pub fn stream_scan(
 /// Evaluate the scan predicate on a partition. Fully-matching partitions
 /// skip predicate evaluation entirely (a real CPU saving from §4's
 /// classification).
-fn select_rows(
+pub(crate) fn select_rows(
     scan: &CompiledScan,
     entry: &snowprune_core::scan_set::ScanEntry,
     part: &MicroPartition,
@@ -190,72 +193,6 @@ fn select_rows(
             let truths = snowprune_expr::eval_truths(pred, part);
             snowprune_expr::selection_indices(&truths)
         }
-    }
-}
-
-/// Parallel variant: `workers` threads pull partitions from a shared queue
-/// (the virtual-warehouse stand-in). `sink` must be thread-safe; `stop`
-/// lets LIMIT-style consumers halt the fleet. Returns aggregated stats.
-pub fn stream_scan_parallel(
-    scan: &CompiledScan,
-    io: &IoStats,
-    io_cost: &IoCostModel,
-    workers: usize,
-    boundary: Option<(&Arc<Boundary>, usize)>,
-    sink: &(dyn Fn(&MicroPartition, &[usize]) + Sync),
-    stop: &(dyn Fn() -> bool + Sync),
-) -> ScanRunStats {
-    let next = AtomicUsize::new(0);
-    let considered = AtomicU64::new(0);
-    let loaded = AtomicU64::new(0);
-    let skipped = AtomicU64::new(0);
-    let rows = AtomicU64::new(0);
-    let entries = &scan.scan_set.entries;
-    std::thread::scope(|s| {
-        for _ in 0..workers.max(1) {
-            s.spawn(|| {
-                // Workers are pre-assigned their first partition before any
-                // early-stop coordination, modelling distributed scan-set
-                // assignment: this is why, without LIMIT pruning, n workers
-                // read at least n partitions even when one would do (§4.4).
-                let mut first = true;
-                loop {
-                    if !first && stop() {
-                        break;
-                    }
-                    first = false;
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= entries.len() {
-                        break;
-                    }
-                    let entry = &entries[i];
-                    considered.fetch_add(1, Ordering::Relaxed);
-                    let Ok(meta) = scan.table.partition_meta(entry.id) else {
-                        continue;
-                    };
-                    if let Some((b, col)) = boundary {
-                        if b.should_skip(&meta.zone_maps[col]) {
-                            skipped.fetch_add(1, Ordering::Relaxed);
-                            continue;
-                        }
-                    }
-                    let Ok(part) = scan.table.load_partition(entry.id, io, io_cost) else {
-                        continue;
-                    };
-                    loaded.fetch_add(1, Ordering::Relaxed);
-                    let selection = select_rows(scan, entry, &part);
-                    rows.fetch_add(selection.len() as u64, Ordering::Relaxed);
-                    sink(&part, &selection);
-                }
-            });
-        }
-    });
-    ScanRunStats {
-        considered: considered.into_inner(),
-        loaded: loaded.into_inner(),
-        skipped_by_boundary: skipped.into_inner(),
-        skipped_by_runtime_filter: 0,
-        rows_emitted: rows.into_inner(),
     }
 }
 
@@ -413,39 +350,72 @@ mod tests {
     }
 
     #[test]
-    fn parallel_scan_matches_sequential_rows() {
+    fn pooled_scan_matches_sequential_rows() {
+        // Strengthened from the old count-only check: the pooled scan must
+        // reproduce the sequential scan's *row contents* exactly — both as
+        // a sorted multiset and, after morsel-order reassembly, in the
+        // identical scan-set order.
         let t = table();
-        let io = IoStats::new();
+        let io_seq = IoStats::new();
         let model = IoCostModel::free();
+        let pred = col("x").ge(lit(100i64));
         let scan = CompiledScan::compile(
             "t",
             t,
-            Some(&col("x").ge(lit(100i64))),
+            Some(&pred),
             true,
             &FilterPruneConfig::default(),
-            &io,
+            &io_seq,
             &model,
         )
         .unwrap();
-        let rows = Mutex::new(Vec::new());
-        let stats = stream_scan_parallel(
-            &scan,
-            &io,
-            &model,
-            4,
-            None,
-            &|part, sel| {
-                let mut g = rows.lock();
-                for &i in sel {
-                    g.push(part.row(i)[0].clone());
-                }
-            },
-            &|| false,
+        let mut seq_rows: Vec<Vec<Value>> = Vec::new();
+        let seq_stats = stream_scan(&scan, &io_seq, &model, &ScanHooks::none(), |part, sel| {
+            seq_rows.extend(sel.iter().map(|&i| part.row(i)));
+            ControlFlow::Continue(())
+        });
+
+        let pool = crate::pool::MorselPool::new(4);
+        let io_pool = IoStats::new();
+        let morsel_partitions = 3usize;
+        let slots: Arc<Vec<Mutex<Vec<Vec<Value>>>>> = Arc::new(
+            (0..scan.scan_set.len().div_ceil(morsel_partitions))
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
         );
-        let mut got = rows.into_inner();
-        got.sort_by(|a, b| a.total_ord_cmp(b));
-        assert_eq!(got.len(), 100);
-        assert_eq!(got[0], Value::Int(100));
-        assert_eq!(stats.loaded, 10);
+        let sink_slots = Arc::clone(&slots);
+        let stats = pool
+            .submit(
+                pool.next_lane(),
+                crate::pool::ScanJobSpec {
+                    scan: scan.clone(),
+                    io: io_pool.clone(),
+                    io_cost: model,
+                    boundary: None,
+                    runtime_pruner: None,
+                    morsel_partitions,
+                    sink: Box::new(move |mi, part, sel| {
+                        let mut g = sink_slots[mi].lock();
+                        g.extend(sel.iter().map(|&i| part.row(i)));
+                    }),
+                    stop: Box::new(|| false),
+                    on_morsel_done: None,
+                },
+            )
+            .wait();
+        let pooled_rows: Vec<Vec<Value>> =
+            slots.iter().flat_map(|slot| slot.lock().clone()).collect();
+
+        assert_eq!(stats.loaded, seq_stats.loaded);
+        assert_eq!(stats.rows_emitted, seq_stats.rows_emitted);
+        assert_eq!(pooled_rows.len(), 100);
+        // Morsel-order reassembly reproduces the sequential order exactly.
+        assert_eq!(pooled_rows, seq_rows);
+        let sort = |mut rows: Vec<Vec<Value>>| {
+            rows.sort_by(|a, b| a[0].total_ord_cmp(&b[0]));
+            rows
+        };
+        assert_eq!(sort(pooled_rows), sort(seq_rows));
+        assert_eq!(io_pool.snapshot().partitions_loaded, 10);
     }
 }

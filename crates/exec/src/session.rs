@@ -1,0 +1,160 @@
+//! Multi-query session driver: the virtual-warehouse front door.
+//!
+//! A [`Session`] owns one shared [`MorselPool`] and runs batches of
+//! compiled queries concurrently on it. Each query gets its own driver
+//! (one scoped thread), its own [`IoStats`] handle, and its own injector
+//! lane, so:
+//!
+//! * N concurrent queries share `ExecConfig::scan_threads` scan workers —
+//!   not N×threads as the old per-scan scoped-thread model did;
+//! * per-query I/O and prune counters are tallied race-free (counters are
+//!   per-executor atomics, never shared across queries);
+//! * round-robin lane scheduling keeps a long scan from starving short
+//!   queries submitted in the same burst.
+
+use snowprune_plan::Plan;
+use snowprune_storage::Catalog;
+use snowprune_types::{Error, Result};
+use std::sync::Arc;
+
+use crate::config::ExecConfig;
+use crate::exec::{Executor, QueryOutput};
+use crate::pool::MorselPool;
+
+/// A shared-pool execution session for a burst of concurrent queries.
+pub struct Session {
+    catalog: Catalog,
+    cfg: ExecConfig,
+    pool: Arc<MorselPool>,
+}
+
+impl Session {
+    /// Create a session with its own pool of `cfg.scan_threads` workers.
+    /// Unlike [`Executor::new`], a session always routes scans through the
+    /// pool — even at `scan_threads = 1` — so single-worker runs exercise
+    /// the same code path the concurrency suites stress.
+    pub fn new(catalog: Catalog, cfg: ExecConfig) -> Self {
+        let pool = MorselPool::new(cfg.scan_threads.max(1));
+        Session { catalog, cfg, pool }
+    }
+
+    /// A session on an existing pool (e.g. several sessions sharing one
+    /// warehouse).
+    pub fn with_pool(catalog: Catalog, cfg: ExecConfig, pool: Arc<MorselPool>) -> Self {
+        Session { catalog, cfg, pool }
+    }
+
+    pub fn pool(&self) -> &Arc<MorselPool> {
+        &self.pool
+    }
+
+    pub fn config(&self) -> &ExecConfig {
+        &self.cfg
+    }
+
+    /// A fresh executor bound to this session's pool, with its own
+    /// per-query I/O counters.
+    pub fn executor(&self) -> Executor {
+        Executor::with_pool(
+            self.catalog.clone(),
+            self.cfg.clone(),
+            Arc::clone(&self.pool),
+        )
+    }
+
+    /// Run one query on the shared pool.
+    pub fn run(&self, plan: &Plan) -> Result<QueryOutput> {
+        self.executor().run(plan)
+    }
+
+    /// Run a batch of queries concurrently on the shared pool, returning
+    /// per-query outputs in input order. Each output carries that query's
+    /// own `IoStats` delta and pruning report.
+    pub fn run_batch(&self, plans: &[Plan]) -> Vec<Result<QueryOutput>> {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = plans
+                .iter()
+                .map(|plan| scope.spawn(move || self.executor().run(plan)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|_| Err(Error::Invalid("query driver panicked".into())))
+                })
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snowprune_expr::dsl::{col, lit};
+    use snowprune_plan::PlanBuilder;
+    use snowprune_storage::{Field, Layout, Schema, TableBuilder};
+    use snowprune_types::{ScalarType, Value};
+
+    fn catalog() -> Catalog {
+        let schema = Schema::new(vec![
+            Field::new("k", ScalarType::Int),
+            Field::new("v", ScalarType::Int),
+        ]);
+        let mut b = TableBuilder::new("t", schema)
+            .target_rows_per_partition(25)
+            .layout(Layout::ClusterBy(vec!["k".into()]));
+        for i in 0..1000i64 {
+            b.push_row(vec![Value::Int(i), Value::Int((i * 37) % 500)]);
+        }
+        let c = Catalog::new();
+        c.register(b.build());
+        c
+    }
+
+    fn schema_of(c: &Catalog) -> Schema {
+        c.get("t").unwrap().read().schema().clone()
+    }
+
+    #[test]
+    fn batch_results_match_individual_runs() {
+        let catalog = catalog();
+        let schema = schema_of(&catalog);
+        let plans: Vec<Plan> = (0..8)
+            .map(|i| {
+                PlanBuilder::scan("t", schema.clone())
+                    .filter(col("k").between(lit(i * 100), lit(i * 100 + 250)))
+                    .build()
+            })
+            .collect();
+        let session = Session::new(catalog.clone(), ExecConfig::default().with_scan_threads(3));
+        let batch = session.run_batch(&plans);
+        for (plan, out) in plans.iter().zip(&batch) {
+            let out = out.as_ref().unwrap();
+            let solo = Executor::new(catalog.clone(), ExecConfig::default())
+                .run(plan)
+                .unwrap();
+            let sort = |rs: &crate::RowSet| {
+                let mut rows = rs.rows.clone();
+                rows.sort_by(|a, b| a[0].total_ord_cmp(&b[0]));
+                rows
+            };
+            assert_eq!(sort(&out.rows), sort(&solo.rows));
+            // Per-query I/O deltas are isolated even though all eight
+            // queries interleaved on three workers.
+            assert_eq!(out.io.partitions_loaded, solo.io.partitions_loaded);
+        }
+    }
+
+    #[test]
+    fn single_worker_session_still_uses_pool_path() {
+        let catalog = catalog();
+        let schema = schema_of(&catalog);
+        let plan = PlanBuilder::scan("t", schema)
+            .filter(col("v").lt(lit(100i64)))
+            .build();
+        let session = Session::new(catalog, ExecConfig::default().with_scan_threads(1));
+        assert_eq!(session.pool().worker_count(), 1);
+        let out = session.run(&plan).unwrap();
+        assert_eq!(out.rows.len(), 200);
+    }
+}

@@ -61,7 +61,7 @@ pub mod prelude {
         FilterPruneConfig, FilterPruner, JoinSummary, LimitOutcome, PartitionOrder,
         QueryPruningReport, ScanSet, SummaryKind,
     };
-    pub use snowprune_exec::{ExecConfig, Executor, QueryOutput, RowSet};
+    pub use snowprune_exec::{ExecConfig, Executor, MorselPool, QueryOutput, RowSet, Session};
     pub use snowprune_expr::dsl::{coalesce, col, if_, lit};
     pub use snowprune_expr::Expr;
     pub use snowprune_plan::{AggFunc, JoinType, Plan, PlanBuilder, SortKey};

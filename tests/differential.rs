@@ -1,0 +1,327 @@
+//! Differential pruning-oracle suite: for many seeded random workloads
+//! (random schemas, layouts, predicates, LIMIT / top-k / join shapes), the
+//! executor with **all four pruning techniques enabled** must return
+//! results identical to the **all-pruning-disabled oracle** — sequentially
+//! and with the whole workload running concurrently on the shared morsel
+//! pool ("Sparsity May Cry": pruning claims only count under an
+//! adversarial, result-checked harness).
+//!
+//! Determinism contract per query shape:
+//! * filter / scan / join / aggregation queries: row *multisets* must be
+//!   byte-identical (order canonicalized — joins and pooled scans may
+//!   legally reorder);
+//! * top-k over a unique ORDER BY key: the exact ordered rows must be
+//!   byte-identical;
+//! * LIMIT without ORDER BY: SQL allows any k matching rows, so every
+//!   engine must return exactly `min(k, |matching|)` rows, each contained
+//!   in the oracle's unlimited result.
+//!
+//! The pool worker count honours `SNOWPRUNE_SCAN_THREADS` (CI runs this
+//! suite at 1, 4, and 8 workers).
+
+use snowprune::exec::scan_threads_from_env;
+use snowprune::prelude::*;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const WORKLOADS: u64 = 50;
+
+fn pool_threads() -> usize {
+    scan_threads_from_env().unwrap_or(4)
+}
+
+// ---- random workload generation -----------------------------------------
+
+struct Workload {
+    catalog: Catalog,
+    fact_schema: Schema,
+    dim_schema: Schema,
+    /// Number of rows in the fact table (LIMIT determinism bookkeeping).
+    fact_rows: usize,
+}
+
+fn build_workload(seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Random schema: core columns in shuffled order plus an optional pad
+    // column, so column indices differ across workloads.
+    let mut fields = vec![
+        Field::new("a", ScalarType::Int),
+        Field::new("b", ScalarType::Int),
+        Field::new("c", ScalarType::Str),
+    ];
+    if rng.random::<f64>() < 0.5 {
+        fields.push(Field::new("d", ScalarType::Int));
+    }
+    for i in (1..fields.len()).rev() {
+        let j = rng.random_range(0..(i + 1));
+        fields.swap(i, j);
+    }
+    let fact_schema = Schema::new(fields);
+
+    let partitions = rng.random_range(8usize..24);
+    let rows_per_part = rng.random_range(16usize..40);
+    let fact_rows = partitions * rows_per_part;
+    let layout = match rng.random_range(0u32..3) {
+        0 => Layout::ClusterBy(vec!["a".into()]),
+        1 => Layout::Natural,
+        _ => Layout::Shuffle(rng.random_range(1u64..64)),
+    };
+    let cats = ["red", "green", "blue", "teal"];
+    let mut fact = TableBuilder::new("fact", fact_schema.clone())
+        .target_rows_per_partition(rows_per_part)
+        .layout(layout);
+    for i in 0..fact_rows as i64 {
+        let mut row = Vec::with_capacity(fact_schema.len());
+        for f in fact_schema.fields() {
+            row.push(match f.name.as_str() {
+                // `a` is unique: the deterministic ORDER BY key.
+                "a" => Value::Int(i),
+                "b" => {
+                    if rng.random::<f64>() < 0.08 {
+                        Value::Null
+                    } else {
+                        Value::Int(rng.random_range(-500i64..500))
+                    }
+                }
+                "c" => Value::Str(cats[rng.random_range(0usize..cats.len())].into()),
+                _ => Value::Int(rng.random_range(0i64..1000)),
+            });
+        }
+        fact.push_row(row);
+    }
+
+    let dim_schema = Schema::new(vec![
+        Field::new("id", ScalarType::Int),
+        Field::new("weight", ScalarType::Int),
+    ]);
+    let mut dim = TableBuilder::new("dim", dim_schema.clone()).target_rows_per_partition(32);
+    for id in 0..rng.random_range(40i64..120) {
+        dim.push_row(vec![Value::Int(id), Value::Int(rng.random_range(0i64..50))]);
+    }
+
+    let catalog = Catalog::new();
+    catalog.register(fact.build());
+    catalog.register(dim.build());
+    Workload {
+        catalog,
+        fact_schema,
+        dim_schema,
+        fact_rows,
+    }
+}
+
+fn random_predicate(rng: &mut StdRng, fact_rows: usize) -> Expr {
+    let hi = fact_rows as i64;
+    match rng.random_range(0u32..5) {
+        0 => {
+            let lo = rng.random_range(0..hi);
+            let width = rng.random_range(1..hi / 2 + 2);
+            col("a").between(lit(lo), lit((lo + width).min(hi)))
+        }
+        1 => col("b").ge(lit(rng.random_range(-400i64..400))),
+        2 => col("c").eq(lit(
+            ["red", "green", "blue", "teal"][rng.random_range(0usize..4)]
+        )),
+        3 => {
+            let lo = rng.random_range(0..hi);
+            col("a")
+                .ge(lit(lo))
+                .and(col("b").lt(lit(rng.random_range(-100i64..450))))
+        }
+        _ => col("a").lt(lit(rng.random_range(1..hi))),
+    }
+}
+
+enum Check {
+    /// Multiset equality (canonical row order).
+    Sorted,
+    /// Exact ordered equality (deterministic ORDER BY on the unique key).
+    Ordered,
+    /// LIMIT-without-ORDER-BY: `min(k, |matching|)` rows, all contained in
+    /// the oracle result of `unlimited`.
+    Limited { k: usize, unlimited: Plan },
+}
+
+fn random_queries(rng: &mut StdRng, wl: &Workload) -> Vec<(Plan, Check)> {
+    let fs = &wl.fact_schema;
+    let mut out = Vec::new();
+    // 1. Filtered select.
+    out.push((
+        PlanBuilder::scan("fact", fs.clone())
+            .filter(random_predicate(rng, wl.fact_rows))
+            .build(),
+        Check::Sorted,
+    ));
+    // 2. Projected (optionally filtered) scan.
+    {
+        let mut b = PlanBuilder::scan("fact", fs.clone());
+        if rng.random::<f64>() < 0.5 {
+            b = b.filter(random_predicate(rng, wl.fact_rows));
+        }
+        out.push((b.project(vec!["a", "c"]).build(), Check::Sorted));
+    }
+    // 3. Top-k on the unique key (exact ordered check).
+    {
+        let mut b = PlanBuilder::scan("fact", fs.clone());
+        if rng.random::<f64>() < 0.6 {
+            b = b.filter(random_predicate(rng, wl.fact_rows));
+        }
+        let k = rng.random_range(1u64..30);
+        let desc = rng.random::<bool>();
+        out.push((b.order_by("a", desc).limit(k).build(), Check::Ordered));
+    }
+    // 4. Top-k above GROUP BY on the grouping key (Figure 7d shape).
+    {
+        let k = rng.random_range(1u64..20);
+        out.push((
+            PlanBuilder::scan("fact", fs.clone())
+                .aggregate(vec!["a"], vec![AggFunc::CountStar])
+                .order_by("a", rng.random::<bool>())
+                .limit(k)
+                .build(),
+            Check::Ordered,
+        ));
+    }
+    // 5. Join: filtered dim build side, fact probe side on `b`.
+    {
+        let dim = PlanBuilder::scan("dim", wl.dim_schema.clone())
+            .filter(col("weight").lt(lit(rng.random_range(1i64..40))));
+        let mut probe = PlanBuilder::scan("fact", fs.clone());
+        if rng.random::<f64>() < 0.4 {
+            probe = probe.filter(random_predicate(rng, wl.fact_rows));
+        }
+        out.push((
+            dim.join(probe, "id", "b", JoinType::Inner).build(),
+            Check::Sorted,
+        ));
+    }
+    // 6. LIMIT with predicate, no ORDER BY.
+    {
+        let pred = random_predicate(rng, wl.fact_rows);
+        let k = rng.random_range(1u64..60);
+        let unlimited = PlanBuilder::scan("fact", fs.clone())
+            .filter(pred.clone())
+            .build();
+        out.push((
+            PlanBuilder::scan("fact", fs.clone())
+                .filter(pred)
+                .limit(k)
+                .build(),
+            Check::Limited {
+                k: k as usize,
+                unlimited,
+            },
+        ));
+    }
+    out
+}
+
+// ---- comparison helpers --------------------------------------------------
+
+fn cmp_rows(a: &[Value], b: &[Value]) -> std::cmp::Ordering {
+    for (x, y) in a.iter().zip(b) {
+        let ord = x.total_ord_cmp(y);
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+fn canonical(mut rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+    rows.sort_by(|a, b| cmp_rows(a, b));
+    rows
+}
+
+// ---- the oracle ----------------------------------------------------------
+
+#[test]
+fn pruning_is_result_invariant_across_50_workloads() {
+    let threads = pool_threads();
+    let pruned_cfg = ExecConfig::default();
+    let oracle_cfg = ExecConfig::no_pruning();
+    for w in 0..WORKLOADS {
+        let seed = 0xD1FF_0000 + w;
+        let wl = build_workload(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+        let queries = random_queries(&mut rng, &wl);
+        let plans: Vec<Plan> = queries.iter().map(|(p, _)| p.clone()).collect();
+
+        // Sequential engines.
+        let pruned_seq = Executor::new(wl.catalog.clone(), pruned_cfg.clone());
+        let oracle_seq = Executor::new(wl.catalog.clone(), oracle_cfg.clone());
+        // Pooled engines: the whole workload runs as one concurrent batch
+        // on a shared pool, so morsels of different queries interleave.
+        let pruned_pool = Session::new(
+            wl.catalog.clone(),
+            pruned_cfg.clone().with_scan_threads(threads),
+        );
+        let oracle_pool = Session::new(
+            wl.catalog.clone(),
+            oracle_cfg.clone().with_scan_threads(threads),
+        );
+        let pruned_batch = pruned_pool.run_batch(&plans);
+        let oracle_batch = oracle_pool.run_batch(&plans);
+
+        for (qi, (plan, check)) in queries.iter().enumerate() {
+            let ctx = format!("workload {w} query {qi} (threads {threads})");
+            let ps = pruned_seq
+                .run(plan)
+                .unwrap_or_else(|e| panic!("{ctx}: {e:?}"));
+            let os = oracle_seq
+                .run(plan)
+                .unwrap_or_else(|e| panic!("{ctx}: {e:?}"));
+            let pp = pruned_batch[qi]
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{ctx}: {e:?}"));
+            let op = oracle_batch[qi]
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{ctx}: {e:?}"));
+            // Pruning must never scan more than the oracle.
+            assert!(
+                ps.report.pruning.partitions_scanned <= os.report.pruning.partitions_scanned,
+                "{ctx}: pruned scanned more than oracle"
+            );
+            match check {
+                Check::Sorted => {
+                    let expect = canonical(os.rows.rows.clone());
+                    assert_eq!(canonical(ps.rows.rows.clone()), expect, "{ctx}: seq pruned");
+                    assert_eq!(
+                        canonical(pp.rows.rows.clone()),
+                        expect,
+                        "{ctx}: pool pruned"
+                    );
+                    assert_eq!(
+                        canonical(op.rows.rows.clone()),
+                        expect,
+                        "{ctx}: pool oracle"
+                    );
+                }
+                Check::Ordered => {
+                    let expect = &os.rows.rows;
+                    assert_eq!(&ps.rows.rows, expect, "{ctx}: seq pruned (ordered)");
+                    assert_eq!(&pp.rows.rows, expect, "{ctx}: pool pruned (ordered)");
+                    assert_eq!(&op.rows.rows, expect, "{ctx}: pool oracle (ordered)");
+                }
+                Check::Limited { k, unlimited } => {
+                    let full = canonical(oracle_seq.run(unlimited).unwrap().rows.rows);
+                    let expect_len = (*k).min(full.len());
+                    for (label, out) in [
+                        ("seq pruned", &ps),
+                        ("pool pruned", pp),
+                        ("pool oracle", op),
+                    ] {
+                        assert_eq!(out.rows.len(), expect_len, "{ctx}: {label} row count");
+                        for row in &out.rows.rows {
+                            assert!(
+                                full.binary_search_by(|probe| cmp_rows(probe, row)).is_ok(),
+                                "{ctx}: {label} returned a row outside the oracle result"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
