@@ -6,7 +6,7 @@
 //! cargo run -p snowprune-bench --release --bin reproduce -- fig13 --scale 0.05
 //! ```
 
-use snowprune_bench::{experiments as e, pool_exp as p, tpch_exp as t};
+use snowprune_bench::{experiments as e, pool_exp as p, prefetch_exp as pf, tpch_exp as t};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -80,6 +80,11 @@ fn main() {
             } else {
                 p::ext_pool_burst(seed, 16, 4)
             }),
+            "prefetch" => Some(if smoke {
+                pf::ext_prefetch_sized(seed, 4, 50, 10)
+            } else {
+                pf::ext_prefetch(seed)
+            }),
             _ => None,
         }
     };
@@ -99,6 +104,7 @@ fn main() {
         "cache",
         "ablations",
         "pool",
+        "prefetch",
     ];
     if which == "all" {
         for id in ids {

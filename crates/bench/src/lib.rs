@@ -6,5 +6,6 @@
 
 pub mod experiments;
 pub mod pool_exp;
+pub mod prefetch_exp;
 pub mod report;
 pub mod tpch_exp;

@@ -30,6 +30,16 @@ pub struct ExecConfig {
     /// interleave queries more finely (better fairness, more queue traffic);
     /// larger morsels amortize scheduling.
     pub morsel_partitions: usize,
+    /// Partition loads each scan lane keeps in flight ahead of evaluation
+    /// (the async prefetch pipeline). 1 = the blocking model (load, then
+    /// evaluate, serially); ≥ 2 overlaps simulated object-store GETs with
+    /// predicate evaluation, and lets a boundary that tightens mid-flight
+    /// *cancel* a load before its I/O cost is ever charged. On pooled
+    /// scans the pipeline runs per morsel and drains at the morsel
+    /// boundary (another worker may own the next morsel), so the effective
+    /// in-flight count is additionally capped by `morsel_partitions`;
+    /// raise both to prefetch deeper.
+    pub prefetch_depth: usize,
     pub filter: FilterPruneConfig,
     pub io_cost: IoCostModel,
 }
@@ -47,6 +57,7 @@ impl Default for ExecConfig {
             join_bloom: true,
             scan_threads: 1,
             morsel_partitions: 4,
+            prefetch_depth: 2,
             filter: FilterPruneConfig::default(),
             io_cost: IoCostModel::default(),
         }
@@ -71,6 +82,12 @@ impl ExecConfig {
         self.scan_threads = n.max(1);
         self
     }
+
+    /// Builder-style override for the prefetch depth (clamped to ≥ 1).
+    pub fn with_prefetch_depth(mut self, n: usize) -> Self {
+        self.prefetch_depth = n.max(1);
+        self
+    }
 }
 
 /// Scan-thread override from the `SNOWPRUNE_SCAN_THREADS` environment
@@ -78,7 +95,19 @@ impl ExecConfig {
 /// and stress suites at 1, 4, and 8 workers without code changes; defaults
 /// stay env-independent so counter-exact unit tests are unaffected.
 pub fn scan_threads_from_env() -> Option<usize> {
-    std::env::var("SNOWPRUNE_SCAN_THREADS")
+    env_usize("SNOWPRUNE_SCAN_THREADS")
+}
+
+/// Prefetch-depth override from the `SNOWPRUNE_PREFETCH_DEPTH` environment
+/// variable. Like [`scan_threads_from_env`], this is applied explicitly by
+/// the differential/stress suites (CI matrix runs depths 1 and 8), never
+/// implicitly by `ExecConfig::default()`.
+pub fn prefetch_depth_from_env() -> Option<usize> {
+    env_usize("SNOWPRUNE_PREFETCH_DEPTH")
+}
+
+fn env_usize(var: &str) -> Option<usize> {
+    std::env::var(var)
         .ok()?
         .trim()
         .parse()

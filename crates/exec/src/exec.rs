@@ -40,6 +40,9 @@ pub struct ExecReport {
     pub join_summary_bytes: u64,
     /// Rows skipped by the row-level Bloom filter inside joins.
     pub bloom_skipped_rows: u64,
+    /// Aggregated per-partition pipeline counters over every scan this
+    /// query executed (`considered == loaded + skipped + cancelled`).
+    pub scan_stats: ScanRunStats,
 }
 
 /// The result of running one query.
@@ -286,7 +289,8 @@ impl Executor {
             let pool = Arc::clone(pool);
             let (stats, mut out) =
                 self.run_pooled_scan(&pool, st.lane, &scan, bound_chain, Some(need));
-            st.report.pruning.pruned_by_filter += stats.skipped_by_runtime_filter;
+            st.report.pruning.pruned_by_filter += stats.cancelled_by_runtime_filter;
+            st.report.scan_stats.merge(&stats);
             out.truncate(need);
             return Ok(Some(RowSet { schema, rows: out }));
         }
@@ -295,6 +299,7 @@ impl Executor {
         let hooks = ScanHooks {
             boundary: None,
             runtime_pruner: runtime_pruner.as_ref(),
+            prefetch_depth: self.cfg.prefetch_depth,
         };
         let stats = stream_scan(&scan, &self.io, &self.cfg.io_cost, &hooks, |part, sel| {
             for &i in sel {
@@ -308,7 +313,8 @@ impl Executor {
                 ControlFlow::Continue(())
             }
         });
-        st.report.pruning.pruned_by_filter += stats.skipped_by_runtime_filter;
+        st.report.pruning.pruned_by_filter += stats.cancelled_by_runtime_filter;
+        st.report.scan_stats.merge(&stats);
         out.truncate(need);
         Ok(Some(RowSet { schema, rows: out }))
     }
@@ -366,7 +372,8 @@ impl Executor {
         if let Some(pool) = &self.pool {
             let pool = Arc::clone(pool);
             let (stats, rows) = self.run_pooled_scan(&pool, st.lane, &scan, Vec::new(), None);
-            st.report.pruning.pruned_by_filter += stats.skipped_by_runtime_filter;
+            st.report.pruning.pruned_by_filter += stats.cancelled_by_runtime_filter;
+            st.report.scan_stats.merge(&stats);
             return Ok(RowSet { schema, rows });
         }
         let mut rows = Vec::new();
@@ -374,12 +381,14 @@ impl Executor {
         let hooks = ScanHooks {
             boundary: None,
             runtime_pruner: runtime_pruner.as_ref(),
+            prefetch_depth: self.cfg.prefetch_depth,
         };
         let stats = stream_scan(&scan, &self.io, &self.cfg.io_cost, &hooks, |part, sel| {
             rows.extend(sel.iter().map(|&i| part.row(i)));
             ControlFlow::Continue(())
         });
-        st.report.pruning.pruned_by_filter += stats.skipped_by_runtime_filter;
+        st.report.pruning.pruned_by_filter += stats.cancelled_by_runtime_filter;
+        st.report.scan_stats.merge(&stats);
         Ok(RowSet { schema, rows })
     }
 
@@ -442,6 +451,7 @@ impl Executor {
                     boundary: None,
                     runtime_pruner: self.runtime_pruner_for(scan),
                     morsel_partitions: self.cfg.morsel_partitions,
+                    prefetch_depth: self.cfg.prefetch_depth,
                     sink,
                     stop,
                     on_morsel_done,
@@ -494,6 +504,7 @@ impl Executor {
                     boundary: boundary.map(|(b, col)| (Arc::clone(b), col)),
                     runtime_pruner: self.runtime_pruner_for(scan),
                     morsel_partitions: self.cfg.morsel_partitions,
+                    prefetch_depth: self.cfg.prefetch_depth,
                     sink: Box::new(move |_, part, sel| {
                         let mut batch = Vec::with_capacity(sel.len());
                         for &i in sel {
@@ -524,6 +535,7 @@ impl Executor {
         let hooks = ScanHooks {
             boundary,
             runtime_pruner: runtime_pruner.as_ref(),
+            prefetch_depth: self.cfg.prefetch_depth,
         };
         stream_scan(scan, &self.io, &self.cfg.io_cost, &hooks, |part, sel| {
             for &i in sel {
@@ -789,11 +801,13 @@ impl Executor {
             let bound_chain = bind_chain(&chain, &scan.schema)?;
             let stats = self.stream_chain_rows(&scan, st.lane, boundary_hook, &bound_chain, sink);
             if boundary_hook.is_some() {
+                let topk_pruned = stats.skipped_by_boundary + stats.cancelled_by_boundary;
                 st.report.topk_stats.partitions_considered += stats.considered;
-                st.report.topk_stats.partitions_skipped += stats.skipped_by_boundary;
-                st.report.pruning.pruned_by_topk += stats.skipped_by_boundary;
+                st.report.topk_stats.partitions_skipped += topk_pruned;
+                st.report.pruning.pruned_by_topk += topk_pruned;
             }
-            st.report.pruning.pruned_by_filter += stats.skipped_by_runtime_filter;
+            st.report.pruning.pruned_by_filter += stats.cancelled_by_runtime_filter;
+            st.report.scan_stats.merge(&stats);
             return Ok(());
         }
         let rows = self.exec_node(plan, st)?;
@@ -876,6 +890,7 @@ impl Executor {
             p.pruned_by_join += p2.pruned_by_join;
             p.pruned_by_topk += p2.pruned_by_topk;
             p.fully_matching += p2.fully_matching;
+            st.report.scan_stats.merge(&st2.report.scan_stats);
             return Ok(r);
         };
         let input_schema = input.schema()?;
@@ -950,10 +965,12 @@ impl Executor {
                 }
                 let stats =
                     self.stream_chain_rows(&scan, st.lane, Some((boundary, order_col)), &[], sink);
+                let topk_pruned = stats.skipped_by_boundary + stats.cancelled_by_boundary;
                 st.report.topk_stats.partitions_considered += stats.considered;
-                st.report.topk_stats.partitions_skipped += stats.skipped_by_boundary;
-                st.report.pruning.pruned_by_topk += stats.skipped_by_boundary;
-                st.report.pruning.pruned_by_filter += stats.skipped_by_runtime_filter;
+                st.report.topk_stats.partitions_skipped += topk_pruned;
+                st.report.pruning.pruned_by_topk += topk_pruned;
+                st.report.pruning.pruned_by_filter += stats.cancelled_by_runtime_filter;
+                st.report.scan_stats.merge(&stats);
                 Ok(())
             }
             Plan::Scan { .. } => {

@@ -2,7 +2,10 @@
 //! paper's runtime pruning hooks: deferred filter pruning, join pruning via
 //! sideways information passing, and boundary-driven top-k pruning, over
 //! sequential or shared-pool morsel-parallel (virtual-warehouse style)
-//! scans. See `pool.rs` for the worker model and `session.rs` for the
+//! scans. Every scan runs through the async prefetch pipeline in `scan.rs`
+//! (up to `ExecConfig::prefetch_depth` partition loads in flight per lane,
+//! with completion-time pruning re-checks that cancel in-flight loads
+//! free). See `pool.rs` for the worker model and `session.rs` for the
 //! multi-query driver.
 
 pub mod agg;
@@ -13,7 +16,7 @@ pub mod rows;
 pub mod scan;
 pub mod session;
 
-pub use config::{scan_threads_from_env, ExecConfig};
+pub use config::{prefetch_depth_from_env, scan_threads_from_env, ExecConfig};
 pub use exec::{ExecReport, Executor, QueryOutput};
 pub use pool::{MorselPool, QueryId, ScanJobSpec, ScanTicket};
 pub use rows::RowSet;

@@ -35,7 +35,7 @@ use snowprune_core::filter::FilterPruner;
 use snowprune_core::topk::Boundary;
 use snowprune_storage::{IoCostModel, IoStats, MicroPartition};
 
-use crate::scan::{select_rows, CompiledScan, ScanRunStats};
+use crate::scan::{run_scan_slice, CompiledScan, ScanHooks, ScanRunStats};
 
 /// Identifies one query's FIFO lane in the injector queue.
 pub type QueryId = u64;
@@ -66,6 +66,9 @@ pub struct ScanJobSpec {
     pub runtime_pruner: Option<FilterPruner>,
     /// Scan-set entries per morsel (clamped to ≥ 1).
     pub morsel_partitions: usize,
+    /// Partition loads each worker keeps in flight per lane (clamped to
+    /// ≥ 1; 1 = blocking). See [`crate::ExecConfig::prefetch_depth`].
+    pub prefetch_depth: usize,
     pub sink: Box<PartitionSink>,
     pub stop: Box<StopFn>,
     pub on_morsel_done: Option<Box<MorselDoneFn>>,
@@ -77,6 +80,7 @@ struct ScanJob {
     io_cost: IoCostModel,
     boundary: Option<(Arc<Boundary>, usize)>,
     runtime_pruner: Option<parking_lot::Mutex<FilterPruner>>,
+    prefetch_depth: usize,
     sink: Box<PartitionSink>,
     stop: Box<StopFn>,
     on_morsel_done: Option<Box<MorselDoneFn>>,
@@ -90,11 +94,9 @@ struct JobProgress {
     done_cv: Condvar,
     /// Set when a worker panicked inside this job; re-raised by `wait()`.
     panicked: AtomicBool,
-    considered: AtomicU64,
-    loaded: AtomicU64,
-    skipped_by_boundary: AtomicU64,
-    skipped_by_runtime_filter: AtomicU64,
-    rows_emitted: AtomicU64,
+    /// Per-morsel [`ScanRunStats`] merged in as each morsel finishes; read
+    /// by `wait()` only after every morsel has drained.
+    totals: parking_lot::Mutex<ScanRunStats>,
 }
 
 impl JobProgress {
@@ -104,22 +106,12 @@ impl JobProgress {
             completed: Mutex::new(0),
             done_cv: Condvar::new(),
             panicked: AtomicBool::new(false),
-            considered: AtomicU64::new(0),
-            loaded: AtomicU64::new(0),
-            skipped_by_boundary: AtomicU64::new(0),
-            skipped_by_runtime_filter: AtomicU64::new(0),
-            rows_emitted: AtomicU64::new(0),
+            totals: parking_lot::Mutex::new(ScanRunStats::default()),
         }
     }
 
     fn stats(&self) -> ScanRunStats {
-        ScanRunStats {
-            considered: self.considered.load(Ordering::Acquire),
-            loaded: self.loaded.load(Ordering::Acquire),
-            skipped_by_boundary: self.skipped_by_boundary.load(Ordering::Acquire),
-            skipped_by_runtime_filter: self.skipped_by_runtime_filter.load(Ordering::Acquire),
-            rows_emitted: self.rows_emitted.load(Ordering::Acquire),
-        }
+        *self.totals.lock()
     }
 }
 
@@ -263,6 +255,7 @@ impl MorselPool {
             io_cost: spec.io_cost,
             boundary: spec.boundary,
             runtime_pruner: spec.runtime_pruner.map(parking_lot::Mutex::new),
+            prefetch_depth: spec.prefetch_depth.max(1),
             sink: spec.sink,
             stop: spec.stop,
             on_morsel_done: spec.on_morsel_done,
@@ -341,48 +334,34 @@ fn worker_loop(shared: &PoolShared) {
     }
 }
 
-/// Execute one morsel: the same per-entry pipeline as the sequential
-/// `stream_scan`, with counters going to the job's shared atomics.
+/// Execute one morsel through the shared load/evaluate prefetch pipeline
+/// (`scan::run_scan_slice`) — identical per-entry semantics to the
+/// sequential `stream_scan`, with §4.4 pre-assignment and the job's stop
+/// signal wired in. Counters accumulate locally and merge into the job's
+/// totals once the morsel finishes (readers only look after `wait()`).
 fn run_morsel(morsel: &Morsel) {
     let job = &morsel.job;
-    let p = &job.progress;
-    let entries = &job.scan.scan_set.entries;
-    for (offset, i) in morsel.range.clone().enumerate() {
-        if offset >= morsel.unconditional && (job.stop)() {
-            break;
-        }
-        let entry = &entries[i];
-        p.considered.fetch_add(1, Ordering::AcqRel);
-        let Ok(meta) = job.scan.table.partition_meta(entry.id) else {
-            continue;
-        };
-        if let Some((boundary, col)) = &job.boundary {
-            if boundary.should_skip(&meta.zone_maps[*col]) {
-                p.skipped_by_boundary.fetch_add(1, Ordering::AcqRel);
-                continue;
-            }
-        }
-        if let Some(pruner) = &job.runtime_pruner {
-            if job.scan.deferred_ids.contains(&entry.id)
-                && pruner.lock().evaluate(&meta.zone_maps).prunable()
-            {
-                p.skipped_by_runtime_filter.fetch_add(1, Ordering::AcqRel);
-                continue;
-            }
-        }
-        let Ok(part) = job
-            .scan
-            .table
-            .load_partition(entry.id, &job.io, &job.io_cost)
-        else {
-            continue;
-        };
-        p.loaded.fetch_add(1, Ordering::AcqRel);
-        let selection = select_rows(&job.scan, entry, &part);
-        p.rows_emitted
-            .fetch_add(selection.len() as u64, Ordering::AcqRel);
-        (job.sink)(morsel.index, &part, &selection);
-    }
+    let hooks = ScanHooks {
+        boundary: job.boundary.as_ref().map(|(b, col)| (b, *col)),
+        runtime_pruner: job.runtime_pruner.as_ref(),
+        prefetch_depth: job.prefetch_depth,
+    };
+    let mut stats = ScanRunStats::default();
+    run_scan_slice(
+        &job.scan,
+        morsel.range.clone(),
+        morsel.unconditional,
+        &job.io,
+        &job.io_cost,
+        &hooks,
+        &|| (job.stop)(),
+        &mut stats,
+        &mut |part, sel| {
+            (job.sink)(morsel.index, part, sel);
+            std::ops::ControlFlow::Continue(())
+        },
+    );
+    job.progress.totals.lock().merge(&stats);
     if let Some(done) = &job.on_morsel_done {
         done(morsel.index);
     }
@@ -442,6 +421,7 @@ mod tests {
             boundary: None,
             runtime_pruner: None,
             morsel_partitions: 3,
+            prefetch_depth: 2,
             sink: Box::new(move |mi, part, sel| {
                 let mut g = rows.lock();
                 for &i in sel {
@@ -582,5 +562,48 @@ mod tests {
         // read unconditionally — independent of morsel size — and
         // everything else honours the stop signal.
         assert_eq!(stats.loaded, 4, "§4.4: n workers read n partitions");
+    }
+
+    #[test]
+    fn preassigned_partitions_are_never_cancelled() {
+        // Even with a deep prefetch pipeline and the stop signal raised
+        // from the start, the §4.4 pre-assigned partitions complete —
+        // they are neither stop-skipped at submit nor cancelled in flight.
+        let t = table(200);
+        let io = IoStats::new();
+        let scan = compile(&t, &io, None);
+        let pool = MorselPool::new(4);
+        let mut spec = spec_collecting(scan, &io, &Arc::default());
+        spec.prefetch_depth = 8;
+        spec.stop = Box::new(|| true);
+        let stats = pool.submit(pool.next_lane(), spec).wait();
+        assert_eq!(stats.loaded, 4);
+        assert_eq!(stats.cancelled_by_stop, 0, "pre-assigned never cancelled");
+        assert_eq!(io.snapshot().partitions_loaded, 4);
+    }
+
+    #[test]
+    fn pool_counters_are_depth_invariant_without_runtime_signals() {
+        // With no boundary and no early stop, the prefetch depth changes
+        // only the overlap accounting — never which partitions load.
+        let t = table(200);
+        let fingerprint = |depth: usize| -> (ScanRunStats, u64, u64) {
+            let io = IoStats::new();
+            let scan = compile(&t, &io, Some(&col("x").lt(lit(90i64))));
+            let pool = MorselPool::new(4);
+            let rows = Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let mut spec = spec_collecting(scan, &io, &rows);
+            spec.prefetch_depth = depth;
+            let stats = pool.submit(pool.next_lane(), spec).wait();
+            let snap = io.snapshot();
+            (stats, snap.partitions_loaded, snap.bytes_loaded)
+        };
+        let base = fingerprint(1);
+        for depth in [2usize, 8] {
+            let got = fingerprint(depth);
+            assert_eq!(got.0, base.0, "stats diverged at depth {depth}");
+            assert_eq!(got.1, base.1);
+            assert_eq!(got.2, base.2);
+        }
     }
 }

@@ -1,12 +1,19 @@
-//! Table-scan compilation and partition streaming with runtime pruning
-//! hooks (deferred filter pruning, top-k boundaries).
+//! Table-scan compilation and the load/evaluate prefetch pipeline shared by
+//! every execution path.
 //!
-//! Sequential streaming lives here ([`stream_scan`]); parallel scans run
-//! as morsels on the shared [`crate::MorselPool`] (see `pool.rs`), which
-//! reuses this module's per-partition pipeline via [`select_rows`].
+//! [`run_scan_slice`] is the single per-partition pipeline: it keeps up to
+//! `prefetch_depth` partition loads in flight on an [`AsyncLake`] lane
+//! while evaluating completed ones, re-checking the top-k boundary, the
+//! deferred-filter pruner, and the early-stop signal at *completion* time
+//! so a partition that became prunable while its load was in flight is
+//! cancelled without ever charging I/O. The sequential [`stream_scan`]
+//! drives it over the whole scan set; the shared [`crate::MorselPool`]
+//! drives it per morsel — both therefore share identical pruning
+//! decisions, counter ordering (see [`complete_load`]), and virtual-clock
+//! accounting.
 
-use std::collections::HashSet;
-use std::ops::ControlFlow;
+use std::collections::{HashSet, VecDeque};
+use std::ops::{ControlFlow, Range};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -15,7 +22,8 @@ use snowprune_core::scan_set::ScanSet;
 use snowprune_core::topk::Boundary;
 use snowprune_expr::Expr;
 use snowprune_storage::{
-    IoCostModel, IoStats, MicroPartition, PartitionId, PartitionMeta, Schema, Table,
+    AsyncLake, IoCostModel, IoStats, LoadTicket, MicroPartition, PartitionId, PartitionMeta,
+    Schema, Table,
 };
 use snowprune_types::Result;
 
@@ -107,22 +115,56 @@ impl CompiledScan {
     }
 }
 
-/// Counters from one scan execution.
-#[derive(Clone, Copy, Debug, Default)]
+/// Counters from one scan execution. The pipeline invariant
+/// `considered == loaded + skipped_by_boundary + cancelled_in_flight()`
+/// holds on every path (entries dropped before submission are skips;
+/// entries whose load was issued and then revoked are cancellations).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ScanRunStats {
     pub considered: u64,
     pub loaded: u64,
+    /// Submit-time skips: the boundary already excluded the partition
+    /// before its load was issued.
     pub skipped_by_boundary: u64,
-    pub skipped_by_runtime_filter: u64,
+    /// In-flight loads cancelled at completion time because the top-k
+    /// boundary tightened after submission.
+    pub cancelled_by_boundary: u64,
+    /// Deferred-filter prunes (§3.2). Decided at load-completion time —
+    /// the adaptive pruner must see each deferred partition exactly once,
+    /// in scan order, on every path — cancelling the in-flight load free.
+    pub cancelled_by_runtime_filter: u64,
+    /// In-flight loads cancelled because the early-stop signal fired while
+    /// they were being prefetched.
+    pub cancelled_by_stop: u64,
     pub rows_emitted: u64,
 }
 
-/// Runtime hooks consulted before loading each partition.
+impl ScanRunStats {
+    /// Total in-flight loads cancelled before their I/O was charged.
+    pub fn cancelled_in_flight(&self) -> u64 {
+        self.cancelled_by_boundary + self.cancelled_by_runtime_filter + self.cancelled_by_stop
+    }
+
+    /// Accumulate another scan's counters (per-query report totals).
+    pub fn merge(&mut self, other: &ScanRunStats) {
+        self.considered += other.considered;
+        self.loaded += other.loaded;
+        self.skipped_by_boundary += other.skipped_by_boundary;
+        self.cancelled_by_boundary += other.cancelled_by_boundary;
+        self.cancelled_by_runtime_filter += other.cancelled_by_runtime_filter;
+        self.cancelled_by_stop += other.cancelled_by_stop;
+        self.rows_emitted += other.rows_emitted;
+    }
+}
+
+/// Runtime hooks consulted while the pipeline runs.
 pub struct ScanHooks<'a> {
     /// Top-k boundary and the ORDER BY column index.
     pub boundary: Option<(&'a Arc<Boundary>, usize)>,
     /// Runtime filter pruner for deferred partitions.
     pub runtime_pruner: Option<&'a Mutex<FilterPruner>>,
+    /// Loads kept in flight ahead of evaluation; 1 = the blocking model.
+    pub prefetch_depth: usize,
 }
 
 impl ScanHooks<'_> {
@@ -130,13 +172,14 @@ impl ScanHooks<'_> {
         ScanHooks {
             boundary: None,
             runtime_pruner: None,
+            prefetch_depth: 1,
         }
     }
 }
 
 /// Stream the scan's partitions sequentially, invoking `sink` with each
 /// loaded partition and the selected row indices. `sink` may stop the scan
-/// early (LIMIT-style).
+/// early (LIMIT-style); in-flight prefetches are then cancelled free.
 pub fn stream_scan(
     scan: &CompiledScan,
     io: &IoStats,
@@ -145,36 +188,199 @@ pub fn stream_scan(
     mut sink: impl FnMut(&MicroPartition, &[usize]) -> ControlFlow<()>,
 ) -> ScanRunStats {
     let mut stats = ScanRunStats::default();
-    for entry in &scan.scan_set.entries {
-        stats.considered += 1;
+    run_scan_slice(
+        scan,
+        0..scan.scan_set.len(),
+        0,
+        io,
+        io_cost,
+        hooks,
+        &|| false,
+        &mut stats,
+        &mut sink,
+    );
+    stats
+}
+
+/// Run one contiguous slice of the scan set through the load/evaluate
+/// prefetch pipeline — THE per-partition scan implementation, shared by
+/// the sequential [`stream_scan`] (whole scan set, `unconditional = 0`)
+/// and the pool's morsel workers (one morsel, §4.4 pre-assignment as
+/// `unconditional`).
+///
+/// Submit stage, per entry: early-stop check (beyond the pre-assigned
+/// prefix), `considered` bump, submit-time boundary skip, then an
+/// [`AsyncLake::submit_load`]. At most `hooks.prefetch_depth` loads stay
+/// in flight; the oldest is resolved before the next submission, and
+/// everything drains at slice end.
+///
+/// Completion stage, per in-flight load (FIFO, preserving scan-set output
+/// order byte-identically): non-pre-assigned loads are re-checked against
+/// the early stop and the (possibly tightened) boundary, and *every* load
+/// runs the deferred filter pruner — any hit cancels the load with zero
+/// I/O charged. §4.4 pre-assigned loads are exempt only from the runtime
+/// *coordination* signals (stop, boundary), matching the blocking pool's
+/// semantics where pre-assignment gated the stop check alone; a
+/// partition's own deferred filter verdict still prunes it. Survivors
+/// complete through [`complete_load`], get evaluated, and flow to `sink`;
+/// a `Break` from the sink halts submission and cancels the rest of the
+/// pipeline.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_scan_slice(
+    scan: &CompiledScan,
+    range: Range<usize>,
+    unconditional: usize,
+    io: &IoStats,
+    io_cost: &IoCostModel,
+    hooks: &ScanHooks<'_>,
+    stop: &dyn Fn() -> bool,
+    stats: &mut ScanRunStats,
+    sink: &mut dyn FnMut(&MicroPartition, &[usize]) -> ControlFlow<()>,
+) {
+    let depth = hooks.prefetch_depth.max(1);
+    let mut lake = AsyncLake::new(Arc::clone(&scan.table), io.clone(), *io_cost);
+    let mut inflight: VecDeque<InflightSlot> = VecDeque::new();
+    let mut halted = false;
+    for (offset, index) in range.enumerate() {
+        while inflight.len() >= depth {
+            let slot = inflight.pop_front().expect("in-flight queue non-empty");
+            finish_load(
+                scan,
+                &mut lake,
+                hooks,
+                stop,
+                unconditional,
+                slot,
+                stats,
+                &mut halted,
+                sink,
+            );
+        }
+        if offset >= unconditional && (halted || stop()) {
+            halted = true;
+            break;
+        }
+        let entry = &scan.scan_set.entries[index];
+        // An unresolvable entry (impossible with immutable table
+        // snapshots) is dropped before it is counted, preserving the
+        // `considered == loaded + skipped + cancelled` identity.
         let Ok(meta) = scan.table.partition_meta(entry.id) else {
             continue;
         };
+        stats.considered += 1;
         if let Some((boundary, col)) = hooks.boundary {
             if boundary.should_skip(&meta.zone_maps[col]) {
                 stats.skipped_by_boundary += 1;
                 continue;
             }
         }
-        if let Some(pruner) = hooks.runtime_pruner {
-            if scan.deferred_ids.contains(&entry.id)
-                && pruner.lock().evaluate(&meta.zone_maps).prunable()
-            {
-                stats.skipped_by_runtime_filter += 1;
-                continue;
+        let ticket = lake.submit_load(entry.id, meta.bytes);
+        inflight.push_back(InflightSlot {
+            offset,
+            index,
+            meta,
+            ticket,
+        });
+    }
+    while let Some(slot) = inflight.pop_front() {
+        finish_load(
+            scan,
+            &mut lake,
+            hooks,
+            stop,
+            unconditional,
+            slot,
+            stats,
+            &mut halted,
+            sink,
+        );
+    }
+    lake.finish();
+}
+
+/// One submitted-but-unresolved load in the pipeline.
+struct InflightSlot<'a> {
+    /// Position within the slice (for the §4.4 pre-assignment rule).
+    offset: usize,
+    /// Index into the scan set.
+    index: usize,
+    /// Resolved at submit time; partitions are immutable snapshots, so the
+    /// completion-stage re-checks can reuse it instead of re-resolving.
+    meta: &'a PartitionMeta,
+    ticket: LoadTicket,
+}
+
+/// Completion stage for one in-flight load (see [`run_scan_slice`]).
+#[allow(clippy::too_many_arguments)]
+fn finish_load(
+    scan: &CompiledScan,
+    lake: &mut AsyncLake,
+    hooks: &ScanHooks<'_>,
+    stop: &dyn Fn() -> bool,
+    unconditional: usize,
+    slot: InflightSlot<'_>,
+    stats: &mut ScanRunStats,
+    halted: &mut bool,
+    sink: &mut dyn FnMut(&MicroPartition, &[usize]) -> ControlFlow<()>,
+) {
+    let entry = &scan.scan_set.entries[slot.index];
+    // §4.4 pre-assigned partitions are never cancelled by the runtime
+    // *coordination* signals (early stop, top-k boundary): they model
+    // scan-set ranges already handed to workers before any LIMIT/top-k
+    // coordination, matching the blocking pool, where pre-assignment
+    // gated only the stop check.
+    if slot.offset >= unconditional {
+        if *halted || stop() {
+            lake.cancel(slot.ticket);
+            stats.cancelled_by_stop += 1;
+            return;
+        }
+        if let Some((boundary, col)) = hooks.boundary {
+            if boundary.should_skip(&slot.meta.zone_maps[col]) {
+                lake.cancel(slot.ticket);
+                stats.cancelled_by_boundary += 1;
+                return;
             }
         }
-        let Ok(part) = scan.table.load_partition(entry.id, io, io_cost) else {
-            continue;
-        };
-        stats.loaded += 1;
-        let selection = select_rows(scan, entry, &part);
-        stats.rows_emitted += selection.len() as u64;
-        if sink(&part, &selection).is_break() {
-            break;
+    }
+    // The deferred filter verdict is the partition's own (§3.2), not a
+    // coordination signal — it applies to pre-assigned entries too, and
+    // runs here (completion, FIFO) so the adaptive pruner sees each
+    // deferred partition exactly once, in scan order, on every path.
+    if let Some(pruner) = hooks.runtime_pruner {
+        if scan.deferred_ids.contains(&entry.id)
+            && pruner.lock().evaluate(&slot.meta.zone_maps).prunable()
+        {
+            lake.cancel(slot.ticket);
+            stats.cancelled_by_runtime_filter += 1;
+            return;
         }
     }
-    stats
+    let Some(part) = complete_load(lake, slot.ticket, &mut || stats.loaded += 1) else {
+        return;
+    };
+    let selection = select_rows(scan, entry, &part);
+    stats.rows_emitted += selection.len() as u64;
+    lake.note_evaluated(part.row_count() as u64);
+    if sink(&part, &selection).is_break() {
+        *halted = true;
+    }
+}
+
+/// The single load/record step shared by the blocking (depth-1) and
+/// prefetch paths: completing the ticket charges the partition's bytes and
+/// latency to `IoStats`, and only then is the `loaded` counter bumped —
+/// one helper, one ordering, so the scan counter and the I/O charge cannot
+/// diverge between execution paths (the seed split this across `pool.rs`
+/// and `scan.rs`).
+pub(crate) fn complete_load(
+    lake: &mut AsyncLake,
+    ticket: LoadTicket,
+    loaded: &mut dyn FnMut(),
+) -> Option<Arc<MicroPartition>> {
+    let part = lake.complete(ticket).ok()?;
+    loaded();
+    Some(part)
 }
 
 /// Evaluate the scan predicate on a partition. Fully-matching partitions
@@ -212,6 +418,19 @@ mod tests {
             b.push_row(vec![Value::Int(i)]);
         }
         Arc::new(b.build())
+    }
+
+    fn compile(t: &Arc<Table>, io: &IoStats, pred: Option<&snowprune_expr::Expr>) -> CompiledScan {
+        CompiledScan::compile(
+            "t",
+            Arc::clone(t),
+            pred,
+            true,
+            &FilterPruneConfig::default(),
+            io,
+            &IoCostModel::free(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -339,6 +558,7 @@ mod tests {
         let hooks = ScanHooks {
             boundary: Some((&boundary, 0)),
             runtime_pruner: None,
+            prefetch_depth: 1,
         };
         let stats = stream_scan(&scan, &io, &IoCostModel::free(), &hooks, |_, _| {
             ControlFlow::Continue(())
@@ -394,6 +614,7 @@ mod tests {
                     boundary: None,
                     runtime_pruner: None,
                     morsel_partitions,
+                    prefetch_depth: 2,
                     sink: Box::new(move |mi, part, sel| {
                         let mut g = sink_slots[mi].lock();
                         g.extend(sel.iter().map(|&i| part.row(i)));
@@ -417,5 +638,153 @@ mod tests {
         };
         assert_eq!(sort(pooled_rows), sort(seq_rows));
         assert_eq!(io_pool.snapshot().partitions_loaded, 10);
+    }
+
+    #[test]
+    fn loaded_counter_and_io_charge_move_in_lockstep() {
+        // Pins the ordering of the shared load/record helper: when the
+        // `loaded` callback fires, the IoStats charge for that partition
+        // has already landed — and an unresolved ticket bumps neither.
+        let t = table();
+        let io = IoStats::new();
+        let model = IoCostModel::free();
+        let mut lake = AsyncLake::new(Arc::clone(&t), io.clone(), model);
+        let mut loaded = 0u64;
+        for id in 0..3u64 {
+            let bytes = t.partition_meta(id).unwrap().bytes;
+            let ticket = lake.submit_load(id, bytes);
+            assert_eq!(io.snapshot().partitions_loaded, loaded, "no charge yet");
+            let io_probe = io.clone();
+            let part = complete_load(&mut lake, ticket, &mut || {
+                loaded += 1;
+                // The I/O charge precedes the counter bump.
+                assert_eq!(io_probe.snapshot().partitions_loaded, loaded);
+            })
+            .unwrap();
+            assert_eq!(part.meta.id, id);
+        }
+        assert_eq!(loaded, 3);
+        assert_eq!(io.snapshot().partitions_loaded, 3);
+        // Cancelled tickets bump neither side.
+        let ticket = lake.submit_load(3, t.partition_meta(3).unwrap().bytes);
+        lake.cancel(ticket);
+        assert_eq!(io.snapshot().partitions_loaded, 3);
+        assert_eq!(io.snapshot().loads_cancelled, 1);
+    }
+
+    #[test]
+    fn prefetch_depths_agree_with_blocking_on_boundary_scans() {
+        // Sequential law: because completions are FIFO and the boundary is
+        // monotone, a depth-d pipeline loads exactly the partitions the
+        // blocking path loads — submit-time skips plus completion-time
+        // cancellations together equal the blocking path's skips.
+        let t = table();
+        let run = |depth: usize| -> (ScanRunStats, u64, Vec<Value>) {
+            let io = IoStats::new();
+            let scan = compile(&t, &io, None);
+            let boundary = Boundary::new(true);
+            let hooks = ScanHooks {
+                boundary: Some((&boundary, 0)),
+                runtime_pruner: None,
+                prefetch_depth: depth,
+            };
+            let mut rows = Vec::new();
+            let stats = stream_scan(&scan, &io, &IoCostModel::free(), &hooks, |part, sel| {
+                for &i in sel {
+                    let v = part.row(i)[0].clone();
+                    rows.push(v.clone());
+                    // Tighten as a heap would: after 30 rows the 30th-best
+                    // value bounds the scan.
+                    if rows.len() == 30 {
+                        boundary.tighten_inclusive(&Value::Int(170));
+                    }
+                }
+                ControlFlow::Continue(())
+            });
+            (stats, io.snapshot().partitions_loaded, rows)
+        };
+        let (s1, loaded1, rows1) = run(1);
+        for depth in [2usize, 4, 8] {
+            let (sd, loadedd, rowsd) = run(depth);
+            assert_eq!(sd.loaded, s1.loaded, "depth {depth} loads diverged");
+            assert_eq!(loadedd, loaded1);
+            assert_eq!(rowsd, rows1, "depth {depth} rows diverged");
+            assert_eq!(
+                sd.skipped_by_boundary + sd.cancelled_by_boundary,
+                s1.skipped_by_boundary + s1.cancelled_by_boundary,
+            );
+            assert_eq!(
+                sd.considered,
+                sd.loaded + sd.skipped_by_boundary + sd.cancelled_in_flight()
+            );
+        }
+        // The boundary tightened mid-flight, so deeper pipelines must have
+        // cancelled at least one submitted load instead of skipping it.
+        let (s8, _, _) = run(8);
+        assert!(s8.cancelled_by_boundary > 0, "no in-flight cancellation");
+        assert_eq!(s1.cancelled_by_boundary, 0, "depth 1 cannot cancel");
+    }
+
+    #[test]
+    fn sink_break_cancels_inflight_prefetches() {
+        let t = table();
+        let io = IoStats::new();
+        let scan = compile(&t, &io, None);
+        let hooks = ScanHooks {
+            boundary: None,
+            runtime_pruner: None,
+            prefetch_depth: 4,
+        };
+        let mut n = 0u64;
+        let stats = stream_scan(&scan, &io, &IoCostModel::free(), &hooks, |_, sel| {
+            n += sel.len() as u64;
+            if n >= 15 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        // Identical I/O to the blocking early stop: partitions prefetched
+        // past the break are cancelled, not loaded.
+        assert_eq!(io.snapshot().partitions_loaded, 2);
+        assert_eq!(stats.loaded, 2);
+        assert!(stats.cancelled_by_stop > 0);
+        assert_eq!(io.snapshot().loads_cancelled, stats.cancelled_in_flight());
+    }
+
+    #[test]
+    fn prefetch_overlaps_simulated_io_with_evaluation() {
+        let t = table();
+        let model = IoCostModel {
+            latency_ns_per_request: 10_000,
+            throughput_bytes_per_sec: u64::MAX,
+            metadata_ns_per_read: 0,
+            eval_ns_per_row: 1_000,
+        };
+        let run = |depth: usize| {
+            let io = IoStats::new();
+            let scan = compile(&t, &io, None);
+            let hooks = ScanHooks {
+                boundary: None,
+                runtime_pruner: None,
+                prefetch_depth: depth,
+            };
+            stream_scan(&scan, &io, &model, &hooks, |_, _| ControlFlow::Continue(()));
+            io.snapshot()
+        };
+        let blocking = run(1);
+        let prefetched = run(2);
+        assert_eq!(blocking.io_overlapped_ns, 0);
+        assert_eq!(
+            blocking.simulated_wall_ns,
+            blocking.simulated_io_ns + blocking.simulated_cpu_ns
+        );
+        assert_eq!(prefetched.bytes_loaded, blocking.bytes_loaded);
+        assert!(prefetched.io_overlapped_ns > 0);
+        assert!(prefetched.simulated_wall_ns < blocking.simulated_wall_ns);
+        assert_eq!(
+            prefetched.simulated_wall_ns,
+            prefetched.simulated_io_ns + prefetched.simulated_cpu_ns - prefetched.io_overlapped_ns
+        );
     }
 }

@@ -146,6 +146,44 @@ mod tests {
     }
 
     #[test]
+    fn prefetch_counters_thread_through_session_outputs() {
+        // The new pipeline counters surface per query: the IoSnapshot delta
+        // carries overlap/wall accounting and the report carries the
+        // pipeline invariant, for every query of a concurrent batch.
+        let catalog = catalog();
+        let schema = schema_of(&catalog);
+        let plans: Vec<Plan> = (0..6)
+            .map(|i| {
+                PlanBuilder::scan("t", schema.clone())
+                    .filter(col("k").between(lit(i * 120), lit(i * 120 + 300)))
+                    .build()
+            })
+            .collect();
+        let mut cfg = ExecConfig::default()
+            .with_scan_threads(3)
+            .with_prefetch_depth(4);
+        // Zero metadata cost so the wall identity below covers exactly the
+        // pipeline's load + evaluate time.
+        cfg.io_cost.metadata_ns_per_read = 0;
+        let session = Session::new(catalog, cfg);
+        for out in session.run_batch(&plans) {
+            let out = out.unwrap();
+            let s = &out.report.scan_stats;
+            assert_eq!(
+                s.considered,
+                s.loaded + s.skipped_by_boundary + s.cancelled_in_flight(),
+                "pipeline invariant"
+            );
+            assert_eq!(out.io.partitions_loaded, s.loaded);
+            assert!(out.io.io_overlapped_ns > 0, "depth 4 must overlap I/O");
+            assert_eq!(
+                out.io.simulated_wall_ns,
+                out.io.simulated_io_ns + out.io.simulated_cpu_ns - out.io.io_overlapped_ns
+            );
+        }
+    }
+
+    #[test]
     fn single_worker_session_still_uses_pool_path() {
         let catalog = catalog();
         let schema = schema_of(&catalog);

@@ -11,6 +11,7 @@ pub mod column;
 pub mod io;
 pub mod lake;
 pub mod partition;
+pub mod prefetch;
 pub mod schema;
 pub mod table;
 
@@ -19,5 +20,6 @@ pub use column::{Bitmap, ColumnBuilder, ColumnChunk, ColumnValues};
 pub use io::{IoCostModel, IoSnapshot, IoStats};
 pub use lake::{DataFile, LakePruneStats, LakeTable, ManifestEntry, PageMeta, RowGroup};
 pub use partition::{MicroPartition, PartitionId, PartitionMeta};
+pub use prefetch::{AsyncLake, LoadTicket};
 pub use schema::{Field, Schema};
 pub use table::{DmlResult, Layout, Table, TableBuilder};

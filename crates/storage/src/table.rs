@@ -223,7 +223,8 @@ impl Table {
         Ok(Arc::clone(p))
     }
 
-    /// Direct access without accounting (tests only).
+    /// Direct access without accounting (tests, and [`crate::AsyncLake`],
+    /// which does its own completion-time accounting).
     pub fn partition(&self, id: PartitionId) -> Result<Arc<MicroPartition>> {
         self.find(id).map(Arc::clone)
     }

@@ -388,6 +388,65 @@ pub fn tenant_burst(cfg: &WorkloadConfig, seed: u64) -> ProductionWorkload {
     ProductionWorkload { catalog, queries }
 }
 
+/// I/O-bound burst for the prefetch experiment: wide filtered range scans
+/// over the clustered fact table, no LIMIT/top-k shapes. The partition set
+/// is fixed at scan-compile time, so sweeping the prefetch depth changes
+/// *only* the overlap accounting — never which partitions load — which is
+/// exactly what makes the depth-1 vs depth-n wall-clock comparison fair.
+pub fn io_bound_burst(cfg: &WorkloadConfig, seed: u64) -> ProductionWorkload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let catalog = Catalog::new();
+    build_tables(&catalog, cfg, &mut rng);
+    let max_ts = (cfg.rows_per_partition * cfg.fact_partitions) as i64 * 10;
+    let queries = (0..cfg.queries)
+        .map(|_| {
+            // Wide windows (~40-80% of the key space): plenty of partitions
+            // survive pruning, so the scan is dominated by partition GETs.
+            let width = max_ts * 2 / 5 + rng.random_range(0..max_ts * 2 / 5);
+            let lo = rng.random_range(0..(max_ts - width).max(1));
+            let plan = PlanBuilder::scan("events_clustered", events_schema())
+                .filter(col("ts").between(lit(lo), lit(lo + width)))
+                .build();
+            let sql = to_sql(&plan);
+            GeneratedQuery {
+                plan,
+                sql,
+                kind: QueryKind::FilteredSelect,
+            }
+        })
+        .collect();
+    ProductionWorkload { catalog, queries }
+}
+
+/// Top-k burst engineered so the pruning boundary tightens *mid-scan*: an
+/// ascending top-k over the `ts`-clustered fact, whose first partition
+/// alone fills the heap. Every later partition becomes prunable only once
+/// that first partition has been evaluated — so a prefetching scan always
+/// has loads in flight at the moment the boundary snaps shut, and those
+/// loads are cancelled before their I/O is charged (run with upfront
+/// boundary seeding disabled, or the scan never submits them at all).
+pub fn topk_tighten_burst(cfg: &WorkloadConfig, seed: u64) -> ProductionWorkload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let catalog = Catalog::new();
+    build_tables(&catalog, cfg, &mut rng);
+    let queries = (0..cfg.queries)
+        .map(|_| {
+            let k = rng.random_range(1u64..(cfg.rows_per_partition as u64 / 2).max(2));
+            let plan = PlanBuilder::scan("events_clustered", events_schema())
+                .order_by("ts", false)
+                .limit(k)
+                .build();
+            let sql = to_sql(&plan);
+            GeneratedQuery {
+                plan,
+                sql,
+                kind: QueryKind::TopK,
+            }
+        })
+        .collect();
+    ProductionWorkload { catalog, queries }
+}
+
 /// Figure 12: repetitiveness model. Draws `n` top-k queries where shapes
 /// follow a heavy-tailed popularity distribution calibrated so that ~85%
 /// of observed shapes occur exactly once over a 3-day-sized window.
@@ -514,6 +573,26 @@ mod tests {
                 wl.queries.iter().any(|q| q.kind == kind),
                 "burst missing {kind:?}"
             );
+        }
+    }
+
+    #[test]
+    fn prefetch_bursts_have_expected_shapes() {
+        let cfg = WorkloadConfig {
+            queries: 8,
+            rows_per_partition: 40,
+            fact_partitions: 6,
+        };
+        let io = io_bound_burst(&cfg, 9);
+        assert_eq!(io.queries.len(), 8);
+        for q in &io.queries {
+            q.plan.check().unwrap();
+            assert_eq!(q.kind, QueryKind::FilteredSelect);
+        }
+        let topk = topk_tighten_burst(&cfg, 9);
+        for q in &topk.queries {
+            q.plan.check().unwrap();
+            assert_eq!(q.kind, QueryKind::TopK);
         }
     }
 

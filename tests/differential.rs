@@ -17,9 +17,12 @@
 //!   in the oracle's unlimited result.
 //!
 //! The pool worker count honours `SNOWPRUNE_SCAN_THREADS` (CI runs this
-//! suite at 1, 4, and 8 workers).
+//! suite at 1, 4, and 8 workers) and the default prefetch depth honours
+//! `SNOWPRUNE_PREFETCH_DEPTH` (CI runs depths 1 and 8); the dedicated
+//! prefetch leg additionally pins depths 1 and 4 against the sequential
+//! oracle.
 
-use snowprune::exec::scan_threads_from_env;
+use snowprune::exec::{prefetch_depth_from_env, scan_threads_from_env};
 use snowprune::prelude::*;
 
 use rand::rngs::StdRng;
@@ -29,6 +32,25 @@ const WORKLOADS: u64 = 50;
 
 fn pool_threads() -> usize {
     scan_threads_from_env().unwrap_or(4)
+}
+
+fn env_prefetch_depth() -> usize {
+    prefetch_depth_from_env().unwrap_or(2)
+}
+
+/// The prefetch pipeline's counter invariant: every considered scan-set
+/// entry was loaded, skipped before submission, or cancelled in flight.
+fn assert_pipeline_invariant(out: &QueryOutput, ctx: &str) {
+    let s = &out.report.scan_stats;
+    assert_eq!(
+        s.loaded + s.skipped_by_boundary + s.cancelled_in_flight(),
+        s.considered,
+        "{ctx}: loaded + skipped + cancelled != considered ({s:?})"
+    );
+    assert_eq!(
+        out.io.partitions_loaded, s.loaded,
+        "{ctx}: IoStats and scan counters disagree on loads"
+    );
 }
 
 // ---- random workload generation -----------------------------------------
@@ -239,8 +261,8 @@ fn canonical(mut rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
 #[test]
 fn pruning_is_result_invariant_across_50_workloads() {
     let threads = pool_threads();
-    let pruned_cfg = ExecConfig::default();
-    let oracle_cfg = ExecConfig::no_pruning();
+    let pruned_cfg = ExecConfig::default().with_prefetch_depth(env_prefetch_depth());
+    let oracle_cfg = ExecConfig::no_pruning().with_prefetch_depth(env_prefetch_depth());
     for w in 0..WORKLOADS {
         let seed = 0xD1FF_0000 + w;
         let wl = build_workload(seed);
@@ -283,6 +305,12 @@ fn pruning_is_result_invariant_across_50_workloads() {
                 ps.report.pruning.partitions_scanned <= os.report.pruning.partitions_scanned,
                 "{ctx}: pruned scanned more than oracle"
             );
+            for (label, out) in [("seq pruned", &ps), ("seq oracle", &os)] {
+                assert_pipeline_invariant(out, &format!("{ctx} {label}"));
+            }
+            for (label, out) in [("pool pruned", pp), ("pool oracle", op)] {
+                assert_pipeline_invariant(out, &format!("{ctx} {label}"));
+            }
             match check {
                 Check::Sorted => {
                     let expect = canonical(os.rows.rows.clone());
@@ -318,6 +346,98 @@ fn pruning_is_result_invariant_across_50_workloads() {
                                 full.binary_search_by(|probe| cmp_rows(probe, row)).is_ok(),
                                 "{ctx}: {label} returned a row outside the oracle result"
                             );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---- the prefetch leg ----------------------------------------------------
+
+/// The same 50 workloads × 6 query shapes, executed with all pruning on at
+/// `prefetch_depth ∈ {1, 4}` (sequentially and as concurrent pool
+/// batches), must stay byte-identical to the blocking sequential oracle —
+/// and every run must satisfy the pipeline counter invariant
+/// `loaded + skipped + cancelled == considered`. Cancellation is I/O
+/// accounting only; it can never change results.
+#[test]
+fn prefetch_depths_match_sequential_oracle() {
+    let threads = pool_threads();
+    let oracle_cfg = ExecConfig::no_pruning().with_prefetch_depth(1);
+    for w in 0..WORKLOADS {
+        let seed = 0xD1FF_0000 + w;
+        let wl = build_workload(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+        let queries = random_queries(&mut rng, &wl);
+        let plans: Vec<Plan> = queries.iter().map(|(p, _)| p.clone()).collect();
+        // Blocking sequential oracle: no pruning, no prefetching. Its runs
+        // are depth-independent and deterministic — execute each query (and
+        // each LIMIT shape's unlimited variant) once, outside the depth
+        // sweep.
+        let oracle = Executor::new(wl.catalog.clone(), oracle_cfg.clone());
+        let oracle_outs: Vec<QueryOutput> = plans
+            .iter()
+            .map(|p| {
+                oracle
+                    .run(p)
+                    .unwrap_or_else(|e| panic!("workload {w} oracle: {e:?}"))
+            })
+            .collect();
+        let oracle_full: Vec<Option<Vec<Vec<Value>>>> = queries
+            .iter()
+            .map(|(_, check)| match check {
+                Check::Limited { unlimited, .. } => {
+                    Some(canonical(oracle.run(unlimited).unwrap().rows.rows))
+                }
+                _ => None,
+            })
+            .collect();
+
+        for depth in [1usize, 4] {
+            let cfg = ExecConfig::default().with_prefetch_depth(depth);
+            let seq = Executor::new(wl.catalog.clone(), cfg.clone());
+            let pool = Session::new(wl.catalog.clone(), cfg.with_scan_threads(threads));
+            let batch = pool.run_batch(&plans);
+            for (qi, (_, check)) in queries.iter().enumerate() {
+                let ctx = format!("workload {w} query {qi} depth {depth} (threads {threads})");
+                let os = &oracle_outs[qi];
+                let ps = seq
+                    .run(&plans[qi])
+                    .unwrap_or_else(|e| panic!("{ctx}: {e:?}"));
+                let pp = batch[qi]
+                    .as_ref()
+                    .unwrap_or_else(|e| panic!("{ctx}: {e:?}"));
+                assert_pipeline_invariant(&ps, &format!("{ctx} seq"));
+                assert_pipeline_invariant(pp, &format!("{ctx} pool"));
+                assert!(
+                    ps.io.bytes_loaded <= os.io.bytes_loaded,
+                    "{ctx}: prefetching loaded more bytes than the oracle"
+                );
+                match check {
+                    Check::Sorted => {
+                        let expect = canonical(os.rows.rows.clone());
+                        assert_eq!(canonical(ps.rows.rows.clone()), expect, "{ctx}: seq");
+                        assert_eq!(canonical(pp.rows.rows.clone()), expect, "{ctx}: pool");
+                    }
+                    Check::Ordered => {
+                        assert_eq!(&ps.rows.rows, &os.rows.rows, "{ctx}: seq (ordered)");
+                        assert_eq!(&pp.rows.rows, &os.rows.rows, "{ctx}: pool (ordered)");
+                    }
+                    Check::Limited { k, .. } => {
+                        let full = oracle_full[qi]
+                            .as_ref()
+                            .expect("limited oracle precomputed");
+                        let expect_len = (*k).min(full.len());
+                        for (label, out) in [("seq", &ps), ("pool", pp)] {
+                            assert_eq!(out.rows.len(), expect_len, "{ctx}: {label} row count");
+                            for row in &out.rows.rows {
+                                assert!(
+                                    full.binary_search_by(|probe| cmp_rows(probe, row)).is_ok(),
+                                    "{ctx}: {label} row outside the oracle result"
+                                );
+                            }
                         }
                     }
                 }

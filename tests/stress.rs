@@ -11,10 +11,13 @@
 //! skips mid-flight) are covered by the differential and property suites,
 //! which check result-invariance rather than counter equality.
 //!
-//! Worker count honours `SNOWPRUNE_SCAN_THREADS` (CI matrix: 1, 4, 8);
-//! default is the issue's 4-worker scenario.
+//! Worker count honours `SNOWPRUNE_SCAN_THREADS` (CI matrix: 1, 4, 8) and
+//! the prefetch depth honours `SNOWPRUNE_PREFETCH_DEPTH` (CI: 1, 8);
+//! defaults are the issue's 4-worker / depth-2 scenario. A second leg runs
+//! a mixed-depth pool (depths 1, 2, 8 round-robin across queries sharing
+//! one pool) and must be equally reproducible.
 
-use snowprune::exec::scan_threads_from_env;
+use snowprune::exec::{prefetch_depth_from_env, scan_threads_from_env};
 use snowprune::prelude::*;
 
 const RUNS: usize = 100;
@@ -22,6 +25,10 @@ const QUERIES: usize = 16;
 
 fn pool_threads() -> usize {
     scan_threads_from_env().unwrap_or(4)
+}
+
+fn env_prefetch_depth() -> usize {
+    prefetch_depth_from_env().unwrap_or(2)
 }
 
 fn catalog() -> Catalog {
@@ -103,7 +110,10 @@ fn queries(c: &Catalog) -> Vec<Plan> {
     plans
 }
 
-/// Everything that must be bit-identical across repeated runs.
+/// Everything that must be bit-identical across repeated runs. `io` is the
+/// full per-query `IoSnapshot`, so the prefetch pipeline's virtual-clock
+/// accounting (overlap, cancellations, simulated wall) must also reproduce
+/// exactly under arbitrary morsel interleavings.
 #[derive(Debug, PartialEq)]
 struct Fingerprint {
     partitions_total: u64,
@@ -112,9 +122,8 @@ struct Fingerprint {
     pruned_by_limit: u64,
     pruned_by_join: u64,
     pruned_by_topk: u64,
-    metadata_reads: u64,
-    partitions_loaded: u64,
-    bytes_loaded: u64,
+    io: snowprune::storage::IoSnapshot,
+    scan: snowprune::exec::ScanRunStats,
     row_count: usize,
     rows_sorted: Vec<Vec<Value>>,
 }
@@ -138,9 +147,8 @@ fn fingerprint(out: &QueryOutput) -> Fingerprint {
         pruned_by_limit: p.pruned_by_limit,
         pruned_by_join: p.pruned_by_join,
         pruned_by_topk: p.pruned_by_topk,
-        metadata_reads: out.io.metadata_reads,
-        partitions_loaded: out.io.partitions_loaded,
-        bytes_loaded: out.io.bytes_loaded,
+        io: out.io,
+        scan: out.report.scan_stats,
         row_count: out.rows.len(),
         rows_sorted: rows,
     }
@@ -151,7 +159,9 @@ fn sixteen_queries_on_shared_pool_are_exactly_reproducible() {
     let threads = pool_threads();
     let catalog = catalog();
     let plans = queries(&catalog);
-    let cfg = ExecConfig::default().with_scan_threads(threads);
+    let cfg = ExecConfig::default()
+        .with_scan_threads(threads)
+        .with_prefetch_depth(env_prefetch_depth());
 
     let run_once = || -> Vec<Fingerprint> {
         let session = Session::new(catalog.clone(), cfg.clone());
@@ -169,8 +179,15 @@ fn sixteen_queries_on_shared_pool_are_exactly_reproducible() {
     assert!(reference.iter().any(|f| f.pruned_by_limit > 0));
     assert!(reference.iter().any(|f| f.pruned_by_join > 0));
     for f in &reference {
-        assert_eq!(f.partitions_scanned, f.partitions_loaded);
+        assert_eq!(f.partitions_scanned, f.io.partitions_loaded);
         assert_eq!(f.row_count, f.rows_sorted.len());
+        // Pipeline invariant and load/record lockstep.
+        assert_eq!(
+            f.scan.loaded + f.scan.skipped_by_boundary + f.scan.cancelled_in_flight(),
+            f.scan.considered
+        );
+        assert_eq!(f.scan.loaded, f.io.partitions_loaded);
+        assert_eq!(f.scan.cancelled_in_flight(), f.io.loads_cancelled);
     }
 
     for run in 1..RUNS {
@@ -179,6 +196,77 @@ fn sixteen_queries_on_shared_pool_are_exactly_reproducible() {
             assert_eq!(
                 g, r,
                 "run {run} query {qi} diverged on a {threads}-worker pool"
+            );
+        }
+    }
+}
+
+/// The 16-query burst with *heterogeneous* prefetch depths — queries are
+/// assigned depths 1, 2, 8 round-robin but share one worker pool — must be
+/// just as reproducible: per-query counters and the full `IoSnapshot`
+/// (including overlap and virtual wall-clock) bit-identical across 100
+/// repetitions. Depth is per-lane state, so mixing depths on shared
+/// workers must introduce no crosstalk.
+#[test]
+fn mixed_prefetch_depth_pool_runs_are_reproducible() {
+    const DEPTHS: [usize; 3] = [1, 2, 8];
+    let threads = pool_threads();
+    let catalog = catalog();
+    let plans = queries(&catalog);
+    let base = ExecConfig::default().with_scan_threads(threads);
+
+    let run_once = || -> Vec<Fingerprint> {
+        let pool = MorselPool::new(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = plans
+                .iter()
+                .enumerate()
+                .map(|(i, plan)| {
+                    let cfg = base.clone().with_prefetch_depth(DEPTHS[i % DEPTHS.len()]);
+                    let exec =
+                        Executor::with_pool(catalog.clone(), cfg, std::sync::Arc::clone(&pool));
+                    scope.spawn(move || exec.run(plan).expect("query failed"))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| fingerprint(&h.join().expect("driver panicked")))
+                .collect()
+        })
+    };
+
+    let reference = run_once();
+    for (qi, f) in reference.iter().enumerate() {
+        assert_eq!(
+            f.scan.loaded + f.scan.skipped_by_boundary + f.scan.cancelled_in_flight(),
+            f.scan.considered,
+            "query {qi} violates the pipeline invariant"
+        );
+        assert_eq!(f.scan.loaded, f.io.partitions_loaded, "query {qi}");
+    }
+    // Depth must not change which partitions load for these shapes — only
+    // the overlap accounting; depth-1 lanes can never overlap.
+    for (qi, f) in reference.iter().enumerate() {
+        if qi % DEPTHS.len() == 0 {
+            assert_eq!(f.io.io_overlapped_ns, 0, "depth-1 query {qi} overlapped");
+        }
+    }
+    assert!(
+        reference
+            .iter()
+            .enumerate()
+            .any(|(qi, f)| qi % DEPTHS.len() != 0 && f.io.io_overlapped_ns > 0),
+        "deeper lanes should overlap some I/O"
+    );
+
+    for run in 1..RUNS {
+        let got = run_once();
+        for (qi, (g, r)) in got.iter().zip(&reference).enumerate() {
+            assert_eq!(
+                g,
+                r,
+                "run {run} query {qi} (depth {}) diverged on a mixed-depth {threads}-worker pool",
+                DEPTHS[qi % DEPTHS.len()]
             );
         }
     }
