@@ -1,10 +1,12 @@
-//! §8.2 bench: repeated top-k via predicate cache vs boundary pruning.
+//! §8.2 bench: repeated top-k via predicate cache vs boundary pruning —
+//! both the offline populate+replay loop and the engine-integrated warm
+//! path (`Session` with `predicate_cache` on).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use snowprune_cache::{
     contributing_partitions_topk, CacheEntry, CacheLookup, EntryKind, PredicateCache,
 };
-use snowprune_exec::{ExecConfig, Executor};
+use snowprune_exec::{ExecConfig, Executor, Session};
 use snowprune_plan::{fingerprint, FingerprintMode, PlanBuilder};
 use snowprune_storage::{Catalog, Field, Layout, Schema, TableBuilder};
 use snowprune_types::{ScalarType, Value};
@@ -33,13 +35,14 @@ fn bench_cache(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(exec.run(&plan).unwrap()))
     });
     g.bench_function("topk_cached_replay", |b| {
-        // Populate once, then measure lookup + replay cost.
+        // Populate once (offline pass), then measure lookup + replay cost.
         let mut cache = PredicateCache::new(8);
         let fp = fingerprint(&plan, FingerprintMode::Exact);
         let parts = {
             let t = handle.read();
             contributing_partitions_topk(&t, None, "v", 10, true).unwrap()
         };
+        let version = handle.read().version();
         cache.insert(
             fp,
             CacheEntry {
@@ -48,13 +51,14 @@ fn bench_cache(c: &mut Criterion) {
                 },
                 table: "t".into(),
                 partitions: parts,
-                table_version: handle.read().version(),
+                predicate_columns: Vec::new(),
+                table_version: version,
                 appended: Vec::new(),
             },
         );
         let t = handle.read().clone();
         b.iter(|| {
-            let CacheLookup::Hit(parts) = cache.lookup(fp) else {
+            let CacheLookup::Hit(parts) = cache.lookup(fp, version) else {
                 panic!()
             };
             // Replay: load only the cached partitions.
@@ -71,6 +75,16 @@ fn bench_cache(c: &mut Criterion) {
             top.truncate(10);
             std::hint::black_box(top)
         })
+    });
+    g.bench_function("topk_engine_warm_hit", |b| {
+        // The integrated path: one cold miss populates, then every
+        // iteration is a full engine run that hits the cache.
+        let session = Session::new(
+            cat.clone(),
+            ExecConfig::default().with_predicate_cache(true),
+        );
+        session.run(&plan).unwrap();
+        b.iter(|| std::hint::black_box(session.run(&plan).unwrap()))
     });
     g.finish();
 }

@@ -1,12 +1,9 @@
 //! Figure 13: TPC-H pruning ratios per query, plus the predicate-cache and
 //! ablation extension experiments.
 
-use snowprune_cache::{
-    contributing_partitions_topk, CacheEntry, CacheLookup, DmlKind, EntryKind, PredicateCache,
-};
 use snowprune_core::join::SummaryKind;
-use snowprune_exec::{ExecConfig, Executor};
-use snowprune_plan::{fingerprint, FingerprintMode, PlanBuilder};
+use snowprune_exec::{CacheOutcome, ExecConfig, Executor, Session};
+use snowprune_plan::PlanBuilder;
 use snowprune_workload::{all_tpch_queries, generate_tpch, TpchConfig};
 
 /// Figure 13: per-query pruning ratios on TPC-H, clustered on
@@ -75,11 +72,18 @@ pub fn fig13_tpch_unclustered(scale: f64, seed: u64) -> String {
     )
 }
 
-/// §8.2: predicate caching for top-k vs pruning, including DML rules.
+/// §8.2: the predicate cache wired into the engine — cold miss records the
+/// contributing partitions during execution, warm replay restricts the
+/// scan set before morsel generation, and DML routed through the
+/// [`Session`] keeps entries consistent. Every claim in the report is
+/// asserted: warm rows are byte-identical to cold, the shuffled-layout
+/// warm replay loads *strictly fewer* partitions, INSERT keeps the entry
+/// (appending the new partitions), DELETE invalidates it.
 pub fn ext_cache(seed: u64) -> String {
+    use snowprune_expr::dsl::{col, lit};
     use snowprune_storage::{Catalog, Field, Layout, Schema, TableBuilder};
     use snowprune_types::{ScalarType, Value};
-    let mut s = String::from("## §8.2 — predicate caching for top-k queries\n");
+    let mut s = String::from("## §8.2 — predicate caching wired into the engine\n");
     for (label, layout) in [
         ("clustered", Layout::ClusterBy(vec!["v".into()])),
         ("shuffled ", Layout::Shuffle(seed)),
@@ -94,58 +98,114 @@ pub fn ext_cache(seed: u64) -> String {
         for i in 0..50_000i64 {
             b.push_row(vec![Value::Int((i * 37) % 100_000), Value::Int(i)]);
         }
-        let table = b.build();
         let catalog = Catalog::new();
-        let handle = catalog.register(table);
-        let plan = PlanBuilder::scan("t", schema)
+        catalog.register(b.build());
+        let session = Session::new(
+            catalog.clone(),
+            ExecConfig::default().with_predicate_cache(true),
+        );
+        let topk = PlanBuilder::scan("t", schema.clone())
             .order_by("v", true)
             .limit(10)
             .build();
-        // Pruning-based execution.
-        let exec = Executor::new(catalog.clone(), ExecConfig::default());
-        let pruned = exec.run(&plan).unwrap();
-        // Cache-based execution: replay exactly the contributing partitions.
-        let mut cache = PredicateCache::new(16);
-        let fp = fingerprint(&plan, FingerprintMode::Exact);
-        let contributing = {
-            let t = handle.read();
-            contributing_partitions_topk(&t, None, "v", 10, true).unwrap()
-        };
-        cache.insert(
-            fp,
-            CacheEntry {
-                kind: EntryKind::TopK {
-                    order_column: "v".into(),
-                },
-                table: "t".into(),
-                partitions: contributing.clone(),
-                table_version: handle.read().version(),
-                appended: Vec::new(),
-            },
+        // Cold run misses and records; warm run replays the cached set.
+        // Under the full §5 machinery (boundary-sorted order + upfront
+        // boundary) top-k pruning is already near-optimal, so the cache
+        // must only match it — "pruning wins on sorted ones".
+        let cold = session.run(&topk).unwrap();
+        assert_eq!(cold.report.cache, CacheOutcome::Miss);
+        let warm = session.run(&topk).unwrap();
+        assert_eq!(warm.report.cache, CacheOutcome::Hit);
+        assert_eq!(warm.rows.rows, cold.rows.rows, "warm top-k not identical");
+        assert!(
+            warm.io.partitions_loaded <= cold.io.partitions_loaded,
+            "warm replay loaded more than cold"
         );
-        let cached_parts = match cache.lookup(fp) {
-            CacheLookup::Hit(p) => p.len(),
-            CacheLookup::Miss => 0,
-        };
         s += &format!(
-            "  {label} layout: pruning loads {:>3} partitions; perfect cache replays {:>3} (of {})\n",
-            pruned.io.partitions_loaded,
-            cached_parts,
-            pruned.report.pruning.partitions_total,
+            "  {label} top-k (full pruning): cold loads {:>3} partitions, warm replays {:>3} (of {}; {:>3} dropped by cache)\n",
+            cold.io.partitions_loaded,
+            warm.io.partitions_loaded,
+            cold.report.pruning.partitions_total,
+            warm.report.pruned_by_cache,
         );
-        // DML rules: INSERT keeps the entry (appending), DELETE kills it.
-        let res = handle
-            .write()
-            .insert_rows(vec![vec![Value::Int(999_999), Value::Int(-1)]]);
-        cache.on_dml("t", &DmlKind::Insert, &res);
-        let after_insert = matches!(cache.lookup(fp), CacheLookup::Hit(_));
-        let res = handle
-            .write()
-            .delete_rows(|row| row[0] == Value::Int(999_999));
-        cache.on_dml("t", &DmlKind::Delete, &res);
-        let after_delete = matches!(cache.lookup(fp), CacheLookup::Hit(_));
+        // Top-k where boundary pruning is weak (random partition order, no
+        // upfront boundary — the paper's "no sorting" baseline): the warm
+        // replay must load *strictly fewer* partitions.
+        let mut weak_cfg = ExecConfig::default().with_predicate_cache(true);
+        weak_cfg.topk_order = snowprune_core::topk::PartitionOrder::Random { seed: seed ^ 7 };
+        weak_cfg.topk_init_boundary = false;
+        let weak = Session::new(catalog.clone(), weak_cfg);
+        let cold_w = weak.run(&topk).unwrap();
+        let warm_w = weak.run(&topk).unwrap();
+        assert_eq!(warm_w.report.cache, CacheOutcome::Hit);
+        assert_eq!(
+            warm_w.rows.rows, cold_w.rows.rows,
+            "weak warm not identical"
+        );
+        assert!(
+            warm_w.io.partitions_loaded < cold_w.io.partitions_loaded,
+            "weak-pruning warm replay must load strictly fewer partitions \
+             ({} vs {})",
+            warm_w.io.partitions_loaded,
+            cold_w.io.partitions_loaded,
+        );
         s += &format!(
-            "    DML rules: entry survives INSERT = {after_insert}, survives DELETE = {after_delete}\n"
+            "  {label} top-k (weak pruning): cold loads {:>3} partitions, warm replays {:>3}\n",
+            cold_w.io.partitions_loaded, warm_w.io.partitions_loaded,
+        );
+        // Filter shape on a column no layout clusters: zone maps cannot
+        // prune it, the cache replays exactly the surviving partitions —
+        // strictly fewer loads with byte-identical rows.
+        let filt = PlanBuilder::scan("t", schema)
+            .filter(col("payload").between(lit(25_000i64), lit(25_004i64)))
+            .build();
+        let cold_f = session.run(&filt).unwrap();
+        let warm_f = session.run(&filt).unwrap();
+        assert_eq!(warm_f.report.cache, CacheOutcome::Hit);
+        assert_eq!(
+            warm_f.rows.rows, cold_f.rows.rows,
+            "warm filter not identical"
+        );
+        assert!(
+            warm_f.io.partitions_loaded < cold_f.io.partitions_loaded,
+            "filter warm replay must load strictly fewer partitions"
+        );
+        s += &format!(
+            "  {label} filter (uncl. column): cold loads {:>3} partitions, warm replays {:>3}\n",
+            cold_f.io.partitions_loaded, warm_f.io.partitions_loaded,
+        );
+        // DML rules, routed through the session so the cache stays
+        // consistent: INSERT appends (the new top-1 row must surface on a
+        // *hit*), DELETE invalidates top-k entries.
+        session
+            .insert_rows("t", vec![vec![Value::Int(1_000_000), Value::Int(-1)]])
+            .unwrap();
+        let after_insert = session.run(&topk).unwrap();
+        assert_eq!(after_insert.report.cache, CacheOutcome::Hit);
+        assert_eq!(
+            after_insert.rows.rows[0][0],
+            Value::Int(1_000_000),
+            "appended partition must replay"
+        );
+        let oracle = Executor::new(catalog.clone(), ExecConfig::default())
+            .run(&topk)
+            .unwrap();
+        assert_eq!(after_insert.rows.rows, oracle.rows.rows);
+        session
+            .delete_rows("t", |row| row[0] == Value::Int(1_000_000))
+            .unwrap();
+        let after_delete = session.run(&topk).unwrap();
+        assert_eq!(
+            after_delete.report.cache,
+            CacheOutcome::Miss,
+            "DELETE must invalidate the top-k entry"
+        );
+        assert_eq!(after_delete.rows.rows, cold.rows.rows);
+        let stats = session.cache_stats();
+        s += &format!(
+            "    DML rules: INSERT appended (still a hit), DELETE invalidated; \
+             hits {} misses {} insertions {} invalidations {}\n",
+            stats.hits, stats.misses, stats.insertions, stats.invalidations,
         );
     }
     s += "  paper: caching wins on shuffled layouts, pruning wins on sorted ones; combine both\n";
@@ -221,8 +281,11 @@ mod tests {
 
     #[test]
     fn cache_experiment_runs() {
+        // The experiment asserts its own claims (byte-identical warm rows,
+        // strictly fewer shuffled warm loads, INSERT append, DELETE
+        // invalidation) — reaching the report text means they all held.
         let s = super::ext_cache(5);
-        assert!(s.contains("survives INSERT = true"), "{s}");
-        assert!(s.contains("survives DELETE = false"), "{s}");
+        assert!(s.contains("warm replays"), "{s}");
+        assert!(s.contains("DELETE invalidated"), "{s}");
     }
 }

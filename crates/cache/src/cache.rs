@@ -1,6 +1,6 @@
 //! The predicate cache proper.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use snowprune_storage::{DmlResult, PartitionId};
 
@@ -21,6 +21,12 @@ pub struct CacheEntry {
     pub table: String,
     /// Contributing partitions at record time.
     pub partitions: Vec<PartitionId>,
+    /// Column names referenced by the plan's predicates. An UPDATE that
+    /// touches any of these can move rows *into* the predicate's range
+    /// inside a partition the entry never referenced, so such updates may
+    /// not take the cached-partitions-only fast path (see [`Self::on_dml`]
+    /// via [`PredicateCache::on_dml`]).
+    pub predicate_columns: Vec<String>,
     /// Table version the entry was recorded at.
     pub table_version: u64,
     /// Partitions added by later (safe) DML, appended at lookup time.
@@ -53,6 +59,10 @@ pub struct CacheStats {
     pub insertions: u64,
     pub invalidations: u64,
     pub evictions: u64,
+    /// Lookups rejected (and entries dropped) because the entry's recorded
+    /// `table_version` no longer matches the live table — DML happened that
+    /// the cache was never told about. Counted as misses, never as hits.
+    pub stale_rejections: u64,
 }
 
 /// A bounded predicate cache keyed by exact plan fingerprints
@@ -61,8 +71,9 @@ pub struct CacheStats {
 pub struct PredicateCache {
     capacity: usize,
     entries: HashMap<u64, CacheEntry>,
-    /// Insertion order for FIFO eviction.
-    order: Vec<u64>,
+    /// First-insertion order for FIFO eviction (front = oldest). A
+    /// re-insert of an existing fingerprint keeps its original slot.
+    order: VecDeque<u64>,
     stats: CacheStats,
 }
 
@@ -71,7 +82,7 @@ impl PredicateCache {
         PredicateCache {
             capacity: capacity.max(1),
             entries: HashMap::new(),
-            order: Vec::new(),
+            order: VecDeque::new(),
             stats: CacheStats::default(),
         }
     }
@@ -88,9 +99,20 @@ impl PredicateCache {
         self.entries.is_empty()
     }
 
-    /// Look up a fingerprint. A hit returns the partitions to scan.
-    pub fn lookup(&mut self, fingerprint: u64) -> CacheLookup {
+    /// Look up a fingerprint against the live version of the entry's table.
+    /// A hit returns the partitions to scan. An entry whose recorded
+    /// `table_version` does not match `live_version` is unsound to replay
+    /// (it missed at least one DML notification): it is dropped and the
+    /// lookup counts as a stale rejection, not a hit.
+    pub fn lookup(&mut self, fingerprint: u64, live_version: u64) -> CacheLookup {
         match self.entries.get(&fingerprint) {
+            Some(entry) if entry.table_version != live_version => {
+                self.entries.remove(&fingerprint);
+                self.order.retain(|f| *f != fingerprint);
+                self.stats.stale_rejections += 1;
+                self.stats.misses += 1;
+                CacheLookup::Miss
+            }
             Some(entry) => {
                 self.stats.hits += 1;
                 let mut parts = entry.partitions.clone();
@@ -109,28 +131,52 @@ impl PredicateCache {
     /// Record an entry (evicting FIFO when over capacity).
     pub fn insert(&mut self, fingerprint: u64, entry: CacheEntry) {
         if self.entries.insert(fingerprint, entry).is_none() {
-            self.order.push(fingerprint);
+            self.order.push_back(fingerprint);
         }
         self.stats.insertions += 1;
         while self.entries.len() > self.capacity {
-            let oldest = self.order.remove(0);
+            let Some(oldest) = self.order.pop_front() else {
+                break;
+            };
             self.entries.remove(&oldest);
             self.stats.evictions += 1;
         }
     }
 
     /// Apply a DML statement's effect to all entries of `table`, following
-    /// the §8.2 correctness rules.
+    /// the §8.2 correctness rules:
+    ///
+    /// * INSERT appends the new partitions to every entry (new rows may
+    ///   enter any result).
+    /// * DELETE invalidates top-k entries (the replacement k+1-th row may
+    ///   live outside the cached partitions); filter entries just rewrite
+    ///   removed partitions.
+    /// * UPDATE of the ordering column — or of any column the entry's
+    ///   predicate references — invalidates top-k entries: the update can
+    ///   change which rows qualify or how they rank, and the new boundary
+    ///   row may live in a never-cached, never-rewritten partition.
+    /// * UPDATE touching a filter entry's predicate columns appends the
+    ///   replacement partitions *unconditionally*: even when no cached
+    ///   partition was rewritten, the update may have moved rows into the
+    ///   predicate's range inside a previously non-matching partition.
+    /// * All other updates (and filter-entry deletes) rewrite removed
+    ///   partitions to their replacements only when a cached partition was
+    ///   actually touched — untouched partitions keep their predicate
+    ///   status, so adding replacements would be needlessly lossy.
     pub fn on_dml(&mut self, table: &str, kind: &DmlKind, result: &DmlResult) {
         let mut invalidated = Vec::new();
         for (fp, entry) in self.entries.iter_mut() {
             if entry.table != table {
                 continue;
             }
+            let predicate_hit = matches!(
+                kind,
+                DmlKind::Update(cols) if cols.iter().any(|c| entry.predicate_columns.contains(c))
+            );
             let unsafe_for_topk = match (&entry.kind, kind) {
                 (EntryKind::TopK { .. }, DmlKind::Delete) => true,
                 (EntryKind::TopK { order_column }, DmlKind::Update(cols)) => {
-                    cols.iter().any(|c| c == order_column)
+                    predicate_hit || cols.iter().any(|c| c == order_column)
                 }
                 _ => false,
             };
@@ -158,10 +204,12 @@ impl PredicateCache {
                         .extend(result.partitions_added.iter().copied());
                 }
                 _ => {
-                    // Rewrites: the replacement partitions matter only if a
-                    // cached partition was rewritten; adding them otherwise
-                    // would be correct but needlessly lossy.
-                    if touched_cached {
+                    // Rewrites: replacement partitions matter when a cached
+                    // partition was rewritten — or when the update touched a
+                    // predicate column, in which case a rewritten partition
+                    // may hold newly-matching rows even though the entry
+                    // never referenced it.
+                    if touched_cached || predicate_hit {
                         entry
                             .appended
                             .extend(result.partitions_added.iter().copied());
@@ -181,12 +229,8 @@ impl PredicateCache {
     pub fn invalidate_table(&mut self, table: &str) {
         let before = self.entries.len();
         self.entries.retain(|_, e| e.table != table);
-        self.order = self
-            .order
-            .iter()
-            .copied()
-            .filter(|fp| self.entries.contains_key(fp))
-            .collect();
+        let entries = &self.entries;
+        self.order.retain(|fp| entries.contains_key(fp));
         self.stats.invalidations += (before - self.entries.len()) as u64;
     }
 }
@@ -202,6 +246,7 @@ mod tests {
             },
             table: "t".into(),
             partitions: vec![3, 7],
+            predicate_columns: Vec::new(),
             table_version: 1,
             appended: Vec::new(),
         }
@@ -219,11 +264,34 @@ mod tests {
     #[test]
     fn hit_and_miss() {
         let mut c = PredicateCache::new(4);
-        assert_eq!(c.lookup(1), CacheLookup::Miss);
+        assert_eq!(c.lookup(1, 1), CacheLookup::Miss);
         c.insert(1, topk_entry());
-        assert_eq!(c.lookup(1), CacheLookup::Hit(vec![3, 7]));
+        assert_eq!(c.lookup(1, 1), CacheLookup::Hit(vec![3, 7]));
         assert_eq!(c.stats().hits, 1);
         assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn stale_version_rejects_and_drops_entry() {
+        // A lookup against a table version the entry never saw (DML the
+        // cache was not told about) must reject — and keep rejecting.
+        let mut c = PredicateCache::new(4);
+        c.insert(1, topk_entry());
+        assert_eq!(c.lookup(1, 5), CacheLookup::Miss);
+        assert_eq!(c.stats().stale_rejections, 1);
+        assert_eq!(c.stats().hits, 0);
+        // Dropped, not retried: even the recorded version now misses.
+        assert_eq!(c.lookup(1, 1), CacheLookup::Miss);
+        assert_eq!(c.stats().stale_rejections, 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn on_dml_keeps_versions_in_sync() {
+        let mut c = PredicateCache::new(4);
+        c.insert(1, topk_entry());
+        c.on_dml("t", &DmlKind::Insert, &dml(vec![9], vec![]));
+        assert_eq!(c.lookup(1, 2), CacheLookup::Hit(vec![3, 7, 9]));
     }
 
     #[test]
@@ -231,7 +299,7 @@ mod tests {
         let mut c = PredicateCache::new(4);
         c.insert(1, topk_entry());
         c.on_dml("t", &DmlKind::Insert, &dml(vec![9], vec![]));
-        assert_eq!(c.lookup(1), CacheLookup::Hit(vec![3, 7, 9]));
+        assert_eq!(c.lookup(1, 2), CacheLookup::Hit(vec![3, 7, 9]));
     }
 
     #[test]
@@ -239,7 +307,7 @@ mod tests {
         let mut c = PredicateCache::new(4);
         c.insert(1, topk_entry());
         c.on_dml("t", &DmlKind::Delete, &dml(vec![10], vec![3]));
-        assert_eq!(c.lookup(1), CacheLookup::Miss);
+        assert_eq!(c.lookup(1, 2), CacheLookup::Miss);
         assert_eq!(c.stats().invalidations, 1);
     }
 
@@ -252,7 +320,29 @@ mod tests {
             &DmlKind::Update(vec!["num_sightings".into()]),
             &dml(vec![10], vec![7]),
         );
-        assert_eq!(c.lookup(1), CacheLookup::Miss);
+        assert_eq!(c.lookup(1, 2), CacheLookup::Miss);
+    }
+
+    #[test]
+    fn update_predicate_column_invalidates_topk() {
+        // Regression companion: a top-k entry whose predicate references
+        // `species` cannot survive an UPDATE of `species` — the update may
+        // disqualify a cached contributor, loosening the boundary so that a
+        // row from a never-cached, never-rewritten partition enters the
+        // result.
+        let mut c = PredicateCache::new(4);
+        let mut e = topk_entry();
+        e.predicate_columns = vec!["species".into()];
+        c.insert(1, e);
+        // The rewritten partition (5) is NOT cached: the old fast path
+        // would have treated this as a no-op for the entry.
+        c.on_dml(
+            "t",
+            &DmlKind::Update(vec!["species".into()]),
+            &dml(vec![11], vec![5]),
+        );
+        assert_eq!(c.lookup(1, 2), CacheLookup::Miss);
+        assert_eq!(c.stats().invalidations, 1);
     }
 
     #[test]
@@ -265,20 +355,57 @@ mod tests {
             &DmlKind::Update(vec!["species".into()]),
             &dml(vec![10], vec![7]),
         );
-        assert_eq!(c.lookup(1), CacheLookup::Hit(vec![3, 10]));
+        assert_eq!(c.lookup(1, 2), CacheLookup::Hit(vec![3, 10]));
     }
 
     #[test]
     fn update_untouched_partition_is_noop_for_entry() {
         let mut c = PredicateCache::new(4);
         c.insert(1, topk_entry());
-        // Rewrite of partition 5, which the entry does not reference.
+        // Rewrite of partition 5, which the entry does not reference, by an
+        // update of a column the entry's predicate does not reference.
         c.on_dml(
             "t",
             &DmlKind::Update(vec!["species".into()]),
             &dml(vec![11], vec![5]),
         );
-        assert_eq!(c.lookup(1), CacheLookup::Hit(vec![3, 7]));
+        assert_eq!(c.lookup(1, 2), CacheLookup::Hit(vec![3, 7]));
+    }
+
+    #[test]
+    fn update_of_predicate_column_appends_replacements_for_filter_entry() {
+        // THE regression for the `touched_cached` UPDATE fast-path bug: a
+        // filter entry caching partitions {1, 2}; an UPDATE of the
+        // predicate column rewrites *non-cached* partition 5 into 9,
+        // moving rows into the predicate's range. The old code appended
+        // nothing (no cached partition was touched), silently under-
+        // scanning; the replacement must now be appended unconditionally.
+        let mut c = PredicateCache::new(4);
+        c.insert(
+            2,
+            CacheEntry {
+                kind: EntryKind::Filter,
+                table: "t".into(),
+                partitions: vec![1, 2],
+                predicate_columns: vec!["w".into()],
+                table_version: 1,
+                appended: Vec::new(),
+            },
+        );
+        c.on_dml(
+            "t",
+            &DmlKind::Update(vec!["w".into()]),
+            &dml(vec![9], vec![5]),
+        );
+        assert_eq!(c.lookup(2, 2), CacheLookup::Hit(vec![1, 2, 9]));
+        // An update of an unrelated column keeps the old lossless fast
+        // path: untouched entry, no appends.
+        c.on_dml(
+            "t",
+            &DmlKind::Update(vec!["payload".into()]),
+            &dml(vec![12], vec![6]),
+        );
+        assert_eq!(c.lookup(2, 2), CacheLookup::Hit(vec![1, 2, 9]));
     }
 
     #[test]
@@ -290,18 +417,19 @@ mod tests {
                 kind: EntryKind::Filter,
                 table: "t".into(),
                 partitions: vec![1, 2],
+                predicate_columns: Vec::new(),
                 table_version: 1,
                 appended: Vec::new(),
             },
         );
         c.on_dml("t", &DmlKind::Delete, &dml(vec![5], vec![2]));
-        assert_eq!(c.lookup(2), CacheLookup::Hit(vec![1, 5]));
+        assert_eq!(c.lookup(2, 2), CacheLookup::Hit(vec![1, 5]));
         c.on_dml(
             "t",
             &DmlKind::Update(vec!["x".into()]),
             &dml(vec![6], vec![1]),
         );
-        assert_eq!(c.lookup(2), CacheLookup::Hit(vec![5, 6]));
+        assert_eq!(c.lookup(2, 2), CacheLookup::Hit(vec![5, 6]));
     }
 
     #[test]
@@ -309,7 +437,7 @@ mod tests {
         let mut c = PredicateCache::new(4);
         c.insert(1, topk_entry());
         c.on_dml("other", &DmlKind::Delete, &dml(vec![], vec![3]));
-        assert_eq!(c.lookup(1), CacheLookup::Hit(vec![3, 7]));
+        assert_eq!(c.lookup(1, 1), CacheLookup::Hit(vec![3, 7]));
     }
 
     #[test]
@@ -318,10 +446,34 @@ mod tests {
         c.insert(1, topk_entry());
         c.insert(2, topk_entry());
         c.insert(3, topk_entry());
-        assert_eq!(c.lookup(1), CacheLookup::Miss);
-        assert_ne!(c.lookup(2), CacheLookup::Miss);
-        assert_ne!(c.lookup(3), CacheLookup::Miss);
+        assert_eq!(c.lookup(1, 1), CacheLookup::Miss);
+        assert_ne!(c.lookup(2, 1), CacheLookup::Miss);
+        assert_ne!(c.lookup(3, 1), CacheLookup::Miss);
         assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn eviction_order_is_first_insertion_even_after_reinsert() {
+        // Pins the FIFO policy across the Vec -> VecDeque switch:
+        // re-inserting fingerprint 1 must NOT refresh its eviction slot —
+        // order is by *first* insertion, so 1 is still the oldest and the
+        // next overflow evicts it (then 2, then 3).
+        let mut c = PredicateCache::new(3);
+        c.insert(1, topk_entry());
+        c.insert(2, topk_entry());
+        c.insert(3, topk_entry());
+        c.insert(1, topk_entry()); // refresh contents, keep slot
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.stats().evictions, 0);
+        c.insert(4, topk_entry());
+        assert_eq!(c.lookup(1, 1), CacheLookup::Miss, "1 evicted first");
+        assert_ne!(c.lookup(2, 1), CacheLookup::Miss);
+        c.insert(5, topk_entry());
+        assert_eq!(c.lookup(2, 1), CacheLookup::Miss, "then 2");
+        for fp in [3u64, 4, 5] {
+            assert_ne!(c.lookup(fp, 1), CacheLookup::Miss, "fp {fp} retained");
+        }
+        assert_eq!(c.stats().evictions, 2);
     }
 
     #[test]
@@ -331,5 +483,11 @@ mod tests {
         c.insert(2, topk_entry());
         c.invalidate_table("t");
         assert!(c.is_empty());
+        // Eviction bookkeeping stays consistent after the wipe.
+        c.insert(3, topk_entry());
+        c.insert(4, topk_entry());
+        c.insert(5, topk_entry());
+        c.insert(6, topk_entry());
+        assert_eq!(c.len(), 4);
     }
 }

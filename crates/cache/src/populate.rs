@@ -43,7 +43,27 @@ pub fn contributing_partitions_topk(
             ord
         }
     });
-    let mut contributing: Vec<PartitionId> = pairs.into_iter().take(k).map(|(_, id)| id).collect();
+    // Include every partition holding a row *equal to* the k-th order value,
+    // not just the first k pairs: the engine breaks boundary ties by its own
+    // processing order, which need not match this pass's stable sort — a
+    // replay restricted to `take(k)`'s partitions could miss the partition
+    // the engine actually draws a tied boundary row from.
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+    let boundary = pairs.get(k - 1).map(|(v, _)| v.clone());
+    let mut contributing: Vec<PartitionId> = Vec::new();
+    for (i, (v, id)) in pairs.iter().enumerate() {
+        if i < k {
+            contributing.push(*id);
+        } else {
+            let Some(b) = &boundary else { break };
+            if v.total_ord_cmp(b) != std::cmp::Ordering::Equal {
+                break;
+            }
+            contributing.push(*id);
+        }
+    }
     contributing.sort_unstable();
     contributing.dedup();
     Ok(contributing)
@@ -93,5 +113,48 @@ mod tests {
         // Bottom-15 ASC spans partitions 0 and 1.
         let parts = contributing_partitions_topk(&t, None, "v", 15, false).unwrap();
         assert_eq!(parts, vec![0, 1]);
+    }
+
+    #[test]
+    fn boundary_tie_spanning_partitions_includes_both() {
+        // THE regression for the `take(k)` tie bug: the k-th order value
+        // (5) appears in two partitions. The old code kept only the first
+        // k sorted pairs — partition 0 alone — so a replay could not see
+        // the tied row in partition 1 even though the engine may draw the
+        // boundary row from there.
+        let schema = Schema::new(vec![Field::new("v", ScalarType::Int)]);
+        let mut b = TableBuilder::new("t", schema).target_rows_per_partition(2);
+        for v in [10i64, 5, 5, 1] {
+            b.push_row(vec![Value::Int(v)]);
+        }
+        // Partitions: p0 = [10, 5], p1 = [5, 1].
+        let t = b.build();
+        let parts = contributing_partitions_topk(&t, None, "v", 2, true).unwrap();
+        assert_eq!(parts, vec![0, 1], "tied boundary spans both partitions");
+        // Without a tie at the boundary the set stays minimal.
+        let top1 = contributing_partitions_topk(&t, None, "v", 1, true).unwrap();
+        assert_eq!(top1, vec![0]);
+        // k = 0 caches nothing.
+        let none = contributing_partitions_topk(&t, None, "v", 0, true).unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn tie_extension_respects_predicate() {
+        // Tied rows that fail the predicate do not drag their partition in.
+        let schema = Schema::new(vec![
+            Field::new("v", ScalarType::Int),
+            Field::new("w", ScalarType::Int),
+        ]);
+        let mut b = TableBuilder::new("t", schema).target_rows_per_partition(2);
+        for (v, w) in [(10i64, 1i64), (5, 1), (5, 0), (1, 1)] {
+            b.push_row(vec![Value::Int(v), Value::Int(w)]);
+        }
+        let t = b.build();
+        let pred = col("w").ge(lit(1i64));
+        // Qualifying pairs: (10, p0), (5, p0), (1, p1) — the tied 5 in p1
+        // fails the predicate, so only p0 contributes to the top-2.
+        let parts = contributing_partitions_topk(&t, Some(&pred), "v", 2, true).unwrap();
+        assert_eq!(parts, vec![0]);
     }
 }

@@ -40,6 +40,15 @@ pub struct ExecConfig {
     /// in-flight count is additionally capped by `morsel_partitions`;
     /// raise both to prefetch deeper.
     pub prefetch_depth: usize,
+    /// Enable the §8.2 predicate cache: `Session` (and `Executor`) keep a
+    /// shared fingerprint-keyed cache of contributing-partition sets and
+    /// restrict warm replays to them before morsel generation. Off by
+    /// default so counter-exact unit tests and cold-path experiments stay
+    /// byte-identical; the differential/bench suites enable it explicitly
+    /// or via `SNOWPRUNE_PREDICATE_CACHE`.
+    pub predicate_cache: bool,
+    /// Entry capacity of the predicate cache (FIFO eviction).
+    pub predicate_cache_capacity: usize,
     pub filter: FilterPruneConfig,
     pub io_cost: IoCostModel,
 }
@@ -58,6 +67,8 @@ impl Default for ExecConfig {
             scan_threads: 1,
             morsel_partitions: 4,
             prefetch_depth: 2,
+            predicate_cache: false,
+            predicate_cache_capacity: 256,
             filter: FilterPruneConfig::default(),
             io_cost: IoCostModel::default(),
         }
@@ -88,6 +99,12 @@ impl ExecConfig {
         self.prefetch_depth = n.max(1);
         self
     }
+
+    /// Builder-style toggle for the §8.2 predicate cache.
+    pub fn with_predicate_cache(mut self, on: bool) -> Self {
+        self.predicate_cache = on;
+        self
+    }
 }
 
 /// Scan-thread override from the `SNOWPRUNE_SCAN_THREADS` environment
@@ -104,6 +121,18 @@ pub fn scan_threads_from_env() -> Option<usize> {
 /// implicitly by `ExecConfig::default()`.
 pub fn prefetch_depth_from_env() -> Option<usize> {
     env_usize("SNOWPRUNE_PREFETCH_DEPTH")
+}
+
+/// Predicate-cache override from the `SNOWPRUNE_PREDICATE_CACHE`
+/// environment variable (`1`/`0`, `true`/`false`, `on`/`off`). Applied
+/// explicitly by the differential cache leg (the CI matrix runs both
+/// settings), never implicitly by `ExecConfig::default()`.
+pub fn predicate_cache_from_env() -> Option<bool> {
+    match std::env::var("SNOWPRUNE_PREDICATE_CACHE").ok()?.trim() {
+        "1" | "true" | "on" => Some(true),
+        "0" | "false" | "off" => Some(false),
+        _ => None,
+    }
 }
 
 fn env_usize(var: &str) -> Option<usize> {

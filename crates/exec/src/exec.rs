@@ -6,22 +6,36 @@
 //! 3. **Join pruning** after the build side materializes (runtime).
 //! 4. **Top-k pruning** via a boundary shared between the top-k heap and
 //!    the scan, with the scan pipelined partition-at-a-time (runtime).
+//!
+//! Plus the §8.2 **predicate cache**: when an (optionally shared) cache is
+//! attached, query admission fingerprints the plan (exact mode), and a hit
+//! restricts the compiled scan set to the cached contributing partitions
+//! *before* morsel generation — the pool and prefetch pipeline only ever
+//! see cached contributors (plus DML-appended partitions). On a miss, the
+//! query records its own contributors as it executes: the top-k heap keeps
+//! each survivor's source partition (plus the partition of every row tied
+//! with the final boundary value, tracked exactly), and filter scans keep
+//! the partitions that emitted at least one selected row. The entry is
+//! inserted at query completion at the snapshot's table version.
 
+use std::collections::HashSet;
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
+use snowprune_cache::{CacheEntry, CacheLookup, CacheStats, EntryKind, PredicateCache};
 use snowprune_core::filter::FilterPruner;
 use snowprune_core::join::{prune_probe_side, BloomFilter, JoinSummary};
 use snowprune_core::limit::{prune_for_limit, LimitOutcome};
 use snowprune_core::topk::{initial_boundary, order_scan_set, Boundary, TopKHeap, TopKScanStats};
 use snowprune_core::QueryPruningReport;
 use snowprune_plan::{
-    detect_topk, limit_pushdown, JoinType, LimitPushdown, Plan, SortKey, TopKShape, TopKSpec,
+    detect_topk, fingerprint, limit_pushdown, predicate_column_names, FingerprintMode, JoinType,
+    LimitPushdown, Plan, SortKey, TopKShape, TopKSpec,
 };
-use snowprune_storage::{Catalog, IoSnapshot, IoStats, PartitionMeta, Schema, Table};
+use snowprune_storage::{Catalog, IoSnapshot, IoStats, PartitionId, PartitionMeta, Schema, Table};
 use snowprune_types::{Error, Result, Value};
 
 use crate::agg::{aggregate_rows, DistinctKeyTopK};
@@ -43,6 +57,23 @@ pub struct ExecReport {
     /// Aggregated per-partition pipeline counters over every scan this
     /// query executed (`considered == loaded + skipped + cancelled`).
     pub scan_stats: ScanRunStats,
+    /// Predicate-cache interaction of this query (§8.2).
+    pub cache: CacheOutcome,
+    /// Compiled scan-set entries dropped by the cache-hit restriction.
+    pub pruned_by_cache: u64,
+}
+
+/// How a query interacted with the predicate cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// No cache attached, or the plan shape is not cacheable.
+    #[default]
+    NotConsulted,
+    /// Consulted and missed; the query recorded a fresh entry.
+    Miss,
+    /// Consulted and hit; the scan set was restricted to cached
+    /// contributors (plus DML-appended partitions).
+    Hit,
 }
 
 /// The result of running one query.
@@ -61,11 +92,114 @@ struct RunState {
     limit_override: Option<LimitOverride>,
     /// This query's FIFO lane on the shared morsel pool.
     lane: QueryId,
+    /// Predicate-cache context when the cache was consulted for this plan.
+    cache: Option<CacheRun>,
 }
 
 struct LimitOverride {
     table: String,
     scan: CompiledScan,
+}
+
+/// Per-query predicate-cache context (§8.2).
+struct CacheRun {
+    fingerprint: u64,
+    table: String,
+    /// Hit: restrict the table's compiled scan set to these partitions —
+    /// provided the snapshot still carries the version the lookup was
+    /// validated against (a concurrent DML between lookup and snapshot
+    /// falls back to the full scan set rather than under-scanning).
+    restrict: Option<(HashSet<PartitionId>, u64)>,
+    /// Miss: record a fresh entry during execution, inserted at completion.
+    record: Option<CacheRecorder>,
+}
+
+/// What the cache entry under construction caches.
+enum RecordKind {
+    Filter,
+    TopK { order_column: String },
+}
+
+/// Collects a query's contributing partitions while it executes.
+struct CacheRecorder {
+    kind: RecordKind,
+    /// Column names referenced by the plan's predicates (UPDATE rules).
+    predicate_columns: Vec<String>,
+    /// Version of the table snapshot the recorded partitions refer to;
+    /// captured when the target scan compiles. `None` aborts recording.
+    snapshot_version: Option<u64>,
+    /// Filter shape: partitions that emitted at least one selected row
+    /// (pooled scan workers insert concurrently).
+    survivors: Arc<Mutex<HashSet<PartitionId>>>,
+    /// TopK shape, set by `exec_topk` at heap drain: the source partition
+    /// of every heap survivor plus of every row tied with the final
+    /// boundary value. `None` provenance aborts recording.
+    topk: Option<Vec<Option<PartitionId>>>,
+}
+
+impl CacheRecorder {
+    fn is_topk(&self) -> bool {
+        matches!(self.kind, RecordKind::TopK { .. })
+    }
+
+    /// Assemble the finished entry; `None` when recording never completed
+    /// (the plan bypassed the expected execution path).
+    fn finish(self, table: String) -> Option<CacheEntry> {
+        let CacheRecorder {
+            kind,
+            predicate_columns,
+            snapshot_version,
+            survivors,
+            topk,
+        } = self;
+        let table_version = snapshot_version?;
+        let (kind, mut partitions) = match kind {
+            RecordKind::Filter => {
+                let parts: Vec<PartitionId> =
+                    std::mem::take(&mut *survivors.lock()).into_iter().collect();
+                (EntryKind::Filter, parts)
+            }
+            RecordKind::TopK { order_column } => {
+                let parts: Vec<PartitionId> = topk?.into_iter().collect::<Option<_>>()?;
+                (EntryKind::TopK { order_column }, parts)
+            }
+        };
+        partitions.sort_unstable();
+        partitions.dedup();
+        Some(CacheEntry {
+            kind,
+            table,
+            partitions,
+            predicate_columns,
+            table_version,
+            appended: Vec::new(),
+        })
+    }
+}
+
+/// Which §8.2 shape a plan caches as: a top-k directly above a (filtered)
+/// scan, or a plain filter chain over one scan. Joins, aggregations, and
+/// LIMIT-without-ORDER-BY shapes are not cached — their contributing sets
+/// are either timing-dependent (early stop) or not partition-attributable.
+fn cacheable_shape(plan: &Plan, topk_enabled: bool) -> Option<(String, RecordKind)> {
+    if let Some(spec) = detect_topk(plan) {
+        // Only the heap execution path records survivor provenance.
+        if topk_enabled && spec.shape == TopKShape::AboveScan {
+            return Some((
+                spec.target_table,
+                RecordKind::TopK {
+                    order_column: spec.order_column,
+                },
+            ));
+        }
+        return None;
+    }
+    if let Some((_, table, predicate)) = split_chain(plan) {
+        if predicate.is_some() {
+            return Some((table.to_owned(), RecordKind::Filter));
+        }
+    }
+    None
 }
 
 /// The pruning-aware query executor.
@@ -80,27 +214,43 @@ pub struct Executor {
     /// concurrent queries share `scan_threads` workers instead of
     /// N×threads.
     pool: Option<Arc<MorselPool>>,
+    /// §8.2 predicate cache. [`Executor::new`] creates a private cache
+    /// when `cfg.predicate_cache` is set; [`crate::Session`] replaces it
+    /// with the session-shared one via [`Executor::with_shared_cache`].
+    cache: Option<Arc<Mutex<PredicateCache>>>,
 }
 
 impl Executor {
     pub fn new(catalog: Catalog, cfg: ExecConfig) -> Self {
         let pool = (cfg.scan_threads > 1).then(|| MorselPool::new(cfg.scan_threads));
+        let cache = new_cache(&cfg);
         Executor {
             catalog,
             cfg,
             io: IoStats::new(),
             pool,
+            cache,
         }
     }
 
     /// An executor drawing scan workers from an existing shared pool.
     pub fn with_pool(catalog: Catalog, cfg: ExecConfig, pool: Arc<MorselPool>) -> Self {
+        let cache = new_cache(&cfg);
         Executor {
             catalog,
             cfg,
             io: IoStats::new(),
             pool: Some(pool),
+            cache,
         }
+    }
+
+    /// Replace the executor's predicate cache with a shared one (or detach
+    /// it with `None`). [`crate::Session`] uses this so every per-query
+    /// executor consults the same session-owned cache.
+    pub fn with_shared_cache(mut self, cache: Option<Arc<Mutex<PredicateCache>>>) -> Self {
+        self.cache = cache;
+        self
     }
 
     pub fn config(&self) -> &ExecConfig {
@@ -115,6 +265,18 @@ impl Executor {
         self.pool.as_ref()
     }
 
+    pub fn cache(&self) -> Option<&Arc<Mutex<PredicateCache>>> {
+        self.cache.as_ref()
+    }
+
+    /// Counters of the attached predicate cache (defaults when detached).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache
+            .as_ref()
+            .map(|c| c.lock().stats())
+            .unwrap_or_default()
+    }
+
     /// Execute a plan, returning rows plus the pruning report.
     pub fn run(&self, plan: &Plan) -> Result<QueryOutput> {
         plan.check()?;
@@ -124,6 +286,9 @@ impl Executor {
             lane: self.pool.as_ref().map_or(0, |p| p.next_lane()),
             ..RunState::default()
         };
+        if let Some(cache) = &self.cache {
+            st.cache = self.consult_cache(plan, cache, &mut st.report);
+        }
         let topk = detect_topk(plan);
         st.report.pruning.topk_eligible = topk.is_some();
         st.report.pruning.limit_eligible =
@@ -134,6 +299,15 @@ impl Executor {
             (Some(spec), true) => self.exec_topk(plan, spec, &mut st)?,
             _ => self.exec_node(plan, &mut st)?,
         };
+        // Population happens at query completion: a missed cacheable query
+        // inserts the contributing-partition set it just recorded.
+        if let Some(cr) = st.cache.take() {
+            if let (Some(rec), Some(cache)) = (cr.record, self.cache.as_ref()) {
+                if let Some(entry) = rec.finish(cr.table) {
+                    cache.lock().insert(cr.fingerprint, entry);
+                }
+            }
+        }
         let wall = start.elapsed();
         let io = self.io.snapshot().since(&io_before);
         st.report.pruning.partitions_scanned = io.partitions_loaded;
@@ -143,6 +317,45 @@ impl Executor {
             io,
             wall,
         })
+    }
+
+    /// Fingerprint a cacheable plan and look it up, arming either the
+    /// scan-set restriction (hit) or a recorder (miss).
+    fn consult_cache(
+        &self,
+        plan: &Plan,
+        cache: &Arc<Mutex<PredicateCache>>,
+        report: &mut ExecReport,
+    ) -> Option<CacheRun> {
+        let (table, kind) = cacheable_shape(plan, self.cfg.enable_topk_pruning)?;
+        let live_version = self.catalog.get(&table).ok()?.read().version();
+        let fp = fingerprint(plan, FingerprintMode::Exact);
+        match cache.lock().lookup(fp, live_version) {
+            CacheLookup::Hit(parts) => {
+                report.cache = CacheOutcome::Hit;
+                Some(CacheRun {
+                    fingerprint: fp,
+                    table,
+                    restrict: Some((parts.into_iter().collect(), live_version)),
+                    record: None,
+                })
+            }
+            CacheLookup::Miss => {
+                report.cache = CacheOutcome::Miss;
+                Some(CacheRun {
+                    fingerprint: fp,
+                    table,
+                    restrict: None,
+                    record: Some(CacheRecorder {
+                        kind,
+                        predicate_columns: predicate_column_names(plan),
+                        snapshot_version: None,
+                        survivors: Arc::new(Mutex::new(HashSet::new())),
+                        topk: None,
+                    }),
+                })
+            }
+        }
     }
 
     // ---- generic recursive execution ----------------------------------
@@ -288,7 +501,7 @@ impl Executor {
             // warehouse.
             let pool = Arc::clone(pool);
             let (stats, mut out) =
-                self.run_pooled_scan(&pool, st.lane, &scan, bound_chain, Some(need));
+                self.run_pooled_scan(&pool, st.lane, &scan, bound_chain, Some(need), None);
             st.report.pruning.pruned_by_filter += stats.cancelled_by_runtime_filter;
             st.report.scan_stats.merge(&stats);
             out.truncate(need);
@@ -337,7 +550,7 @@ impl Executor {
         }
         let handle = self.catalog.get(table)?;
         let snapshot = Arc::new(handle.read().clone());
-        let scan = CompiledScan::compile(
+        let mut scan = CompiledScan::compile(
             table,
             snapshot,
             predicate,
@@ -349,6 +562,19 @@ impl Executor {
         st.report.pruning.partitions_total += scan.partitions_total as u64;
         st.report.pruning.pruned_by_filter += scan.pruned_by_filter;
         st.report.pruning.fully_matching += scan.fully_matching;
+        // Cache hit: restrict the scan set to the cached contributors
+        // before any morsel is generated — but only if the snapshot still
+        // matches the version the lookup validated against (a concurrent
+        // DML in between would make the restriction under-scan).
+        if let Some(cr) = &st.cache {
+            if let Some((parts, expected_version)) = &cr.restrict {
+                if cr.table == table && scan.table.version() == *expected_version {
+                    let before = scan.scan_set.len();
+                    scan.scan_set.entries.retain(|e| parts.contains(&e.id));
+                    st.report.pruned_by_cache += (before - scan.scan_set.len()) as u64;
+                }
+            }
+        }
         Ok(scan)
     }
 
@@ -369,9 +595,23 @@ impl Executor {
     ) -> Result<RowSet> {
         let scan = self.prepare_scan(table, predicate, st)?;
         let schema = scan.schema.clone();
+        // Filter-shape cache recording: remember every partition that
+        // emits at least one selected row ("partitions containing rows
+        // matching a filter predicate", §8.2).
+        let survivors = match &mut st.cache {
+            Some(cr) if cr.table == table => match &mut cr.record {
+                Some(rec) if !rec.is_topk() => {
+                    rec.snapshot_version = Some(scan.table.version());
+                    Some(Arc::clone(&rec.survivors))
+                }
+                _ => None,
+            },
+            _ => None,
+        };
         if let Some(pool) = &self.pool {
             let pool = Arc::clone(pool);
-            let (stats, rows) = self.run_pooled_scan(&pool, st.lane, &scan, Vec::new(), None);
+            let (stats, rows) =
+                self.run_pooled_scan(&pool, st.lane, &scan, Vec::new(), None, survivors);
             st.report.pruning.pruned_by_filter += stats.cancelled_by_runtime_filter;
             st.report.scan_stats.merge(&stats);
             return Ok(RowSet { schema, rows });
@@ -384,6 +624,11 @@ impl Executor {
             prefetch_depth: self.cfg.prefetch_depth,
         };
         let stats = stream_scan(&scan, &self.io, &self.cfg.io_cost, &hooks, |part, sel| {
+            if !sel.is_empty() {
+                if let Some(s) = &survivors {
+                    s.lock().insert(part.meta.id);
+                }
+            }
             rows.extend(sel.iter().map(|&i| part.row(i)));
             ControlFlow::Continue(())
         });
@@ -405,6 +650,7 @@ impl Executor {
         scan: &CompiledScan,
         chain: Vec<BoundChainOp>,
         need: Option<usize>,
+        survivors: Option<Arc<Mutex<HashSet<PartitionId>>>>,
     ) -> (ScanRunStats, Vec<Vec<Value>>) {
         let morsels = scan
             .scan_set
@@ -417,6 +663,11 @@ impl Executor {
         let sink_tracker = tracker.clone();
         let chain = Arc::new(chain);
         let sink: Box<crate::pool::PartitionSink> = Box::new(move |mi, part, sel| {
+            if !sel.is_empty() {
+                if let Some(s) = &survivors {
+                    s.lock().insert(part.meta.id);
+                }
+            }
             let mut local = Vec::with_capacity(sel.len());
             for &i in sel {
                 if let Some(r) = apply_chain(&chain, part.row(i)) {
@@ -472,13 +723,15 @@ impl Executor {
     /// probe sides, so the boundary and deferred-filter hooks behave
     /// identically on both paths: workers prune against the live (possibly
     /// stale) boundary, while heap updates flow back through the driver.
+    /// Each row arrives with its source partition, which the predicate
+    /// cache records alongside top-k heap survivors (§8.2).
     fn stream_chain_rows(
         &self,
         scan: &CompiledScan,
         lane: QueryId,
         boundary: Option<(&Arc<Boundary>, usize)>,
         chain: &[BoundChainOp],
-        sink: &mut dyn FnMut(Vec<Value>),
+        sink: &mut dyn FnMut(Vec<Value>, PartitionId),
     ) -> ScanRunStats {
         if let Some(pool) = &self.pool {
             // Workers evaluate predicates/projections and funnel row
@@ -492,8 +745,9 @@ impl Executor {
             // top-k consumer this means ties at the k-th ORDER BY value
             // are broken by arrival rather than scan order (SQL-legal;
             // unique-key results stay fully deterministic).
-            let (tx, rx) =
-                std::sync::mpsc::sync_channel::<Vec<Vec<Value>>>(pool.worker_count() * 4);
+            let (tx, rx) = std::sync::mpsc::sync_channel::<(PartitionId, Vec<Vec<Value>>)>(
+                pool.worker_count() * 4,
+            );
             let chain: Arc<Vec<BoundChainOp>> = Arc::new(chain.to_vec());
             let ticket: ScanTicket = pool.submit(
                 lane,
@@ -515,7 +769,7 @@ impl Executor {
                         if !batch.is_empty() {
                             // SyncSender sends through &self, so workers
                             // contend only on the channel itself.
-                            let _ = tx.send(batch);
+                            let _ = tx.send((part.meta.id, batch));
                         }
                     }),
                     stop: Box::new(|| false),
@@ -524,9 +778,9 @@ impl Executor {
             );
             // The job (and with it the sender) drops when its last morsel
             // finishes, ending this loop.
-            for batch in rx {
+            for (pid, batch) in rx {
                 for row in batch {
-                    sink(row);
+                    sink(row, pid);
                 }
             }
             return ticket.wait();
@@ -540,7 +794,7 @@ impl Executor {
         stream_scan(scan, &self.io, &self.cfg.io_cost, &hooks, |part, sel| {
             for &i in sel {
                 if let Some(r) = apply_chain(chain, part.row(i)) {
-                    sink(r);
+                    sink(r, part.meta.id);
                 }
             }
             ControlFlow::Continue(())
@@ -603,8 +857,8 @@ impl Executor {
                 let probe_schema = probe.schema()?;
                 let pk = probe_schema.index_of(probe_key)?;
                 {
-                    let mut mat_sink = |r: Vec<Value>| out.push(r);
-                    let row_sink: &mut dyn FnMut(Vec<Value>) = match spine {
+                    let mut mat_sink = |r: Vec<Value>, _: Option<PartitionId>| out.push(r);
+                    let row_sink: RowSink<'_> = match spine {
                         Some(sp) => &mut *sp.f,
                         None => &mut mat_sink,
                     };
@@ -623,7 +877,9 @@ impl Executor {
                             for &bi in matches {
                                 let mut row = build_rows.rows[bi].clone();
                                 row.extend(probe_row.iter().cloned());
-                                row_sink(row);
+                                // Joined rows have no single source
+                                // partition, so no cache provenance.
+                                row_sink(row, None);
                             }
                         }
                     };
@@ -701,25 +957,25 @@ impl Executor {
                 }
                 let probe_width = probe_rows.schema.len();
                 {
-                    let mut mat_sink = |r: Vec<Value>| out.push(r);
+                    let mut mat_sink = |r: Vec<Value>, _: Option<PartitionId>| out.push(r);
                     let (row_sink, spine_parts): (RowSink<'_>, SpineParts<'_>) = match spine {
                         Some(sp) => (&mut *sp.f, Some((sp.spec, sp.boundary))),
                         None => (&mut mat_sink, None),
                     };
-                    let mut join_one = |row: Vec<Value>| {
+                    let mut join_one = |row: Vec<Value>, _: Option<PartitionId>| {
                         let key = &row[bk];
                         match lookup.get(key) {
                             Some(matches) if !key.is_null() => {
                                 for &pi in matches {
                                     let mut joined = row.clone();
                                     joined.extend(probe_rows.rows[pi].iter().cloned());
-                                    row_sink(joined);
+                                    row_sink(joined, None);
                                 }
                             }
                             _ => {
                                 let mut joined = row;
                                 joined.extend(std::iter::repeat_n(Value::Null, probe_width));
-                                row_sink(joined);
+                                row_sink(joined, None);
                             }
                         }
                     };
@@ -731,7 +987,7 @@ impl Executor {
                         }
                         (None, Some(build_rows)) => {
                             for r in build_rows.rows {
-                                join_one(r);
+                                join_one(r, None);
                             }
                         }
                         (None, None) => unreachable!("non-spine path prebuilds"),
@@ -799,7 +1055,15 @@ impl Executor {
                 }
             }
             let bound_chain = bind_chain(&chain, &scan.schema)?;
-            let stats = self.stream_chain_rows(&scan, st.lane, boundary_hook, &bound_chain, sink);
+            let stats = self.stream_chain_rows(
+                &scan,
+                st.lane,
+                boundary_hook,
+                &bound_chain,
+                // Join sides feed joined/materialized consumers that carry
+                // no per-row partition provenance.
+                &mut |r, _| sink(r),
+            );
             if boundary_hook.is_some() {
                 let topk_pruned = stats.skipped_by_boundary + stats.cancelled_by_boundary;
                 st.report.topk_stats.partitions_considered += stats.considered;
@@ -836,18 +1100,76 @@ impl Executor {
 
         let below_schema = below.schema()?;
         let order_idx = below_schema.index_of(&spec.order_column)?;
+        // Heap payloads carry each row's source partition ("recording
+        // partition information alongside each tuple in the top-k heap",
+        // §8.2) so a cache recorder can read survivors' partitions off the
+        // final heap.
         let heap = Mutex::new(TopKHeap::new(n, spec.desc, Arc::clone(&boundary)));
-        let mut sink = |row: Vec<Value>| {
+        let recording = st
+            .cache
+            .as_ref()
+            .and_then(|c| c.record.as_ref())
+            .is_some_and(CacheRecorder::is_topk);
+        // Ties-or-better filter against a bound: a row that compares worse
+        // can never equal the final boundary value (bounds only tighten).
+        let desc = spec.desc;
+        let ties_or_better = move |v: &Value, b: &Value| {
+            let ord = v.total_ord_cmp(b);
+            if desc {
+                ord != std::cmp::Ordering::Less
+            } else {
+                ord != std::cmp::Ordering::Greater
+            }
+        };
+        // Exact boundary-tie tracking: a row equal to the final k-th value
+        // may be rejected or evicted by the heap (first-seen ties win) yet
+        // the engine could draw the boundary row from its partition on a
+        // replay — log such candidates, compacting as the bound tightens.
+        let mut tie_log: Vec<(Value, PartitionId)> = Vec::new();
+        let tie_cap = 4 * n.max(16) + 64;
+        let mut sink = |row: Vec<Value>, pid: Option<PartitionId>| {
             let key = row[order_idx].clone();
-            heap.lock().insert(key, row);
+            if recording && !key.is_null() {
+                if let Some(pid) = pid {
+                    let keep = boundary.get().is_none_or(|b| ties_or_better(&key, &b));
+                    if keep {
+                        tie_log.push((key.clone(), pid));
+                        if tie_log.len() > tie_cap {
+                            if let Some(b) = boundary.get() {
+                                tie_log.retain(|(v, _)| ties_or_better(v, &b));
+                            }
+                        }
+                    }
+                }
+            }
+            heap.lock().insert(key, (row, pid));
         };
         self.stream_spine_node(below, spec, &boundary, st, &mut sink)?;
 
-        let rows: Vec<Vec<Value>> = heap
-            .into_inner()
-            .into_sorted()
+        let survivors = heap.into_inner().into_sorted();
+        if recording {
+            // The k-th value only bounds the result when the heap actually
+            // filled; a short heap already holds every qualifying row.
+            let bound = (n > 0 && survivors.len() == n)
+                .then(|| survivors.last().map(|(v, _)| v.clone()))
+                .flatten();
+            let mut pids: Vec<Option<PartitionId>> =
+                survivors.iter().map(|(_, (_, pid))| *pid).collect();
+            if let Some(b) = &bound {
+                pids.extend(
+                    tie_log
+                        .iter()
+                        .filter(|(v, _)| v.total_ord_cmp(b) == std::cmp::Ordering::Equal)
+                        .map(|(_, pid)| Some(*pid)),
+                );
+            }
+            if let Some(rec) = st.cache.as_mut().and_then(|c| c.record.as_mut()) {
+                rec.topk = Some(pids);
+            }
+        }
+        let rows: Vec<Vec<Value>> = survivors
             .into_iter()
-            .map(|(_, r)| r)
+            .map(|(_, (r, _))| r)
             .skip(*offset as usize)
             .collect();
         Ok(RowSet {
@@ -902,7 +1224,7 @@ impl Executor {
         let mut topk_keys = DistinctKeyTopK::new(n, spec.desc, Arc::clone(boundary));
         let mut staged: Vec<Vec<Value>> = Vec::new();
         {
-            let mut sink = |row: Vec<Value>| {
+            let mut sink = |row: Vec<Value>, _: Option<PartitionId>| {
                 if topk_keys.offer(&row[key_idx]) {
                     staged.push(row);
                 }
@@ -929,13 +1251,16 @@ impl Executor {
     /// Stream the top-k spine: rows flow partition-at-a-time from the
     /// target scan up through filters/projections/joins into `sink`, so
     /// boundary updates from the heap immediately affect later partitions.
+    /// Rows off the target scan carry their source partition (predicate-
+    /// cache provenance); rows from joins or materialized fallbacks have
+    /// none.
     fn stream_spine_node(
         &self,
         plan: &Plan,
         spec: &TopKSpec,
         boundary: &Arc<Boundary>,
         st: &mut RunState,
-        sink: &mut dyn FnMut(Vec<Value>),
+        sink: &mut dyn FnMut(Vec<Value>, Option<PartitionId>),
     ) -> Result<()> {
         match plan {
             Plan::Scan {
@@ -963,8 +1288,24 @@ impl Executor {
                         boundary.tighten(&init);
                     }
                 }
-                let stats =
-                    self.stream_chain_rows(&scan, st.lane, Some((boundary, order_col)), &[], sink);
+                // Top-k cache recording: pin the snapshot version the
+                // recorded partitions refer to.
+                if let Some(cr) = &mut st.cache {
+                    if cr.table == *table {
+                        if let Some(rec) = &mut cr.record {
+                            if rec.is_topk() {
+                                rec.snapshot_version = Some(scan.table.version());
+                            }
+                        }
+                    }
+                }
+                let stats = self.stream_chain_rows(
+                    &scan,
+                    st.lane,
+                    Some((boundary, order_col)),
+                    &[],
+                    &mut |r, pid| sink(r, Some(pid)),
+                );
                 let topk_pruned = stats.skipped_by_boundary + stats.cancelled_by_boundary;
                 st.report.topk_stats.partitions_considered += stats.considered;
                 st.report.topk_stats.partitions_skipped += topk_pruned;
@@ -976,16 +1317,16 @@ impl Executor {
             Plan::Scan { .. } => {
                 let rows = self.exec_node(plan, st)?;
                 for r in rows.rows {
-                    sink(r);
+                    sink(r, None);
                 }
                 Ok(())
             }
             Plan::Filter { input, predicate } => {
                 let schema = input.schema()?;
                 let bound = predicate.bind(&schema)?;
-                let mut wrapped = |row: Vec<Value>| {
+                let mut wrapped = |row: Vec<Value>, pid: Option<PartitionId>| {
                     if snowprune_expr::eval_predicate(&bound, &row).qualifies() {
-                        sink(row);
+                        sink(row, pid);
                     }
                 };
                 self.stream_spine_node(input, spec, boundary, st, &mut wrapped)
@@ -996,8 +1337,8 @@ impl Executor {
                     .iter()
                     .map(|c| schema.index_of(c))
                     .collect::<Result<_>>()?;
-                let mut wrapped = |row: Vec<Value>| {
-                    sink(idxs.iter().map(|&i| row[i].clone()).collect());
+                let mut wrapped = |row: Vec<Value>, pid: Option<PartitionId>| {
+                    sink(idxs.iter().map(|&i| row[i].clone()).collect(), pid);
                 };
                 self.stream_spine_node(input, spec, boundary, st, &mut wrapped)
             }
@@ -1013,7 +1354,7 @@ impl Executor {
             other => {
                 let rows = self.exec_node(other, st)?;
                 for r in rows.rows {
-                    sink(r);
+                    sink(r, None);
                 }
                 Ok(())
             }
@@ -1068,8 +1409,9 @@ impl LimitTracker {
     }
 }
 
-/// A row consumer on the streaming path.
-type RowSink<'a> = &'a mut dyn FnMut(Vec<Value>);
+/// A row consumer on the streaming path, with optional source-partition
+/// provenance (None for joined or materialized rows).
+type RowSink<'a> = &'a mut dyn FnMut(Vec<Value>, Option<PartitionId>);
 
 /// Top-k spec and boundary carried alongside a spine sink.
 type SpineParts<'a> = Option<(&'a TopKSpec, &'a Arc<Boundary>)>;
@@ -1078,10 +1420,20 @@ type SpineParts<'a> = Option<(&'a TopKSpec, &'a Arc<Boundary>)>;
 struct SpineSink<'a> {
     spec: &'a TopKSpec,
     boundary: &'a Arc<Boundary>,
-    f: &'a mut dyn FnMut(Vec<Value>),
+    f: &'a mut dyn FnMut(Vec<Value>, Option<PartitionId>),
 }
 
 // ---- helpers -------------------------------------------------------------
+
+/// Fresh predicate cache per the config knob (also used by
+/// [`crate::Session`] to build its shared cache).
+pub(crate) fn new_cache(cfg: &ExecConfig) -> Option<Arc<Mutex<PredicateCache>>> {
+    cfg.predicate_cache.then(|| {
+        Arc::new(Mutex::new(PredicateCache::new(
+            cfg.predicate_cache_capacity,
+        )))
+    })
+}
 
 /// Chain operators (bottom-up application order).
 enum ChainOp {

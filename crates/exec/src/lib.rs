@@ -16,8 +16,10 @@ pub mod rows;
 pub mod scan;
 pub mod session;
 
-pub use config::{prefetch_depth_from_env, scan_threads_from_env, ExecConfig};
-pub use exec::{ExecReport, Executor, QueryOutput};
+pub use config::{
+    predicate_cache_from_env, prefetch_depth_from_env, scan_threads_from_env, ExecConfig,
+};
+pub use exec::{CacheOutcome, ExecReport, Executor, QueryOutput};
 pub use pool::{MorselPool, QueryId, ScanJobSpec, ScanTicket};
 pub use rows::RowSet;
 pub use scan::{CompiledScan, ScanHooks, ScanRunStats};

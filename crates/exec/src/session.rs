@@ -11,10 +11,20 @@
 //!   per-executor atomics, never shared across queries);
 //! * round-robin lane scheduling keeps a long scan from starving short
 //!   queries submitted in the same burst.
+//!
+//! With `ExecConfig::predicate_cache` on, the session additionally owns
+//! the shared (mutex-guarded) §8.2 [`PredicateCache`]: every per-query
+//! executor consults it at admission, and DML routed through the session's
+//! [`Session::insert_rows`] / [`Session::delete_rows`] /
+//! [`Session::update_rows`] wrappers (or raw results via
+//! [`Session::on_dml`]) keeps the cached entries consistent with the
+//! paper's correctness rules.
 
+use parking_lot::Mutex;
+use snowprune_cache::{CacheStats, DmlKind, PredicateCache};
 use snowprune_plan::Plan;
-use snowprune_storage::Catalog;
-use snowprune_types::{Error, Result};
+use snowprune_storage::{Catalog, DmlResult};
+use snowprune_types::{Error, Result, Value};
 use std::sync::Arc;
 
 use crate::config::ExecConfig;
@@ -26,6 +36,8 @@ pub struct Session {
     catalog: Catalog,
     cfg: ExecConfig,
     pool: Arc<MorselPool>,
+    /// §8.2 predicate cache, shared by every query this session runs.
+    cache: Option<Arc<Mutex<PredicateCache>>>,
 }
 
 impl Session {
@@ -35,13 +47,25 @@ impl Session {
     /// the same code path the concurrency suites stress.
     pub fn new(catalog: Catalog, cfg: ExecConfig) -> Self {
         let pool = MorselPool::new(cfg.scan_threads.max(1));
-        Session { catalog, cfg, pool }
+        let cache = crate::exec::new_cache(&cfg);
+        Session {
+            catalog,
+            cfg,
+            pool,
+            cache,
+        }
     }
 
     /// A session on an existing pool (e.g. several sessions sharing one
     /// warehouse).
     pub fn with_pool(catalog: Catalog, cfg: ExecConfig, pool: Arc<MorselPool>) -> Self {
-        Session { catalog, cfg, pool }
+        let cache = crate::exec::new_cache(&cfg);
+        Session {
+            catalog,
+            cfg,
+            pool,
+            cache,
+        }
     }
 
     pub fn pool(&self) -> &Arc<MorselPool> {
@@ -52,14 +76,73 @@ impl Session {
         &self.cfg
     }
 
-    /// A fresh executor bound to this session's pool, with its own
-    /// per-query I/O counters.
+    pub fn cache(&self) -> Option<&Arc<Mutex<PredicateCache>>> {
+        self.cache.as_ref()
+    }
+
+    /// Counters of the session's predicate cache (defaults when disabled).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache
+            .as_ref()
+            .map(|c| c.lock().stats())
+            .unwrap_or_default()
+    }
+
+    /// A fresh executor bound to this session's pool and shared predicate
+    /// cache, with its own per-query I/O counters.
     pub fn executor(&self) -> Executor {
         Executor::with_pool(
             self.catalog.clone(),
             self.cfg.clone(),
             Arc::clone(&self.pool),
         )
+        .with_shared_cache(self.cache.clone())
+    }
+
+    // ---- DML ------------------------------------------------------------
+
+    /// Feed a DML statement's result into the predicate cache (no-op when
+    /// the cache is disabled). The convenience wrappers below call this
+    /// automatically; use it directly when applying DML to catalog tables
+    /// by hand.
+    pub fn on_dml(&self, table: &str, kind: &DmlKind, result: &DmlResult) {
+        if let Some(cache) = &self.cache {
+            cache.lock().on_dml(table, kind, result);
+        }
+    }
+
+    /// INSERT rows into a catalog table, keeping the predicate cache
+    /// consistent (new partitions are appended to affected entries).
+    pub fn insert_rows(&self, table: &str, rows: Vec<Vec<Value>>) -> Result<DmlResult> {
+        let handle = self.catalog.get(table)?;
+        let res = handle.write().insert_rows(rows);
+        self.on_dml(table, &DmlKind::Insert, &res);
+        Ok(res)
+    }
+
+    /// DELETE rows matching `pred`, keeping the predicate cache consistent
+    /// (top-k entries for the table are invalidated).
+    pub fn delete_rows(&self, table: &str, pred: impl Fn(&[Value]) -> bool) -> Result<DmlResult> {
+        let handle = self.catalog.get(table)?;
+        let res = handle.write().delete_rows(pred);
+        self.on_dml(table, &DmlKind::Delete, &res);
+        Ok(res)
+    }
+
+    /// UPDATE rows via `f`, keeping the predicate cache consistent. The
+    /// changed-column set is *measured* by the storage layer
+    /// (`Table::update_rows_tracked`), not declared by the caller, so the
+    /// cache's ordering/predicate-column rules cannot be bypassed by an
+    /// under-declared update.
+    pub fn update_rows(
+        &self,
+        table: &str,
+        f: impl Fn(&[Value]) -> Vec<Value>,
+    ) -> Result<DmlResult> {
+        let handle = self.catalog.get(table)?;
+        let (res, changed_columns) = handle.write().update_rows_tracked(f);
+        self.on_dml(table, &DmlKind::Update(changed_columns), &res);
+        Ok(res)
     }
 
     /// Run one query on the shared pool.
@@ -194,5 +277,147 @@ mod tests {
         assert_eq!(session.pool().worker_count(), 1);
         let out = session.run(&plan).unwrap();
         assert_eq!(out.rows.len(), 200);
+    }
+
+    // ---- predicate cache (§8.2) -----------------------------------------
+
+    use crate::exec::CacheOutcome;
+
+    fn cached_session(threads: usize) -> Session {
+        Session::new(
+            catalog(),
+            ExecConfig::default()
+                .with_scan_threads(threads)
+                .with_predicate_cache(true),
+        )
+    }
+
+    #[test]
+    fn warm_topk_replay_is_byte_identical_and_restricted() {
+        for threads in [1usize, 4] {
+            let session = cached_session(threads);
+            let schema = session.catalog.get("t").unwrap().read().schema().clone();
+            let plan = PlanBuilder::scan("t", schema)
+                .filter(col("v").ge(lit(250i64)))
+                .order_by("k", true)
+                .limit(7)
+                .build();
+            let cold = session.run(&plan).unwrap();
+            assert_eq!(cold.report.cache, CacheOutcome::Miss);
+            let warm = session.run(&plan).unwrap();
+            assert_eq!(warm.report.cache, CacheOutcome::Hit);
+            assert_eq!(warm.rows.rows, cold.rows.rows, "threads {threads}");
+            assert!(warm.io.partitions_loaded <= cold.io.partitions_loaded);
+            assert!(warm.report.pruned_by_cache > 0, "scan set not restricted");
+            let stats = session.cache_stats();
+            assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+        }
+    }
+
+    #[test]
+    fn warm_filter_replay_is_byte_identical() {
+        let session = cached_session(3);
+        let schema = session.catalog.get("t").unwrap().read().schema().clone();
+        // Predicate on the unclustered column: zone maps cannot prune it,
+        // so the cold run loads everything and the warm replay only the
+        // partitions that actually matched.
+        let plan = PlanBuilder::scan("t", schema)
+            .filter(col("v").eq(lit(123i64)))
+            .build();
+        let cold = session.run(&plan).unwrap();
+        let warm = session.run(&plan).unwrap();
+        assert_eq!(warm.report.cache, CacheOutcome::Hit);
+        assert_eq!(warm.rows.rows, cold.rows.rows);
+        assert!(
+            warm.io.partitions_loaded < cold.io.partitions_loaded,
+            "warm {} vs cold {}",
+            warm.io.partitions_loaded,
+            cold.io.partitions_loaded
+        );
+    }
+
+    #[test]
+    fn session_dml_keeps_warm_replays_correct() {
+        let session = cached_session(2);
+        let schema = session.catalog.get("t").unwrap().read().schema().clone();
+        let plan = PlanBuilder::scan("t", schema)
+            .order_by("k", true)
+            .limit(3)
+            .build();
+        let cold = session.run(&plan).unwrap();
+        // INSERT a new global maximum: the entry survives (appended
+        // partitions) and the warm hit must surface the new row.
+        session
+            .insert_rows("t", vec![vec![Value::Int(5_000), Value::Int(0)]])
+            .unwrap();
+        let warm = session.run(&plan).unwrap();
+        assert_eq!(warm.report.cache, CacheOutcome::Hit);
+        assert_eq!(warm.rows.rows[0][0], Value::Int(5_000));
+        // DELETE invalidates the top-k entry; the next run re-records.
+        session
+            .delete_rows("t", |row| row[0] == Value::Int(5_000))
+            .unwrap();
+        let after = session.run(&plan).unwrap();
+        assert_eq!(after.report.cache, CacheOutcome::Miss);
+        assert_eq!(after.rows.rows, cold.rows.rows);
+        assert!(session.cache_stats().invalidations >= 1);
+    }
+
+    #[test]
+    fn untracked_dml_is_rejected_as_stale_not_served() {
+        let session = cached_session(2);
+        let schema = session.catalog.get("t").unwrap().read().schema().clone();
+        let plan = PlanBuilder::scan("t", schema)
+            .order_by("k", true)
+            .limit(3)
+            .build();
+        session.run(&plan).unwrap();
+        // Mutate the table behind the session's back (no on_dml): the
+        // version check must reject the entry instead of replaying it.
+        let handle = session.catalog.get("t").unwrap();
+        handle
+            .write()
+            .insert_rows(vec![vec![Value::Int(9_999), Value::Int(0)]]);
+        let out = session.run(&plan).unwrap();
+        assert_eq!(out.report.cache, CacheOutcome::Miss);
+        assert_eq!(out.rows.rows[0][0], Value::Int(9_999));
+        assert_eq!(session.cache_stats().stale_rejections, 1);
+    }
+
+    #[test]
+    fn update_of_predicate_column_does_not_poison_warm_filter() {
+        let session = cached_session(2);
+        let schema = session.catalog.get("t").unwrap().read().schema().clone();
+        // v = (k * 37) % 500; predicate selects a narrow v band.
+        let plan = PlanBuilder::scan("t", schema)
+            .filter(col("v").between(lit(490i64), lit(499i64)))
+            .build();
+        let cold = session.run(&plan).unwrap();
+        assert_eq!(session.run(&plan).unwrap().report.cache, CacheOutcome::Hit);
+        // Move rows *into* the predicate's range inside partitions the
+        // entry never cached (v is the predicate column): the tracked
+        // UPDATE must append the rewritten partitions so the warm replay
+        // still sees every matching row.
+        session
+            .update_rows("t", |row| {
+                let mut r = row.to_vec();
+                if r[1] == Value::Int(7) {
+                    r[1] = Value::Int(495);
+                }
+                r
+            })
+            .unwrap();
+        let warm = session.run(&plan).unwrap();
+        assert_eq!(warm.report.cache, CacheOutcome::Hit);
+        let oracle = Executor::new(session.catalog.clone(), ExecConfig::no_pruning())
+            .run(&plan)
+            .unwrap();
+        let sort = |rs: &crate::RowSet| {
+            let mut rows = rs.rows.clone();
+            rows.sort_by(|a, b| a[0].total_ord_cmp(&b[0]));
+            rows
+        };
+        assert_eq!(sort(&warm.rows), sort(&oracle.rows));
+        assert!(warm.rows.len() > cold.rows.len(), "moved rows must appear");
     }
 }

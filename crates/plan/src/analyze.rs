@@ -227,6 +227,34 @@ fn classify(
     }
 }
 
+/// All distinct column names referenced by any predicate in the plan (scan
+/// predicates and `Filter` nodes), sorted. The predicate cache (§8.2)
+/// records these on each entry so that an UPDATE touching one of them can
+/// be recognized as potentially moving rows into or out of the cached
+/// result — the safe partition-rewrite fast path is unsound for such
+/// updates.
+pub fn predicate_column_names(plan: &Plan) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    plan.visit(&mut |p| {
+        let pred = match p {
+            Plan::Scan { predicate, .. } => predicate.as_ref(),
+            Plan::Filter { predicate, .. } => Some(predicate),
+            _ => None,
+        };
+        if let Some(expr) = pred {
+            expr.visit(&mut |e| {
+                if let Expr::Column(c) = e {
+                    if !names.contains(&c.name) {
+                        names.push(c.name.clone());
+                    }
+                }
+            });
+        }
+    });
+    names.sort();
+    names
+}
+
 /// Fingerprint mode: `Shape` strips literals (Figure 12's "plan shapes");
 /// `Exact` keeps them (predicate-cache keys, §8.2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -517,6 +545,23 @@ mod tests {
             .limit(3)
             .build();
         assert!(detect_topk(&e).is_none());
+    }
+
+    #[test]
+    fn predicate_columns_collected_from_scans_and_filters() {
+        let p = PlanBuilder::scan("tracking_data", tracking())
+            .filter(col("s").ge(lit(50i64)).and(col("area").eq(lit("x"))))
+            .build();
+        let post = Plan::Filter {
+            input: Box::new(p),
+            predicate: col("num_sightings").lt(lit(10i64)),
+        };
+        assert_eq!(
+            predicate_column_names(&post),
+            vec!["area".to_owned(), "num_sightings".into(), "s".into()]
+        );
+        let bare = PlanBuilder::scan("tracking_data", tracking()).build();
+        assert!(predicate_column_names(&bare).is_empty());
     }
 
     #[test]

@@ -5,6 +5,7 @@ pub mod analyze;
 pub mod plan;
 
 pub use analyze::{
-    detect_topk, fingerprint, limit_pushdown, FingerprintMode, LimitPushdown, TopKShape, TopKSpec,
+    detect_topk, fingerprint, limit_pushdown, predicate_column_names, FingerprintMode,
+    LimitPushdown, TopKShape, TopKSpec,
 };
 pub use plan::{to_sql, AggFunc, JoinType, Plan, PlanBuilder, SortKey};

@@ -291,18 +291,50 @@ impl Table {
 
     /// UPDATE: apply `f` to each row; `f` returns the new row.
     pub fn update_rows(&mut self, f: impl Fn(&[Value]) -> Vec<Value>) -> DmlResult {
-        let mut changed = 0u64;
+        self.update_rows_tracked(f).0
+    }
+
+    /// UPDATE that additionally reports *which columns actually changed*
+    /// (schema names, in schema order). The predicate cache's DML rules
+    /// hinge on the true changed-column set — `Session::update_rows` uses
+    /// this so callers cannot under-declare what an update touched.
+    pub fn update_rows_tracked(
+        &mut self,
+        f: impl Fn(&[Value]) -> Vec<Value>,
+    ) -> (DmlResult, Vec<String>) {
+        let ncols = self.schema.len();
+        let mut col_changed = vec![false; ncols];
+        let mut changed_rows = 0u64;
         let res = self.rewrite_rows(|row| {
             let new = f(row);
-            if new != row {
-                changed += 1;
+            debug_assert_eq!(new.len(), row.len());
+            let mut any = false;
+            for (i, (old_v, new_v)) in row.iter().zip(new.iter()).enumerate() {
+                if old_v != new_v {
+                    col_changed[i] = true;
+                    any = true;
+                }
+            }
+            if any {
+                changed_rows += 1;
             }
             Some(new)
         });
-        DmlResult {
-            rows_affected: changed,
-            ..res
-        }
+        let changed_columns = self
+            .schema
+            .fields()
+            .iter()
+            .zip(&col_changed)
+            .filter(|(_, c)| **c)
+            .map(|(f, _)| f.name.clone())
+            .collect();
+        (
+            DmlResult {
+                rows_affected: changed_rows,
+                ..res
+            },
+            changed_columns,
+        )
     }
 
     fn rewrite_rows(&mut self, mut f: impl FnMut(&[Value]) -> Option<Vec<Value>>) -> DmlResult {
@@ -445,6 +477,25 @@ mod tests {
         });
         assert_eq!(res.rows_affected, 1);
         assert_eq!(t.total_rows(), 100);
+    }
+
+    #[test]
+    fn tracked_update_reports_changed_columns() {
+        let mut t = build(Layout::Natural, 50);
+        let (res, cols) = t.update_rows_tracked(|row| {
+            let mut r = row.to_vec();
+            if r[0] == Value::Int(5) {
+                r[1] = Value::Str("updated".into());
+            }
+            r
+        });
+        assert_eq!(res.rows_affected, 1);
+        assert_eq!(cols, vec!["v".to_owned()]);
+        // A no-op update changes no columns and rewrites no partitions.
+        let (res, cols) = t.update_rows_tracked(|row| row.to_vec());
+        assert_eq!(res.rows_affected, 0);
+        assert!(cols.is_empty());
+        assert!(res.partitions_removed.is_empty());
     }
 
     #[test]

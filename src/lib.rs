@@ -57,11 +57,14 @@ pub use snowprune_workload as workload;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use snowprune_cache::{CacheLookup, CacheStats, DmlKind, EntryKind, PredicateCache};
     pub use snowprune_core::{
         FilterPruneConfig, FilterPruner, JoinSummary, LimitOutcome, PartitionOrder,
         QueryPruningReport, ScanSet, SummaryKind,
     };
-    pub use snowprune_exec::{ExecConfig, Executor, MorselPool, QueryOutput, RowSet, Session};
+    pub use snowprune_exec::{
+        CacheOutcome, ExecConfig, Executor, MorselPool, QueryOutput, RowSet, Session,
+    };
     pub use snowprune_expr::dsl::{coalesce, col, if_, lit};
     pub use snowprune_expr::Expr;
     pub use snowprune_plan::{AggFunc, JoinType, Plan, PlanBuilder, SortKey};

@@ -22,7 +22,7 @@
 //! prefetch leg additionally pins depths 1 and 4 against the sequential
 //! oracle.
 
-use snowprune::exec::{prefetch_depth_from_env, scan_threads_from_env};
+use snowprune::exec::{predicate_cache_from_env, prefetch_depth_from_env, scan_threads_from_env};
 use snowprune::prelude::*;
 
 use rand::rngs::StdRng;
@@ -350,6 +350,212 @@ fn pruning_is_result_invariant_across_50_workloads() {
                     }
                 }
             }
+        }
+    }
+}
+
+// ---- the predicate-cache leg ---------------------------------------------
+
+/// Random DML statement applied *through the session*, so the predicate
+/// cache sees every result. Inserted rows use fresh unique `a` keys and
+/// `a`-updates shift by a large disjoint offset, preserving the unique-key
+/// invariant the Ordered checks rely on.
+fn apply_random_dml(rng: &mut StdRng, session: &Session, wl: &Workload, next_a: &mut i64) {
+    let schema = &wl.fact_schema;
+    let a = schema.index_of("a").unwrap();
+    let c = schema.index_of("c").unwrap();
+    let cats = ["red", "green", "blue", "teal"];
+    let hi = wl.fact_rows as i64;
+    let lo = rng.random_range(0..hi);
+    let span = rng.random_range(0..hi / 8 + 1);
+    let in_band = |row: &[Value]| match &row[a] {
+        Value::Int(x) => *x >= lo && *x <= lo + span,
+        _ => false,
+    };
+    match rng.random_range(0u32..5) {
+        0 => {
+            // INSERT 1..3 rows with fresh unique keys.
+            let n = rng.random_range(1usize..4);
+            let mut rows = Vec::with_capacity(n);
+            for _ in 0..n {
+                let mut row = Vec::with_capacity(schema.len());
+                for f in schema.fields() {
+                    row.push(match f.name.as_str() {
+                        "a" => {
+                            *next_a += 1;
+                            Value::Int(*next_a)
+                        }
+                        "b" => Value::Int(rng.random_range(-500i64..500)),
+                        "c" => Value::Str(cats[rng.random_range(0usize..cats.len())].into()),
+                        _ => Value::Int(rng.random_range(0i64..1000)),
+                    });
+                }
+                rows.push(row);
+            }
+            session.insert_rows("fact", rows).unwrap();
+        }
+        1 => {
+            // DELETE an `a` band (unsafe for top-k entries).
+            session.delete_rows("fact", |row| in_band(row)).unwrap();
+        }
+        2 => {
+            // UPDATE the predicate column `b` (moves rows into/out of
+            // predicate ranges in arbitrary partitions).
+            let delta = rng.random_range(-300i64..300);
+            session
+                .update_rows("fact", |row| {
+                    let mut r = row.to_vec();
+                    if in_band(row) {
+                        if let Value::Int(b) = r[schema.index_of("b").unwrap()] {
+                            r[schema.index_of("b").unwrap()] = Value::Int(b + delta);
+                        }
+                    }
+                    r
+                })
+                .unwrap();
+        }
+        3 => {
+            // UPDATE the category column `c`.
+            let cat = cats[rng.random_range(0usize..cats.len())];
+            session
+                .update_rows("fact", |row| {
+                    let mut r = row.to_vec();
+                    if in_band(row) {
+                        r[c] = Value::Str(cat.into());
+                    }
+                    r
+                })
+                .unwrap();
+        }
+        _ => {
+            // UPDATE the ordering/unique column `a` by a disjoint offset
+            // (unsafe for top-k entries ordered on `a`; keys stay unique).
+            session
+                .update_rows("fact", |row| {
+                    let mut r = row.to_vec();
+                    if in_band(row) {
+                        if let Value::Int(x) = r[a] {
+                            r[a] = Value::Int(x + 10_000_000);
+                        }
+                    }
+                    r
+                })
+                .unwrap();
+        }
+    }
+}
+
+/// Cacheable query shapes (top-k above scan, filter chains) for the cache
+/// leg. LIMIT-without-ORDER-BY is deliberately absent: its result set is
+/// legally nondeterministic, so "byte-identical to a cold oracle" is not a
+/// meaningful contract for it (and the engine does not cache it).
+fn cacheable_queries(rng: &mut StdRng, wl: &Workload) -> Vec<(Plan, Check)> {
+    let fs = &wl.fact_schema;
+    let mut out = Vec::new();
+    out.push((
+        PlanBuilder::scan("fact", fs.clone())
+            .filter(random_predicate(rng, wl.fact_rows))
+            .build(),
+        Check::Sorted,
+    ));
+    out.push((
+        PlanBuilder::scan("fact", fs.clone())
+            .filter(random_predicate(rng, wl.fact_rows))
+            .project(vec!["a", "c"])
+            .build(),
+        Check::Sorted,
+    ));
+    {
+        let mut b = PlanBuilder::scan("fact", fs.clone());
+        if rng.random::<f64>() < 0.6 {
+            b = b.filter(random_predicate(rng, wl.fact_rows));
+        }
+        let k = rng.random_range(1u64..30);
+        out.push((
+            b.order_by("a", rng.random::<bool>()).limit(k).build(),
+            Check::Ordered,
+        ));
+    }
+    out.push((
+        PlanBuilder::scan("fact", fs.clone())
+            .order_by("a", rng.random::<bool>())
+            .limit(rng.random_range(1u64..20))
+            .build(),
+        Check::Ordered,
+    ));
+    out
+}
+
+/// §8.2 differential leg: replay every workload's cacheable shapes
+/// cold-then-warm on a cached session, interleaved with random safe and
+/// unsafe DML routed through the session, and require each replay to be
+/// byte-identical to a cold no-pruning oracle run over the live table.
+/// `SNOWPRUNE_PREDICATE_CACHE=0` runs the identical protocol with the
+/// cache disabled (the CI matrix covers both settings).
+#[test]
+fn predicate_cache_warm_replays_match_cold_oracle() {
+    let threads = pool_threads();
+    let cache_on = predicate_cache_from_env().unwrap_or(true);
+    let cfg = ExecConfig::default()
+        .with_prefetch_depth(env_prefetch_depth())
+        .with_scan_threads(threads)
+        .with_predicate_cache(cache_on);
+    for w in 0..WORKLOADS {
+        let seed = 0xCAC4_0000 + w;
+        let wl = build_workload(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xCAFE);
+        let session = Session::new(wl.catalog.clone(), cfg.clone());
+        let oracle = Executor::new(wl.catalog.clone(), ExecConfig::no_pruning());
+        let queries = cacheable_queries(&mut rng, &wl);
+        let mut next_a = wl.fact_rows as i64 * 1_000;
+        for (qi, (plan, check)) in queries.iter().enumerate() {
+            let ctx = format!("workload {w} query {qi} (threads {threads}, cache {cache_on})");
+            // Cold run populates the cache (or hits an entry recorded by a
+            // colliding earlier shape — both are fine).
+            let cold = session.run(plan).unwrap_or_else(|e| panic!("{ctx}: {e:?}"));
+            assert_pipeline_invariant(&cold, &format!("{ctx} cold"));
+            // Interleave random DML through the session.
+            for _ in 0..rng.random_range(0u32..3) {
+                apply_random_dml(&mut rng, &session, &wl, &mut next_a);
+            }
+            // Replay after DML, then replay again with the cache certainly
+            // populated; both must match a cold oracle over the live table.
+            let warm = session.run(plan).unwrap_or_else(|e| panic!("{ctx}: {e:?}"));
+            let warm2 = session.run(plan).unwrap_or_else(|e| panic!("{ctx}: {e:?}"));
+            let oracle_out = oracle.run(plan).unwrap_or_else(|e| panic!("{ctx}: {e:?}"));
+            for (label, out) in [("warm", &warm), ("warm2", &warm2)] {
+                assert_pipeline_invariant(out, &format!("{ctx} {label}"));
+                match check {
+                    Check::Sorted => assert_eq!(
+                        canonical(out.rows.rows.clone()),
+                        canonical(oracle_out.rows.rows.clone()),
+                        "{ctx}: {label} diverged from cold oracle"
+                    ),
+                    Check::Ordered => assert_eq!(
+                        &out.rows.rows, &oracle_out.rows.rows,
+                        "{ctx}: {label} diverged from cold oracle (ordered)"
+                    ),
+                    Check::Limited { .. } => unreachable!("not generated here"),
+                }
+            }
+            // With the cache enabled, the second replay (no DML since the
+            // first) must be a hit; disabled, the cache is never consulted.
+            if cache_on {
+                assert_eq!(
+                    warm2.report.cache,
+                    snowprune::exec::CacheOutcome::Hit,
+                    "{ctx}: immediate replay must hit"
+                );
+            } else {
+                assert_eq!(
+                    warm2.report.cache,
+                    snowprune::exec::CacheOutcome::NotConsulted
+                );
+            }
+        }
+        if cache_on {
+            let stats = session.cache_stats();
+            assert!(stats.hits >= queries.len() as u64, "workload {w}: no hits");
         }
     }
 }

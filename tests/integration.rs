@@ -113,6 +113,7 @@ fn predicate_cache_round_trip_with_dml() {
             },
             table: "readings".into(),
             partitions: parts.clone(),
+            predicate_columns: Vec::new(),
             table_version: handle.read().version(),
             appended: Vec::new(),
         },
@@ -128,7 +129,7 @@ fn predicate_cache_round_trip_with_dml() {
             .map(|r| r[2].clone())
             .collect()
     };
-    let CacheLookup::Hit(cached) = cache.lookup(fp) else {
+    let CacheLookup::Hit(cached) = cache.lookup(fp, handle.read().version()) else {
         panic!("expected hit");
     };
     let mut replayed: Vec<i64> = Vec::new();
@@ -153,7 +154,7 @@ fn predicate_cache_round_trip_with_dml() {
         Value::Int(99_999_999),
     ]]);
     cache.on_dml("readings", &DmlKind::Insert, &res);
-    let CacheLookup::Hit(after_insert) = cache.lookup(fp) else {
+    let CacheLookup::Hit(after_insert) = cache.lookup(fp, handle.read().version()) else {
         panic!("insert must not invalidate");
     };
     assert!(after_insert.len() > parts.len());
@@ -162,7 +163,7 @@ fn predicate_cache_round_trip_with_dml() {
         .write()
         .delete_rows(|r| r[2] == Value::Int(99_999_999));
     cache.on_dml("readings", &DmlKind::Delete, &res);
-    assert_eq!(cache.lookup(fp), CacheLookup::Miss);
+    assert_eq!(cache.lookup(fp, handle.read().version()), CacheLookup::Miss);
 }
 
 #[test]
