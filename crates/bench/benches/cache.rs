@@ -54,6 +54,8 @@ fn bench_cache(c: &mut Criterion) {
                 predicate_columns: Vec::new(),
                 table_version: version,
                 appended: Vec::new(),
+                shape: None,
+                saved_loads: 0,
             },
         );
         let t = handle.read().clone();

@@ -156,7 +156,7 @@ pub fn ext_cache(seed: u64) -> String {
         // Filter shape on a column no layout clusters: zone maps cannot
         // prune it, the cache replays exactly the surviving partitions —
         // strictly fewer loads with byte-identical rows.
-        let filt = PlanBuilder::scan("t", schema)
+        let filt = PlanBuilder::scan("t", schema.clone())
             .filter(col("payload").between(lit(25_000i64), lit(25_004i64)))
             .build();
         let cold_f = session.run(&filt).unwrap();
@@ -207,9 +207,94 @@ pub fn ext_cache(seed: u64) -> String {
              hits {} misses {} insertions {} invalidations {}\n",
             stats.hits, stats.misses, stats.insertions, stats.invalidations,
         );
+        // Shape-mode fingerprints: a narrowed literal range (different
+        // exact fingerprint) misses in exact mode but is served by
+        // subsumption in shape mode — byte-identical to a cold no-pruning
+        // oracle, never loading more partitions.
+        let narrow_filter = PlanBuilder::scan("t", schema.clone())
+            .filter(col("payload").between(lit(25_001i64), lit(25_003i64)))
+            .build();
+        let narrow_topk = PlanBuilder::scan("t", schema.clone())
+            .order_by("v", true)
+            .limit(4)
+            .build();
+        for (mode, mode_label) in [
+            (snowprune_exec::PredicateCacheMode::Exact, "exact"),
+            (snowprune_exec::PredicateCacheMode::Shape, "shape"),
+        ] {
+            let session = Session::new(
+                catalog.clone(),
+                ExecConfig::default()
+                    .with_predicate_cache(true)
+                    .with_predicate_cache_mode(mode),
+            );
+            // Record the wide shapes cold, then replay narrowed.
+            assert_eq!(session.run(&filt).unwrap().report.cache, CacheOutcome::Miss);
+            assert_eq!(session.run(&topk).unwrap().report.cache, CacheOutcome::Miss);
+            let warm_filter = session.run(&narrow_filter).unwrap();
+            let warm_topk = session.run(&narrow_topk).unwrap();
+            let oracle = Executor::new(catalog.clone(), ExecConfig::no_pruning());
+            let oracle_filter = oracle.run(&narrow_filter).unwrap();
+            let oracle_topk = oracle.run(&narrow_topk).unwrap();
+            let sort = |rows: &[Vec<Value>]| {
+                let mut rows = rows.to_vec();
+                rows.sort_by(|a, b| a[1].total_ord_cmp(&b[1]));
+                rows
+            };
+            assert_eq!(
+                sort(&warm_filter.rows.rows),
+                sort(&oracle_filter.rows.rows),
+                "narrowed filter diverged from the cold no-pruning oracle"
+            );
+            assert_eq!(
+                warm_topk.rows.rows, oracle_topk.rows.rows,
+                "narrowed top-k diverged from the cold no-pruning oracle"
+            );
+            let stats = session.cache_stats();
+            match mode {
+                snowprune_exec::PredicateCacheMode::Exact => {
+                    assert_eq!(warm_filter.report.cache, CacheOutcome::Miss);
+                    assert_eq!(warm_topk.report.cache, CacheOutcome::Miss);
+                    assert_eq!(stats.shape_hits, 0);
+                }
+                snowprune_exec::PredicateCacheMode::Shape => {
+                    assert_eq!(
+                        warm_filter.report.cache,
+                        CacheOutcome::ShapeHit,
+                        "BETWEEN 25001 AND 25003 must be served by the \
+                         BETWEEN 25000 AND 25004 entry"
+                    );
+                    assert_eq!(
+                        warm_topk.report.cache,
+                        CacheOutcome::ShapeHit,
+                        "LIMIT 4 must be served by the LIMIT 10 entry"
+                    );
+                    assert!(stats.shape_hits > 0, "shape mode must record shape hits");
+                    assert!(warm_filter.io.partitions_loaded <= oracle_filter.io.partitions_loaded);
+                }
+            }
+            s += &format!(
+                "    {label} {mode_label} mode: narrowed filter {}, narrowed top-k {} \
+                 (shape_hits {}, subsumption_rejections {}, evictions {})\n",
+                outcome_label(warm_filter.report.cache),
+                outcome_label(warm_topk.report.cache),
+                stats.shape_hits,
+                stats.subsumption_rejections,
+                stats.evictions,
+            );
+        }
     }
     s += "  paper: caching wins on shuffled layouts, pruning wins on sorted ones; combine both\n";
     s
+}
+
+fn outcome_label(outcome: CacheOutcome) -> &'static str {
+    match outcome {
+        CacheOutcome::NotConsulted => "not consulted",
+        CacheOutcome::Miss => "miss",
+        CacheOutcome::Hit => "exact hit",
+        CacheOutcome::ShapeHit => "SHAPE HIT",
+    }
 }
 
 /// Ablations called out in DESIGN.md: join summary sweep and top-k

@@ -31,8 +31,12 @@
 //! remains as the offline/oracle population pass used by benches and the
 //! property suite.
 
+#![warn(missing_docs)]
+
 pub mod cache;
 pub mod populate;
 
-pub use cache::{CacheEntry, CacheLookup, CacheStats, DmlKind, EntryKind, PredicateCache};
+pub use cache::{
+    CacheEntry, CacheLookup, CacheStats, DmlKind, EntryKind, PredicateCache, ShapeKey,
+};
 pub use populate::contributing_partitions_topk;

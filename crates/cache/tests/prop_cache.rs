@@ -13,11 +13,29 @@
 use proptest::prelude::*;
 use snowprune_cache::{
     contributing_partitions_topk, CacheEntry, CacheLookup, DmlKind, EntryKind, PredicateCache,
+    ShapeKey,
 };
 use snowprune_expr::dsl::{col, lit};
 use snowprune_expr::{eval_truths, selection_indices, Expr};
 use snowprune_storage::{Field, Layout, PartitionId, Schema, Table, TableBuilder};
-use snowprune_types::{ScalarType, Value};
+use snowprune_types::{LiteralRange, RangeBound, ScalarType, Value};
+
+/// The shape key of `w >= lo` (shared shape fingerprint for all
+/// thresholds); `need` distinguishes filter entries from top-k ones.
+fn w_ge_shape(lo: i64, need: Option<u64>) -> ShapeKey {
+    ShapeKey {
+        fingerprint: 0x5AFE,
+        ranges: vec![LiteralRange {
+            column: "w".into(),
+            lo: Some(RangeBound {
+                value: Value::Int(lo),
+                inclusive: true,
+            }),
+            hi: None,
+        }],
+        need,
+    }
+}
 
 fn schema() -> Schema {
     Schema::new(vec![
@@ -208,6 +226,8 @@ proptest! {
             predicate_columns: if with_pred { vec!["w".into()] } else { Vec::new() },
             table_version: table.version(),
             appended: Vec::new(),
+            shape: None,
+            saved_loads: 0,
         });
         for op in &ops {
             apply_op(&mut table, &mut cache, op, threshold);
@@ -261,6 +281,8 @@ proptest! {
             predicate_columns: vec!["w".into()],
             table_version: table.version(),
             appended: Vec::new(),
+            shape: None,
+            saved_loads: 0,
         });
         for op in &ops {
             apply_op(&mut table, &mut cache, op, threshold);
@@ -270,6 +292,126 @@ proptest! {
                 prop_assert!(
                     replay.contains(&id),
                     "matching partition {id} lost by replay set {replay:?} (t={threshold} ops={ops:?})"
+                );
+            }
+        }
+    }
+
+    /// Shape-mode filter subsumption: an entry recorded for `w >= t` may
+    /// serve any narrowed query `w >= t + d` (d ≥ 0) via its shape key —
+    /// after arbitrary DML, a shape hit must still cover every partition
+    /// holding a row matching the *narrowed* predicate.
+    #[test]
+    fn filter_shape_hit_never_loses_a_matching_partition(
+        rows in proptest::collection::vec((-60i64..60, -15i64..15), 1..120),
+        per_part in prop_oneof![Just(5usize), Just(13), Just(40)],
+        clustered in any::<bool>(),
+        threshold in 10i64..40,
+        delta in 0i64..30,
+        ops in proptest::collection::vec(op_strategy(), 0..5),
+    ) {
+        let mut table = build_table(&rows, per_part, clustered);
+        let entry_pred = col("w").ge(lit(threshold));
+        let mut cache = PredicateCache::new(8);
+        cache.insert(2, CacheEntry {
+            kind: EntryKind::Filter,
+            table: "t".into(),
+            partitions: matching_partitions(&table, &entry_pred),
+            predicate_columns: vec!["w".into()],
+            table_version: table.version(),
+            appended: Vec::new(),
+            shape: Some(w_ge_shape(threshold, None)),
+            saved_loads: 0,
+        });
+        for op in &ops {
+            apply_op(&mut table, &mut cache, op, threshold);
+        }
+        // The narrowed query has a different exact fingerprint (7) but the
+        // same shape; a ShapeHit must cover the narrowed oracle.
+        let query_pred = col("w").ge(lit(threshold + delta));
+        let lookup = cache.lookup_with_shape(
+            7,
+            Some(&w_ge_shape(threshold + delta, None)),
+            table.version(),
+        );
+        if let CacheLookup::ShapeHit(replay) = lookup {
+            for id in matching_partitions(&table, &query_pred) {
+                prop_assert!(
+                    replay.contains(&id),
+                    "narrowed-match partition {id} lost by shape replay {replay:?} \
+                     (t={threshold} d={delta} ops={ops:?})"
+                );
+            }
+        } else {
+            prop_assert!(!matches!(lookup, CacheLookup::Hit(_)), "fp 7 never inserted");
+        }
+    }
+
+    /// Shape-mode top-k subsumption: an entry recorded at `k_entry` may
+    /// serve the same predicate at any `k_query <= k_entry` — after
+    /// arbitrary DML, a shape hit must cover every row a cold oracle
+    /// ranks in (or tied with) the smaller top-k.
+    #[test]
+    fn topk_shape_hit_never_loses_an_oracle_row(
+        rows in proptest::collection::vec((-60i64..60, -15i64..15), 1..120),
+        per_part in prop_oneof![Just(5usize), Just(13), Just(40)],
+        clustered in any::<bool>(),
+        k_entry in 2usize..8,
+        k_delta in 0usize..6,
+        desc in any::<bool>(),
+        with_pred in any::<bool>(),
+        threshold in 10i64..55,
+        ops in proptest::collection::vec(op_strategy(), 0..5),
+    ) {
+        let k_query = k_entry.saturating_sub(k_delta).max(1);
+        let mut table = build_table(&rows, per_part, clustered);
+        let pred = with_pred.then(|| col("w").ge(lit(threshold)));
+        let mut cache = PredicateCache::new(8);
+        let parts =
+            contributing_partitions_topk(&table, pred.as_ref(), "v", k_entry, desc).unwrap();
+        // Shape fingerprint varies with predicate presence, as the real
+        // extraction's constrained-column set would.
+        let entry_shape = if with_pred {
+            w_ge_shape(threshold, Some(k_entry as u64))
+        } else {
+            ShapeKey { fingerprint: 0xBA5E, ranges: Vec::new(), need: Some(k_entry as u64) }
+        };
+        let query_shape = if with_pred {
+            w_ge_shape(threshold, Some(k_query as u64))
+        } else {
+            ShapeKey { fingerprint: 0xBA5E, ranges: Vec::new(), need: Some(k_query as u64) }
+        };
+        cache.insert(1, CacheEntry {
+            kind: EntryKind::TopK { order_column: "v".into() },
+            table: "t".into(),
+            partitions: parts,
+            predicate_columns: if with_pred { vec!["w".into()] } else { Vec::new() },
+            table_version: table.version(),
+            appended: Vec::new(),
+            shape: Some(entry_shape),
+            saved_loads: 0,
+        });
+        for op in &ops {
+            apply_op(&mut table, &mut cache, op, threshold);
+        }
+        let lookup = cache.lookup_with_shape(9, Some(&query_shape), table.version());
+        if let CacheLookup::ShapeHit(replay) = lookup {
+            let mut pairs = qualifying_pairs(&table, pred.as_ref());
+            pairs.sort_by(|a, b| if desc { b.0.cmp(&a.0) } else { a.0.cmp(&b.0) });
+            let required: Vec<(i64, PartitionId)> = if pairs.len() > k_query {
+                let bound = pairs[k_query - 1].0;
+                pairs
+                    .into_iter()
+                    .filter(|(v, _)| if desc { *v >= bound } else { *v <= bound })
+                    .collect()
+            } else {
+                pairs
+            };
+            for (v, id) in required {
+                prop_assert!(
+                    replay.contains(&id),
+                    "row v={v} in partition {id} lost by shape replay {replay:?} \
+                     (k_entry={k_entry} k_query={k_query} desc={desc} pred={with_pred} ops={ops:?})"
                 );
             }
         }

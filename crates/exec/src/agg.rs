@@ -14,15 +14,27 @@ use snowprune_types::{KeyValue, Result, Value};
 /// Running state of one aggregate function.
 #[derive(Clone, Debug)]
 pub enum AggState {
+    /// `COUNT(*)` / `COUNT(col)` row counter.
     Count(u64),
+    /// Integer `SUM` accumulator (widened to `i128`) plus a seen-any flag.
     SumInt(i128, bool),
+    /// Float `SUM` accumulator plus a seen-any flag.
     SumFloat(f64, bool),
+    /// Smallest non-null value seen so far.
     Min(Option<Value>),
+    /// Largest non-null value seen so far.
     Max(Option<Value>),
-    Avg { sum: f64, count: u64 },
+    /// `AVG` accumulator: running sum and non-null input count.
+    Avg {
+        /// Sum of the non-null inputs.
+        sum: f64,
+        /// Number of non-null inputs.
+        count: u64,
+    },
 }
 
 impl AggState {
+    /// Fresh state for `f`; `input_is_float` picks the `SUM` accumulator.
     pub fn new(f: &AggFunc, input_is_float: bool) -> AggState {
         match f {
             AggFunc::CountStar | AggFunc::Count(_) => AggState::Count(0),
@@ -39,6 +51,8 @@ impl AggState {
         }
     }
 
+    /// Fold one input into the state. `None` means "count the row"
+    /// (`COUNT(*)`); `Some(Null)` is a NULL input and is skipped.
     pub fn update(&mut self, v: Option<&Value>) {
         match self {
             AggState::Count(c) => {
@@ -108,6 +122,7 @@ impl AggState {
         }
     }
 
+    /// The aggregate's final SQL value (NULL when no input qualified).
     pub fn finish(&self) -> Value {
         match self {
             AggState::Count(c) => Value::Int(*c as i64),
@@ -151,6 +166,8 @@ pub struct DistinctKeyTopK {
 }
 
 impl DistinctKeyTopK {
+    /// Track the best `k` distinct keys, publishing tightenings to
+    /// `boundary` as the k-th best distinct key improves.
     pub fn new(k: usize, desc: bool, boundary: Arc<Boundary>) -> Self {
         DistinctKeyTopK {
             k,
@@ -160,6 +177,8 @@ impl DistinctKeyTopK {
         }
     }
 
+    /// Offer a grouping-key value; `true` when rows with this key can
+    /// still reach the final top-k result.
     pub fn offer(&mut self, key: &Value) -> bool {
         if key.is_null() || self.k == 0 {
             return false;

@@ -9,9 +9,13 @@ use snowprune_storage::IoCostModel;
 /// Every paper experiment toggles some subset of these.
 #[derive(Clone, Debug)]
 pub struct ExecConfig {
+    /// Zone-map filter pruning at scan compilation (§3).
     pub enable_filter_pruning: bool,
+    /// Compile-time LIMIT pruning via fully-matching partitions (§4).
     pub enable_limit_pruning: bool,
+    /// Join pruning from build-side value summaries (§6).
     pub enable_join_pruning: bool,
+    /// Boundary-driven top-k pruning (§5).
     pub enable_topk_pruning: bool,
     /// Partition processing order for top-k scans (§5.3).
     pub topk_order: PartitionOrder,
@@ -47,10 +51,34 @@ pub struct ExecConfig {
     /// byte-identical; the differential/bench suites enable it explicitly
     /// or via `SNOWPRUNE_PREDICATE_CACHE`.
     pub predicate_cache: bool,
-    /// Entry capacity of the predicate cache (FIFO eviction).
+    /// Entry capacity of the predicate cache (LRU eviction keyed on hit
+    /// recency, with a cost-aware tiebreak).
     pub predicate_cache_capacity: usize,
+    /// Fingerprint mode of the predicate cache: `Exact` serves only
+    /// identical plans; `Shape` additionally falls back to same-shape
+    /// entries whose literal ranges subsume the query's (`v >= 50` serving
+    /// `v >= 60`). See [`PredicateCacheMode`].
+    pub predicate_cache_mode: PredicateCacheMode,
+    /// Zone-map filter pruning knobs (§3).
     pub filter: FilterPruneConfig,
+    /// Simulated object-store cost model for I/O accounting.
     pub io_cost: IoCostModel,
+}
+
+/// How the §8.2 predicate cache fingerprints plans at admission.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PredicateCacheMode {
+    /// Plans are keyed by exact fingerprint (literals included): an entry
+    /// for `v >= 50` can only serve `v >= 50`.
+    #[default]
+    Exact,
+    /// Exact lookup first, then fall back to entries with the same
+    /// literal-abstracted shape whose recorded literal ranges *subsume*
+    /// the query's — a `v >= 50` filter entry serves `v >= 60`, a
+    /// `BETWEEN 10 AND 90` entry serves `BETWEEN 20 AND 80`, and a top-k
+    /// entry serves the same predicate at a smaller `k`. Every shape hit
+    /// replays a sound superset of the query's contributing partitions.
+    Shape,
 }
 
 impl Default for ExecConfig {
@@ -69,6 +97,7 @@ impl Default for ExecConfig {
             prefetch_depth: 2,
             predicate_cache: false,
             predicate_cache_capacity: 256,
+            predicate_cache_mode: PredicateCacheMode::Exact,
             filter: FilterPruneConfig::default(),
             io_cost: IoCostModel::default(),
         }
@@ -105,6 +134,12 @@ impl ExecConfig {
         self.predicate_cache = on;
         self
     }
+
+    /// Builder-style override for the predicate-cache fingerprint mode.
+    pub fn with_predicate_cache_mode(mut self, mode: PredicateCacheMode) -> Self {
+        self.predicate_cache_mode = mode;
+        self
+    }
 }
 
 /// Scan-thread override from the `SNOWPRUNE_SCAN_THREADS` environment
@@ -131,6 +166,23 @@ pub fn predicate_cache_from_env() -> Option<bool> {
     match std::env::var("SNOWPRUNE_PREDICATE_CACHE").ok()?.trim() {
         "1" | "true" | "on" => Some(true),
         "0" | "false" | "off" => Some(false),
+        _ => None,
+    }
+}
+
+/// Predicate-cache fingerprint-mode override from the
+/// `SNOWPRUNE_PREDICATE_CACHE_MODE` environment variable (`exact` or
+/// `shape`). Applied explicitly by the differential cache leg (the CI
+/// matrix sweeps both modes), never implicitly by `ExecConfig::default()`.
+pub fn predicate_cache_mode_from_env() -> Option<PredicateCacheMode> {
+    match std::env::var("SNOWPRUNE_PREDICATE_CACHE_MODE")
+        .ok()?
+        .trim()
+        .to_ascii_lowercase()
+        .as_str()
+    {
+        "exact" => Some(PredicateCacheMode::Exact),
+        "shape" => Some(PredicateCacheMode::Shape),
         _ => None,
     }
 }

@@ -25,21 +25,21 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
-use snowprune_cache::{CacheEntry, CacheLookup, CacheStats, EntryKind, PredicateCache};
+use snowprune_cache::{CacheEntry, CacheLookup, CacheStats, EntryKind, PredicateCache, ShapeKey};
 use snowprune_core::filter::FilterPruner;
 use snowprune_core::join::{prune_probe_side, BloomFilter, JoinSummary};
 use snowprune_core::limit::{prune_for_limit, LimitOutcome};
 use snowprune_core::topk::{initial_boundary, order_scan_set, Boundary, TopKHeap, TopKScanStats};
 use snowprune_core::QueryPruningReport;
 use snowprune_plan::{
-    detect_topk, fingerprint, limit_pushdown, predicate_column_names, FingerprintMode, JoinType,
-    LimitPushdown, Plan, SortKey, TopKShape, TopKSpec,
+    detect_topk, fingerprint, limit_pushdown, predicate_column_names, shape_signature,
+    FingerprintMode, JoinType, LimitPushdown, Plan, SortKey, TopKShape, TopKSpec,
 };
 use snowprune_storage::{Catalog, IoSnapshot, IoStats, PartitionId, PartitionMeta, Schema, Table};
 use snowprune_types::{Error, Result, Value};
 
 use crate::agg::{aggregate_rows, DistinctKeyTopK};
-use crate::config::ExecConfig;
+use crate::config::{ExecConfig, PredicateCacheMode};
 use crate::pool::{MorselPool, QueryId, ScanJobSpec, ScanTicket};
 use crate::rows::RowSet;
 use crate::scan::{stream_scan, CompiledScan, ScanHooks, ScanRunStats};
@@ -47,10 +47,15 @@ use crate::scan::{stream_scan, CompiledScan, ScanHooks, ScanRunStats};
 /// Execution report: core pruning accounting plus technique-level detail.
 #[derive(Clone, Debug, Default)]
 pub struct ExecReport {
+    /// Per-technique partition pruning tallies.
     pub pruning: QueryPruningReport,
+    /// Compile-time LIMIT pruning outcome, when the plan had a LIMIT.
     pub limit_outcome: Option<LimitOutcome>,
+    /// The Figure 7 top-k shape, when the plan was a top-k query.
     pub topk_shape: Option<TopKShape>,
+    /// Boundary-pruning counters of the top-k scan.
     pub topk_stats: TopKScanStats,
+    /// Serialized size of the build-side join summaries (§6.1).
     pub join_summary_bytes: u64,
     /// Rows skipped by the row-level Bloom filter inside joins.
     pub bloom_skipped_rows: u64,
@@ -71,18 +76,25 @@ pub enum CacheOutcome {
     NotConsulted,
     /// Consulted and missed; the query recorded a fresh entry.
     Miss,
-    /// Consulted and hit; the scan set was restricted to cached
-    /// contributors (plus DML-appended partitions).
+    /// Consulted and hit on the exact fingerprint; the scan set was
+    /// restricted to cached contributors (plus DML-appended partitions).
     Hit,
+    /// Shape-mode fallback hit ([`PredicateCacheMode::Shape`]): a
+    /// same-shape entry whose literal ranges subsume this query's served a
+    /// sound superset of the contributing partitions.
+    ShapeHit,
 }
 
 /// The result of running one query.
 #[derive(Clone, Debug)]
 pub struct QueryOutput {
+    /// The query's result rows.
     pub rows: RowSet,
+    /// Pruning/caching report for the run.
     pub report: ExecReport,
     /// I/O performed by this query (counter delta).
     pub io: IoSnapshot,
+    /// Real (host) wall-clock time of the run.
     pub wall: Duration,
 }
 
@@ -105,6 +117,10 @@ struct LimitOverride {
 struct CacheRun {
     fingerprint: u64,
     table: String,
+    /// Shape-mode signature of the plan (shape mode only, shape-eligible
+    /// plans only); attached to the entry a miss records so later queries
+    /// can be served by subsumption.
+    shape: Option<ShapeKey>,
     /// Hit: restrict the table's compiled scan set to these partitions —
     /// provided the snapshot still carries the version the lookup was
     /// validated against (a concurrent DML between lookup and snapshot
@@ -143,8 +159,16 @@ impl CacheRecorder {
     }
 
     /// Assemble the finished entry; `None` when recording never completed
-    /// (the plan bypassed the expected execution path).
-    fn finish(self, table: String) -> Option<CacheEntry> {
+    /// (the plan bypassed the expected execution path). `shape` is the
+    /// plan's shape-mode key (shape mode only) and `partitions_total` the
+    /// table's compiled scan-set size, from which the eviction policy's
+    /// cost signal (loads a warm replay saves) is derived.
+    fn finish(
+        self,
+        table: String,
+        shape: Option<ShapeKey>,
+        partitions_total: u64,
+    ) -> Option<CacheEntry> {
         let CacheRecorder {
             kind,
             predicate_columns,
@@ -166,6 +190,7 @@ impl CacheRecorder {
         };
         partitions.sort_unstable();
         partitions.dedup();
+        let saved_loads = partitions_total.saturating_sub(partitions.len() as u64);
         Some(CacheEntry {
             kind,
             table,
@@ -173,6 +198,8 @@ impl CacheRecorder {
             predicate_columns,
             table_version,
             appended: Vec::new(),
+            shape,
+            saved_loads,
         })
     }
 }
@@ -221,6 +248,9 @@ pub struct Executor {
 }
 
 impl Executor {
+    /// An executor over `catalog` with a private pool (when
+    /// `cfg.scan_threads > 1`) and a private predicate cache (when
+    /// `cfg.predicate_cache` is set).
     pub fn new(catalog: Catalog, cfg: ExecConfig) -> Self {
         let pool = (cfg.scan_threads > 1).then(|| MorselPool::new(cfg.scan_threads));
         let cache = new_cache(&cfg);
@@ -253,18 +283,22 @@ impl Executor {
         self
     }
 
+    /// The executor's configuration.
     pub fn config(&self) -> &ExecConfig {
         &self.cfg
     }
 
+    /// This executor's I/O counters (cumulative across its queries).
     pub fn io(&self) -> &IoStats {
         &self.io
     }
 
+    /// The attached worker pool, when scans run pooled.
     pub fn pool(&self) -> Option<&Arc<MorselPool>> {
         self.pool.as_ref()
     }
 
+    /// The attached predicate cache, when one is enabled.
     pub fn cache(&self) -> Option<&Arc<Mutex<PredicateCache>>> {
         self.cache.as_ref()
     }
@@ -303,7 +337,9 @@ impl Executor {
         // inserts the contributing-partition set it just recorded.
         if let Some(cr) = st.cache.take() {
             if let (Some(rec), Some(cache)) = (cr.record, self.cache.as_ref()) {
-                if let Some(entry) = rec.finish(cr.table) {
+                if let Some(entry) =
+                    rec.finish(cr.table, cr.shape, st.report.pruning.partitions_total)
+                {
                     cache.lock().insert(cr.fingerprint, entry);
                 }
             }
@@ -320,7 +356,12 @@ impl Executor {
     }
 
     /// Fingerprint a cacheable plan and look it up, arming either the
-    /// scan-set restriction (hit) or a recorder (miss).
+    /// scan-set restriction (exact or shape hit) or a recorder (miss). In
+    /// [`PredicateCacheMode::Shape`], shape-eligible plans additionally
+    /// carry their literal-abstracted signature: a miss on the exact
+    /// fingerprint falls back to any same-shape entry whose recorded
+    /// ranges subsume this query's, and a recorded entry is indexed for
+    /// later subsumption lookups.
     fn consult_cache(
         &self,
         plan: &Plan,
@@ -330,32 +371,41 @@ impl Executor {
         let (table, kind) = cacheable_shape(plan, self.cfg.enable_topk_pruning)?;
         let live_version = self.catalog.get(&table).ok()?.read().version();
         let fp = fingerprint(plan, FingerprintMode::Exact);
-        match cache.lock().lookup(fp, live_version) {
-            CacheLookup::Hit(parts) => {
-                report.cache = CacheOutcome::Hit;
-                Some(CacheRun {
-                    fingerprint: fp,
-                    table,
-                    restrict: Some((parts.into_iter().collect(), live_version)),
-                    record: None,
-                })
+        let shape = (self.cfg.predicate_cache_mode == PredicateCacheMode::Shape)
+            .then(|| shape_signature(plan))
+            .flatten();
+        let served = match cache
+            .lock()
+            .lookup_with_shape(fp, shape.as_ref(), live_version)
+        {
+            CacheLookup::Hit(parts) => Some((CacheOutcome::Hit, parts)),
+            CacheLookup::ShapeHit(parts) => Some((CacheOutcome::ShapeHit, parts)),
+            CacheLookup::Miss => None,
+        };
+        let (restrict, record) = match served {
+            Some((outcome, parts)) => {
+                report.cache = outcome;
+                (Some((parts.into_iter().collect(), live_version)), None)
             }
-            CacheLookup::Miss => {
+            None => {
                 report.cache = CacheOutcome::Miss;
-                Some(CacheRun {
-                    fingerprint: fp,
-                    table,
-                    restrict: None,
-                    record: Some(CacheRecorder {
-                        kind,
-                        predicate_columns: predicate_column_names(plan),
-                        snapshot_version: None,
-                        survivors: Arc::new(Mutex::new(HashSet::new())),
-                        topk: None,
-                    }),
-                })
+                let recorder = CacheRecorder {
+                    kind,
+                    predicate_columns: predicate_column_names(plan),
+                    snapshot_version: None,
+                    survivors: Arc::new(Mutex::new(HashSet::new())),
+                    topk: None,
+                };
+                (None, Some(recorder))
             }
-        }
+        };
+        Some(CacheRun {
+            fingerprint: fp,
+            table,
+            shape,
+            restrict,
+            record,
+        })
     }
 
     // ---- generic recursive execution ----------------------------------

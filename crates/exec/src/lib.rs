@@ -8,6 +8,8 @@
 //! free). See `pool.rs` for the worker model and `session.rs` for the
 //! multi-query driver.
 
+#![warn(missing_docs)]
+
 pub mod agg;
 pub mod config;
 pub mod exec;
@@ -17,7 +19,8 @@ pub mod scan;
 pub mod session;
 
 pub use config::{
-    predicate_cache_from_env, prefetch_depth_from_env, scan_threads_from_env, ExecConfig,
+    predicate_cache_from_env, predicate_cache_mode_from_env, prefetch_depth_from_env,
+    scan_threads_from_env, ExecConfig, PredicateCacheMode,
 };
 pub use exec::{CacheOutcome, ExecReport, Executor, QueryOutput};
 pub use pool::{MorselPool, QueryId, ScanJobSpec, ScanTicket};

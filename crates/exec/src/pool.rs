@@ -55,10 +55,12 @@ pub type MorselDoneFn = dyn Fn(usize) + Send + Sync;
 
 /// Everything the pool needs to run one scan as morsels.
 pub struct ScanJobSpec {
+    /// The compiled scan (snapshot + pruned scan set) to execute.
     pub scan: CompiledScan,
     /// Per-query I/O counters (clones share counters, so per-query tallies
     /// stay race-free even when workers of many queries interleave).
     pub io: IoStats,
+    /// Simulated object-store cost model charged per load.
     pub io_cost: IoCostModel,
     /// Top-k boundary hook and the ORDER BY column index.
     pub boundary: Option<(Arc<Boundary>, usize)>,
@@ -69,8 +71,12 @@ pub struct ScanJobSpec {
     /// Partition loads each worker keeps in flight per lane (clamped to
     /// ≥ 1; 1 = blocking). See [`crate::ExecConfig::prefetch_depth`].
     pub prefetch_depth: usize,
+    /// Per-partition output callback (receives the morsel index).
     pub sink: Box<PartitionSink>,
+    /// Early-stop signal checked between partitions (§4.4 pre-assigned
+    /// partitions excepted).
     pub stop: Box<StopFn>,
+    /// Optional per-morsel completion callback (LIMIT prefix accounting).
     pub on_morsel_done: Option<Box<MorselDoneFn>>,
 }
 
@@ -122,6 +128,8 @@ pub struct ScanTicket {
 }
 
 impl ScanTicket {
+    /// Block until every morsel has drained; returns the merged counters.
+    /// Re-raises a panic from any worker that executed this job's morsels.
     pub fn wait(self) -> ScanRunStats {
         let mut done = lock(&self.progress.completed);
         while *done < self.progress.total_morsels {
@@ -207,6 +215,7 @@ pub struct MorselPool {
 }
 
 impl MorselPool {
+    /// Spawn a pool of `workers` scan threads (clamped to ≥ 1).
     pub fn new(workers: usize) -> Arc<MorselPool> {
         let shared = Arc::new(PoolShared {
             injector: Mutex::new(Injector::default()),
@@ -229,6 +238,7 @@ impl MorselPool {
         })
     }
 
+    /// Number of worker threads serving this pool.
     pub fn worker_count(&self) -> usize {
         self.workers.len()
     }

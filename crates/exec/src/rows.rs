@@ -6,11 +6,14 @@ use snowprune_types::Value;
 /// A materialized intermediate result.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RowSet {
+    /// Column layout of the rows.
     pub schema: Schema,
+    /// The rows, each `schema.len()` values wide.
     pub rows: Vec<Vec<Value>>,
 }
 
 impl RowSet {
+    /// A row set with no rows.
     pub fn empty(schema: Schema) -> Self {
         RowSet {
             schema,
@@ -18,10 +21,12 @@ impl RowSet {
         }
     }
 
+    /// Number of rows.
     pub fn len(&self) -> usize {
         self.rows.len()
     }
 
+    /// Whether the set holds no rows.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
     }

@@ -1,7 +1,7 @@
 //! Table-scan compilation and the load/evaluate prefetch pipeline shared by
 //! every execution path.
 //!
-//! [`run_scan_slice`] is the single per-partition pipeline: it keeps up to
+//! `run_scan_slice` is the single per-partition pipeline: it keeps up to
 //! `prefetch_depth` partition loads in flight on an [`AsyncLake`] lane
 //! while evaluating completed ones, re-checking the top-k boundary, the
 //! deferred-filter pruner, and the early-stop signal at *completion* time
@@ -9,8 +9,8 @@
 //! cancelled without ever charging I/O. The sequential [`stream_scan`]
 //! drives it over the whole scan set; the shared [`crate::MorselPool`]
 //! drives it per morsel — both therefore share identical pruning
-//! decisions, counter ordering (see [`complete_load`]), and virtual-clock
-//! accounting.
+//! decisions, counter ordering (the single `complete_load` helper), and
+//! virtual-clock accounting.
 
 use std::collections::{HashSet, VecDeque};
 use std::ops::{ControlFlow, Range};
@@ -30,15 +30,21 @@ use snowprune_types::Result;
 /// A table scan after compile-time filter pruning.
 #[derive(Clone)]
 pub struct CompiledScan {
+    /// Name of the scanned table.
     pub table_name: String,
     /// Consistent snapshot of the table (partitions are immutable `Arc`s).
     pub table: Arc<Table>,
+    /// The snapshot's schema (predicates are bound against it).
     pub schema: Schema,
     /// Bound scan predicate (pushed-down filters).
     pub predicate: Option<Expr>,
+    /// Partitions that survived compile-time pruning, in scan order.
     pub scan_set: ScanSet,
+    /// Partition count of the snapshot before any pruning.
     pub partitions_total: usize,
+    /// Partitions dropped by compile-time filter pruning.
     pub pruned_by_filter: u64,
+    /// Partitions whose every row matches the predicate (§4.1).
     pub fully_matching: u64,
     /// Partitions whose compile-time pruning was deferred (§3.2); they sit
     /// in the scan set and are re-checked by the runtime pruner.
@@ -121,7 +127,9 @@ impl CompiledScan {
 /// entries whose load was issued and then revoked are cancellations).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ScanRunStats {
+    /// Scan-set entries the pipeline looked at.
     pub considered: u64,
+    /// Partition loads that completed and were charged.
     pub loaded: u64,
     /// Submit-time skips: the boundary already excluded the partition
     /// before its load was issued.
@@ -136,6 +144,7 @@ pub struct ScanRunStats {
     /// In-flight loads cancelled because the early-stop signal fired while
     /// they were being prefetched.
     pub cancelled_by_stop: u64,
+    /// Rows passed to the sink after predicate selection.
     pub rows_emitted: u64,
 }
 
@@ -168,6 +177,7 @@ pub struct ScanHooks<'a> {
 }
 
 impl ScanHooks<'_> {
+    /// No runtime hooks: blocking depth-1 scan with no boundary or pruner.
     pub fn none() -> ScanHooks<'static> {
         ScanHooks {
             boundary: None,

@@ -2,7 +2,8 @@
 //!
 //! A [`Session`] owns one shared [`MorselPool`] and runs batches of
 //! compiled queries concurrently on it. Each query gets its own driver
-//! (one scoped thread), its own [`IoStats`] handle, and its own injector
+//! (one scoped thread), its own [`snowprune_storage::IoStats`] handle, and
+//! its own injector
 //! lane, so:
 //!
 //! * N concurrent queries share `ExecConfig::scan_threads` scan workers —
@@ -68,14 +69,17 @@ impl Session {
         }
     }
 
+    /// The shared worker pool every query of this session draws from.
     pub fn pool(&self) -> &Arc<MorselPool> {
         &self.pool
     }
 
+    /// The session's configuration.
     pub fn config(&self) -> &ExecConfig {
         &self.cfg
     }
 
+    /// The session-shared predicate cache, when enabled.
     pub fn cache(&self) -> Option<&Arc<Mutex<PredicateCache>>> {
         self.cache.as_ref()
     }
@@ -381,6 +385,177 @@ mod tests {
         let out = session.run(&plan).unwrap();
         assert_eq!(out.report.cache, CacheOutcome::Miss);
         assert_eq!(out.rows.rows[0][0], Value::Int(9_999));
+        assert_eq!(session.cache_stats().stale_rejections, 1);
+    }
+
+    // ---- shape-mode fingerprints (§8.2 extension) ------------------------
+
+    use crate::config::PredicateCacheMode;
+
+    fn shape_session(threads: usize) -> Session {
+        Session::new(
+            catalog(),
+            ExecConfig::default()
+                .with_scan_threads(threads)
+                .with_predicate_cache(true)
+                .with_predicate_cache_mode(PredicateCacheMode::Shape),
+        )
+    }
+
+    #[test]
+    fn shape_mode_serves_narrowed_filter_range() {
+        let session = shape_session(2);
+        let schema = session.catalog.get("t").unwrap().read().schema().clone();
+        let filt = |lo: i64, hi: i64| {
+            PlanBuilder::scan("t", schema.clone())
+                .filter(col("v").between(lit(lo), lit(hi)))
+                .build()
+        };
+        // Cold run on the wide range records a shaped entry.
+        let cold = session.run(&filt(100, 300)).unwrap();
+        assert_eq!(cold.report.cache, CacheOutcome::Miss);
+        // A strictly narrower range is a different exact fingerprint but a
+        // subsumed shape: served as a ShapeHit, byte-identical to a cold
+        // no-pruning oracle, never loading more than the wide cold run.
+        let narrow = filt(150, 250);
+        let warm = session.run(&narrow).unwrap();
+        assert_eq!(warm.report.cache, CacheOutcome::ShapeHit);
+        let oracle = Executor::new(session.catalog.clone(), ExecConfig::no_pruning())
+            .run(&narrow)
+            .unwrap();
+        let sort = |rs: &crate::RowSet| {
+            let mut rows = rs.rows.clone();
+            rows.sort_by(|a, b| a[0].total_ord_cmp(&b[0]));
+            rows
+        };
+        assert_eq!(sort(&warm.rows), sort(&oracle.rows));
+        assert!(warm.io.partitions_loaded <= cold.io.partitions_loaded);
+        let stats = session.cache_stats();
+        assert_eq!(stats.shape_hits, 1);
+        assert_eq!(stats.hits, 0, "no exact fingerprint matched");
+        // The widening direction must NOT be served by subsumption.
+        let wide = session.run(&filt(50, 350)).unwrap();
+        assert_eq!(wide.report.cache, CacheOutcome::Miss);
+        assert!(session.cache_stats().subsumption_rejections >= 1);
+    }
+
+    #[test]
+    fn shape_mode_serves_smaller_k_topk() {
+        let session = shape_session(2);
+        let schema = session.catalog.get("t").unwrap().read().schema().clone();
+        let topk = |k: u64| {
+            PlanBuilder::scan("t", schema.clone())
+                .filter(col("v").ge(lit(250i64)))
+                .order_by("k", true)
+                .limit(k)
+                .build()
+        };
+        let cold = session.run(&topk(9)).unwrap();
+        assert_eq!(cold.report.cache, CacheOutcome::Miss);
+        // Same predicate, smaller k: the recorded survivors + tie log
+        // cover the smaller top-k, so the replay is exact.
+        let warm = session.run(&topk(4)).unwrap();
+        assert_eq!(warm.report.cache, CacheOutcome::ShapeHit);
+        assert_eq!(warm.rows.rows, cold.rows.rows[..4].to_vec());
+        let oracle = Executor::new(session.catalog.clone(), ExecConfig::no_pruning())
+            .run(&topk(4))
+            .unwrap();
+        assert_eq!(warm.rows.rows, oracle.rows.rows);
+        // A larger k cannot be served; it records its own entry.
+        let bigger = session.run(&topk(20)).unwrap();
+        assert_eq!(bigger.report.cache, CacheOutcome::Miss);
+        // A narrowed predicate cannot be served by a top-k entry either
+        // (equal ranges required), even at a smaller k.
+        let narrowed = PlanBuilder::scan("t", schema.clone())
+            .filter(col("v").ge(lit(300i64)))
+            .order_by("k", true)
+            .limit(4)
+            .build();
+        let out = session.run(&narrowed).unwrap();
+        assert_eq!(out.report.cache, CacheOutcome::Miss);
+        let oracle = Executor::new(session.catalog.clone(), ExecConfig::no_pruning())
+            .run(&narrowed)
+            .unwrap();
+        assert_eq!(out.rows.rows, oracle.rows.rows);
+    }
+
+    #[test]
+    fn shape_mode_dml_invalidation_still_applies_to_shape_hits() {
+        let session = shape_session(2);
+        let schema = session.catalog.get("t").unwrap().read().schema().clone();
+        let topk = |k: u64| {
+            PlanBuilder::scan("t", schema.clone())
+                .order_by("k", true)
+                .limit(k)
+                .build()
+        };
+        session.run(&topk(8)).unwrap();
+        // INSERT keeps the entry: the smaller-k shape hit must surface the
+        // newly inserted global maximum from an appended partition.
+        session
+            .insert_rows("t", vec![vec![Value::Int(7_000), Value::Int(0)]])
+            .unwrap();
+        let warm = session.run(&topk(3)).unwrap();
+        assert_eq!(warm.report.cache, CacheOutcome::ShapeHit);
+        assert_eq!(warm.rows.rows[0][0], Value::Int(7_000));
+        // DELETE invalidates the shape-serving top-k entry: the next
+        // smaller-k query misses instead of replaying a stale superset.
+        session
+            .delete_rows("t", |row| row[0] == Value::Int(7_000))
+            .unwrap();
+        let after = session.run(&topk(3)).unwrap();
+        assert_eq!(after.report.cache, CacheOutcome::Miss);
+        let oracle = Executor::new(session.catalog.clone(), ExecConfig::no_pruning())
+            .run(&topk(3))
+            .unwrap();
+        assert_eq!(after.rows.rows, oracle.rows.rows);
+    }
+
+    #[test]
+    fn exact_mode_never_reports_shape_hits() {
+        // The default (exact) mode must be byte-for-byte the old behavior:
+        // a narrowed replay misses and records its own entry.
+        let session = cached_session(2);
+        let schema = session.catalog.get("t").unwrap().read().schema().clone();
+        let filt = |lo: i64| {
+            PlanBuilder::scan("t", schema.clone())
+                .filter(col("v").ge(lit(lo)))
+                .build()
+        };
+        session.run(&filt(200)).unwrap();
+        let narrowed = session.run(&filt(260)).unwrap();
+        assert_eq!(narrowed.report.cache, CacheOutcome::Miss);
+        let stats = session.cache_stats();
+        assert_eq!((stats.shape_hits, stats.subsumption_rejections), (0, 0));
+    }
+
+    #[test]
+    fn untracked_dml_followed_by_tracked_dml_does_not_resync_entry() {
+        // Regression: an untracked mutation (no on_dml) used to be masked
+        // by a subsequent *tracked* DML stamping the entry with the live
+        // version — the warm replay then silently missed the untracked
+        // statement's partitions. The entry must be dropped instead.
+        let session = cached_session(2);
+        let schema = session.catalog.get("t").unwrap().read().schema().clone();
+        let plan = PlanBuilder::scan("t", schema)
+            .order_by("k", true)
+            .limit(3)
+            .build();
+        session.run(&plan).unwrap();
+        // Untracked: a new global maximum inserted behind the session's
+        // back (version bumps without on_dml).
+        let handle = session.catalog.get("t").unwrap();
+        handle
+            .write()
+            .insert_rows(vec![vec![Value::Int(8_888), Value::Int(0)]]);
+        // Tracked: a harmless insert routed through the session. This used
+        // to resynchronize the stale entry's version.
+        session
+            .insert_rows("t", vec![vec![Value::Int(-1), Value::Int(0)]])
+            .unwrap();
+        let out = session.run(&plan).unwrap();
+        assert_eq!(out.report.cache, CacheOutcome::Miss, "stale entry served");
+        assert_eq!(out.rows.rows[0][0], Value::Int(8_888));
         assert_eq!(session.cache_stats().stale_rejections, 1);
     }
 

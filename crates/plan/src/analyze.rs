@@ -7,9 +7,11 @@
 //!   and the predicate cache (§8.2).
 
 use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 
-use snowprune_expr::Expr;
+use snowprune_expr::{CmpOp, Expr};
+use snowprune_types::{LiteralRange, ShapeKey, Value};
 
 use crate::plan::{JoinType, Plan, SortKey};
 
@@ -253,6 +255,138 @@ pub fn predicate_column_names(plan: &Plan) -> Vec<String> {
     });
     names.sort();
     names
+}
+
+/// Extract the shape-mode cache signature of a cacheable plan (§8.2
+/// extension): the plan hashed with comparison literals abstracted out,
+/// plus the concrete literal range each predicate column is pinned to and
+/// — for top-k plans — how many rows the plan needs (`k + offset`,
+/// excluded from the hash).
+///
+/// Two plans with the same [`ShapeKey::fingerprint`] differ at most in
+/// their comparison literals and top-k row count, so a cached entry can be
+/// checked for *subsumption* against a query by comparing the key's ranges
+/// (and `need`) alone:
+///
+/// * a **filter** entry subsumes the query when every cached interval
+///   contains the query's interval for that column — the query predicate
+///   then implies the entry predicate, so partitions holding entry-matching
+///   rows are a superset of those holding query-matching rows;
+/// * a **top-k** entry requires *equal* intervals (a wider entry predicate
+///   would rank its top-k over a larger row set, and the query's best rows
+///   may not be among the entry's k survivors) and `entry.need >=
+///   query.need` — the entry's survivors plus its boundary-tie log then
+///   cover every row of the smaller top-k, ties included.
+///
+/// Returns `None` when the plan is not *shape-eligible*: only
+/// `Filter`/`Project` chains over a single scan — optionally under a
+/// `Limit(Sort(bare columns))` top-k spine — qualify, and every predicate
+/// must be a conjunction of single-column range comparisons against
+/// non-null literals (`col {<,<=,>,>=,=} literal`, either operand order).
+/// `OR`, `NOT`, `LIKE`, `IN`, arithmetic, and NULL literals make the plan
+/// exact-mode-only: their literals cannot be compared as intervals, so the
+/// subsumption direction cannot be proven sound.
+pub fn shape_signature(plan: &Plan) -> Option<ShapeKey> {
+    // Peel an optional top-k spine: Limit over Sort with bare-column keys.
+    let (chain_root, need, sort_keys) = match plan {
+        Plan::Limit { input, k, offset } => match input.as_ref() {
+            Plan::Sort { input: below, keys } => {
+                let mut cols: Vec<(String, bool)> = Vec::with_capacity(keys.len());
+                for key in keys {
+                    let Expr::Column(c) = &key.expr else {
+                        return None;
+                    };
+                    cols.push((c.name.clone(), key.desc));
+                }
+                (below.as_ref(), Some(k + offset), cols)
+            }
+            // Bare LIMIT results are legally nondeterministic; not cached.
+            _ => return None,
+        },
+        Plan::Sort { .. } => return None,
+        other => (other, None, Vec::new()),
+    };
+    // Walk the Filter*/Project* chain, collecting predicates and the
+    // projection structure.
+    let mut ranges: BTreeMap<String, LiteralRange> = BTreeMap::new();
+    let mut projections: Vec<Vec<String>> = Vec::new();
+    let mut node = chain_root;
+    let table = loop {
+        match node {
+            Plan::Scan {
+                table, predicate, ..
+            } => {
+                if let Some(p) = predicate {
+                    intersect_predicate(p, &mut ranges)?;
+                }
+                break table.clone();
+            }
+            Plan::Filter { input, predicate } => {
+                intersect_predicate(predicate, &mut ranges)?;
+                node = input;
+            }
+            Plan::Project { input, columns } => {
+                projections.push(columns.clone());
+                node = input;
+            }
+            _ => return None,
+        }
+    };
+    let mut h = DefaultHasher::new();
+    "snowprune-cache-shape-v1".hash(&mut h);
+    table.hash(&mut h);
+    // The constrained column *set* is the shape; the intervals themselves
+    // are carried alongside for the subsumption check. Conjunct order and
+    // atom count per column deliberately do not matter: `a >= 10 AND
+    // a <= 90` and `a BETWEEN 20 AND 80` share a shape.
+    for column in ranges.keys() {
+        column.hash(&mut h);
+    }
+    projections.hash(&mut h);
+    need.is_some().hash(&mut h);
+    for (column, desc) in &sort_keys {
+        column.hash(&mut h);
+        desc.hash(&mut h);
+    }
+    Some(ShapeKey {
+        fingerprint: h.finish(),
+        ranges: ranges.into_values().collect(),
+        need,
+    })
+}
+
+/// Fold every conjunct of `pred` into the per-column interval map. `None`
+/// when any conjunct is not a plain range comparison between one column
+/// and one non-null literal (or when bounds are incomparable).
+fn intersect_predicate(pred: &Expr, ranges: &mut BTreeMap<String, LiteralRange>) -> Option<()> {
+    for conjunct in pred.split_conjunction() {
+        let (column, op, value) = match conjunct {
+            Expr::Cmp(op, a, b) => match (a.as_ref(), b.as_ref()) {
+                (Expr::Column(c), Expr::Literal(v)) => (c.name.clone(), *op, v.clone()),
+                (Expr::Literal(v), Expr::Column(c)) => (c.name.clone(), op.flip(), v.clone()),
+                _ => return None,
+            },
+            _ => return None,
+        };
+        if matches!(value, Value::Null) {
+            return None;
+        }
+        let range = ranges
+            .entry(column.clone())
+            .or_insert_with(|| LiteralRange::unbounded(column));
+        let ok = match op {
+            CmpOp::Gt => range.tighten_lo(value, false),
+            CmpOp::Ge => range.tighten_lo(value, true),
+            CmpOp::Lt => range.tighten_hi(value, false),
+            CmpOp::Le => range.tighten_hi(value, true),
+            CmpOp::Eq => range.tighten_lo(value.clone(), true) && range.tighten_hi(value, true),
+            CmpOp::Ne => return None,
+        };
+        if !ok {
+            return None;
+        }
+    }
+    Some(())
 }
 
 /// Fingerprint mode: `Shape` strips literals (Figure 12's "plan shapes");
@@ -562,6 +696,127 @@ mod tests {
         );
         let bare = PlanBuilder::scan("tracking_data", tracking()).build();
         assert!(predicate_column_names(&bare).is_empty());
+    }
+
+    #[test]
+    fn shape_signature_abstracts_literals_and_k() {
+        let filt = |lo: i64, hi: i64| {
+            PlanBuilder::scan("tracking_data", tracking())
+                .filter(col("s").between(lit(lo), lit(hi)))
+                .build()
+        };
+        let a = shape_signature(&filt(10, 90)).unwrap();
+        let b = shape_signature(&filt(20, 80)).unwrap();
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.need, None);
+        assert_eq!(a.ranges.len(), 1);
+        assert!(a.ranges[0].contains(&b.ranges[0]), "[10,90] ⊇ [20,80]");
+        assert!(!b.ranges[0].contains(&a.ranges[0]));
+        // `>= 50` and `> 50` share a shape (both pin the same column); the
+        // inclusivity lives in the range.
+        let ge = shape_signature(
+            &PlanBuilder::scan("tracking_data", tracking())
+                .filter(col("s").ge(lit(50i64)))
+                .build(),
+        )
+        .unwrap();
+        let gt = shape_signature(
+            &PlanBuilder::scan("tracking_data", tracking())
+                .filter(col("s").gt(lit(50i64)))
+                .build(),
+        )
+        .unwrap();
+        assert_eq!(ge.fingerprint, gt.fingerprint);
+        assert!(ge.ranges[0].contains(&gt.ranges[0]));
+        assert!(!gt.ranges[0].contains(&ge.ranges[0]));
+        // Top-k plans: k/offset land in `need`, not the hash.
+        let topk = |t: i64, k: u64| {
+            PlanBuilder::scan("tracking_data", tracking())
+                .filter(col("s").ge(lit(t)))
+                .order_by("num_sightings", true)
+                .limit(k)
+                .build()
+        };
+        let t1 = shape_signature(&topk(50, 10)).unwrap();
+        let t2 = shape_signature(&topk(60, 3)).unwrap();
+        assert_eq!(t1.fingerprint, t2.fingerprint);
+        assert_eq!((t1.need, t2.need), (Some(10), Some(3)));
+        // ...but a top-k never collides with its bare filter chain, and a
+        // different order column or direction changes the shape.
+        assert_ne!(t1.fingerprint, ge.fingerprint);
+        let asc = PlanBuilder::scan("tracking_data", tracking())
+            .filter(col("s").ge(lit(50i64)))
+            .order_by("num_sightings", false)
+            .limit(10)
+            .build();
+        assert_ne!(shape_signature(&asc).unwrap().fingerprint, t1.fingerprint);
+        // Different constrained columns are different shapes.
+        let other_col = PlanBuilder::scan("tracking_data", tracking())
+            .filter(col("num_sightings").ge(lit(50i64)))
+            .build();
+        assert_ne!(
+            shape_signature(&other_col).unwrap().fingerprint,
+            ge.fingerprint
+        );
+        // Flipped operand order normalizes: `50 <= s` is `s >= 50`.
+        let flipped = PlanBuilder::scan("tracking_data", tracking())
+            .filter(Expr::Cmp(
+                CmpOp::Le,
+                Box::new(lit(50i64)),
+                Box::new(col("s")),
+            ))
+            .build();
+        let f = shape_signature(&flipped).unwrap();
+        assert_eq!(f.fingerprint, ge.fingerprint);
+        assert!(f.ranges[0].same_interval(&ge.ranges[0]));
+    }
+
+    #[test]
+    fn shape_signature_rejects_non_range_shapes() {
+        let scan = || PlanBuilder::scan("tracking_data", tracking());
+        // LIKE literals are not interval-comparable.
+        assert!(shape_signature(&scan().filter(col("area").like("M%")).build()).is_none());
+        // OR / NOT / NE / IN break the conjunction-of-ranges form.
+        assert!(shape_signature(
+            &scan()
+                .filter(col("s").ge(lit(1i64)).or(col("s").lt(lit(0i64))))
+                .build()
+        )
+        .is_none());
+        assert!(shape_signature(&scan().filter(col("s").ge(lit(1i64)).not()).build()).is_none());
+        assert!(shape_signature(&scan().filter(col("s").ne(lit(1i64))).build()).is_none());
+        assert!(shape_signature(
+            &scan()
+                .filter(col("s").in_list(vec![Value::Int(1), Value::Int(2)]))
+                .build()
+        )
+        .is_none());
+        // NULL literals match no rows and are not range-representable.
+        assert!(shape_signature(
+            &scan()
+                .filter(col("s").ge(Expr::Literal(Value::Null)))
+                .build()
+        )
+        .is_none());
+        // Mixed-type bounds on the same side of one column cannot be
+        // intersected.
+        assert!(shape_signature(
+            &scan()
+                .filter(col("s").ge(lit(1i64)).and(col("s").ge(lit("z"))))
+                .build()
+        )
+        .is_none());
+        // Bare LIMIT (no ORDER BY) and non-chain shapes are ineligible.
+        assert!(shape_signature(&scan().filter(col("s").ge(lit(1i64))).limit(5).build()).is_none());
+        let join = PlanBuilder::scan("trails", trails())
+            .join(scan(), "mountain", "area", JoinType::Inner)
+            .build();
+        assert!(shape_signature(&join).is_none());
+        // An unpredicated chain is eligible with empty ranges.
+        let bare =
+            shape_signature(&scan().order_by("num_sightings", true).limit(3).build()).unwrap();
+        assert!(bare.ranges.is_empty());
+        assert_eq!(bare.need, Some(3));
     }
 
     #[test]

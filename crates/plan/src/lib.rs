@@ -5,7 +5,8 @@ pub mod analyze;
 pub mod plan;
 
 pub use analyze::{
-    detect_topk, fingerprint, limit_pushdown, predicate_column_names, FingerprintMode,
-    LimitPushdown, TopKShape, TopKSpec,
+    detect_topk, fingerprint, limit_pushdown, predicate_column_names, shape_signature,
+    FingerprintMode, LimitPushdown, TopKShape, TopKSpec,
 };
 pub use plan::{to_sql, AggFunc, JoinType, Plan, PlanBuilder, SortKey};
+pub use snowprune_types::ShapeKey;

@@ -10,7 +10,7 @@ pub mod value;
 pub mod verdict;
 pub mod zonemap;
 
-pub use range::ValueRange;
+pub use range::{LiteralRange, RangeBound, ShapeKey, ValueRange};
 pub use value::{arith, KeyValue, ScalarType, Value};
 pub use verdict::{MatchClass, Verdict};
 pub use zonemap::{ZoneMap, DEFAULT_STRING_PREFIX};

@@ -243,6 +243,163 @@ impl ValueRange {
     }
 }
 
+// ---- predicate literal ranges (§8.2 shape-mode fingerprints) -------------
+
+/// One endpoint of a [`LiteralRange`]: a non-null comparison literal plus
+/// whether the endpoint itself is included (`>=`/`<=` vs `>`/`<`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RangeBound {
+    /// The literal value of the bound. Never [`Value::Null`] — predicates
+    /// comparing against NULL match no rows and are not range-representable.
+    pub value: Value,
+    /// `true` for inclusive comparisons (`>=`, `<=`, `=`).
+    pub inclusive: bool,
+}
+
+/// The interval a conjunctive predicate pins one column to, extracted from
+/// comparison literals (`v >= 50`, `v BETWEEN 10 AND 90`, …). Used by the
+/// shape-mode predicate cache (§8.2 extension): two plans with identical
+/// literal-abstracted shapes are compared by these per-column intervals to
+/// decide whether a cached entry's predicate *subsumes* a query's.
+///
+/// `None` on a side means unbounded. An interval may be empty
+/// (contradictory conjuncts); containment checks stay sound for empty
+/// intervals without special-casing them.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LiteralRange {
+    /// The constrained column's name.
+    pub column: String,
+    /// Lower bound (`None` = unbounded below).
+    pub lo: Option<RangeBound>,
+    /// Upper bound (`None` = unbounded above).
+    pub hi: Option<RangeBound>,
+}
+
+impl LiteralRange {
+    /// The unconstrained interval for `column`.
+    pub fn unbounded(column: impl Into<String>) -> Self {
+        LiteralRange {
+            column: column.into(),
+            lo: None,
+            hi: None,
+        }
+    }
+
+    /// Intersect a `column > value` / `column >= value` conjunct into the
+    /// interval, keeping the tighter lower bound. Returns `false` when the
+    /// new bound is incomparable with the current one (mixed types), in
+    /// which case the interval is left unchanged and the caller should
+    /// treat the predicate as not range-representable.
+    pub fn tighten_lo(&mut self, value: Value, inclusive: bool) -> bool {
+        match &self.lo {
+            None => {
+                self.lo = Some(RangeBound { value, inclusive });
+                true
+            }
+            Some(cur) => match value.sql_cmp(&cur.value) {
+                None => false,
+                Some(Ordering::Greater) => {
+                    self.lo = Some(RangeBound { value, inclusive });
+                    true
+                }
+                Some(Ordering::Equal) => {
+                    // Exclusive beats inclusive at the same endpoint.
+                    if cur.inclusive && !inclusive {
+                        self.lo = Some(RangeBound { value, inclusive });
+                    }
+                    true
+                }
+                Some(Ordering::Less) => true,
+            },
+        }
+    }
+
+    /// Intersect a `column < value` / `column <= value` conjunct into the
+    /// interval, keeping the tighter upper bound. See [`Self::tighten_lo`].
+    pub fn tighten_hi(&mut self, value: Value, inclusive: bool) -> bool {
+        match &self.hi {
+            None => {
+                self.hi = Some(RangeBound { value, inclusive });
+                true
+            }
+            Some(cur) => match value.sql_cmp(&cur.value) {
+                None => false,
+                Some(Ordering::Less) => {
+                    self.hi = Some(RangeBound { value, inclusive });
+                    true
+                }
+                Some(Ordering::Equal) => {
+                    if cur.inclusive && !inclusive {
+                        self.hi = Some(RangeBound { value, inclusive });
+                    }
+                    true
+                }
+                Some(Ordering::Greater) => true,
+            },
+        }
+    }
+
+    /// Does this interval contain every value of `other`? Conservative:
+    /// incomparable bounds answer `false` (the caller must not subsume).
+    pub fn contains(&self, other: &LiteralRange) -> bool {
+        let lo_ok = match (&self.lo, &other.lo) {
+            (None, _) => true,
+            (Some(_), None) => false,
+            (Some(s), Some(o)) => match s.value.sql_cmp(&o.value) {
+                Some(Ordering::Less) => true,
+                Some(Ordering::Equal) => s.inclusive || !o.inclusive,
+                _ => false,
+            },
+        };
+        let hi_ok = match (&self.hi, &other.hi) {
+            (None, _) => true,
+            (Some(_), None) => false,
+            (Some(s), Some(o)) => match s.value.sql_cmp(&o.value) {
+                Some(Ordering::Greater) => true,
+                Some(Ordering::Equal) => s.inclusive || !o.inclusive,
+                _ => false,
+            },
+        };
+        lo_ok && hi_ok
+    }
+
+    /// Are the two intervals exactly equal (same bounds, same
+    /// inclusivity)? Required for top-k subsumption, where a merely wider
+    /// entry predicate would rank its top-k over a different row set.
+    pub fn same_interval(&self, other: &LiteralRange) -> bool {
+        fn bound_eq(a: &Option<RangeBound>, b: &Option<RangeBound>) -> bool {
+            match (a, b) {
+                (None, None) => true,
+                (Some(a), Some(b)) => {
+                    a.inclusive == b.inclusive && a.value.sql_cmp(&b.value) == Some(Ordering::Equal)
+                }
+                _ => false,
+            }
+        }
+        bound_eq(&self.lo, &other.lo) && bound_eq(&self.hi, &other.hi)
+    }
+}
+
+/// A shape-mode predicate-cache key (§8.2 extension): a literal-abstracted
+/// plan hash plus the concrete literal range each predicate column is
+/// pinned to, and — for top-k plans — how many rows the plan needs
+/// (`k + offset`, excluded from the hash).
+///
+/// Produced by `snowprune_plan::shape_signature` and stored/compared by
+/// `snowprune_cache::PredicateCache`: two plans with the same
+/// `fingerprint` differ at most in their comparison literals and top-k row
+/// count, so subsumption between them reduces to comparing `ranges` (and
+/// `need`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShapeKey {
+    /// Literal-abstracted plan hash (the shape-index key).
+    pub fingerprint: u64,
+    /// Whole-plan per-column literal intervals, sorted by column name.
+    pub ranges: Vec<LiteralRange>,
+    /// `k + offset` for `Limit(Sort(..))` plans, `None` for filter chains.
+    pub need: Option<u64>,
+}
+
 fn union_bound(a: &Option<Value>, b: &Option<Value>, want_less: bool) -> Option<Value> {
     match (a, b) {
         (Some(x), Some(y)) => match x.sql_cmp(y) {
@@ -545,5 +702,100 @@ mod tests {
         let r = int_range(-3, 7).neg();
         assert_eq!(r.lo, Some(Value::Int(-7)));
         assert_eq!(r.hi, Some(Value::Int(3)));
+    }
+
+    fn lit_range(lo: Option<(i64, bool)>, hi: Option<(i64, bool)>) -> LiteralRange {
+        LiteralRange {
+            column: "v".into(),
+            lo: lo.map(|(v, inclusive)| RangeBound {
+                value: Value::Int(v),
+                inclusive,
+            }),
+            hi: hi.map(|(v, inclusive)| RangeBound {
+                value: Value::Int(v),
+                inclusive,
+            }),
+        }
+    }
+
+    #[test]
+    fn literal_range_tighten_keeps_tighter_bound() {
+        let mut r = LiteralRange::unbounded("v");
+        assert!(r.tighten_lo(Value::Int(10), true));
+        assert!(r.tighten_lo(Value::Int(5), true)); // looser: ignored
+        assert_eq!(
+            r.lo,
+            Some(RangeBound {
+                value: Value::Int(10),
+                inclusive: true
+            })
+        );
+        assert!(r.tighten_lo(Value::Int(10), false)); // exclusive beats inclusive
+        assert_eq!(
+            r.lo,
+            Some(RangeBound {
+                value: Value::Int(10),
+                inclusive: false
+            })
+        );
+        assert!(r.tighten_hi(Value::Int(90), true));
+        assert!(r.tighten_hi(Value::Int(80), false));
+        assert_eq!(
+            r.hi,
+            Some(RangeBound {
+                value: Value::Int(80),
+                inclusive: false
+            })
+        );
+        // Mixed types are not intersectable.
+        assert!(!r.tighten_lo(Value::Str("a".into()), true));
+    }
+
+    #[test]
+    fn literal_range_containment() {
+        // [10, 90] contains [20, 80] (the BETWEEN subsumption example).
+        let wide = lit_range(Some((10, true)), Some((90, true)));
+        let narrow = lit_range(Some((20, true)), Some((80, true)));
+        assert!(wide.contains(&narrow));
+        assert!(!narrow.contains(&wide));
+        // [50, inf) contains (50, inf) but not vice versa (equal-boundary
+        // inclusivity: every v > 50 satisfies v >= 50; v = 50 does not
+        // satisfy v > 50).
+        let ge = lit_range(Some((50, true)), None);
+        let gt = lit_range(Some((50, false)), None);
+        assert!(ge.contains(&gt));
+        assert!(!gt.contains(&ge));
+        // Unbounded contains everything; bounded never contains unbounded.
+        assert!(LiteralRange::unbounded("v").contains(&wide));
+        assert!(!wide.contains(&LiteralRange::unbounded("v")));
+        // Incomparable bounds are conservatively not contained.
+        let s = LiteralRange {
+            column: "v".into(),
+            lo: Some(RangeBound {
+                value: Value::Str("a".into()),
+                inclusive: true,
+            }),
+            hi: None,
+        };
+        assert!(!s.contains(&ge));
+        assert!(!ge.contains(&s));
+    }
+
+    #[test]
+    fn literal_range_equality_requires_matching_inclusivity() {
+        let ge = lit_range(Some((50, true)), None);
+        let gt = lit_range(Some((50, false)), None);
+        assert!(ge.same_interval(&ge.clone()));
+        assert!(!ge.same_interval(&gt));
+        // Int/Float bounds with equal SQL value compare equal.
+        let ge_f = LiteralRange {
+            column: "v".into(),
+            lo: Some(RangeBound {
+                value: Value::Float(50.0),
+                inclusive: true,
+            }),
+            hi: None,
+        };
+        assert!(ge.same_interval(&ge_f));
     }
 }

@@ -22,7 +22,10 @@
 //! prefetch leg additionally pins depths 1 and 4 against the sequential
 //! oracle.
 
-use snowprune::exec::{predicate_cache_from_env, prefetch_depth_from_env, scan_threads_from_env};
+use snowprune::exec::{
+    predicate_cache_from_env, predicate_cache_mode_from_env, prefetch_depth_from_env,
+    scan_threads_from_env, CacheOutcome, PredicateCacheMode,
+};
 use snowprune::prelude::*;
 
 use rand::rngs::StdRng;
@@ -486,46 +489,183 @@ fn cacheable_queries(rng: &mut StdRng, wl: &Workload) -> Vec<(Plan, Check)> {
     out
 }
 
+/// Fingerprint modes to sweep: the env override when set (the CI
+/// cache-matrix pins one mode per job), both modes otherwise.
+fn cache_modes() -> Vec<PredicateCacheMode> {
+    match predicate_cache_mode_from_env() {
+        Some(mode) => vec![mode],
+        None => vec![PredicateCacheMode::Exact, PredicateCacheMode::Shape],
+    }
+}
+
 /// §8.2 differential leg: replay every workload's cacheable shapes
 /// cold-then-warm on a cached session, interleaved with random safe and
 /// unsafe DML routed through the session, and require each replay to be
-/// byte-identical to a cold no-pruning oracle run over the live table.
-/// `SNOWPRUNE_PREDICATE_CACHE=0` runs the identical protocol with the
-/// cache disabled (the CI matrix covers both settings).
+/// byte-identical to a cold no-pruning oracle run over the live table —
+/// in both fingerprint modes (`SNOWPRUNE_PREDICATE_CACHE_MODE` pins one;
+/// under shape mode the random literal-sharing queries also exercise the
+/// subsumption fallback). `SNOWPRUNE_PREDICATE_CACHE=0` runs the identical
+/// protocol with the cache disabled (the CI matrix covers all settings).
 #[test]
 fn predicate_cache_warm_replays_match_cold_oracle() {
     let threads = pool_threads();
     let cache_on = predicate_cache_from_env().unwrap_or(true);
-    let cfg = ExecConfig::default()
-        .with_prefetch_depth(env_prefetch_depth())
-        .with_scan_threads(threads)
-        .with_predicate_cache(cache_on);
-    for w in 0..WORKLOADS {
-        let seed = 0xCAC4_0000 + w;
-        let wl = build_workload(seed);
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xCAFE);
-        let session = Session::new(wl.catalog.clone(), cfg.clone());
-        let oracle = Executor::new(wl.catalog.clone(), ExecConfig::no_pruning());
-        let queries = cacheable_queries(&mut rng, &wl);
-        let mut next_a = wl.fact_rows as i64 * 1_000;
-        for (qi, (plan, check)) in queries.iter().enumerate() {
-            let ctx = format!("workload {w} query {qi} (threads {threads}, cache {cache_on})");
-            // Cold run populates the cache (or hits an entry recorded by a
-            // colliding earlier shape — both are fine).
-            let cold = session.run(plan).unwrap_or_else(|e| panic!("{ctx}: {e:?}"));
-            assert_pipeline_invariant(&cold, &format!("{ctx} cold"));
-            // Interleave random DML through the session.
-            for _ in 0..rng.random_range(0u32..3) {
-                apply_random_dml(&mut rng, &session, &wl, &mut next_a);
+    for mode in cache_modes() {
+        let cfg = ExecConfig::default()
+            .with_prefetch_depth(env_prefetch_depth())
+            .with_scan_threads(threads)
+            .with_predicate_cache(cache_on)
+            .with_predicate_cache_mode(mode);
+        for w in 0..WORKLOADS {
+            let seed = 0xCAC4_0000 + w;
+            let wl = build_workload(seed);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xCAFE);
+            let session = Session::new(wl.catalog.clone(), cfg.clone());
+            let oracle = Executor::new(wl.catalog.clone(), ExecConfig::no_pruning());
+            let queries = cacheable_queries(&mut rng, &wl);
+            let mut next_a = wl.fact_rows as i64 * 1_000;
+            for (qi, (plan, check)) in queries.iter().enumerate() {
+                let ctx = format!(
+                    "workload {w} query {qi} (threads {threads}, cache {cache_on}, {mode:?})"
+                );
+                // Cold run populates the cache (or hits an entry recorded
+                // by a colliding earlier shape — both are fine).
+                let cold = session.run(plan).unwrap_or_else(|e| panic!("{ctx}: {e:?}"));
+                assert_pipeline_invariant(&cold, &format!("{ctx} cold"));
+                // Interleave random DML through the session.
+                for _ in 0..rng.random_range(0u32..3) {
+                    apply_random_dml(&mut rng, &session, &wl, &mut next_a);
+                }
+                // Replay after DML, then replay again with the cache
+                // certainly populated; both must match a cold oracle over
+                // the live table.
+                let warm = session.run(plan).unwrap_or_else(|e| panic!("{ctx}: {e:?}"));
+                let warm2 = session.run(plan).unwrap_or_else(|e| panic!("{ctx}: {e:?}"));
+                let oracle_out = oracle.run(plan).unwrap_or_else(|e| panic!("{ctx}: {e:?}"));
+                for (label, out) in [("warm", &warm), ("warm2", &warm2)] {
+                    assert_pipeline_invariant(out, &format!("{ctx} {label}"));
+                    match check {
+                        Check::Sorted => assert_eq!(
+                            canonical(out.rows.rows.clone()),
+                            canonical(oracle_out.rows.rows.clone()),
+                            "{ctx}: {label} diverged from cold oracle"
+                        ),
+                        Check::Ordered => assert_eq!(
+                            &out.rows.rows, &oracle_out.rows.rows,
+                            "{ctx}: {label} diverged from cold oracle (ordered)"
+                        ),
+                        Check::Limited { .. } => unreachable!("not generated here"),
+                    }
+                }
+                // With the cache enabled, the second replay (no DML since
+                // the first) must be served — exactly in exact mode, via
+                // either path in shape mode (the warm run may itself have
+                // been a shape hit, recording nothing under this exact
+                // fingerprint). Disabled, the cache is never consulted.
+                if cache_on {
+                    match mode {
+                        PredicateCacheMode::Exact => assert_eq!(
+                            warm2.report.cache,
+                            CacheOutcome::Hit,
+                            "{ctx}: immediate replay must hit"
+                        ),
+                        PredicateCacheMode::Shape => assert!(
+                            matches!(
+                                warm2.report.cache,
+                                CacheOutcome::Hit | CacheOutcome::ShapeHit
+                            ),
+                            "{ctx}: immediate replay must be served, got {:?}",
+                            warm2.report.cache
+                        ),
+                    }
+                } else {
+                    assert_eq!(warm2.report.cache, CacheOutcome::NotConsulted);
+                }
             }
-            // Replay after DML, then replay again with the cache certainly
-            // populated; both must match a cold oracle over the live table.
-            let warm = session.run(plan).unwrap_or_else(|e| panic!("{ctx}: {e:?}"));
-            let warm2 = session.run(plan).unwrap_or_else(|e| panic!("{ctx}: {e:?}"));
-            let oracle_out = oracle.run(plan).unwrap_or_else(|e| panic!("{ctx}: {e:?}"));
-            for (label, out) in [("warm", &warm), ("warm2", &warm2)] {
-                assert_pipeline_invariant(out, &format!("{ctx} {label}"));
-                match check {
+            if cache_on {
+                let stats = session.cache_stats();
+                assert!(
+                    stats.hits + stats.shape_hits >= queries.len() as u64,
+                    "workload {w} ({mode:?}): no hits"
+                );
+            }
+        }
+    }
+}
+
+/// Shape-mode subsumption under the cold oracle: for every workload, a
+/// wide filter (`b >= X`) and a top-k (`... LIMIT k`) are recorded cold,
+/// then replayed *narrowed* (`b >= X + δ`, `LIMIT k' < k`) — in shape mode
+/// the narrowed replays must be served by subsumption (`ShapeHit`) and in
+/// exact mode they must miss; either way, results after interleaved DML
+/// stay byte-identical to a cold no-pruning oracle over the live table.
+#[test]
+fn predicate_cache_shape_subsumption_matches_cold_oracle() {
+    let threads = pool_threads();
+    if !predicate_cache_from_env().unwrap_or(true) {
+        return; // the cache-off matrix leg has nothing to subsume
+    }
+    for mode in cache_modes() {
+        let cfg = ExecConfig::default()
+            .with_prefetch_depth(env_prefetch_depth())
+            .with_scan_threads(threads)
+            .with_predicate_cache(true)
+            .with_predicate_cache_mode(mode);
+        for w in 0..WORKLOADS {
+            let seed = 0xC0DE_0000 + w;
+            let wl = build_workload(seed);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xD00D);
+            let fs = &wl.fact_schema;
+            let threshold = rng.random_range(-300i64..200);
+            let delta = rng.random_range(1i64..150);
+            let k_wide = rng.random_range(8u64..30);
+            let k_narrow = rng.random_range(1u64..k_wide);
+            let filter = |lo: i64| {
+                PlanBuilder::scan("fact", fs.clone())
+                    .filter(col("b").ge(lit(lo)))
+                    .build()
+            };
+            let topk = |k: u64| {
+                PlanBuilder::scan("fact", fs.clone())
+                    .filter(col("b").ge(lit(threshold)))
+                    .order_by("a", true)
+                    .limit(k)
+                    .build()
+            };
+            let pairs: [(Plan, Plan, Check); 2] = [
+                (filter(threshold), filter(threshold + delta), Check::Sorted),
+                (topk(k_wide), topk(k_narrow), Check::Ordered),
+            ];
+            for (pi, (wide, narrow, check)) in pairs.iter().enumerate() {
+                let ctx = format!("workload {w} pair {pi} (threads {threads}, {mode:?})");
+                // Fresh session per pair: the wide cold run always records.
+                let session = Session::new(wl.catalog.clone(), cfg.clone());
+                let cold = session.run(wide).unwrap_or_else(|e| panic!("{ctx}: {e:?}"));
+                assert_eq!(cold.report.cache, CacheOutcome::Miss, "{ctx}: cold");
+                // The narrowed replay (no DML yet): shape mode serves it by
+                // subsumption, exact mode must miss.
+                let narrowed = session
+                    .run(narrow)
+                    .unwrap_or_else(|e| panic!("{ctx}: {e:?}"));
+                assert_pipeline_invariant(&narrowed, &format!("{ctx} narrowed"));
+                match mode {
+                    PredicateCacheMode::Shape => assert_eq!(
+                        narrowed.report.cache,
+                        CacheOutcome::ShapeHit,
+                        "{ctx}: narrowed replay must be served by subsumption"
+                    ),
+                    PredicateCacheMode::Exact => assert_eq!(
+                        narrowed.report.cache,
+                        CacheOutcome::Miss,
+                        "{ctx}: exact mode must not subsume"
+                    ),
+                }
+                let oracle = Executor::new(wl.catalog.clone(), ExecConfig::no_pruning());
+                let oracle_out = oracle
+                    .run(narrow)
+                    .unwrap_or_else(|e| panic!("{ctx}: {e:?}"));
+                let compare = |out: &QueryOutput, oracle_out: &QueryOutput, label: &str| match check
+                {
                     Check::Sorted => assert_eq!(
                         canonical(out.rows.rows.clone()),
                         canonical(oracle_out.rows.rows.clone()),
@@ -536,26 +676,28 @@ fn predicate_cache_warm_replays_match_cold_oracle() {
                         "{ctx}: {label} diverged from cold oracle (ordered)"
                     ),
                     Check::Limited { .. } => unreachable!("not generated here"),
+                };
+                compare(&narrowed, &oracle_out, "narrowed");
+                assert!(
+                    narrowed.io.partitions_loaded <= oracle_out.io.partitions_loaded,
+                    "{ctx}: narrowed replay loaded more than the oracle"
+                );
+                // Interleave DML, then replay the narrowed query again: the
+                // serve path may change (invalidation, appends), but the
+                // result must still match a cold oracle on the live table.
+                let mut next_a = wl.fact_rows as i64 * 2_000;
+                for _ in 0..rng.random_range(1u32..3) {
+                    apply_random_dml(&mut rng, &session, &wl, &mut next_a);
                 }
+                let after_dml = session
+                    .run(narrow)
+                    .unwrap_or_else(|e| panic!("{ctx}: {e:?}"));
+                assert_pipeline_invariant(&after_dml, &format!("{ctx} after-dml"));
+                let oracle_after = oracle
+                    .run(narrow)
+                    .unwrap_or_else(|e| panic!("{ctx}: {e:?}"));
+                compare(&after_dml, &oracle_after, "after-dml");
             }
-            // With the cache enabled, the second replay (no DML since the
-            // first) must be a hit; disabled, the cache is never consulted.
-            if cache_on {
-                assert_eq!(
-                    warm2.report.cache,
-                    snowprune::exec::CacheOutcome::Hit,
-                    "{ctx}: immediate replay must hit"
-                );
-            } else {
-                assert_eq!(
-                    warm2.report.cache,
-                    snowprune::exec::CacheOutcome::NotConsulted
-                );
-            }
-        }
-        if cache_on {
-            let stats = session.cache_stats();
-            assert!(stats.hits >= queries.len() as u64, "workload {w}: no hits");
         }
     }
 }

@@ -116,6 +116,8 @@ fn predicate_cache_round_trip_with_dml() {
             predicate_columns: Vec::new(),
             table_version: handle.read().version(),
             appended: Vec::new(),
+            shape: None,
+            saved_loads: 0,
         },
     );
     // Replaying the cached partitions reproduces the exact top-k multiset.
