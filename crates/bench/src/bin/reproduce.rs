@@ -6,7 +6,22 @@
 //! cargo run -p snowprune-bench --release --bin reproduce -- fig13 --scale 0.05
 //! ```
 
-use snowprune_bench::{experiments as e, pool_exp as p, prefetch_exp as pf, tpch_exp as t};
+use snowprune_bench::snapshot::Snapshot;
+use snowprune_bench::{
+    experiments as e, pool_exp as p, prefetch_exp as pf, tpch_exp as t, vector_exp as v,
+};
+
+/// Persist a tracked snapshot next to the report (`BENCH_<name>.json`,
+/// honoring `SNOWPRUNE_BENCH_DIR`) and return a report line saying where.
+fn emit(snap: Snapshot) -> String {
+    match snap.write_file() {
+        Ok(path) => format!("  snapshot: {}\n", path.display()),
+        Err(e) => format!(
+            "  snapshot: FAILED to write BENCH_{}.json: {e}\n",
+            snap.name
+        ),
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -73,17 +88,34 @@ fn main() {
                 t::fig13_tpch(scale, seed),
                 t::fig13_tpch_unclustered(scale, seed)
             )),
-            "cache" => Some(t::ext_cache(seed)),
-            "ablations" => Some(t::ablations(seed)),
-            "pool" => Some(if smoke {
-                p::ext_pool_burst_sized(seed, 8, 2, 60, 8)
-            } else {
-                p::ext_pool_burst(seed, 16, 4)
+            "cache" => Some({
+                let (s, snap) = t::ext_cache_snap(seed);
+                s + &emit(snap)
             }),
-            "prefetch" => Some(if smoke {
-                pf::ext_prefetch_sized(seed, 4, 50, 10)
-            } else {
-                pf::ext_prefetch(seed)
+            "ablations" => Some(t::ablations(seed)),
+            "pool" => Some({
+                let (s, snap) = if smoke {
+                    p::ext_pool_burst_snap(seed, 8, 2, 60, 8)
+                } else {
+                    p::ext_pool_burst_snap(seed, 16, 4, 400, 60)
+                };
+                s + &emit(snap)
+            }),
+            "prefetch" => Some({
+                let (s, snap) = if smoke {
+                    pf::ext_prefetch_snap(seed, 4, 50, 10)
+                } else {
+                    pf::ext_prefetch_snap(seed, 12, 400, 60)
+                };
+                s + &emit(snap)
+            }),
+            "vectorized" => Some({
+                let (s, snap) = if smoke {
+                    v::ext_vectorized_sized(seed, 10_000, 400, 2)
+                } else {
+                    v::ext_vectorized(seed)
+                };
+                s + &emit(snap)
             }),
             _ => None,
         }
@@ -105,6 +137,7 @@ fn main() {
         "ablations",
         "pool",
         "prefetch",
+        "vectorized",
     ];
     if which == "all" {
         for id in ids {

@@ -8,4 +8,6 @@ pub mod experiments;
 pub mod pool_exp;
 pub mod prefetch_exp;
 pub mod report;
+pub mod snapshot;
 pub mod tpch_exp;
+pub mod vector_exp;

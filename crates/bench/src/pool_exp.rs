@@ -24,6 +24,8 @@ use snowprune_exec::{ExecConfig, Executor, Session};
 use snowprune_plan::Plan;
 use snowprune_workload::{tenant_burst, WorkloadConfig};
 
+use crate::snapshot::Snapshot;
+
 /// Best-of-N: the minimum is the standard noise-resistant wall-clock
 /// estimator (any interference only ever adds time).
 fn best(xs: Vec<Duration>) -> Duration {
@@ -43,6 +45,25 @@ pub fn ext_pool_burst_sized(
     rows_per_partition: usize,
     fact_partitions: usize,
 ) -> String {
+    ext_pool_burst_snap(
+        seed,
+        tenants,
+        scan_threads,
+        rows_per_partition,
+        fact_partitions,
+    )
+    .0
+}
+
+/// Like [`ext_pool_burst_sized`], additionally returning the measured
+/// numbers as a tracked [`Snapshot`] for `BENCH_pool.json`.
+pub fn ext_pool_burst_snap(
+    seed: u64,
+    tenants: usize,
+    scan_threads: usize,
+    rows_per_partition: usize,
+    fact_partitions: usize,
+) -> (String, Snapshot) {
     let wl = tenant_burst(
         &WorkloadConfig {
             queries: tenants,
@@ -123,7 +144,22 @@ pub fn ext_pool_burst_sized(
         "  result check: per-query row counts identical = {rows_match}; partitions loaded {per_scan_loaded} (per-scan) vs {shared_loaded} (shared)\n",
     );
     assert!(rows_match, "shared pool changed query results");
-    s
+    let mut snap = Snapshot::new("pool")
+        .context("seed", seed)
+        .context("tenants", tenants)
+        .context("scan_threads", scan_threads)
+        .context("rows_per_partition", rows_per_partition)
+        .context("fact_partitions", fact_partitions);
+    snap.metric("per_scan_wall_ms", per_scan_wall.as_secs_f64() * 1e3, "ms");
+    snap.metric("shared_wall_ms", shared_wall.as_secs_f64() * 1e3, "ms");
+    snap.metric(
+        "shared_speedup",
+        per_scan_wall.as_secs_f64() / shared_wall.as_secs_f64().max(1e-9),
+        "x",
+    );
+    snap.metric("per_scan_loaded", per_scan_loaded as f64, "partitions");
+    snap.metric("shared_loaded", shared_loaded as f64, "partitions");
+    (s, snap)
 }
 
 #[cfg(test)]

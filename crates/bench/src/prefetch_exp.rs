@@ -19,6 +19,8 @@ use snowprune_exec::{ExecConfig, Executor, Session};
 use snowprune_storage::{IoCostModel, IoSnapshot};
 use snowprune_workload::{io_bound_burst, topk_tighten_burst, WorkloadConfig};
 
+use crate::snapshot::Snapshot;
+
 const DEPTHS: [usize; 4] = [1, 2, 4, 8];
 
 /// Cost model where GETs and evaluation are comparable, so overlap is
@@ -53,11 +55,29 @@ pub fn ext_prefetch_sized(
     rows_per_partition: usize,
     fact_partitions: usize,
 ) -> String {
+    ext_prefetch_snap(seed, queries, rows_per_partition, fact_partitions).0
+}
+
+/// Like [`ext_prefetch_sized`], additionally returning the measured
+/// numbers as a tracked [`Snapshot`] for `BENCH_prefetch.json`. The
+/// numbers come off the deterministic virtual clock, so this snapshot is
+/// exact rather than sampled.
+pub fn ext_prefetch_snap(
+    seed: u64,
+    queries: usize,
+    rows_per_partition: usize,
+    fact_partitions: usize,
+) -> (String, Snapshot) {
     let cfg = WorkloadConfig {
         queries,
         rows_per_partition,
         fact_partitions,
     };
+    let mut snap = Snapshot::new("prefetch")
+        .context("seed", seed)
+        .context("queries", queries)
+        .context("rows_per_partition", rows_per_partition)
+        .context("fact_partitions", fact_partitions);
     let mut s = String::from("## Extension — async prefetch pipeline (overlap + cancellation)\n");
 
     // ---- leg 1: I/O-bound burst --------------------------------------
@@ -93,6 +113,11 @@ pub fn ext_prefetch_sized(
             total.io_overlapped_ns as f64 / 1e6,
             total.partitions_loaded,
             total.bytes_loaded,
+        );
+        snap.metric(
+            format!("io_wall_ms_depth_{depth}"),
+            total.simulated_wall_ns as f64 / 1e6,
+            "ms",
         );
         match &blocking {
             None => blocking = Some(total),
@@ -143,6 +168,16 @@ pub fn ext_prefetch_sized(
             total.bytes_loaded,
             total.simulated_wall_ns as f64 / 1e6,
         );
+        snap.metric(
+            format!("tighten_cancelled_depth_{depth}"),
+            total.loads_cancelled as f64,
+            "count",
+        );
+        snap.metric(
+            format!("tighten_bytes_depth_{depth}"),
+            total.bytes_loaded as f64,
+            "bytes",
+        );
         match base_bytes {
             None => base_bytes = Some(total.bytes_loaded),
             Some(base) => {
@@ -155,7 +190,7 @@ pub fn ext_prefetch_sized(
         }
     }
     s += "  cancelled loads charge zero bytes/latency: pruning that the blocking model paid for is free under prefetch\n";
-    s
+    (s, snap)
 }
 
 #[cfg(test)]

@@ -80,9 +80,18 @@ pub fn fig13_tpch_unclustered(scale: f64, seed: u64) -> String {
 /// warm replay loads *strictly fewer* partitions, INSERT keeps the entry
 /// (appending the new partitions), DELETE invalidates it.
 pub fn ext_cache(seed: u64) -> String {
+    ext_cache_snap(seed).0
+}
+
+/// Like [`ext_cache`], additionally returning the cold/warm partition
+/// loads as a tracked [`crate::snapshot::Snapshot`] for
+/// `BENCH_cache.json`. The counters are deterministic, so the snapshot is
+/// exact rather than sampled.
+pub fn ext_cache_snap(seed: u64) -> (String, crate::snapshot::Snapshot) {
     use snowprune_expr::dsl::{col, lit};
     use snowprune_storage::{Catalog, Field, Layout, Schema, TableBuilder};
     use snowprune_types::{ScalarType, Value};
+    let mut snap = crate::snapshot::Snapshot::new("cache").context("seed", seed);
     let mut s = String::from("## §8.2 — predicate caching wired into the engine\n");
     for (label, layout) in [
         ("clustered", Layout::ClusterBy(vec!["v".into()])),
@@ -128,6 +137,17 @@ pub fn ext_cache(seed: u64) -> String {
             cold.report.pruning.partitions_total,
             warm.report.pruned_by_cache,
         );
+        let metric_label = label.trim();
+        snap.metric(
+            format!("{metric_label}_topk_cold_loads"),
+            cold.io.partitions_loaded as f64,
+            "partitions",
+        );
+        snap.metric(
+            format!("{metric_label}_topk_warm_loads"),
+            warm.io.partitions_loaded as f64,
+            "partitions",
+        );
         // Top-k where boundary pruning is weak (random partition order, no
         // upfront boundary — the paper's "no sorting" baseline): the warm
         // replay must load *strictly fewer* partitions.
@@ -153,6 +173,16 @@ pub fn ext_cache(seed: u64) -> String {
             "  {label} top-k (weak pruning): cold loads {:>3} partitions, warm replays {:>3}\n",
             cold_w.io.partitions_loaded, warm_w.io.partitions_loaded,
         );
+        snap.metric(
+            format!("{metric_label}_weak_topk_cold_loads"),
+            cold_w.io.partitions_loaded as f64,
+            "partitions",
+        );
+        snap.metric(
+            format!("{metric_label}_weak_topk_warm_loads"),
+            warm_w.io.partitions_loaded as f64,
+            "partitions",
+        );
         // Filter shape on a column no layout clusters: zone maps cannot
         // prune it, the cache replays exactly the surviving partitions —
         // strictly fewer loads with byte-identical rows.
@@ -173,6 +203,16 @@ pub fn ext_cache(seed: u64) -> String {
         s += &format!(
             "  {label} filter (uncl. column): cold loads {:>3} partitions, warm replays {:>3}\n",
             cold_f.io.partitions_loaded, warm_f.io.partitions_loaded,
+        );
+        snap.metric(
+            format!("{metric_label}_filter_cold_loads"),
+            cold_f.io.partitions_loaded as f64,
+            "partitions",
+        );
+        snap.metric(
+            format!("{metric_label}_filter_warm_loads"),
+            warm_f.io.partitions_loaded as f64,
+            "partitions",
         );
         // DML rules, routed through the session so the cache stays
         // consistent: INSERT appends (the new top-1 row must surface on a
@@ -285,7 +325,7 @@ pub fn ext_cache(seed: u64) -> String {
         }
     }
     s += "  paper: caching wins on shuffled layouts, pruning wins on sorted ones; combine both\n";
-    s
+    (s, snap)
 }
 
 fn outcome_label(outcome: CacheOutcome) -> &'static str {

@@ -6,20 +6,42 @@
 //! bench_function, finish}`, `Bencher::iter`, `black_box`, and the
 //! `criterion_group!` / `criterion_main!` macros.
 //!
-//! Instead of criterion's statistical engine, each benchmark runs a short
-//! warm-up then a fixed number of timed samples and reports the median
-//! per-iteration wall time. That keeps `cargo bench` usable for coarse
-//! comparisons and keeps `cargo bench --no-run` a faithful compile check.
-//! Honor criterion's `--test` flag (emitted by `cargo bench -- --test`
-//! and CI smoke runs) by executing each benchmark exactly once.
+//! Instead of criterion's statistical engine, each benchmark runs a
+//! configurable warm-up then a fixed number of timed samples and reports
+//! **variance-aware** summary statistics: the median per-iteration wall
+//! time plus the median absolute deviation (MAD) and a MAD-derived ±
+//! interval, so a noisy host is visible in the output instead of hiding
+//! behind a single point estimate. That keeps `cargo bench` usable for
+//! coarse comparisons and keeps `cargo bench --no-run` a faithful compile
+//! check. Honor criterion's `--test` flag (emitted by `cargo bench --
+//! --test` and CI smoke runs) by executing each benchmark exactly once.
+//!
+//! Knobs (also used by the `reproduce` snapshot emitter):
+//! * `SNOWPRUNE_BENCH_SAMPLES` — timed samples per benchmark (default 30).
+//! * `SNOWPRUNE_BENCH_WARMUP_MS` — warm-up budget per benchmark in
+//!   milliseconds (default 50).
 
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
+/// Default timed samples per benchmark.
+pub const DEFAULT_SAMPLES: usize = 30;
+/// Default warm-up budget per benchmark.
+pub const DEFAULT_WARMUP_MS: u64 = 50;
+
+fn env_usize(var: &str, default: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n: &usize| n >= 1)
+        .unwrap_or(default)
+}
+
 /// Top-level harness handle, handed to every `criterion_group!` target.
 pub struct Criterion {
     sample_size: usize,
+    warmup: Duration,
     test_mode: bool,
 }
 
@@ -27,34 +49,53 @@ impl Default for Criterion {
     fn default() -> Self {
         let test_mode = std::env::args().any(|a| a == "--test");
         Self {
-            sample_size: 30,
+            sample_size: env_usize("SNOWPRUNE_BENCH_SAMPLES", DEFAULT_SAMPLES),
+            warmup: Duration::from_millis(env_usize(
+                "SNOWPRUNE_BENCH_WARMUP_MS",
+                DEFAULT_WARMUP_MS as usize,
+            ) as u64),
             test_mode,
         }
     }
 }
 
 impl Criterion {
+    /// Open a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
             name: name.into(),
             sample_size: self.sample_size,
+            warmup: self.warmup,
             test_mode: self.test_mode,
             _criterion: self,
         }
     }
 
+    /// Run one ungrouped benchmark.
     pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        let sample_size = self.sample_size;
-        let test_mode = self.test_mode;
-        run_one("", &id.into(), sample_size, test_mode, f);
+        run_one(
+            "",
+            &id.into(),
+            self.sample_size,
+            self.warmup,
+            self.test_mode,
+            f,
+        );
         self
     }
 
+    /// Override the number of timed samples.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = n;
+        self
+    }
+
+    /// Override the warm-up budget.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warmup = d;
         self
     }
 }
@@ -63,24 +104,41 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
+    warmup: Duration,
     test_mode: bool,
     _criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
+    /// Override the number of timed samples for this group.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = n;
         self
     }
 
+    /// Override the warm-up budget for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warmup = d;
+        self
+    }
+
+    /// Run one benchmark in this group.
     pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(&self.name, &id.into(), self.sample_size, self.test_mode, f);
+        run_one(
+            &self.name,
+            &id.into(),
+            self.sample_size,
+            self.warmup,
+            self.test_mode,
+            f,
+        );
         self
     }
 
+    /// Finish the group (no-op; criterion-API parity).
     pub fn finish(self) {}
 }
 
@@ -89,15 +147,26 @@ pub struct Bencher {
     samples: Vec<Duration>,
     iters_per_sample: u64,
     sample_count: usize,
+    warmup: Duration,
 }
 
 impl Bencher {
+    /// Time `routine`: warm up for the configured budget, calibrate
+    /// iterations per sample so one sample costs ~1ms, then record the
+    /// configured number of per-iteration samples.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        // Calibrate iterations per sample so one sample costs ~1ms but a
-        // slow routine still completes promptly with a single iteration.
+        // Warm-up: run until the budget is spent (at least once), which
+        // also calibrates iterations per sample. A slow routine still
+        // completes promptly with a single iteration per sample.
+        let warm_start = Instant::now();
         let start = Instant::now();
         black_box(routine());
-        let once = start.elapsed().max(Duration::from_nanos(1));
+        let mut once = start.elapsed().max(Duration::from_nanos(1));
+        while warm_start.elapsed() < self.warmup {
+            let start = Instant::now();
+            black_box(routine());
+            once = (once + start.elapsed().max(Duration::from_nanos(1))) / 2;
+        }
         self.iters_per_sample =
             (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
         for _ in 0..self.sample_count {
@@ -111,10 +180,45 @@ impl Bencher {
     }
 }
 
+/// Variance-aware summary of one benchmark's samples.
+#[derive(Clone, Copy, Debug)]
+pub struct SampleStats {
+    /// Median per-iteration time.
+    pub median: Duration,
+    /// Median absolute deviation around the median — a robust spread
+    /// estimate that one outlier sample cannot blow up.
+    pub mad: Duration,
+    /// Samples recorded.
+    pub samples: usize,
+    /// Iterations per sample after calibration.
+    pub iters: u64,
+}
+
+impl SampleStats {
+    /// Compute median + MAD from raw samples (`None` when empty).
+    pub fn from_samples(samples: &mut [Duration], iters: u64) -> Option<SampleStats> {
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let mut devs: Vec<Duration> = samples.iter().map(|&s| s.abs_diff(median)).collect();
+        devs.sort();
+        let mad = devs[devs.len() / 2];
+        Some(SampleStats {
+            median,
+            mad,
+            samples: samples.len(),
+            iters,
+        })
+    }
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(
     group: &str,
     id: &str,
     sample_size: usize,
+    warmup: Duration,
     test_mode: bool,
     mut f: F,
 ) {
@@ -127,23 +231,20 @@ fn run_one<F: FnMut(&mut Bencher)>(
         samples: Vec::new(),
         iters_per_sample: 1,
         sample_count: if test_mode { 0 } else { sample_size },
+        warmup: if test_mode { Duration::ZERO } else { warmup },
     };
     f(&mut bencher);
     if test_mode {
         println!("{label}: ok (test mode)");
         return;
     }
-    if bencher.samples.is_empty() {
-        println!("{label}: no samples recorded");
-        return;
+    match SampleStats::from_samples(&mut bencher.samples, bencher.iters_per_sample) {
+        None => println!("{label}: no samples recorded"),
+        Some(st) => println!(
+            "{label}: median {:?} ± {:?} (MAD) over {} samples x {} iters",
+            st.median, st.mad, st.samples, st.iters
+        ),
     }
-    bencher.samples.sort();
-    let median = bencher.samples[bencher.samples.len() / 2];
-    println!(
-        "{label}: median {median:?} over {} samples x {} iters",
-        bencher.samples.len(),
-        bencher.iters_per_sample
-    );
 }
 
 /// Mirror of `criterion_group!`: defines a function running each target.
@@ -165,4 +266,28 @@ macro_rules! criterion_main {
             $($group();)+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_median_and_mad() {
+        let mut samples: Vec<Duration> = [10u64, 12, 11, 50, 10]
+            .iter()
+            .map(|&ms| Duration::from_millis(ms))
+            .collect();
+        let st = SampleStats::from_samples(&mut samples, 3).unwrap();
+        assert_eq!(st.median, Duration::from_millis(11));
+        // Deviations: 1, 1, 0, 39, 1 → sorted 0,1,1,1,39 → MAD 1.
+        assert_eq!(st.mad, Duration::from_millis(1));
+        assert_eq!(st.samples, 5);
+        assert_eq!(st.iters, 3);
+    }
+
+    #[test]
+    fn stats_empty_is_none() {
+        assert!(SampleStats::from_samples(&mut [], 1).is_none());
+    }
 }

@@ -52,7 +52,7 @@ impl TechniqueSet {
 }
 
 /// Per-query pruning report assembled by the execution pipeline.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct QueryPruningReport {
     /// Total partitions across all table scans before any pruning.
     pub partitions_total: u64,

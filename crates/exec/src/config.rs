@@ -59,6 +59,15 @@ pub struct ExecConfig {
     /// entries whose literal ranges subsume the query's (`v >= 50` serving
     /// `v >= 60`). See [`PredicateCacheMode`].
     pub predicate_cache_mode: PredicateCacheMode,
+    /// Rows per column-major batch on the vectorized scan spine. Loaded
+    /// partitions are chunked into windows of this many rows; predicates
+    /// run as selection-vector kernels per window and rows materialize
+    /// only at operator boundaries. `1` degenerates to row-at-a-time
+    /// delivery (the differential oracle); the default amortizes per-batch
+    /// overhead without hurting cache locality. Purely a CPU-side knob:
+    /// partitions are still loaded (and I/O charged) whole, so it does not
+    /// interact with `prefetch_depth`/`morsel_partitions` I/O capping.
+    pub batch_rows: usize,
     /// Zone-map filter pruning knobs (§3).
     pub filter: FilterPruneConfig,
     /// Simulated object-store cost model for I/O accounting.
@@ -98,6 +107,7 @@ impl Default for ExecConfig {
             predicate_cache: false,
             predicate_cache_capacity: 256,
             predicate_cache_mode: PredicateCacheMode::Exact,
+            batch_rows: 1024,
             filter: FilterPruneConfig::default(),
             io_cost: IoCostModel::default(),
         }
@@ -138,6 +148,12 @@ impl ExecConfig {
     /// Builder-style override for the predicate-cache fingerprint mode.
     pub fn with_predicate_cache_mode(mut self, mode: PredicateCacheMode) -> Self {
         self.predicate_cache_mode = mode;
+        self
+    }
+
+    /// Builder-style override for the vectorized batch size (clamped to ≥ 1).
+    pub fn with_batch_rows(mut self, n: usize) -> Self {
+        self.batch_rows = n.max(1);
         self
     }
 }
@@ -185,6 +201,14 @@ pub fn predicate_cache_mode_from_env() -> Option<PredicateCacheMode> {
         "shape" => Some(PredicateCacheMode::Shape),
         _ => None,
     }
+}
+
+/// Batch-size override from the `SNOWPRUNE_BATCH_ROWS` environment
+/// variable. Like the other env knobs, this is applied explicitly by the
+/// differential/stress suites (the CI matrix runs 1 and 1024), never
+/// implicitly by `ExecConfig::default()`.
+pub fn batch_rows_from_env() -> Option<usize> {
+    env_usize("SNOWPRUNE_BATCH_ROWS")
 }
 
 fn env_usize(var: &str) -> Option<usize> {

@@ -43,6 +43,7 @@ use crate::config::{ExecConfig, PredicateCacheMode};
 use crate::pool::{MorselPool, QueryId, ScanJobSpec, ScanTicket};
 use crate::rows::RowSet;
 use crate::scan::{stream_scan, CompiledScan, ScanHooks, ScanRunStats};
+use crate::vector::BatchChain;
 
 /// Execution report: core pruning accounting plus technique-level detail.
 #[derive(Clone, Debug, Default)]
@@ -563,12 +564,16 @@ impl Executor {
             boundary: None,
             runtime_pruner: runtime_pruner.as_ref(),
             prefetch_depth: self.cfg.prefetch_depth,
+            batch_rows: self.cfg.batch_rows,
         };
-        let stats = stream_scan(&scan, &self.io, &self.cfg.io_cost, &hooks, |part, sel| {
-            for &i in sel {
-                if let Some(r) = apply_chain(&bound_chain, part.row(i)) {
-                    out.push(r);
+        let stats = stream_scan(&scan, &self.io, &self.cfg.io_cost, &hooks, |batch| {
+            let mut sel = batch.sel.clone();
+            bound_chain.refine(batch.part, &mut sel);
+            for i in sel.iter() {
+                if out.len() >= need {
+                    break;
                 }
+                out.push(bound_chain.materialize(batch.part, i));
             }
             if out.len() >= need {
                 ControlFlow::Break(())
@@ -660,8 +665,8 @@ impl Executor {
         };
         if let Some(pool) = &self.pool {
             let pool = Arc::clone(pool);
-            let (stats, rows) =
-                self.run_pooled_scan(&pool, st.lane, &scan, Vec::new(), None, survivors);
+            let chain = BatchChain::identity(schema.len());
+            let (stats, rows) = self.run_pooled_scan(&pool, st.lane, &scan, chain, None, survivors);
             st.report.pruning.pruned_by_filter += stats.cancelled_by_runtime_filter;
             st.report.scan_stats.merge(&stats);
             return Ok(RowSet { schema, rows });
@@ -672,14 +677,15 @@ impl Executor {
             boundary: None,
             runtime_pruner: runtime_pruner.as_ref(),
             prefetch_depth: self.cfg.prefetch_depth,
+            batch_rows: self.cfg.batch_rows,
         };
-        let stats = stream_scan(&scan, &self.io, &self.cfg.io_cost, &hooks, |part, sel| {
-            if !sel.is_empty() {
+        let stats = stream_scan(&scan, &self.io, &self.cfg.io_cost, &hooks, |batch| {
+            if !batch.is_empty() {
                 if let Some(s) = &survivors {
-                    s.lock().insert(part.meta.id);
+                    s.lock().insert(batch.part.meta.id);
                 }
             }
-            rows.extend(sel.iter().map(|&i| part.row(i)));
+            rows.extend(batch.sel.iter().map(|i| batch.part.row(i)));
             ControlFlow::Continue(())
         });
         st.report.pruning.pruned_by_filter += stats.cancelled_by_runtime_filter;
@@ -698,7 +704,7 @@ impl Executor {
         pool: &Arc<MorselPool>,
         lane: QueryId,
         scan: &CompiledScan,
-        chain: Vec<BoundChainOp>,
+        chain: BatchChain,
         need: Option<usize>,
         survivors: Option<Arc<Mutex<HashSet<PartitionId>>>>,
     ) -> (ScanRunStats, Vec<Vec<Value>>) {
@@ -711,19 +717,13 @@ impl Executor {
         let tracker = need.map(|_| Arc::new(LimitTracker::new(morsels)));
         let sink_slots = Arc::clone(&slots);
         let sink_tracker = tracker.clone();
-        let chain = Arc::new(chain);
-        let sink: Box<crate::pool::PartitionSink> = Box::new(move |mi, part, sel| {
-            if !sel.is_empty() {
+        let sink: Box<crate::pool::PartitionSink> = Box::new(move |mi, batch| {
+            if !batch.is_empty() {
                 if let Some(s) = &survivors {
-                    s.lock().insert(part.meta.id);
+                    s.lock().insert(batch.part.meta.id);
                 }
             }
-            let mut local = Vec::with_capacity(sel.len());
-            for &i in sel {
-                if let Some(r) = apply_chain(&chain, part.row(i)) {
-                    local.push(r);
-                }
-            }
+            let mut local = chain.apply(&batch);
             if let Some(t) = &sink_tracker {
                 t.rows_per_morsel[mi].fetch_add(local.len(), Ordering::AcqRel);
             }
@@ -753,6 +753,7 @@ impl Executor {
                     runtime_pruner: self.runtime_pruner_for(scan),
                     morsel_partitions: self.cfg.morsel_partitions,
                     prefetch_depth: self.cfg.prefetch_depth,
+                    batch_rows: self.cfg.batch_rows,
                     sink,
                     stop,
                     on_morsel_done,
@@ -780,7 +781,7 @@ impl Executor {
         scan: &CompiledScan,
         lane: QueryId,
         boundary: Option<(&Arc<Boundary>, usize)>,
-        chain: &[BoundChainOp],
+        chain: &BatchChain,
         sink: &mut dyn FnMut(Vec<Value>, PartitionId),
     ) -> ScanRunStats {
         if let Some(pool) = &self.pool {
@@ -798,7 +799,7 @@ impl Executor {
             let (tx, rx) = std::sync::mpsc::sync_channel::<(PartitionId, Vec<Vec<Value>>)>(
                 pool.worker_count() * 4,
             );
-            let chain: Arc<Vec<BoundChainOp>> = Arc::new(chain.to_vec());
+            let chain = Arc::new(chain.clone());
             let ticket: ScanTicket = pool.submit(
                 lane,
                 ScanJobSpec {
@@ -809,17 +810,13 @@ impl Executor {
                     runtime_pruner: self.runtime_pruner_for(scan),
                     morsel_partitions: self.cfg.morsel_partitions,
                     prefetch_depth: self.cfg.prefetch_depth,
-                    sink: Box::new(move |_, part, sel| {
-                        let mut batch = Vec::with_capacity(sel.len());
-                        for &i in sel {
-                            if let Some(r) = apply_chain(&chain, part.row(i)) {
-                                batch.push(r);
-                            }
-                        }
-                        if !batch.is_empty() {
+                    batch_rows: self.cfg.batch_rows,
+                    sink: Box::new(move |_, batch| {
+                        let rows = chain.apply(&batch);
+                        if !rows.is_empty() {
                             // SyncSender sends through &self, so workers
                             // contend only on the channel itself.
-                            let _ = tx.send((part.meta.id, batch));
+                            let _ = tx.send((batch.part.meta.id, rows));
                         }
                     }),
                     stop: Box::new(|| false),
@@ -840,12 +837,12 @@ impl Executor {
             boundary,
             runtime_pruner: runtime_pruner.as_ref(),
             prefetch_depth: self.cfg.prefetch_depth,
+            batch_rows: self.cfg.batch_rows,
         };
-        stream_scan(scan, &self.io, &self.cfg.io_cost, &hooks, |part, sel| {
-            for &i in sel {
-                if let Some(r) = apply_chain(chain, part.row(i)) {
-                    sink(r, part.meta.id);
-                }
+        stream_scan(scan, &self.io, &self.cfg.io_cost, &hooks, |batch| {
+            let pid = batch.part.meta.id;
+            for r in chain.apply(&batch) {
+                sink(r, pid);
             }
             ControlFlow::Continue(())
         })
@@ -1312,58 +1309,19 @@ impl Executor {
         st: &mut RunState,
         sink: &mut dyn FnMut(Vec<Value>, Option<PartitionId>),
     ) -> Result<()> {
-        match plan {
-            Plan::Scan {
-                table, predicate, ..
-            } if *table == spec.target_table => {
-                let mut scan = self.prepare_scan(table, predicate.as_ref(), st)?;
-                let order_col = scan.schema.index_of(&spec.order_column)?;
-                let metas: Vec<PartitionMeta> =
-                    scan.table.metadata().into_iter().cloned().collect();
-                order_scan_set(
-                    &mut scan.scan_set,
-                    &metas,
-                    order_col,
-                    spec.desc,
-                    self.cfg.topk_order,
-                );
-                if self.cfg.topk_init_boundary {
-                    if let Some(init) = initial_boundary(
-                        &scan.scan_set,
-                        &metas,
-                        order_col,
-                        spec.k + spec.offset,
-                        spec.desc,
-                    ) {
-                        boundary.tighten(&init);
-                    }
-                }
-                // Top-k cache recording: pin the snapshot version the
-                // recorded partitions refer to.
-                if let Some(cr) = &mut st.cache {
-                    if cr.table == *table {
-                        if let Some(rec) = &mut cr.record {
-                            if rec.is_topk() {
-                                rec.snapshot_version = Some(scan.table.version());
-                            }
-                        }
-                    }
-                }
-                let stats = self.stream_chain_rows(
-                    &scan,
-                    st.lane,
-                    Some((boundary, order_col)),
-                    &[],
-                    &mut |r, pid| sink(r, Some(pid)),
-                );
-                let topk_pruned = stats.skipped_by_boundary + stats.cancelled_by_boundary;
-                st.report.topk_stats.partitions_considered += stats.considered;
-                st.report.topk_stats.partitions_skipped += topk_pruned;
-                st.report.pruning.pruned_by_topk += topk_pruned;
-                st.report.pruning.pruned_by_filter += stats.cancelled_by_runtime_filter;
-                st.report.scan_stats.merge(&stats);
-                Ok(())
+        // Vectorized fast path: a Filter*/Project* chain directly over the
+        // target scan compiles into a [`BatchChain`] and streams column-
+        // major — filters run as selection-vector kernels next to the scan
+        // (worker-side on pooled runs) and rows materialize only at the
+        // heap insert. Rows keep per-batch partition provenance, so §8.2
+        // recording is unchanged.
+        if let Some((chain, table, predicate)) = split_chain(plan) {
+            if table == spec.target_table {
+                return self
+                    .stream_spine_target(&chain, table, predicate, spec, boundary, st, sink);
             }
+        }
+        match plan {
             Plan::Scan { .. } => {
                 let rows = self.exec_node(plan, st)?;
                 for r in rows.rows {
@@ -1409,6 +1367,70 @@ impl Executor {
                 Ok(())
             }
         }
+    }
+
+    /// The spine's target scan plus its Filter*/Project* chain: install
+    /// the boundary hook, order the scan set, seed the boundary, pin the
+    /// cache-recording snapshot version, and stream the chain's output
+    /// rows (with source-partition provenance) into `sink`.
+    #[allow(clippy::too_many_arguments)]
+    fn stream_spine_target(
+        &self,
+        chain: &[ChainOp],
+        table: &str,
+        predicate: Option<&snowprune_expr::Expr>,
+        spec: &TopKSpec,
+        boundary: &Arc<Boundary>,
+        st: &mut RunState,
+        sink: &mut dyn FnMut(Vec<Value>, Option<PartitionId>),
+    ) -> Result<()> {
+        let mut scan = self.prepare_scan(table, predicate, st)?;
+        let order_col = scan.schema.index_of(&spec.order_column)?;
+        let metas: Vec<PartitionMeta> = scan.table.metadata().into_iter().cloned().collect();
+        order_scan_set(
+            &mut scan.scan_set,
+            &metas,
+            order_col,
+            spec.desc,
+            self.cfg.topk_order,
+        );
+        if self.cfg.topk_init_boundary {
+            if let Some(init) = initial_boundary(
+                &scan.scan_set,
+                &metas,
+                order_col,
+                spec.k + spec.offset,
+                spec.desc,
+            ) {
+                boundary.tighten(&init);
+            }
+        }
+        // Top-k cache recording: pin the snapshot version the recorded
+        // partitions refer to.
+        if let Some(cr) = &mut st.cache {
+            if cr.table == table {
+                if let Some(rec) = &mut cr.record {
+                    if rec.is_topk() {
+                        rec.snapshot_version = Some(scan.table.version());
+                    }
+                }
+            }
+        }
+        let bound_chain = bind_chain(chain, &scan.schema)?;
+        let stats = self.stream_chain_rows(
+            &scan,
+            st.lane,
+            Some((boundary, order_col)),
+            &bound_chain,
+            &mut |r, pid| sink(r, Some(pid)),
+        );
+        let topk_pruned = stats.skipped_by_boundary + stats.cancelled_by_boundary;
+        st.report.topk_stats.partitions_considered += stats.considered;
+        st.report.topk_stats.partitions_skipped += topk_pruned;
+        st.report.pruning.pruned_by_topk += topk_pruned;
+        st.report.pruning.pruned_by_filter += stats.cancelled_by_runtime_filter;
+        st.report.scan_stats.merge(&stats);
+        Ok(())
     }
 }
 
@@ -1491,12 +1513,6 @@ enum ChainOp {
     Project(Vec<String>),
 }
 
-#[derive(Clone)]
-enum BoundChainOp {
-    Filter(snowprune_expr::Expr),
-    Project(Vec<usize>),
-}
-
 /// Decompose a Filter*/Project* chain over a single scan. Returns ops in
 /// bottom-up order plus the scan's table and predicate.
 fn split_chain(plan: &Plan) -> Option<(Vec<ChainOp>, &str, Option<&snowprune_expr::Expr>)> {
@@ -1518,13 +1534,15 @@ fn split_chain(plan: &Plan) -> Option<(Vec<ChainOp>, &str, Option<&snowprune_exp
     }
 }
 
-/// Bind chain expressions against the evolving schema.
-fn bind_chain(ops: &[ChainOp], scan_schema: &Schema) -> Result<Vec<BoundChainOp>> {
+/// Compile a chain into a [`BatchChain`], binding each filter against the
+/// schema in force where it appears and composing projections into one
+/// column map.
+fn bind_chain(ops: &[ChainOp], scan_schema: &Schema) -> Result<BatchChain> {
     let mut schema = scan_schema.clone();
-    let mut out = Vec::with_capacity(ops.len());
+    let mut chain = BatchChain::identity(schema.len());
     for op in ops {
         match op {
-            ChainOp::Filter(e) => out.push(BoundChainOp::Filter(e.bind(&schema)?)),
+            ChainOp::Filter(e) => chain.push_filter(&e.bind(&schema)?),
             ChainOp::Project(cols) => {
                 let idxs: Vec<usize> = cols
                     .iter()
@@ -1535,28 +1553,11 @@ fn bind_chain(ops: &[ChainOp], scan_schema: &Schema) -> Result<Vec<BoundChainOp>
                     .map(|&i| schema.fields()[i].clone())
                     .collect::<Vec<_>>();
                 schema = Schema::new(fields);
-                out.push(BoundChainOp::Project(idxs));
+                chain.push_project(&idxs);
             }
         }
     }
-    Ok(out)
-}
-
-/// Run a row through the bound chain; `None` when filtered out.
-fn apply_chain(ops: &[BoundChainOp], mut row: Vec<Value>) -> Option<Vec<Value>> {
-    for op in ops {
-        match op {
-            BoundChainOp::Filter(e) => {
-                if !snowprune_expr::eval_predicate(e, &row).qualifies() {
-                    return None;
-                }
-            }
-            BoundChainOp::Project(idxs) => {
-                row = idxs.iter().map(|&i| row[i].clone()).collect();
-            }
-        }
-    }
-    Some(row)
+    Ok(chain)
 }
 
 fn sort_rows(input: RowSet, keys: &[SortKey]) -> Result<RowSet> {

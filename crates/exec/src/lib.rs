@@ -17,13 +17,15 @@ pub mod pool;
 pub mod rows;
 pub mod scan;
 pub mod session;
+pub mod vector;
 
 pub use config::{
-    predicate_cache_from_env, predicate_cache_mode_from_env, prefetch_depth_from_env,
-    scan_threads_from_env, ExecConfig, PredicateCacheMode,
+    batch_rows_from_env, predicate_cache_from_env, predicate_cache_mode_from_env,
+    prefetch_depth_from_env, scan_threads_from_env, ExecConfig, PredicateCacheMode,
 };
 pub use exec::{CacheOutcome, ExecReport, Executor, QueryOutput};
 pub use pool::{MorselPool, QueryId, ScanJobSpec, ScanTicket};
 pub use rows::RowSet;
 pub use scan::{CompiledScan, ScanHooks, ScanRunStats};
 pub use session::Session;
+pub use vector::{Batch, BatchChain};

@@ -33,17 +33,19 @@ use std::thread::JoinHandle;
 
 use snowprune_core::filter::FilterPruner;
 use snowprune_core::topk::Boundary;
-use snowprune_storage::{IoCostModel, IoStats, MicroPartition};
+use snowprune_storage::{IoCostModel, IoStats};
 
 use crate::scan::{run_scan_slice, CompiledScan, ScanHooks, ScanRunStats};
+use crate::vector::Batch;
 
 /// Identifies one query's FIFO lane in the injector queue.
 pub type QueryId = u64;
 
-/// Per-partition output callback: `(morsel_index, partition, selection)`.
-/// The morsel index lets callers reassemble output in scan-set order
-/// regardless of which worker ran which morsel.
-pub type PartitionSink = dyn Fn(usize, &MicroPartition, &[usize]) + Send + Sync;
+/// Per-batch output callback: `(morsel_index, batch)`. The morsel index
+/// lets callers reassemble output in scan-set order regardless of which
+/// worker ran which morsel; the batch carries its partition (provenance)
+/// and the selected rows of one `batch_rows` window.
+pub type PartitionSink = dyn for<'a> Fn(usize, Batch<'a>) + Send + Sync;
 
 /// Early-stop signal (LIMIT-style). Checked before each partition except
 /// the scan's pre-assigned leading partitions (§4.4).
@@ -71,7 +73,11 @@ pub struct ScanJobSpec {
     /// Partition loads each worker keeps in flight per lane (clamped to
     /// ≥ 1; 1 = blocking). See [`crate::ExecConfig::prefetch_depth`].
     pub prefetch_depth: usize,
-    /// Per-partition output callback (receives the morsel index).
+    /// Rows per column-major batch delivered to the sink (clamped to ≥ 1;
+    /// `usize::MAX` = whole-partition batches). See
+    /// [`crate::ExecConfig::batch_rows`].
+    pub batch_rows: usize,
+    /// Per-batch output callback (receives the morsel index).
     pub sink: Box<PartitionSink>,
     /// Early-stop signal checked between partitions (§4.4 pre-assigned
     /// partitions excepted).
@@ -87,6 +93,7 @@ struct ScanJob {
     boundary: Option<(Arc<Boundary>, usize)>,
     runtime_pruner: Option<parking_lot::Mutex<FilterPruner>>,
     prefetch_depth: usize,
+    batch_rows: usize,
     sink: Box<PartitionSink>,
     stop: Box<StopFn>,
     on_morsel_done: Option<Box<MorselDoneFn>>,
@@ -266,6 +273,7 @@ impl MorselPool {
             boundary: spec.boundary,
             runtime_pruner: spec.runtime_pruner.map(parking_lot::Mutex::new),
             prefetch_depth: spec.prefetch_depth.max(1),
+            batch_rows: spec.batch_rows.max(1),
             sink: spec.sink,
             stop: spec.stop,
             on_morsel_done: spec.on_morsel_done,
@@ -355,6 +363,7 @@ fn run_morsel(morsel: &Morsel) {
         boundary: job.boundary.as_ref().map(|(b, col)| (b, *col)),
         runtime_pruner: job.runtime_pruner.as_ref(),
         prefetch_depth: job.prefetch_depth,
+        batch_rows: job.batch_rows,
     };
     let mut stats = ScanRunStats::default();
     run_scan_slice(
@@ -366,8 +375,8 @@ fn run_morsel(morsel: &Morsel) {
         &hooks,
         &|| (job.stop)(),
         &mut stats,
-        &mut |part, sel| {
-            (job.sink)(morsel.index, part, sel);
+        &mut |batch| {
+            (job.sink)(morsel.index, batch);
             std::ops::ControlFlow::Continue(())
         },
     );
@@ -432,10 +441,11 @@ mod tests {
             runtime_pruner: None,
             morsel_partitions: 3,
             prefetch_depth: 2,
-            sink: Box::new(move |mi, part, sel| {
+            batch_rows: usize::MAX,
+            sink: Box::new(move |mi, batch| {
                 let mut g = rows.lock();
-                for &i in sel {
-                    g.push((mi, part.row(i)[0].clone()));
+                for i in batch.sel.iter() {
+                    g.push((mi, batch.part.row(i)[0].clone()));
                 }
             }),
             stop: Box::new(|| false),
@@ -519,7 +529,7 @@ mod tests {
         let gate = Arc::new(AtomicBool::new(false));
         let mut blocker = spec_collecting(compile(&t, &io, None), &io, &Arc::default());
         let gate_in_sink = Arc::clone(&gate);
-        blocker.sink = Box::new(move |_, _, _| {
+        blocker.sink = Box::new(move |_, _| {
             while !gate_in_sink.load(Ordering::Acquire) {
                 std::thread::yield_now();
             }
@@ -544,7 +554,7 @@ mod tests {
         let io = IoStats::new();
         let pool = MorselPool::new(2);
         let mut spec = spec_collecting(compile(&t, &io, None), &io, &Arc::default());
-        spec.sink = Box::new(|_, _, _| panic!("boom"));
+        spec.sink = Box::new(|_, _| panic!("boom"));
         let ticket = pool.submit(pool.next_lane(), spec);
         assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ticket.wait())).is_err());
         // The workers survived the panic and keep serving later jobs.

@@ -11,6 +11,15 @@
 //! drives it per morsel — both therefore share identical pruning
 //! decisions, counter ordering (the single `complete_load` helper), and
 //! virtual-clock accounting.
+//!
+//! Completed loads are streamed to the sink **column-major**: each loaded
+//! partition is chunked into `batch_rows` windows, the scan predicate runs
+//! as selection-vector kernels per window, and the sink receives
+//! [`Batch`]es (partition + [`SelVec`]) instead of materialized rows. The
+//! batch size is purely a CPU-side knob — partitions load (and charge
+//! I/O) whole, and every window of a loaded partition is always delivered
+//! even after the sink breaks, so row/counter accounting is bit-identical
+//! at every batch size.
 
 use std::collections::{HashSet, VecDeque};
 use std::ops::{ControlFlow, Range};
@@ -25,7 +34,9 @@ use snowprune_storage::{
     AsyncLake, IoCostModel, IoStats, LoadTicket, MicroPartition, PartitionId, PartitionMeta,
     Schema, Table,
 };
-use snowprune_types::Result;
+use snowprune_types::{Result, SelVec};
+
+use crate::vector::Batch;
 
 /// A table scan after compile-time filter pruning.
 #[derive(Clone)]
@@ -174,28 +185,35 @@ pub struct ScanHooks<'a> {
     pub runtime_pruner: Option<&'a Mutex<FilterPruner>>,
     /// Loads kept in flight ahead of evaluation; 1 = the blocking model.
     pub prefetch_depth: usize,
+    /// Rows per column-major batch delivered to the sink (clamped to ≥ 1).
+    /// `usize::MAX` delivers each partition as a single batch.
+    pub batch_rows: usize,
 }
 
 impl ScanHooks<'_> {
-    /// No runtime hooks: blocking depth-1 scan with no boundary or pruner.
+    /// No runtime hooks: blocking depth-1 scan, whole-partition batches,
+    /// no boundary or pruner.
     pub fn none() -> ScanHooks<'static> {
         ScanHooks {
             boundary: None,
             runtime_pruner: None,
             prefetch_depth: 1,
+            batch_rows: usize::MAX,
         }
     }
 }
 
 /// Stream the scan's partitions sequentially, invoking `sink` with each
-/// loaded partition and the selected row indices. `sink` may stop the scan
-/// early (LIMIT-style); in-flight prefetches are then cancelled free.
+/// column-major [`Batch`] that survives predicate selection. `sink` may
+/// stop the scan early (LIMIT-style); the current partition's remaining
+/// windows still flow (keeping counters batch-size-invariant), then
+/// submission halts and in-flight prefetches are cancelled free.
 pub fn stream_scan(
     scan: &CompiledScan,
     io: &IoStats,
     io_cost: &IoCostModel,
     hooks: &ScanHooks<'_>,
-    mut sink: impl FnMut(&MicroPartition, &[usize]) -> ControlFlow<()>,
+    mut sink: impl FnMut(Batch<'_>) -> ControlFlow<()>,
 ) -> ScanRunStats {
     let mut stats = ScanRunStats::default();
     run_scan_slice(
@@ -245,7 +263,7 @@ pub(crate) fn run_scan_slice(
     hooks: &ScanHooks<'_>,
     stop: &dyn Fn() -> bool,
     stats: &mut ScanRunStats,
-    sink: &mut dyn FnMut(&MicroPartition, &[usize]) -> ControlFlow<()>,
+    sink: &mut dyn FnMut(Batch<'_>) -> ControlFlow<()>,
 ) {
     let depth = hooks.prefetch_depth.max(1);
     let mut lake = AsyncLake::new(Arc::clone(&scan.table), io.clone(), *io_cost);
@@ -331,7 +349,7 @@ fn finish_load(
     slot: InflightSlot<'_>,
     stats: &mut ScanRunStats,
     halted: &mut bool,
-    sink: &mut dyn FnMut(&MicroPartition, &[usize]) -> ControlFlow<()>,
+    sink: &mut dyn FnMut(Batch<'_>) -> ControlFlow<()>,
 ) {
     let entry = &scan.scan_set.entries[slot.index];
     // §4.4 pre-assigned partitions are never cancelled by the runtime
@@ -369,11 +387,26 @@ fn finish_load(
     let Some(part) = complete_load(lake, slot.ticket, &mut || stats.loaded += 1) else {
         return;
     };
-    let selection = select_rows(scan, entry, &part);
-    stats.rows_emitted += selection.len() as u64;
-    lake.note_evaluated(part.row_count() as u64);
-    if sink(&part, &selection).is_break() {
-        *halted = true;
+    let n = part.row_count();
+    let batch_rows = hooks.batch_rows.max(1);
+    lake.note_evaluated(n as u64);
+    // Chunked delivery. Every window of a loaded partition flows to the
+    // sink even after it breaks (sticky break): early stop stays
+    // partition-granular, so `rows_emitted` and the per-partition I/O
+    // accounting are bit-identical at every batch size — the differential
+    // and stress fingerprints depend on this.
+    let mut start = 0usize;
+    loop {
+        let len = batch_rows.min(n - start);
+        let sel = select_range(scan, entry, &part, start, len);
+        stats.rows_emitted += sel.len() as u64;
+        if sink(Batch { part: &part, sel }).is_break() {
+            *halted = true;
+        }
+        start += len;
+        if start >= n {
+            break;
+        }
     }
 }
 
@@ -393,22 +426,23 @@ pub(crate) fn complete_load(
     Some(part)
 }
 
-/// Evaluate the scan predicate on a partition. Fully-matching partitions
-/// skip predicate evaluation entirely (a real CPU saving from §4's
-/// classification).
-pub(crate) fn select_rows(
+/// Evaluate the scan predicate on one row window of a partition.
+/// Fully-matching partitions skip predicate evaluation entirely (a real
+/// CPU saving from §4's classification) and yield an allocation-free
+/// contiguous selection; everything else runs the selection-vector
+/// kernels of `snowprune_expr::kernel`.
+pub(crate) fn select_range(
     scan: &CompiledScan,
     entry: &snowprune_core::scan_set::ScanEntry,
     part: &MicroPartition,
-) -> Vec<usize> {
+    start: usize,
+    len: usize,
+) -> SelVec {
     match (&scan.predicate, entry.class) {
         (None, _) | (_, snowprune_types::MatchClass::FullyMatching) => {
-            (0..part.row_count()).collect()
+            SelVec::All(start..start + len)
         }
-        (Some(pred), _) => {
-            let truths = snowprune_expr::eval_truths(pred, part);
-            snowprune_expr::selection_indices(&truths)
-        }
+        (Some(pred), _) => snowprune_expr::kernel::select_range(pred, part, start, len),
     }
 }
 
@@ -480,9 +514,9 @@ mod tests {
         )
         .unwrap();
         let mut rows = Vec::new();
-        let stats = stream_scan(&scan, &io, &model, &ScanHooks::none(), |part, sel| {
-            for &i in sel {
-                rows.push(part.row(i)[0].clone());
+        let stats = stream_scan(&scan, &io, &model, &ScanHooks::none(), |batch| {
+            for i in batch.sel.iter() {
+                rows.push(batch.part.row(i)[0].clone());
             }
             ControlFlow::Continue(())
         });
@@ -506,13 +540,9 @@ mod tests {
         )
         .unwrap();
         assert_eq!(scan.scan_set.len(), 20);
-        let stats = stream_scan(
-            &scan,
-            &io,
-            &IoCostModel::free(),
-            &ScanHooks::none(),
-            |_, _| ControlFlow::Continue(()),
-        );
+        let stats = stream_scan(&scan, &io, &IoCostModel::free(), &ScanHooks::none(), |_| {
+            ControlFlow::Continue(())
+        });
         assert_eq!(stats.loaded, 20);
         assert_eq!(stats.rows_emitted, 25, "same rows, more I/O");
     }
@@ -537,8 +567,8 @@ mod tests {
             &io,
             &IoCostModel::free(),
             &ScanHooks::none(),
-            |_, sel| {
-                n += sel.len() as u64;
+            |batch| {
+                n += batch.len() as u64;
                 if n >= 15 {
                     ControlFlow::Break(())
                 } else {
@@ -569,8 +599,9 @@ mod tests {
             boundary: Some((&boundary, 0)),
             runtime_pruner: None,
             prefetch_depth: 1,
+            batch_rows: usize::MAX,
         };
-        let stats = stream_scan(&scan, &io, &IoCostModel::free(), &hooks, |_, _| {
+        let stats = stream_scan(&scan, &io, &IoCostModel::free(), &hooks, |_| {
             ControlFlow::Continue(())
         });
         // Partitions with max <= 150: ids 0..=14 skipped (max 149 in id 14),
@@ -600,8 +631,8 @@ mod tests {
         )
         .unwrap();
         let mut seq_rows: Vec<Vec<Value>> = Vec::new();
-        let seq_stats = stream_scan(&scan, &io_seq, &model, &ScanHooks::none(), |part, sel| {
-            seq_rows.extend(sel.iter().map(|&i| part.row(i)));
+        let seq_stats = stream_scan(&scan, &io_seq, &model, &ScanHooks::none(), |batch| {
+            seq_rows.extend(batch.sel.iter().map(|i| batch.part.row(i)));
             ControlFlow::Continue(())
         });
 
@@ -625,9 +656,10 @@ mod tests {
                     runtime_pruner: None,
                     morsel_partitions,
                     prefetch_depth: 2,
-                    sink: Box::new(move |mi, part, sel| {
+                    batch_rows: usize::MAX,
+                    sink: Box::new(move |mi, batch| {
                         let mut g = sink_slots[mi].lock();
-                        g.extend(sel.iter().map(|&i| part.row(i)));
+                        g.extend(batch.sel.iter().map(|i| batch.part.row(i)));
                     }),
                     stop: Box::new(|| false),
                     on_morsel_done: None,
@@ -697,11 +729,12 @@ mod tests {
                 boundary: Some((&boundary, 0)),
                 runtime_pruner: None,
                 prefetch_depth: depth,
+                batch_rows: usize::MAX,
             };
             let mut rows = Vec::new();
-            let stats = stream_scan(&scan, &io, &IoCostModel::free(), &hooks, |part, sel| {
-                for &i in sel {
-                    let v = part.row(i)[0].clone();
+            let stats = stream_scan(&scan, &io, &IoCostModel::free(), &hooks, |batch| {
+                for i in batch.sel.iter() {
+                    let v = batch.part.row(i)[0].clone();
                     rows.push(v.clone());
                     // Tighten as a heap would: after 30 rows the 30th-best
                     // value bounds the scan.
@@ -744,10 +777,11 @@ mod tests {
             boundary: None,
             runtime_pruner: None,
             prefetch_depth: 4,
+            batch_rows: usize::MAX,
         };
         let mut n = 0u64;
-        let stats = stream_scan(&scan, &io, &IoCostModel::free(), &hooks, |_, sel| {
-            n += sel.len() as u64;
+        let stats = stream_scan(&scan, &io, &IoCostModel::free(), &hooks, |batch| {
+            n += batch.len() as u64;
             if n >= 15 {
                 ControlFlow::Break(())
             } else {
@@ -778,8 +812,9 @@ mod tests {
                 boundary: None,
                 runtime_pruner: None,
                 prefetch_depth: depth,
+                batch_rows: usize::MAX,
             };
-            stream_scan(&scan, &io, &model, &hooks, |_, _| ControlFlow::Continue(()));
+            stream_scan(&scan, &io, &model, &hooks, |_| ControlFlow::Continue(()));
             io.snapshot()
         };
         let blocking = run(1);
@@ -796,5 +831,48 @@ mod tests {
             prefetched.simulated_wall_ns,
             prefetched.simulated_io_ns + prefetched.simulated_cpu_ns - prefetched.io_overlapped_ns
         );
+    }
+
+    #[test]
+    fn batch_size_never_changes_rows_or_counters() {
+        // The batch size is a pure CPU-side chunking knob: rows delivered,
+        // every pipeline counter, and the full I/O snapshot must be
+        // bit-identical at any `batch_rows` — including with a sink that
+        // breaks mid-partition (sticky break keeps early stop
+        // partition-granular).
+        let t = table();
+        let model = IoCostModel::free();
+        let run = |batch_rows: usize, stop_at: Option<u64>| {
+            let io = IoStats::new();
+            let scan = compile(&t, &io, Some(&col("x").ge(lit(40i64))));
+            let hooks = ScanHooks {
+                boundary: None,
+                runtime_pruner: None,
+                prefetch_depth: 2,
+                batch_rows,
+            };
+            let mut rows: Vec<Value> = Vec::new();
+            let mut seen = 0u64;
+            let stats = stream_scan(&scan, &io, &model, &hooks, |batch| {
+                for i in batch.sel.iter() {
+                    rows.push(batch.part.row(i)[0].clone());
+                }
+                seen += batch.len() as u64;
+                match stop_at {
+                    Some(n) if seen >= n => ControlFlow::Break(()),
+                    _ => ControlFlow::Continue(()),
+                }
+            });
+            (rows, stats, io.snapshot())
+        };
+        for stop_at in [None, Some(7u64), Some(25)] {
+            let (rows_ref, stats_ref, io_ref) = run(usize::MAX, stop_at);
+            for batch_rows in [1usize, 3, 7, 1024] {
+                let (rows, stats, io) = run(batch_rows, stop_at);
+                assert_eq!(rows, rows_ref, "rows diverged at batch {batch_rows}");
+                assert_eq!(stats, stats_ref, "stats diverged at batch {batch_rows}");
+                assert_eq!(io, io_ref, "io diverged at batch {batch_rows}");
+            }
+        }
     }
 }

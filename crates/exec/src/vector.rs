@@ -1,0 +1,205 @@
+//! Column-major batches and the vectorized filter/project chain.
+//!
+//! The scan spine streams [`Batch`]es: a borrowed micro-partition plus a
+//! [`SelVec`] naming the rows of one fixed-size window
+//! ([`crate::ExecConfig::batch_rows`]) that survived the scan predicate.
+//! Downstream filter/project stages are compiled once per query into a
+//! [`BatchChain`], which refines the selection with the predicate kernels
+//! of `snowprune_expr::kernel` and materializes row tuples **late** — only
+//! at operator boundaries that genuinely need rows (top-k heap inserts,
+//! join probes, the output sink).
+//!
+//! Because every batch carries its partition (`batch.part.meta.id`),
+//! partition provenance for the §8.2 predicate cache flows per batch: a
+//! partition is recorded as contributing as soon as any of its batches
+//! yields a selected row, without per-row bookkeeping.
+
+use snowprune_expr::kernel;
+use snowprune_expr::Expr;
+use snowprune_storage::MicroPartition;
+use snowprune_types::{SelVec, Value};
+
+/// One unit of columnar data flow: the rows of one window of one loaded
+/// micro-partition that passed the scan predicate. Row indices in `sel`
+/// are absolute partition row numbers, so consumers can read column
+/// values (or materialize whole rows) straight off `part`.
+pub struct Batch<'a> {
+    /// The loaded partition this window belongs to.
+    pub part: &'a MicroPartition,
+    /// Qualifying rows of this window, ascending.
+    pub sel: SelVec,
+}
+
+impl Batch<'_> {
+    /// Number of selected rows in this batch.
+    pub fn len(&self) -> usize {
+        self.sel.len()
+    }
+
+    /// True when no rows of this window qualified.
+    pub fn is_empty(&self) -> bool {
+        self.sel.is_empty()
+    }
+}
+
+/// A compiled filter/project pipeline applied to every batch of one scan.
+///
+/// Built once per query from the plan's chain of `Filter`/`Project` nodes
+/// above a scan: projections compose into a single output-column →
+/// partition-column `map`, and each filter is rewritten through the
+/// mapping in force where it appeared ([`Expr::remap_columns`]), so all
+/// filters evaluate directly against partition columns. Applying the
+/// chain is then pure selection refinement — no intermediate row tuples —
+/// and materialization gathers only the final output columns.
+#[derive(Clone, Debug)]
+pub struct BatchChain {
+    /// Filters in plan order, column indices remapped to partition layout.
+    filters: Vec<Expr>,
+    /// Output column `i` reads partition column `map[i]`.
+    map: Vec<usize>,
+}
+
+impl BatchChain {
+    /// The empty chain over a scan of `width` columns: no filters, output
+    /// columns are the scan columns.
+    pub fn identity(width: usize) -> BatchChain {
+        BatchChain {
+            filters: Vec::new(),
+            map: (0..width).collect(),
+        }
+    }
+
+    /// Append a filter stage. `expr` must be bound against the chain's
+    /// *current* output schema; it is remapped to partition columns here.
+    pub fn push_filter(&mut self, expr: &Expr) {
+        self.filters.push(expr.remap_columns(&self.map));
+    }
+
+    /// Append a projection stage selecting current-output columns `cols`.
+    pub fn push_project(&mut self, cols: &[usize]) {
+        self.map = cols.iter().map(|&c| self.map[c]).collect();
+    }
+
+    /// True when the chain has no filter stages (projection-only chains
+    /// can skip selection refinement entirely).
+    pub fn has_filters(&self) -> bool {
+        !self.filters.is_empty()
+    }
+
+    /// Number of output columns.
+    pub fn output_width(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Refine `sel` in place by every filter stage, in plan order. Rows
+    /// kept are exactly those on which each filter evaluates to SQL TRUE —
+    /// identical to row-at-a-time chain evaluation, without materializing
+    /// any intermediate tuple.
+    pub fn refine(&self, part: &MicroPartition, sel: &mut SelVec) {
+        for f in &self.filters {
+            if sel.is_empty() {
+                return;
+            }
+            kernel::refine(f, part, sel);
+        }
+    }
+
+    /// Late materialization: gather output row `i` (an absolute partition
+    /// row index) through the projection map.
+    pub fn materialize(&self, part: &MicroPartition, i: usize) -> Vec<Value> {
+        self.map
+            .iter()
+            .map(|&c| part.column(c).value_at(i))
+            .collect()
+    }
+
+    /// Apply the full chain to a batch: refine its selection, then gather
+    /// the surviving rows as output tuples.
+    pub fn apply(&self, batch: &Batch<'_>) -> Vec<Vec<Value>> {
+        let mut sel = batch.sel.clone();
+        self.refine(batch.part, &mut sel);
+        let mut rows = Vec::with_capacity(sel.len());
+        rows.extend(sel.iter().map(|i| self.materialize(batch.part, i)));
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snowprune_expr::dsl::*;
+    use snowprune_storage::{ColumnBuilder, Field, Schema};
+    use snowprune_types::ScalarType;
+
+    fn part() -> (Schema, MicroPartition) {
+        let schema = Schema::new(vec![
+            Field::new("a", ScalarType::Int),
+            Field::new("b", ScalarType::Int),
+            Field::new("c", ScalarType::Int),
+        ]);
+        let mut cols: Vec<ColumnBuilder> = (0..3)
+            .map(|_| ColumnBuilder::new(ScalarType::Int))
+            .collect();
+        for i in 0..10i64 {
+            cols[0].push(Value::Int(i));
+            cols[1].push(Value::Int(i * 10));
+            cols[2].push(Value::Int(i % 3));
+        }
+        let chunks = cols.into_iter().map(|c| c.finish()).collect();
+        (
+            schema.clone(),
+            MicroPartition::from_chunks(7, &schema, chunks),
+        )
+    }
+
+    #[test]
+    fn project_then_filter_sees_remapped_columns() {
+        let (_, p) = part();
+        let mut chain = BatchChain::identity(3);
+        // Project [c, b]; then filter on output column 1 (= partition b).
+        chain.push_project(&[2, 1]);
+        let post_schema = Schema::new(vec![
+            Field::new("c", ScalarType::Int),
+            Field::new("b", ScalarType::Int),
+        ]);
+        chain.push_filter(&col("b").ge(lit(50i64)).bind(&post_schema).unwrap());
+        assert!(chain.has_filters());
+        assert_eq!(chain.output_width(), 2);
+
+        let batch = Batch {
+            part: &p,
+            sel: SelVec::All(0..10),
+        };
+        let rows = chain.apply(&batch);
+        // Rows 5..10 survive; output is [c, b].
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0], vec![Value::Int(5 % 3), Value::Int(50)]);
+        assert_eq!(rows[4], vec![Value::Int(9 % 3), Value::Int(90)]);
+    }
+
+    #[test]
+    fn identity_chain_materializes_rows_verbatim() {
+        let (_, p) = part();
+        let chain = BatchChain::identity(3);
+        let batch = Batch {
+            part: &p,
+            sel: SelVec::Rows(vec![2, 8]),
+        };
+        assert_eq!(batch.len(), 2);
+        assert!(!batch.is_empty());
+        let rows = chain.apply(&batch);
+        assert_eq!(rows, vec![p.row(2), p.row(8)]);
+    }
+
+    #[test]
+    fn successive_projections_compose() {
+        let (_, p) = part();
+        let mut chain = BatchChain::identity(3);
+        chain.push_project(&[2, 0, 1]); // [c, a, b]
+        chain.push_project(&[2, 0]); // [b, c]
+        assert_eq!(
+            chain.materialize(&p, 4),
+            vec![Value::Int(40), Value::Int(1)]
+        );
+    }
+}

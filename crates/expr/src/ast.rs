@@ -13,22 +13,31 @@ use snowprune_types::{Error, Result, Value};
 /// A column reference. `index` is `UNRESOLVED` until [`Expr::bind`] runs.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct ColumnRef {
+    /// Resolved column position, or [`ColumnRef::UNRESOLVED`].
     pub index: usize,
+    /// Column name as written in the plan.
     pub name: String,
 }
 
 impl ColumnRef {
+    /// Sentinel index of a reference that has not been bound yet.
     pub const UNRESOLVED: usize = usize::MAX;
 }
 
 /// Comparison operators.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum CmpOp {
+    /// `=`
     Eq,
+    /// `<>`
     Ne,
+    /// `<`
     Lt,
+    /// `<=`
     Le,
+    /// `>`
     Gt,
+    /// `>=`
     Ge,
 }
 
@@ -58,6 +67,7 @@ impl CmpOp {
         }
     }
 
+    /// The operator's SQL spelling.
     pub fn sql(self) -> &'static str {
         match self {
             CmpOp::Eq => "=",
@@ -73,13 +83,18 @@ impl CmpOp {
 /// Arithmetic operators.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ArithOp {
+    /// `+`
     Add,
+    /// `-`
     Sub,
+    /// `*`
     Mul,
+    /// `/`
     Div,
 }
 
 impl ArithOp {
+    /// The operator's SQL spelling.
     pub fn sql(self) -> &'static str {
         match self {
             ArithOp::Add => "+",
@@ -93,14 +108,23 @@ impl ArithOp {
 /// A scalar expression.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Expr {
+    /// A constant value.
     Literal(Value),
+    /// A column reference.
     Column(ColumnRef),
+    /// A binary comparison.
     Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// SQL `AND` over all operands (Kleene three-valued).
     And(Vec<Expr>),
+    /// SQL `OR` over all operands (Kleene three-valued).
     Or(Vec<Expr>),
+    /// SQL `NOT`.
     Not(Box<Expr>),
+    /// SQL `IS NULL`.
     IsNull(Box<Expr>),
+    /// Binary arithmetic.
     Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// Unary negation.
     Neg(Box<Expr>),
     /// `IF(cond, then, else)` — the paper's §3.1 running example.
     If(Box<Expr>, Box<Expr>, Box<Expr>),
@@ -108,8 +132,11 @@ pub enum Expr {
     Like(Box<Expr>, String),
     /// `STARTSWITH(expr, prefix)` — the target of the imprecise rewrite.
     StartsWith(Box<Expr>, String),
+    /// SQL `IN (v1, v2, …)`.
     InList(Box<Expr>, Vec<Value>),
+    /// SQL `COALESCE` — first non-null operand.
     Coalesce(Vec<Expr>),
+    /// Absolute value.
     Abs(Box<Expr>),
 }
 
@@ -215,6 +242,23 @@ impl Expr {
         }
     }
 
+    /// Rewrite bound column indices through `map`: a reference to output
+    /// column `i` becomes a reference to `map[i]`. Used by the vectorized
+    /// chain to re-express post-projection filters directly against the
+    /// underlying partition's column layout. Panics on unbound references
+    /// or indices outside `map` — callers remap only bound chain filters.
+    pub fn remap_columns(&self, map: &[usize]) -> Expr {
+        let mut e = self.clone();
+        e.try_visit_mut(&mut |x| {
+            if let Expr::Column(c) = x {
+                c.index = map[c.index];
+            }
+            Ok(())
+        })
+        .expect("infallible remap");
+        e
+    }
+
     /// Conjunction splitting: `a AND b AND c` → `[a, b, c]`.
     pub fn split_conjunction(&self) -> Vec<&Expr> {
         match self {
@@ -312,33 +356,42 @@ pub mod dsl {
         Expr::Literal(v.into())
     }
 
+    /// `IF(cond, then, else)`.
     pub fn if_(cond: Expr, then: Expr, els: Expr) -> Expr {
         Expr::If(Box::new(cond), Box::new(then), Box::new(els))
     }
 
+    /// `COALESCE(x1, x2, …)`.
     pub fn coalesce(xs: Vec<Expr>) -> Expr {
         Expr::Coalesce(xs)
     }
 
     impl Expr {
+        /// `self = rhs`.
         pub fn eq(self, rhs: Expr) -> Expr {
             Expr::Cmp(CmpOp::Eq, Box::new(self), Box::new(rhs))
         }
+        /// `self <> rhs`.
         pub fn ne(self, rhs: Expr) -> Expr {
             Expr::Cmp(CmpOp::Ne, Box::new(self), Box::new(rhs))
         }
+        /// `self < rhs`.
         pub fn lt(self, rhs: Expr) -> Expr {
             Expr::Cmp(CmpOp::Lt, Box::new(self), Box::new(rhs))
         }
+        /// `self <= rhs`.
         pub fn le(self, rhs: Expr) -> Expr {
             Expr::Cmp(CmpOp::Le, Box::new(self), Box::new(rhs))
         }
+        /// `self > rhs`.
         pub fn gt(self, rhs: Expr) -> Expr {
             Expr::Cmp(CmpOp::Gt, Box::new(self), Box::new(rhs))
         }
+        /// `self >= rhs`.
         pub fn ge(self, rhs: Expr) -> Expr {
             Expr::Cmp(CmpOp::Ge, Box::new(self), Box::new(rhs))
         }
+        /// `self AND rhs`, flattening nested ANDs.
         pub fn and(self, rhs: Expr) -> Expr {
             match self {
                 Expr::And(mut xs) => {
@@ -348,6 +401,7 @@ pub mod dsl {
                 other => Expr::And(vec![other, rhs]),
             }
         }
+        /// `self OR rhs`, flattening nested ORs.
         pub fn or(self, rhs: Expr) -> Expr {
             match self {
                 Expr::Or(mut xs) => {
@@ -357,43 +411,56 @@ pub mod dsl {
                 other => Expr::Or(vec![other, rhs]),
             }
         }
+        /// `NOT self`.
         #[allow(clippy::should_implement_trait)]
         pub fn not(self) -> Expr {
             Expr::Not(Box::new(self))
         }
+        /// `self IS NULL`.
         pub fn is_null(self) -> Expr {
             Expr::IsNull(Box::new(self))
         }
+        /// `self IS NOT NULL`.
         pub fn is_not_null(self) -> Expr {
             Expr::Not(Box::new(Expr::IsNull(Box::new(self))))
         }
+        /// `self + rhs`.
         pub fn add(self, rhs: Expr) -> Expr {
             Expr::Arith(ArithOp::Add, Box::new(self), Box::new(rhs))
         }
+        /// `self - rhs`.
         pub fn sub(self, rhs: Expr) -> Expr {
             Expr::Arith(ArithOp::Sub, Box::new(self), Box::new(rhs))
         }
+        /// `self * rhs`.
         pub fn mul(self, rhs: Expr) -> Expr {
             Expr::Arith(ArithOp::Mul, Box::new(self), Box::new(rhs))
         }
+        /// `self / rhs`.
         pub fn div(self, rhs: Expr) -> Expr {
             Expr::Arith(ArithOp::Div, Box::new(self), Box::new(rhs))
         }
+        /// `-self`.
         pub fn neg(self) -> Expr {
             Expr::Neg(Box::new(self))
         }
+        /// `self LIKE pattern`.
         pub fn like(self, pattern: impl Into<String>) -> Expr {
             Expr::Like(Box::new(self), pattern.into())
         }
+        /// `STARTSWITH(self, prefix)`.
         pub fn starts_with(self, prefix: impl Into<String>) -> Expr {
             Expr::StartsWith(Box::new(self), prefix.into())
         }
+        /// `self IN (vals…)`.
         pub fn in_list(self, vals: Vec<Value>) -> Expr {
             Expr::InList(Box::new(self), vals)
         }
+        /// `ABS(self)`.
         pub fn abs(self) -> Expr {
             Expr::Abs(Box::new(self))
         }
+        /// `self BETWEEN lo AND hi` (inclusive both ends).
         pub fn between(self, lo: Expr, hi: Expr) -> Expr {
             self.clone().ge(lo).and(self.le(hi))
         }

@@ -12,12 +12,16 @@ use crate::ast::{ArithOp, CmpOp, Expr};
 /// Kleene truth value of a predicate on one row.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Truth {
+    /// SQL TRUE.
     True,
+    /// SQL FALSE.
     False,
+    /// SQL NULL/UNKNOWN.
     Unknown,
 }
 
 impl Truth {
+    /// Lift a two-valued bool into a definite truth value.
     pub fn from_bool(b: bool) -> Truth {
         if b {
             Truth::True
@@ -26,6 +30,7 @@ impl Truth {
         }
     }
 
+    /// Kleene AND.
     pub fn and(self, other: Truth) -> Truth {
         match (self, other) {
             (Truth::False, _) | (_, Truth::False) => Truth::False,
@@ -34,6 +39,7 @@ impl Truth {
         }
     }
 
+    /// Kleene OR.
     pub fn or(self, other: Truth) -> Truth {
         match (self, other) {
             (Truth::True, _) | (_, Truth::True) => Truth::True,
@@ -42,8 +48,8 @@ impl Truth {
         }
     }
 
-    // Kleene negation; named after the SQL operator rather than the
-    // `std::ops::Not` trait (Truth is not a bool-like operator type).
+    /// Kleene negation; named after the SQL operator rather than the
+    /// `std::ops::Not` trait (Truth is not a bool-like operator type).
     #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Truth {
         match self {
@@ -190,7 +196,7 @@ pub fn eval_predicate(expr: &Expr, row: &[Value]) -> Truth {
     Truth::from_value(&eval_value(expr, row))
 }
 
-fn eval_cmp(op: CmpOp, a: &Value, b: &Value) -> Truth {
+pub(crate) fn eval_cmp(op: CmpOp, a: &Value, b: &Value) -> Truth {
     match a.sql_cmp(b) {
         None => Truth::Unknown,
         Some(ord) => Truth::from_bool(cmp_holds(op, ord)),
@@ -198,7 +204,7 @@ fn eval_cmp(op: CmpOp, a: &Value, b: &Value) -> Truth {
 }
 
 #[inline]
-fn cmp_holds(op: CmpOp, ord: Ordering) -> bool {
+pub(crate) fn cmp_holds(op: CmpOp, ord: Ordering) -> bool {
     match op {
         CmpOp::Eq => ord == Ordering::Equal,
         CmpOp::Ne => ord != Ordering::Equal,
@@ -214,12 +220,25 @@ fn cmp_holds(op: CmpOp, ord: Ordering) -> bool {
 /// boolean combinators) take typed fast paths; everything else falls back
 /// to row-at-a-time evaluation.
 pub fn eval_truths(expr: &Expr, part: &MicroPartition) -> Vec<Truth> {
-    let n = part.row_count();
+    eval_truths_range(expr, part, 0, part.row_count())
+}
+
+/// Range-restricted [`eval_truths`]: evaluate the predicate on partition
+/// rows `start..start + len`. The returned vector has length `len`;
+/// element `j` is the truth value of row `start + j`. This is the engine
+/// of batch-at-a-time execution — batches evaluate only their own row
+/// window instead of the whole partition.
+pub fn eval_truths_range(
+    expr: &Expr,
+    part: &MicroPartition,
+    start: usize,
+    len: usize,
+) -> Vec<Truth> {
     match expr {
         Expr::And(xs) => {
-            let mut acc = vec![Truth::True; n];
+            let mut acc = vec![Truth::True; len];
             for x in xs {
-                let t = eval_truths(x, part);
+                let t = eval_truths_range(x, part, start, len);
                 for (a, b) in acc.iter_mut().zip(t) {
                     *a = a.and(b);
                 }
@@ -227,9 +246,9 @@ pub fn eval_truths(expr: &Expr, part: &MicroPartition) -> Vec<Truth> {
             acc
         }
         Expr::Or(xs) => {
-            let mut acc = vec![Truth::False; n];
+            let mut acc = vec![Truth::False; len];
             for x in xs {
-                let t = eval_truths(x, part);
+                let t = eval_truths_range(x, part, start, len);
                 for (a, b) in acc.iter_mut().zip(t) {
                     *a = a.or(b);
                 }
@@ -237,7 +256,7 @@ pub fn eval_truths(expr: &Expr, part: &MicroPartition) -> Vec<Truth> {
             acc
         }
         Expr::Not(x) => {
-            let mut t = eval_truths(x, part);
+            let mut t = eval_truths_range(x, part, start, len);
             for v in &mut t {
                 *v = v.not();
             }
@@ -246,23 +265,27 @@ pub fn eval_truths(expr: &Expr, part: &MicroPartition) -> Vec<Truth> {
         Expr::IsNull(inner) => {
             if let Expr::Column(c) = inner.as_ref() {
                 let chunk = part.column(c.index);
-                return (0..n)
+                return (start..start + len)
                     .map(|i| Truth::from_bool(!chunk.is_valid(i)))
                     .collect();
             }
-            fallback_truths(expr, part)
+            fallback_truths(expr, part, start, len)
         }
         Expr::Cmp(op, a, b) => match (a.as_ref(), b.as_ref()) {
-            (Expr::Column(c), Expr::Literal(v)) => cmp_column_literal(part, c.index, *op, v),
-            (Expr::Literal(v), Expr::Column(c)) => cmp_column_literal(part, c.index, op.flip(), v),
-            _ => fallback_truths(expr, part),
+            (Expr::Column(c), Expr::Literal(v)) => {
+                cmp_column_literal(part, c.index, *op, v, start, len)
+            }
+            (Expr::Literal(v), Expr::Column(c)) => {
+                cmp_column_literal(part, c.index, op.flip(), v, start, len)
+            }
+            _ => fallback_truths(expr, part, start, len),
         },
-        _ => fallback_truths(expr, part),
+        _ => fallback_truths(expr, part, start, len),
     }
 }
 
-fn fallback_truths(expr: &Expr, part: &MicroPartition) -> Vec<Truth> {
-    (0..part.row_count())
+fn fallback_truths(expr: &Expr, part: &MicroPartition, start: usize, len: usize) -> Vec<Truth> {
+    (start..start + len)
         .map(|i| {
             let row = part.row(i);
             eval_predicate(expr, &row)
@@ -270,24 +293,30 @@ fn fallback_truths(expr: &Expr, part: &MicroPartition) -> Vec<Truth> {
         .collect()
 }
 
-fn cmp_column_literal(part: &MicroPartition, col: usize, op: CmpOp, lit: &Value) -> Vec<Truth> {
+fn cmp_column_literal(
+    part: &MicroPartition,
+    col: usize,
+    op: CmpOp,
+    lit: &Value,
+    start: usize,
+    len: usize,
+) -> Vec<Truth> {
     let chunk = part.column(col);
-    let n = chunk.len();
     if lit.is_null() {
-        return vec![Truth::Unknown; n];
+        return vec![Truth::Unknown; len];
     }
+    let rows = start..start + len;
     macro_rules! typed_loop {
         ($vals:expr, $litv:expr) => {{
             let lv = $litv;
-            (0..n)
-                .map(|i| {
-                    if !chunk.is_valid(i) {
-                        Truth::Unknown
-                    } else {
-                        Truth::from_bool(cmp_holds(op, $vals[i].partial_cmp(&lv).unwrap()))
-                    }
-                })
-                .collect()
+            rows.map(|i| {
+                if !chunk.is_valid(i) {
+                    Truth::Unknown
+                } else {
+                    Truth::from_bool(cmp_holds(op, $vals[i].partial_cmp(&lv).unwrap()))
+                }
+            })
+            .collect()
         }};
     }
     match (chunk.values(), lit) {
@@ -296,29 +325,27 @@ fn cmp_column_literal(part: &MicroPartition, col: usize, op: CmpOp, lit: &Value)
         (ColumnValues::Timestamp(vals), Value::Timestamp(l)) => typed_loop!(vals, *l),
         (ColumnValues::Float(vals), _) if lit.as_f64().is_some() => {
             let l = lit.as_f64().unwrap();
-            (0..n)
-                .map(|i| {
-                    if !chunk.is_valid(i) {
-                        Truth::Unknown
-                    } else {
-                        Truth::from_bool(cmp_holds(op, vals[i].total_cmp(&l)))
-                    }
-                })
-                .collect()
+            rows.map(|i| {
+                if !chunk.is_valid(i) {
+                    Truth::Unknown
+                } else {
+                    Truth::from_bool(cmp_holds(op, vals[i].total_cmp(&l)))
+                }
+            })
+            .collect()
         }
         (ColumnValues::Int(vals), Value::Float(_)) => {
             let l = lit.clone();
-            (0..n)
-                .map(|i| {
-                    if !chunk.is_valid(i) {
-                        Truth::Unknown
-                    } else {
-                        eval_cmp(op, &Value::Int(vals[i]), &l)
-                    }
-                })
-                .collect()
+            rows.map(|i| {
+                if !chunk.is_valid(i) {
+                    Truth::Unknown
+                } else {
+                    eval_cmp(op, &Value::Int(vals[i]), &l)
+                }
+            })
+            .collect()
         }
-        (ColumnValues::Str(vals), Value::Str(l)) => (0..n)
+        (ColumnValues::Str(vals), Value::Str(l)) => rows
             .map(|i| {
                 if !chunk.is_valid(i) {
                     Truth::Unknown
@@ -327,7 +354,7 @@ fn cmp_column_literal(part: &MicroPartition, col: usize, op: CmpOp, lit: &Value)
                 }
             })
             .collect(),
-        _ => (0..n)
+        _ => rows
             .map(|i| eval_cmp(op, &chunk.value_at(i), lit))
             .collect(),
     }

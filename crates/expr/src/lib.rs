@@ -12,15 +12,22 @@
 //! * [`rewrite`] — `LIKE`→prefix widening and constant folding.
 //! * [`invert`] — the two-pass inverted-predicate method for identifying
 //!   fully-matching partitions.
+//! * [`kernel`] — selection-vector predicate kernels for batch execution.
+
+#![warn(missing_docs)]
 
 pub mod ast;
 pub mod eval;
 pub mod invert;
+pub mod kernel;
 pub mod pruneval;
 pub mod rewrite;
 
 pub use ast::{dsl, ArithOp, CmpOp, ColumnRef, Expr};
-pub use eval::{eval_predicate, eval_truths, eval_value, like_match, selection_indices, Truth};
+pub use eval::{
+    eval_predicate, eval_truths, eval_truths_range, eval_value, like_match, selection_indices,
+    Truth,
+};
 pub use invert::{fully_matching_two_pass, invert_predicate};
 pub use pruneval::{derive_range, prune_eval};
 pub use rewrite::{analyze_like, fold_constants, prefix_successor, widen_for_pruning, LikeShape};

@@ -19,10 +19,13 @@ pub struct Catalog {
 }
 
 impl Catalog {
+    /// An empty catalog.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Register (or replace) a table under its own name, returning the
+    /// shared handle.
     pub fn register(&self, table: Table) -> TableRef {
         let name = table.name().to_owned();
         let handle: TableRef = Arc::new(RwLock::new(table));
@@ -30,6 +33,7 @@ impl Catalog {
         handle
     }
 
+    /// Resolve a table by name.
     pub fn get(&self, name: &str) -> Result<TableRef> {
         self.tables
             .read()
@@ -38,6 +42,7 @@ impl Catalog {
             .ok_or_else(|| Error::NotFound(format!("table {name}")))
     }
 
+    /// All registered table names, sorted.
     pub fn table_names(&self) -> Vec<String> {
         let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
         names.sort();

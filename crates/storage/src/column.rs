@@ -14,6 +14,7 @@ pub struct Bitmap {
 }
 
 impl Bitmap {
+    /// A bitmap of `len` bits, all set (all values valid).
     pub fn new_set(len: usize) -> Self {
         let mut words = vec![u64::MAX; len.div_ceil(64)];
         if !len.is_multiple_of(64) {
@@ -24,6 +25,7 @@ impl Bitmap {
         Bitmap { words, len }
     }
 
+    /// A bitmap of `len` bits, all clear (all values null).
     pub fn new_unset(len: usize) -> Self {
         Bitmap {
             words: vec![0; len.div_ceil(64)],
@@ -31,21 +33,25 @@ impl Bitmap {
         }
     }
 
+    /// Number of bits.
     #[inline]
     pub fn len(&self) -> usize {
         self.len
     }
 
+    /// True when the bitmap holds no bits.
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
 
+    /// Read bit `i`.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
         debug_assert!(i < self.len);
         (self.words[i / 64] >> (i % 64)) & 1 == 1
     }
 
+    /// Write bit `i`.
     #[inline]
     pub fn set(&mut self, i: usize, v: bool) {
         debug_assert!(i < self.len);
@@ -57,6 +63,7 @@ impl Bitmap {
         }
     }
 
+    /// Append one bit.
     pub fn push(&mut self, v: bool) {
         if self.len.is_multiple_of(64) {
             self.words.push(0);
@@ -76,15 +83,22 @@ impl Bitmap {
 /// placeholder and are masked by the chunk's validity bitmap.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ColumnValues {
+    /// Booleans.
     Bool(Vec<bool>),
+    /// 64-bit integers.
     Int(Vec<i64>),
+    /// 64-bit floats.
     Float(Vec<f64>),
+    /// UTF-8 strings.
     Str(Vec<String>),
+    /// Dates as days since the epoch.
     Date(Vec<i32>),
+    /// Timestamps as microseconds since the epoch.
     Timestamp(Vec<i64>),
 }
 
 impl ColumnValues {
+    /// Number of rows (null placeholders included).
     pub fn len(&self) -> usize {
         match self {
             ColumnValues::Bool(v) => v.len(),
@@ -96,10 +110,12 @@ impl ColumnValues {
         }
     }
 
+    /// True when the column holds no rows.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
+    /// The column's scalar type.
     pub fn scalar_type(&self) -> ScalarType {
         match self {
             ColumnValues::Bool(_) => ScalarType::Bool,
@@ -132,6 +148,9 @@ pub struct ColumnChunk {
 }
 
 impl ColumnChunk {
+    /// A chunk from typed values plus an optional validity bitmap (`None`
+    /// = no nulls). Panics when the bitmap length disagrees with the
+    /// value count.
     pub fn new(values: ColumnValues, validity: Option<Bitmap>) -> Self {
         if let Some(v) = &validity {
             assert_eq!(v.len(), values.len(), "validity/values length mismatch");
@@ -139,35 +158,104 @@ impl ColumnChunk {
         ColumnChunk { values, validity }
     }
 
+    /// Number of rows (null placeholders included).
     pub fn len(&self) -> usize {
         self.values.len()
     }
 
+    /// True when the chunk holds no rows.
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
     }
 
+    /// The chunk's scalar type.
     pub fn scalar_type(&self) -> ScalarType {
         self.values.scalar_type()
     }
 
+    /// The raw typed values (null slots hold placeholders; consult
+    /// [`ColumnChunk::validity`]).
     pub fn values(&self) -> &ColumnValues {
         &self.values
     }
 
+    /// The validity bitmap; `None` means every value is valid.
     pub fn validity(&self) -> Option<&Bitmap> {
         self.validity.as_ref()
     }
 
+    /// True when row `i` is non-null.
     #[inline]
     pub fn is_valid(&self, i: usize) -> bool {
         self.validity.as_ref().is_none_or(|b| b.get(i))
     }
 
+    /// Number of null rows.
     pub fn null_count(&self) -> usize {
         match &self.validity {
             None => 0,
             Some(b) => b.len() - b.count_set(),
+        }
+    }
+
+    // Typed batch readers: the vectorized predicate kernels and any other
+    // batch-at-a-time consumer read column windows straight off these
+    // slices (with `validity()` masking nulls) instead of materializing
+    // `Value`s row by row. Each returns `None` on a type mismatch.
+
+    /// The chunk's values as a `bool` slice, when it is a Bool column.
+    #[inline]
+    pub fn as_bools(&self) -> Option<&[bool]> {
+        match &self.values {
+            ColumnValues::Bool(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The chunk's values as an `i64` slice, when it is an Int column.
+    #[inline]
+    pub fn as_ints(&self) -> Option<&[i64]> {
+        match &self.values {
+            ColumnValues::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The chunk's values as an `f64` slice, when it is a Float column.
+    #[inline]
+    pub fn as_floats(&self) -> Option<&[f64]> {
+        match &self.values {
+            ColumnValues::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The chunk's values as a `String` slice, when it is a Str column.
+    #[inline]
+    pub fn as_strs(&self) -> Option<&[String]> {
+        match &self.values {
+            ColumnValues::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The chunk's values as a days-since-epoch slice, when it is a Date
+    /// column.
+    #[inline]
+    pub fn as_dates(&self) -> Option<&[i32]> {
+        match &self.values {
+            ColumnValues::Date(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The chunk's values as a microseconds-since-epoch slice, when it is
+    /// a Timestamp column.
+    #[inline]
+    pub fn as_timestamps(&self) -> Option<&[i64]> {
+        match &self.values {
+            ColumnValues::Timestamp(v) => Some(v),
+            _ => None,
         }
     }
 
@@ -225,6 +313,7 @@ pub struct ColumnBuilder {
 }
 
 impl ColumnBuilder {
+    /// An empty builder for a column of type `ty`.
     pub fn new(ty: ScalarType) -> Self {
         ColumnBuilder {
             values: ColumnValues::empty_for(ty),
@@ -233,10 +322,12 @@ impl ColumnBuilder {
         }
     }
 
+    /// Number of rows pushed so far.
     pub fn len(&self) -> usize {
         self.values.len()
     }
 
+    /// True when no rows have been pushed.
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
     }
@@ -271,6 +362,8 @@ impl ColumnBuilder {
         }
     }
 
+    /// Finish the chunk, attaching a validity bitmap only when a null was
+    /// pushed.
     pub fn finish(self) -> ColumnChunk {
         let validity = if self.any_null {
             Some(self.validity)
@@ -339,6 +432,29 @@ mod tests {
     fn builder_rejects_wrong_type() {
         let mut b = ColumnBuilder::new(ScalarType::Int);
         b.push(Value::Str("boom".into()));
+    }
+
+    #[test]
+    fn typed_batch_readers_expose_slices() {
+        let mut b = ColumnBuilder::new(ScalarType::Int);
+        b.push(Value::Int(7));
+        b.push(Value::Null);
+        b.push(Value::Int(9));
+        let chunk = b.finish();
+        // Null slots stay in the slice as placeholders, masked by validity.
+        assert_eq!(chunk.as_ints(), Some(&[7, 0, 9][..]));
+        assert_eq!(chunk.as_floats(), None);
+        assert!(chunk.is_valid(0) && !chunk.is_valid(1));
+
+        let mut f = ColumnBuilder::new(ScalarType::Float);
+        f.push(Value::Float(0.5));
+        let chunk = f.finish();
+        assert_eq!(chunk.as_floats(), Some(&[0.5][..]));
+        assert_eq!(chunk.as_ints(), None);
+        assert_eq!(chunk.as_bools(), None);
+        assert_eq!(chunk.as_strs(), None);
+        assert_eq!(chunk.as_dates(), None);
+        assert_eq!(chunk.as_timestamps(), None);
     }
 
     #[test]

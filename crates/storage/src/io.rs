@@ -81,9 +81,13 @@ struct IoCounters {
 /// A point-in-time copy of the counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct IoSnapshot {
+    /// Zone-map/metadata reads (one per partition considered at compile).
     pub metadata_reads: u64,
+    /// Micro-partitions actually loaded from the simulated object store.
     pub partitions_loaded: u64,
+    /// Bytes of partition data loaded.
     pub bytes_loaded: u64,
+    /// Simulated object-store I/O time (request latency + throughput).
     pub simulated_io_ns: u64,
     /// In-flight prefetch loads cancelled before completion; charged zero
     /// bytes and zero latency.
@@ -132,10 +136,12 @@ impl IoSnapshot {
 }
 
 impl IoStats {
+    /// Fresh counters, all zero.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Record one zone-map/metadata read.
     pub fn record_metadata_read(&self, model: &IoCostModel) {
         self.inner.metadata_reads.fetch_add(1, Ordering::Relaxed);
         self.inner
@@ -143,6 +149,7 @@ impl IoStats {
             .fetch_add(model.metadata_ns_per_read, Ordering::Relaxed);
     }
 
+    /// Record one completed partition load of `bytes` bytes.
     pub fn record_partition_load(&self, bytes: u64, model: &IoCostModel) {
         self.inner.partitions_loaded.fetch_add(1, Ordering::Relaxed);
         self.inner.bytes_loaded.fetch_add(bytes, Ordering::Relaxed);
@@ -174,6 +181,7 @@ impl IoStats {
             .fetch_add(ns, Ordering::Relaxed);
     }
 
+    /// A point-in-time copy of all counters.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
             metadata_reads: self.inner.metadata_reads.load(Ordering::Relaxed),

@@ -19,7 +19,9 @@ use crate::table::Table;
 /// Page-level metadata within a row group (like the Parquet page index).
 #[derive(Clone, Debug)]
 pub struct PageMeta {
+    /// First row of the page within its row group.
     pub row_offset: usize,
+    /// Rows in the page.
     pub row_count: usize,
     /// One zone map per column; may be absent (no page index written).
     pub zone_maps: Option<Vec<ZoneMap>>,
@@ -28,17 +30,21 @@ pub struct PageMeta {
 /// A row group: column chunks plus optional metadata.
 #[derive(Clone, Debug)]
 pub struct RowGroup {
+    /// One chunk per schema column.
     pub columns: Vec<ColumnChunk>,
     /// Row-group level zone maps; absent for writers that skipped stats.
     pub zone_maps: Option<Vec<ZoneMap>>,
+    /// Page index of the row group.
     pub pages: Vec<PageMeta>,
 }
 
 impl RowGroup {
+    /// Rows in the group.
     pub fn row_count(&self) -> usize {
         self.columns.first().map_or(0, ColumnChunk::len)
     }
 
+    /// Approximate encoded size of the group's chunks.
     pub fn bytes(&self) -> u64 {
         self.columns
             .iter()
@@ -50,11 +56,14 @@ impl RowGroup {
 /// A data file holding one or more row groups.
 #[derive(Clone, Debug)]
 pub struct DataFile {
+    /// Object-store path of the file.
     pub path: String,
+    /// The file's row groups.
     pub row_groups: Vec<RowGroup>,
 }
 
 impl DataFile {
+    /// Rows across all row groups.
     pub fn row_count(&self) -> usize {
         self.row_groups.iter().map(RowGroup::row_count).sum()
     }
@@ -63,29 +72,43 @@ impl DataFile {
 /// Manifest entry: file-level metadata, possibly missing.
 #[derive(Clone, Debug)]
 pub struct ManifestEntry {
+    /// Index into [`LakeTable::files`].
     pub file_index: usize,
+    /// File-level zone maps; absent for writers that skipped stats.
     pub zone_maps: Option<Vec<ZoneMap>>,
+    /// Rows in the file.
     pub row_count: u64,
 }
 
 /// An Iceberg-like table: a manifest over data files.
 #[derive(Clone, Debug)]
 pub struct LakeTable {
+    /// Table name.
     pub name: String,
+    /// Table schema.
     pub schema: Schema,
+    /// The table's data files.
     pub files: Vec<DataFile>,
+    /// File-level manifest (one entry per file).
     pub manifest: Vec<ManifestEntry>,
 }
 
 /// What a hierarchical prune kept and skipped at each level.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct LakePruneStats {
+    /// Files considered.
     pub files_total: usize,
+    /// Files skipped by manifest zone maps.
     pub files_pruned: usize,
+    /// Row groups considered (in surviving files).
     pub row_groups_total: usize,
+    /// Row groups skipped by group zone maps.
     pub row_groups_pruned: usize,
+    /// Pages considered (in surviving row groups).
     pub pages_total: usize,
+    /// Pages skipped by the page index.
     pub pages_pruned: usize,
+    /// Rows of surviving pages actually scanned.
     pub rows_scanned: u64,
 }
 

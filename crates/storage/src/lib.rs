@@ -6,6 +6,8 @@
 //! Iceberg/Parquet-like [`lake`] format with layered, backfillable
 //! metadata (§8.1).
 
+#![warn(missing_docs)]
+
 pub mod catalog;
 pub mod column;
 pub mod io;

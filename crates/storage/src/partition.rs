@@ -17,7 +17,9 @@ pub type PartitionId = u64;
 /// Partition-level metadata kept in the metadata store.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PartitionMeta {
+    /// Partition id within its table.
     pub id: PartitionId,
+    /// Rows in the partition.
     pub row_count: u64,
     /// Approximate encoded size, used for I/O accounting.
     pub bytes: u64,
@@ -35,7 +37,9 @@ impl PartitionMeta {
 /// A micro-partition: metadata plus PAX-layout column chunks.
 #[derive(Clone, Debug)]
 pub struct MicroPartition {
+    /// The partition's metadata (id, zone maps, size).
     pub meta: PartitionMeta,
+    /// One chunk per schema column, all of equal length.
     pub columns: Vec<ColumnChunk>,
 }
 
@@ -82,10 +86,12 @@ impl MicroPartition {
         }
     }
 
+    /// Rows in the partition.
     pub fn row_count(&self) -> usize {
         self.meta.row_count as usize
     }
 
+    /// The chunk of column `idx`.
     pub fn column(&self, idx: usize) -> &ColumnChunk {
         &self.columns[idx]
     }

@@ -77,6 +77,7 @@ pub struct AsyncLake {
 }
 
 impl AsyncLake {
+    /// A fresh lane over `table`, charging I/O to `io` under `model`.
     pub fn new(table: Arc<Table>, io: IoStats, model: IoCostModel) -> Self {
         AsyncLake {
             table,

@@ -5,12 +5,16 @@ use snowprune_types::{Error, Result, ScalarType};
 /// A named, typed column in a table schema.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Field {
+    /// Column name.
     pub name: String,
+    /// Column type.
     pub ty: ScalarType,
+    /// Whether the column admits NULLs.
     pub nullable: bool,
 }
 
 impl Field {
+    /// A nullable field.
     pub fn new(name: impl Into<String>, ty: ScalarType) -> Self {
         Field {
             name: name.into(),
@@ -19,6 +23,7 @@ impl Field {
         }
     }
 
+    /// Mark the field NOT NULL.
     pub fn not_null(mut self) -> Self {
         self.nullable = false;
         self
@@ -32,22 +37,27 @@ pub struct Schema {
 }
 
 impl Schema {
+    /// A schema from fields, in order.
     pub fn new(fields: Vec<Field>) -> Self {
         Schema { fields }
     }
 
+    /// The fields, in schema order.
     pub fn fields(&self) -> &[Field] {
         &self.fields
     }
 
+    /// Number of columns.
     pub fn len(&self) -> usize {
         self.fields.len()
     }
 
+    /// True for the zero-column schema.
     pub fn is_empty(&self) -> bool {
         self.fields.is_empty()
     }
 
+    /// The field at `idx`.
     pub fn field(&self, idx: usize) -> Result<&Field> {
         self.fields
             .get(idx)
@@ -62,6 +72,7 @@ impl Schema {
             .ok_or_else(|| Error::UnknownColumn(name.to_owned()))
     }
 
+    /// True when a column with `name` exists.
     pub fn contains(&self, name: &str) -> bool {
         self.fields.iter().any(|f| f.name == name)
     }

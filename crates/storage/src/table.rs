@@ -35,6 +35,7 @@ pub struct TableBuilder {
 }
 
 impl TableBuilder {
+    /// An empty builder for table `name`.
     pub fn new(name: impl Into<String>, schema: Schema) -> Self {
         TableBuilder {
             name: name.into(),
@@ -54,6 +55,7 @@ impl TableBuilder {
         self
     }
 
+    /// Physical row order applied before partition splitting.
     pub fn layout(mut self, layout: Layout) -> Self {
         self.layout = layout;
         self
@@ -65,19 +67,24 @@ impl TableBuilder {
         self
     }
 
+    /// Append one row.
     pub fn push_row(&mut self, row: Vec<Value>) {
         debug_assert_eq!(row.len(), self.schema.len());
         self.rows.push(row);
     }
 
+    /// Append many rows.
     pub fn extend_rows(&mut self, rows: impl IntoIterator<Item = Vec<Value>>) {
         self.rows.extend(rows);
     }
 
+    /// Rows accumulated so far.
     pub fn row_count(&self) -> usize {
         self.rows.len()
     }
 
+    /// Apply the layout, split into micro-partitions, and build the
+    /// table at version 0.
     pub fn build(self) -> Table {
         let TableBuilder {
             name,
@@ -154,6 +161,7 @@ pub struct Table {
 /// Result of a DML statement.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DmlResult {
+    /// Rows inserted, updated, or deleted.
     pub rows_affected: u64,
     /// Partitions added by the statement (INSERTs and rewrites).
     pub partitions_added: Vec<PartitionId>,
@@ -164,22 +172,27 @@ pub struct DmlResult {
 }
 
 impl Table {
+    /// Table name.
     pub fn name(&self) -> &str {
         &self.name
     }
 
+    /// Table schema.
     pub fn schema(&self) -> &Schema {
         &self.schema
     }
 
+    /// Version, bumped by every DML statement.
     pub fn version(&self) -> u64 {
         self.version
     }
 
+    /// Number of micro-partitions.
     pub fn partition_count(&self) -> usize {
         self.partitions.len()
     }
 
+    /// Rows across all partitions.
     pub fn total_rows(&self) -> u64 {
         self.partitions.iter().map(|p| p.meta.row_count).sum()
     }
@@ -207,6 +220,7 @@ impl Table {
         self.partitions.iter().map(|p| &p.meta).collect()
     }
 
+    /// Metadata of partition `id`, without I/O accounting.
     pub fn partition_meta(&self, id: PartitionId) -> Result<&PartitionMeta> {
         self.find(id).map(|p| &p.meta)
     }

@@ -6,11 +6,13 @@
 //! map onto the paper.
 
 pub mod range;
+pub mod selvec;
 pub mod value;
 pub mod verdict;
 pub mod zonemap;
 
 pub use range::{LiteralRange, RangeBound, ShapeKey, ValueRange};
+pub use selvec::{SelIter, SelVec};
 pub use value::{arith, KeyValue, ScalarType, Value};
 pub use verdict::{MatchClass, Verdict};
 pub use zonemap::{ZoneMap, DEFAULT_STRING_PREFIX};

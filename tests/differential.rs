@@ -17,14 +17,16 @@
 //!   in the oracle's unlimited result.
 //!
 //! The pool worker count honours `SNOWPRUNE_SCAN_THREADS` (CI runs this
-//! suite at 1, 4, and 8 workers) and the default prefetch depth honours
-//! `SNOWPRUNE_PREFETCH_DEPTH` (CI runs depths 1 and 8); the dedicated
-//! prefetch leg additionally pins depths 1 and 4 against the sequential
-//! oracle.
+//! suite at 1, 4, and 8 workers), the default prefetch depth honours
+//! `SNOWPRUNE_PREFETCH_DEPTH` (CI runs depths 1 and 8), and the execution
+//! batch size honours `SNOWPRUNE_BATCH_ROWS` (CI runs 1 and 1024); the
+//! dedicated prefetch leg additionally pins depths 1 and 4, and the
+//! vectorized-batch leg pins `batch_rows ∈ {1, 3, 1024}` against the
+//! whole-partition row-order oracle.
 
 use snowprune::exec::{
-    predicate_cache_from_env, predicate_cache_mode_from_env, prefetch_depth_from_env,
-    scan_threads_from_env, CacheOutcome, PredicateCacheMode,
+    batch_rows_from_env, predicate_cache_from_env, predicate_cache_mode_from_env,
+    prefetch_depth_from_env, scan_threads_from_env, CacheOutcome, PredicateCacheMode,
 };
 use snowprune::prelude::*;
 
@@ -39,6 +41,10 @@ fn pool_threads() -> usize {
 
 fn env_prefetch_depth() -> usize {
     prefetch_depth_from_env().unwrap_or(2)
+}
+
+fn env_batch_rows() -> usize {
+    batch_rows_from_env().unwrap_or(ExecConfig::default().batch_rows)
 }
 
 /// The prefetch pipeline's counter invariant: every considered scan-set
@@ -264,8 +270,12 @@ fn canonical(mut rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
 #[test]
 fn pruning_is_result_invariant_across_50_workloads() {
     let threads = pool_threads();
-    let pruned_cfg = ExecConfig::default().with_prefetch_depth(env_prefetch_depth());
-    let oracle_cfg = ExecConfig::no_pruning().with_prefetch_depth(env_prefetch_depth());
+    let pruned_cfg = ExecConfig::default()
+        .with_prefetch_depth(env_prefetch_depth())
+        .with_batch_rows(env_batch_rows());
+    let oracle_cfg = ExecConfig::no_pruning()
+        .with_prefetch_depth(env_prefetch_depth())
+        .with_batch_rows(env_batch_rows());
     for w in 0..WORKLOADS {
         let seed = 0xD1FF_0000 + w;
         let wl = build_workload(seed);
@@ -513,6 +523,7 @@ fn predicate_cache_warm_replays_match_cold_oracle() {
     for mode in cache_modes() {
         let cfg = ExecConfig::default()
             .with_prefetch_depth(env_prefetch_depth())
+            .with_batch_rows(env_batch_rows())
             .with_scan_threads(threads)
             .with_predicate_cache(cache_on)
             .with_predicate_cache_mode(mode);
@@ -608,6 +619,7 @@ fn predicate_cache_shape_subsumption_matches_cold_oracle() {
     for mode in cache_modes() {
         let cfg = ExecConfig::default()
             .with_prefetch_depth(env_prefetch_depth())
+            .with_batch_rows(env_batch_rows())
             .with_scan_threads(threads)
             .with_predicate_cache(true)
             .with_predicate_cache_mode(mode);
@@ -713,7 +725,9 @@ fn predicate_cache_shape_subsumption_matches_cold_oracle() {
 #[test]
 fn prefetch_depths_match_sequential_oracle() {
     let threads = pool_threads();
-    let oracle_cfg = ExecConfig::no_pruning().with_prefetch_depth(1);
+    let oracle_cfg = ExecConfig::no_pruning()
+        .with_prefetch_depth(1)
+        .with_batch_rows(env_batch_rows());
     for w in 0..WORKLOADS {
         let seed = 0xD1FF_0000 + w;
         let wl = build_workload(seed);
@@ -744,7 +758,9 @@ fn prefetch_depths_match_sequential_oracle() {
             .collect();
 
         for depth in [1usize, 4] {
-            let cfg = ExecConfig::default().with_prefetch_depth(depth);
+            let cfg = ExecConfig::default()
+                .with_prefetch_depth(depth)
+                .with_batch_rows(env_batch_rows());
             let seq = Executor::new(wl.catalog.clone(), cfg.clone());
             let pool = Session::new(wl.catalog.clone(), cfg.with_scan_threads(threads));
             let batch = pool.run_batch(&plans);
@@ -786,6 +802,119 @@ fn prefetch_depths_match_sequential_oracle() {
                                     "{ctx}: {label} row outside the oracle result"
                                 );
                             }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---- the vectorized-batch leg --------------------------------------------
+
+/// The same 50 workloads × 6 query shapes, executed at
+/// `batch_rows ∈ {1, 3, 1024}`, must be indistinguishable from the
+/// whole-partition row-order oracle (`batch_rows = usize::MAX`: one
+/// window per partition — exactly the pre-vectorization delivery
+/// granularity). Batching is post-load CPU-side chunking, so on the
+/// sequential engine nothing may move at all: rows are byte-identical in
+/// order (for *every* shape, including racing LIMIT — the sticky-break
+/// contract keeps partition-granular early stop exact), and the full
+/// [`IoSnapshot`], scan counters, and pruning report are equal. On the
+/// shared pool, morsel interleaving makes I/O for top-k / racing-LIMIT
+/// shapes legally timing-dependent, so pooled runs are held to the same
+/// per-shape determinism contract as the pruning leg instead.
+#[test]
+fn vectorized_matches_row_oracle() {
+    let threads = pool_threads();
+    let base_cfg = ExecConfig::default().with_prefetch_depth(env_prefetch_depth());
+    for w in 0..WORKLOADS {
+        let seed = 0xD1FF_0000 + w;
+        let wl = build_workload(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+        let queries = random_queries(&mut rng, &wl);
+        let plans: Vec<Plan> = queries.iter().map(|(p, _)| p.clone()).collect();
+
+        // Whole-partition row-order oracle: sequential, all pruning on.
+        let oracle = Executor::new(
+            wl.catalog.clone(),
+            base_cfg.clone().with_batch_rows(usize::MAX),
+        );
+        let oracle_outs: Vec<QueryOutput> = plans
+            .iter()
+            .map(|p| {
+                oracle
+                    .run(p)
+                    .unwrap_or_else(|e| panic!("workload {w} oracle: {e:?}"))
+            })
+            .collect();
+        let oracle_full: Vec<Option<Vec<Vec<Value>>>> = queries
+            .iter()
+            .map(|(_, check)| match check {
+                Check::Limited { unlimited, .. } => {
+                    Some(canonical(oracle.run(unlimited).unwrap().rows.rows))
+                }
+                _ => None,
+            })
+            .collect();
+
+        for batch_rows in [1usize, 3, 1024] {
+            let cfg = base_cfg.clone().with_batch_rows(batch_rows);
+            let seq = Executor::new(wl.catalog.clone(), cfg.clone());
+            let pool = Session::new(wl.catalog.clone(), cfg.with_scan_threads(threads));
+            let batch = pool.run_batch(&plans);
+            for (qi, (_, check)) in queries.iter().enumerate() {
+                let ctx =
+                    format!("workload {w} query {qi} batch_rows {batch_rows} (threads {threads})");
+                let os = &oracle_outs[qi];
+                let ps = seq
+                    .run(&plans[qi])
+                    .unwrap_or_else(|e| panic!("{ctx}: {e:?}"));
+                let pp = batch[qi]
+                    .as_ref()
+                    .unwrap_or_else(|e| panic!("{ctx}: {e:?}"));
+                assert_pipeline_invariant(&ps, &format!("{ctx} seq"));
+                assert_pipeline_invariant(pp, &format!("{ctx} pool"));
+                // Sequential: the batch size must be invisible, bit for bit.
+                assert_eq!(
+                    &ps.rows.rows, &os.rows.rows,
+                    "{ctx}: seq rows diverged from the whole-partition oracle"
+                );
+                assert_eq!(
+                    ps.io, os.io,
+                    "{ctx}: seq I/O accounting moved with the batch size"
+                );
+                assert_eq!(
+                    ps.report.scan_stats, os.report.scan_stats,
+                    "{ctx}: seq scan counters moved with the batch size"
+                );
+                assert_eq!(
+                    ps.report.pruning, os.report.pruning,
+                    "{ctx}: seq pruning report moved with the batch size"
+                );
+                // Pooled: per-shape determinism contract.
+                match check {
+                    Check::Sorted => {
+                        assert_eq!(
+                            canonical(pp.rows.rows.clone()),
+                            canonical(os.rows.rows.clone()),
+                            "{ctx}: pool"
+                        );
+                    }
+                    Check::Ordered => {
+                        assert_eq!(&pp.rows.rows, &os.rows.rows, "{ctx}: pool (ordered)");
+                    }
+                    Check::Limited { k, .. } => {
+                        let full = oracle_full[qi]
+                            .as_ref()
+                            .expect("limited oracle precomputed");
+                        let expect_len = (*k).min(full.len());
+                        assert_eq!(pp.rows.len(), expect_len, "{ctx}: pool row count");
+                        for row in &pp.rows.rows {
+                            assert!(
+                                full.binary_search_by(|probe| cmp_rows(probe, row)).is_ok(),
+                                "{ctx}: pool row outside the oracle result"
+                            );
                         }
                     }
                 }

@@ -17,7 +17,7 @@
 //! a mixed-depth pool (depths 1, 2, 8 round-robin across queries sharing
 //! one pool) and must be equally reproducible.
 
-use snowprune::exec::{prefetch_depth_from_env, scan_threads_from_env};
+use snowprune::exec::{batch_rows_from_env, prefetch_depth_from_env, scan_threads_from_env};
 use snowprune::prelude::*;
 
 const RUNS: usize = 100;
@@ -29,6 +29,10 @@ fn pool_threads() -> usize {
 
 fn env_prefetch_depth() -> usize {
     prefetch_depth_from_env().unwrap_or(2)
+}
+
+fn env_batch_rows() -> usize {
+    batch_rows_from_env().unwrap_or(ExecConfig::default().batch_rows)
 }
 
 fn catalog() -> Catalog {
@@ -161,7 +165,8 @@ fn sixteen_queries_on_shared_pool_are_exactly_reproducible() {
     let plans = queries(&catalog);
     let cfg = ExecConfig::default()
         .with_scan_threads(threads)
-        .with_prefetch_depth(env_prefetch_depth());
+        .with_prefetch_depth(env_prefetch_depth())
+        .with_batch_rows(env_batch_rows());
 
     let run_once = || -> Vec<Fingerprint> {
         let session = Session::new(catalog.clone(), cfg.clone());
@@ -213,7 +218,9 @@ fn mixed_prefetch_depth_pool_runs_are_reproducible() {
     let threads = pool_threads();
     let catalog = catalog();
     let plans = queries(&catalog);
-    let base = ExecConfig::default().with_scan_threads(threads);
+    let base = ExecConfig::default()
+        .with_scan_threads(threads)
+        .with_batch_rows(env_batch_rows());
 
     let run_once = || -> Vec<Fingerprint> {
         let pool = MorselPool::new(threads);
