@@ -56,6 +56,7 @@ fn bench_cache(c: &mut Criterion) {
                 appended: Vec::new(),
                 shape: None,
                 saved_loads: 0,
+                aux_tables: Vec::new(),
             },
         );
         let t = handle.read().clone();

@@ -8,7 +8,8 @@
 
 use snowprune_bench::snapshot::Snapshot;
 use snowprune_bench::{
-    experiments as e, pool_exp as p, prefetch_exp as pf, tpch_exp as t, vector_exp as v,
+    experiments as e, joinagg_exp as j, pool_exp as p, prefetch_exp as pf, tpch_exp as t,
+    vector_exp as v,
 };
 
 /// Persist a tracked snapshot next to the report (`BENCH_<name>.json`,
@@ -117,6 +118,14 @@ fn main() {
                 };
                 s + &emit(snap)
             }),
+            "joinagg" => Some({
+                let (s, snap) = if smoke {
+                    j::ext_joinagg_sized(seed, 10_000, 400, 2)
+                } else {
+                    j::ext_joinagg(seed)
+                };
+                s + &emit(snap)
+            }),
             _ => None,
         }
     };
@@ -138,6 +147,7 @@ fn main() {
         "pool",
         "prefetch",
         "vectorized",
+        "joinagg",
     ];
     if which == "all" {
         for id in ids {

@@ -5,6 +5,7 @@
 //! experiment index and `EXPERIMENTS.md` for recorded results.
 
 pub mod experiments;
+pub mod joinagg_exp;
 pub mod pool_exp;
 pub mod prefetch_exp;
 pub mod report;

@@ -45,6 +45,15 @@ pub struct CacheEntry {
     /// Shape-mode key, when the recording query was shape-eligible and the
     /// engine ran in shape mode; `None` entries serve exact lookups only.
     pub shape: Option<ShapeKey>,
+    /// Auxiliary table dependencies, sorted and deduplicated: other tables
+    /// the recording query scanned (a join's build or probe side) with the
+    /// versions it saw. Replaying the entry's partition restriction is only
+    /// sound while every auxiliary side of the join is byte-identical, so
+    /// [`PredicateCache::lookup_with_aux`] rejects the entry once any
+    /// auxiliary version moves, and [`PredicateCache::on_dml`] invalidates
+    /// it eagerly when the DML'd table appears here. Empty for
+    /// single-table entries.
+    pub aux_tables: Vec<(String, u64)>,
     /// How many scan-set entries the recorded partition set saved on the
     /// recording run (total partitions minus cached contributors) — the
     /// cost signal for the eviction tiebreak: entries that save more loads
@@ -199,8 +208,28 @@ impl PredicateCache {
         shape: Option<&ShapeKey>,
         live_version: u64,
     ) -> CacheLookup {
+        // No auxiliary-version resolver: entries *with* auxiliary
+        // dependencies conservatively reject (their versions cannot be
+        // verified), entries without pass vacuously.
+        self.lookup_with_aux(fingerprint, shape, live_version, &|_| None)
+    }
+
+    /// [`Self::lookup_with_shape`] with auxiliary-table verification:
+    /// `aux_live` resolves a table name to its live version (or `None`
+    /// when the table is gone). An entry is servable only if the target
+    /// version matches *and* every recorded auxiliary table still carries
+    /// the version the entry saw — otherwise some other side of the
+    /// recording join has changed, the cached contributor set may
+    /// under-scan, and the entry is dropped as a stale rejection.
+    pub fn lookup_with_aux(
+        &mut self,
+        fingerprint: u64,
+        shape: Option<&ShapeKey>,
+        live_version: u64,
+        aux_live: &dyn Fn(&str) -> Option<u64>,
+    ) -> CacheLookup {
         match self.entries.get(&fingerprint) {
-            Some(entry) if entry.table_version != live_version => {
+            Some(entry) if entry.table_version != live_version || !aux_fresh(entry, aux_live) => {
                 self.remove_entry(fingerprint);
                 self.stats.stale_rejections += 1;
                 // Fall through to the shape index: another same-shape entry
@@ -215,7 +244,7 @@ impl PredicateCache {
             None => {}
         }
         if let Some(query) = shape {
-            if let Some(candidate) = self.find_subsuming(query, live_version) {
+            if let Some(candidate) = self.find_subsuming(query, live_version, aux_live) {
                 let parts = replay_set(&self.entries[&candidate]);
                 self.stats.shape_hits += 1;
                 self.touch(candidate);
@@ -228,14 +257,19 @@ impl PredicateCache {
 
     /// Scan the shape bucket for the first live candidate subsuming
     /// `query`, dropping stale candidates along the way.
-    fn find_subsuming(&mut self, query: &ShapeKey, live_version: u64) -> Option<u64> {
+    fn find_subsuming(
+        &mut self,
+        query: &ShapeKey,
+        live_version: u64,
+        aux_live: &dyn Fn(&str) -> Option<u64>,
+    ) -> Option<u64> {
         let candidates = self.shape_index.get(&query.fingerprint)?.clone();
         let mut found = None;
         for fp in candidates {
             let Some(entry) = self.entries.get(&fp) else {
                 continue;
             };
-            if entry.table_version != live_version {
+            if entry.table_version != live_version || !aux_fresh(entry, aux_live) {
                 self.remove_entry(fp);
                 self.stats.stale_rejections += 1;
                 continue;
@@ -359,6 +393,14 @@ impl PredicateCache {
         let mut stale = Vec::new();
         for (fp, entry) in self.entries.iter_mut() {
             if entry.table != table {
+                // DML on a table an entry recorded as an auxiliary join
+                // dependency: the entry's target restriction was computed
+                // against the old build/probe side, so it is invalidated
+                // outright (the DML rules below only model single-table
+                // effects, not how the join output shifts).
+                if entry.aux_tables.iter().any(|(t, _)| t == table) {
+                    invalidated.push(*fp);
+                }
                 continue;
             }
             if entry.table_version + 1 != result.new_version {
@@ -439,6 +481,15 @@ impl PredicateCache {
     }
 }
 
+/// Every auxiliary table still carries the version the entry recorded.
+/// Vacuously true for single-table entries, whatever the resolver.
+fn aux_fresh(entry: &CacheEntry, aux_live: &dyn Fn(&str) -> Option<u64>) -> bool {
+    entry
+        .aux_tables
+        .iter()
+        .all(|(t, v)| aux_live(t) == Some(*v))
+}
+
 /// Cached contributors plus DML-appended partitions, sorted and deduped.
 fn replay_set(entry: &CacheEntry) -> Vec<PartitionId> {
     let mut parts = entry.partitions.clone();
@@ -498,6 +549,7 @@ mod tests {
             appended: Vec::new(),
             shape: None,
             saved_loads: 0,
+            aux_tables: Vec::new(),
         }
     }
 
@@ -530,6 +582,7 @@ mod tests {
             appended: Vec::new(),
             shape: Some(filter_shape(lo, inclusive)),
             saved_loads: 0,
+            aux_tables: Vec::new(),
         }
     }
 
@@ -720,6 +773,7 @@ mod tests {
                 appended: Vec::new(),
                 shape: None,
                 saved_loads: 0,
+                aux_tables: Vec::new(),
             },
         );
         c.on_dml("t", &DmlKind::Delete, &dml(vec![5], vec![2]));
@@ -738,6 +792,60 @@ mod tests {
         c.insert(1, topk_entry());
         c.on_dml("other", &DmlKind::Delete, &dml(vec![], vec![3]));
         assert_eq!(c.lookup(1, 1), CacheLookup::Hit(vec![3, 7]));
+    }
+
+    // ---- auxiliary join dependencies -------------------------------------
+
+    fn aux_entry() -> CacheEntry {
+        let mut e = topk_entry();
+        e.aux_tables = vec![("dim".into(), 4)];
+        e
+    }
+
+    #[test]
+    fn aux_versions_verified_at_lookup() {
+        let mut c = PredicateCache::new(4);
+        c.insert(1, aux_entry());
+        // Matching auxiliary version: serves.
+        let fresh = |t: &str| (t == "dim").then_some(4);
+        assert_eq!(
+            c.lookup_with_aux(1, None, 1, &fresh),
+            CacheLookup::Hit(vec![3, 7])
+        );
+        // Auxiliary table moved on (version 5): the join's other side
+        // changed, the entry is dropped as stale.
+        let moved = |t: &str| (t == "dim").then_some(5);
+        assert_eq!(c.lookup_with_aux(1, None, 1, &moved), CacheLookup::Miss);
+        assert_eq!(c.stats().stale_rejections, 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn aux_entry_rejected_without_resolver() {
+        // `lookup`/`lookup_with_shape` cannot verify auxiliary versions, so
+        // aux-bearing entries conservatively reject there; aux-free entries
+        // are unaffected.
+        let mut c = PredicateCache::new(4);
+        c.insert(1, aux_entry());
+        c.insert(2, topk_entry());
+        assert_eq!(c.lookup(1, 1), CacheLookup::Miss);
+        assert_eq!(c.stats().stale_rejections, 1);
+        assert_eq!(c.lookup(2, 1), CacheLookup::Hit(vec![3, 7]));
+    }
+
+    #[test]
+    fn dml_on_aux_table_invalidates_dependent_entry() {
+        // THE regression for join-shape admission: an entry over table "t"
+        // recorded through a join against "dim" must die when "dim" is
+        // mutated, even though the entry's own table never changed.
+        let mut c = PredicateCache::new(4);
+        c.insert(1, aux_entry());
+        c.insert(2, topk_entry()); // no aux: must survive
+        c.on_dml("dim", &DmlKind::Insert, &dml(vec![42], vec![]));
+        let fresh = |t: &str| (t == "dim").then_some(5);
+        assert_eq!(c.lookup_with_aux(1, None, 1, &fresh), CacheLookup::Miss);
+        assert_eq!(c.stats().invalidations, 1);
+        assert_eq!(c.lookup(2, 1), CacheLookup::Hit(vec![3, 7]));
     }
 
     // ---- shape-mode subsumption -----------------------------------------
@@ -819,6 +927,7 @@ mod tests {
                 need: Some(need),
             }),
             saved_loads: 0,
+            aux_tables: Vec::new(),
         }
     }
 

@@ -228,6 +228,7 @@ proptest! {
             appended: Vec::new(),
             shape: None,
             saved_loads: 0,
+            aux_tables: Vec::new(),
         });
         for op in &ops {
             apply_op(&mut table, &mut cache, op, threshold);
@@ -283,6 +284,7 @@ proptest! {
             appended: Vec::new(),
             shape: None,
             saved_loads: 0,
+            aux_tables: Vec::new(),
         });
         for op in &ops {
             apply_op(&mut table, &mut cache, op, threshold);
@@ -322,6 +324,7 @@ proptest! {
             appended: Vec::new(),
             shape: Some(w_ge_shape(threshold, None)),
             saved_loads: 0,
+            aux_tables: Vec::new(),
         });
         for op in &ops {
             apply_op(&mut table, &mut cache, op, threshold);
@@ -390,6 +393,7 @@ proptest! {
             appended: Vec::new(),
             shape: Some(entry_shape),
             saved_loads: 0,
+            aux_tables: Vec::new(),
         });
         for op in &ops {
             apply_op(&mut table, &mut cache, op, threshold);

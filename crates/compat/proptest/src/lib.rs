@@ -10,9 +10,15 @@
 //!
 //! Differences from real proptest, deliberate for the offline shim:
 //!
-//! * **No shrinking.** A failing case panics with the formatted assertion
-//!   message; the run is deterministic (fixed per-case seeds), so any
-//!   failure is reproducible by re-running the test.
+//! * **Minimal shrinking.** On a failing case the `proptest!` runner
+//!   greedily probes each argument's [`Strategy::shrink`] candidates
+//!   (integer ranges shrink toward their lower bound, `collection::vec`
+//!   halves its length) with the panic hook silenced, prints the minimal
+//!   failing input it converged on, and re-runs it uncaught so the real
+//!   assertion message fails the test. Strategies without a `shrink`
+//!   override (maps, unions, regex strings) report the original value.
+//!   The run is deterministic (fixed per-case seeds), so any failure is
+//!   reproducible by re-running the test.
 //! * **Regex strategies** support only the subset the tests use:
 //!   sequences of literal characters and `[...]` classes (with `a-z`
 //!   ranges), each optionally quantified by `{m,n}`, `{n}`, `?`, `*`, `+`.
@@ -72,6 +78,15 @@ pub trait Strategy: Clone {
     type Value;
 
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Candidate simplifications of a failing value, most aggressive
+    /// first. The default is no candidates: shrinking simply keeps the
+    /// original failing input. Implementations must only return values
+    /// the strategy itself could have generated.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
 
     fn prop_map<U, F>(self, f: F) -> Map<Self, F>
     where
@@ -202,18 +217,45 @@ impl<T> Strategy for Union<T> {
     }
 }
 
-macro_rules! range_strategy {
+macro_rules! int_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
             type Value = $t;
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rng.0.random_range(self.clone())
             }
+            /// Shrink toward the range's lower bound: the bound itself,
+            /// then the midpoint (halving the distance), then one step
+            /// down — a binary descent to the smallest failing value.
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                let lo = self.start;
+                if *v <= lo {
+                    return Vec::new();
+                }
+                let mut out = vec![lo];
+                let mid = ((lo as i128 + *v as i128) / 2) as $t;
+                if mid != lo && mid != *v {
+                    out.push(mid);
+                }
+                let dec = *v - 1;
+                if dec != lo && dec != mid {
+                    out.push(dec);
+                }
+                out
+            }
         }
     )*};
 }
 
-range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f64);
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+// Floats generate but do not shrink: there is no useful "one step down".
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.0.random_range(self.clone())
+    }
+}
 
 macro_rules! tuple_strategy {
     ($(($($s:ident $idx:tt),+))*) => {$(
@@ -318,11 +360,29 @@ pub mod collection {
         size: SizeRange,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let n = self.size.lo + rng.below(self.size.hi - self.size.lo);
             (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+        /// Shrink by halving the length (never below the size range's
+        /// lower bound), then by dropping the last element.
+        fn shrink(&self, v: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            if v.len() > self.size.lo {
+                let half = (v.len() / 2).max(self.size.lo);
+                if half < v.len() {
+                    out.push(v[..half].to_vec());
+                }
+                if v.len() - 1 != half {
+                    out.push(v[..v.len() - 1].to_vec());
+                }
+            }
+            out
         }
     }
 
@@ -513,6 +573,14 @@ macro_rules! prop_assert_eq {
 }
 
 /// Declares `#[test]` functions whose arguments are drawn from strategies.
+///
+/// On a failing case the runner shrinks greedily: each argument's
+/// [`Strategy::shrink`] candidates are probed (panic hook silenced, body
+/// re-run under `catch_unwind`) and a candidate that still fails replaces
+/// the argument, until no candidate fails or the probe budget runs out.
+/// The minimal input is printed to stderr, then re-run uncaught so the
+/// original assertion fails the test. Argument types must be `Clone` (to
+/// re-run the body) and `Debug` (to print the minimal input).
 #[macro_export]
 macro_rules! proptest {
     (
@@ -529,7 +597,71 @@ macro_rules! proptest {
                 for case in 0..config.cases {
                     let mut prop_rng =
                         $crate::TestRng::from_case(stringify!($name), case);
-                    $(let $arg = $crate::Strategy::generate(&$strategy, &mut prop_rng);)+
+                    $(
+                        #[allow(unused_mut)]
+                        let mut $arg = $crate::Strategy::generate(&$strategy, &mut prop_rng);
+                    )+
+                    // Clones the current arguments and runs the body,
+                    // reporting whether it passed. Defined as a local
+                    // macro so the shrink loop below can re-check with
+                    // one argument swapped out.
+                    macro_rules! __prop_check {
+                        () => {
+                            ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                                $(let $arg = ::std::clone::Clone::clone(&$arg);)+
+                                $body
+                            }))
+                            .is_ok()
+                        };
+                    }
+                    if __prop_check!() {
+                        continue;
+                    }
+                    // Failing case: shrink with the panic hook silenced so
+                    // the probe runs don't spam per-candidate backtraces.
+                    let __prop_hook = ::std::panic::take_hook();
+                    ::std::panic::set_hook(::std::boxed::Box::new(|_| {}));
+                    let mut __prop_budget: u32 = 512;
+                    loop {
+                        let mut __prop_improved = false;
+                        $(
+                            loop {
+                                let mut __prop_advanced = false;
+                                for cand in $crate::Strategy::shrink(&$strategy, &$arg) {
+                                    if __prop_budget == 0 {
+                                        break;
+                                    }
+                                    __prop_budget -= 1;
+                                    let prev = ::std::mem::replace(&mut $arg, cand);
+                                    if __prop_check!() {
+                                        $arg = prev; // candidate passes; keep the failure
+                                    } else {
+                                        __prop_advanced = true;
+                                        __prop_improved = true;
+                                        break;
+                                    }
+                                }
+                                if !__prop_advanced || __prop_budget == 0 {
+                                    break;
+                                }
+                            }
+                        )+
+                        if !__prop_improved || __prop_budget == 0 {
+                            break;
+                        }
+                    }
+                    ::std::panic::set_hook(__prop_hook);
+                    ::std::eprintln!(
+                        concat!(
+                            "proptest shim: ",
+                            stringify!($name),
+                            " failed (case {}); minimal failing input:"
+                        ),
+                        case
+                    );
+                    $(::std::eprintln!("  {} = {:?}", stringify!($arg), $arg);)+
+                    // Re-run the minimal input uncaught: the original
+                    // assertion message fails the test.
                     $body
                 }
             }
@@ -609,6 +741,50 @@ mod tests {
             assert!((1..4).contains(&v.len()));
             let _ = option::of(0i64..5).generate(&mut r);
         }
+    }
+
+    #[test]
+    fn integer_ranges_shrink_toward_lo() {
+        let s = 10i64..100;
+        let c = s.shrink(&77);
+        assert_eq!(c[0], 10, "lower bound is the most aggressive candidate");
+        assert!(c.iter().all(|v| (10..77).contains(v)), "{c:?}");
+        assert!(s.shrink(&10).is_empty(), "the bound itself has no shrink");
+    }
+
+    #[test]
+    fn vec_shrink_halves_within_size_bounds() {
+        let s = collection::vec(0i64..5, 2..10);
+        let v = vec![0, 1, 2, 3, 4, 0, 1, 2];
+        let c = s.shrink(&v);
+        assert!(c.iter().any(|w| w.len() == 4), "halving candidate missing");
+        assert!(
+            c.iter().any(|w| w.len() == 7),
+            "drop-last candidate missing"
+        );
+        assert!(c.iter().all(|w| (2..v.len()).contains(&w.len())), "{c:?}");
+        assert!(s.shrink(&vec![0, 1]).is_empty(), "at the size floor");
+    }
+
+    #[test]
+    fn runner_shrinks_to_minimal_input_and_rethrows() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            fn failing_prop(x in 0i64..1000, pad in collection::vec(0i64..5, 1..6)) {
+                let _ = &pad;
+                if x >= 50 {
+                    panic!("boom at {x}");
+                }
+            }
+        }
+        let err =
+            std::panic::catch_unwind(failing_prop).expect_err("the property fails for x >= 50");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic payload is the formatted message");
+        // Greedy binary descent must land exactly on the smallest
+        // failing value before re-running it uncaught.
+        assert_eq!(msg, "boom at 50");
     }
 
     #[test]

@@ -57,13 +57,16 @@ impl Default for FilterPruneConfig {
 /// Accumulated statistics for one pruning-tree node.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct NodeStats {
+    /// Number of zone-map evaluations of this node.
     pub evals: u64,
     /// Evaluations whose verdict allowed pruning (`!may_true`).
     pub pruned: u64,
+    /// Total evaluation time, nanoseconds.
     pub nanos: u64,
 }
 
 impl NodeStats {
+    /// Fraction of evaluations that pruned.
     pub fn prune_ratio(&self) -> f64 {
         if self.evals == 0 {
             0.0
@@ -72,6 +75,7 @@ impl NodeStats {
         }
     }
 
+    /// Mean evaluation cost in nanoseconds.
     pub fn cost_per_eval_ns(&self) -> f64 {
         if self.evals == 0 {
             0.0
@@ -84,15 +88,20 @@ impl NodeStats {
 /// A node in the pruning tree.
 #[derive(Clone, Debug)]
 pub enum PruneNode {
+    /// A single predicate evaluated against zone maps.
     Leaf(LeafPruner),
+    /// Conjunction: verdicts combine with `Verdict::and`.
     And(Vec<PruneNode>),
+    /// Disjunction: verdicts combine with `Verdict::or`.
     Or(Vec<PruneNode>),
 }
 
 /// A leaf pruner: one predicate evaluated against zone maps.
 #[derive(Clone, Debug)]
 pub struct LeafPruner {
+    /// The leaf predicate.
     pub expr: Expr,
+    /// Adaptive statistics driving reordering and cutoff.
     pub stats: NodeStats,
     /// Cutoff state; a disabled leaf behaves as "might match anything".
     pub enabled: bool,
@@ -300,8 +309,11 @@ fn busy_wait_ns(ns: u64) {
 pub struct FilterPruneResult {
     /// Surviving partitions, annotated with match classes.
     pub scan_set: ScanSet,
+    /// Partition count before filter pruning.
     pub partitions_before: usize,
+    /// Partitions removed at compile time.
     pub pruned: usize,
+    /// Partitions classified fully-matching (§4.1).
     pub fully_matching: usize,
     /// Partitions whose pruning was deferred past the compile-time budget;
     /// they appear in the scan set and must be re-checked at runtime.
@@ -311,6 +323,7 @@ pub struct FilterPruneResult {
 }
 
 impl FilterPruneResult {
+    /// Fraction of the original partitions removed.
     pub fn pruning_ratio(&self) -> f64 {
         crate::scan_set::pruning_ratio(self.partitions_before, self.scan_set.len())
     }
@@ -413,6 +426,7 @@ impl FilterPruner {
         }
     }
 
+    /// Number of leaves currently disabled by the pruning cutoff.
     pub fn disabled_leaves(&self) -> usize {
         let mut n = 0;
         self.tree.for_each_leaf(&mut |l| {
@@ -431,6 +445,7 @@ impl FilterPruner {
         out
     }
 
+    /// Per-leaf statistics, in pre-order (exposed for adaptivity tests).
     pub fn leaf_stats(&self) -> Vec<NodeStats> {
         let mut out = Vec::new();
         self.tree.for_each_leaf(&mut |l| out.push(l.stats));

@@ -13,12 +13,18 @@ use std::collections::BTreeMap;
 pub struct TechniqueSet(pub u8);
 
 impl TechniqueSet {
+    /// The empty set: no technique pruned anything.
     pub const NONE: TechniqueSet = TechniqueSet(0);
+    /// Min/max filter pruning (§3).
     pub const FILTER: u8 = 1;
+    /// LIMIT pruning via fully-matching partitions (§4).
     pub const LIMIT: u8 = 2;
+    /// Join probe-side pruning (§6).
     pub const JOIN: u8 = 4;
+    /// Top-k boundary pruning (§5).
     pub const TOPK: u8 = 8;
 
+    /// Set (or leave unset) one technique flag, builder style.
     pub fn with(mut self, flag: u8, on: bool) -> Self {
         if on {
             self.0 |= flag;
@@ -26,10 +32,12 @@ impl TechniqueSet {
         self
     }
 
+    /// Is the given technique flag set?
     pub fn contains(self, flag: u8) -> bool {
         self.0 & flag != 0
     }
 
+    /// Human-readable combination label, e.g. `filter+topk`.
     pub fn label(self) -> String {
         if self.0 == 0 {
             return "none".into();
@@ -56,19 +64,25 @@ impl TechniqueSet {
 pub struct QueryPruningReport {
     /// Total partitions across all table scans before any pruning.
     pub partitions_total: u64,
-    /// Partitions removed by each technique, in application order.
+    /// Partitions removed by filter pruning (applied first).
     pub pruned_by_filter: u64,
+    /// Partitions removed by LIMIT pruning (applied second).
     pub pruned_by_limit: u64,
+    /// Partitions removed by join pruning (applied third).
     pub pruned_by_join: u64,
+    /// Partitions removed by top-k pruning (applied last).
     pub pruned_by_topk: u64,
     /// Partitions actually loaded by execution.
     pub partitions_scanned: u64,
     /// Fully-matching partitions identified during filter pruning.
     pub fully_matching: u64,
-    /// Whether each technique was *eligible* (not just effective).
+    /// Whether filter pruning was *eligible* (not just effective).
     pub filter_eligible: bool,
+    /// Whether LIMIT pruning was eligible.
     pub limit_eligible: bool,
+    /// Whether join pruning was eligible.
     pub join_eligible: bool,
+    /// Whether top-k pruning was eligible.
     pub topk_eligible: bool,
 }
 
@@ -99,6 +113,7 @@ impl QueryPruningReport {
         ratio(self.pruned_by_filter, self.partitions_total)
     }
 
+    /// LIMIT-pruning ratio over what filter pruning left behind.
     pub fn limit_ratio(&self) -> f64 {
         ratio(
             self.pruned_by_limit,
@@ -106,6 +121,7 @@ impl QueryPruningReport {
         )
     }
 
+    /// Join-pruning ratio over what filter and LIMIT pruning left behind.
     pub fn join_ratio(&self) -> f64 {
         ratio(
             self.pruned_by_join,
@@ -113,6 +129,7 @@ impl QueryPruningReport {
         )
     }
 
+    /// Top-k-pruning ratio over what the other three techniques left.
     pub fn topk_ratio(&self) -> f64 {
         ratio(
             self.pruned_by_topk,
@@ -136,17 +153,23 @@ fn ratio(pruned: u64, base: u64) -> f64 {
 /// the Figure 1 distributions.
 #[derive(Clone, Debug, Default)]
 pub struct FlowAggregator {
+    /// Number of reports folded in.
     pub queries: u64,
+    /// Count of queries per technique combination.
     pub combo_counts: BTreeMap<TechniqueSet, u64>,
+    /// Sum of `partitions_total` across reports.
     pub total_partitions: u64,
+    /// Sum of `partitions_scanned` across reports.
     pub total_scanned: u64,
 }
 
 impl FlowAggregator {
+    /// Start an empty aggregator.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Fold one query's report into the aggregate.
     pub fn add(&mut self, report: &QueryPruningReport) {
         self.queries += 1;
         *self

@@ -30,7 +30,12 @@ pub enum JoinSummary {
     /// Build side produced no rows: every probe partition prunes.
     Empty,
     /// Global [min, max] of the build keys.
-    MinMax { min: Value, max: Value },
+    MinMax {
+        /// Smallest build key.
+        min: Value,
+        /// Largest build key.
+        max: Value,
+    },
     /// Sorted, disjoint, inclusive value ranges.
     RangeSet(RangeSetSummary),
     /// Exact distinct key set (sorted).
@@ -40,11 +45,14 @@ pub enum JoinSummary {
 /// Which summary to build.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SummaryKind {
+    /// Single global [min, max] of the build keys.
     MinMax,
     /// Range set with at most this many ranges.
     RangeSet {
+        /// Maximum number of ranges kept after merging.
         budget: usize,
     },
+    /// Exact distinct key set.
     Exact,
 }
 
@@ -141,6 +149,7 @@ fn range_overlaps(a_lo: &Value, a_hi: Option<&Value>, b_lo: &Value, b_hi: Option
 /// Sorted disjoint inclusive ranges under a count budget.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RangeSetSummary {
+    /// Sorted, disjoint `[lo, hi]` inclusive ranges.
     pub ranges: Vec<(Value, Value)>,
 }
 
@@ -198,10 +207,12 @@ impl RangeSetSummary {
         }
     }
 
+    /// Number of ranges in the summary.
     pub fn len(&self) -> usize {
         self.ranges.len()
     }
 
+    /// True when the summary holds no ranges (empty build side).
     pub fn is_empty(&self) -> bool {
         self.ranges.is_empty()
     }
@@ -237,14 +248,18 @@ fn string_gap(a: &str, b: &str) -> f64 {
 /// Result of probe-side join pruning.
 #[derive(Clone, Debug)]
 pub struct JoinPruneResult {
+    /// Probe-side partitions that survived the summary check.
     pub scan_set: ScanSet,
+    /// Probe-side partition count before join pruning.
     pub partitions_before: usize,
+    /// Partitions removed by the summary check.
     pub pruned: usize,
     /// Bytes of summary shipped from build to probe side.
     pub summary_bytes: usize,
 }
 
 impl JoinPruneResult {
+    /// Fraction of probe-side partitions removed.
     pub fn pruning_ratio(&self) -> f64 {
         crate::scan_set::pruning_ratio(self.partitions_before, self.scan_set.len())
     }
@@ -308,6 +323,7 @@ impl BloomFilter {
         (a, h2.finish() | 1)
     }
 
+    /// Add one build-side key to the filter.
     pub fn insert(&mut self, v: &Value) {
         let (a, b) = Self::hash_pair(v);
         for i in 0..self.hashes as u64 {
@@ -316,6 +332,7 @@ impl BloomFilter {
         }
     }
 
+    /// Probe the filter: false means the key is definitely absent.
     pub fn might_contain(&self, v: &Value) -> bool {
         let (a, b) = Self::hash_pair(v);
         (0..self.hashes as u64).all(|i| {
@@ -324,6 +341,7 @@ impl BloomFilter {
         })
     }
 
+    /// Wire size of the bit array, for summary-shipping accounting.
     pub fn serialized_bytes(&self) -> usize {
         self.bits.len() * 8
     }

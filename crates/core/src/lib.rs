@@ -10,6 +10,8 @@
 //! * [`flow`] — composition bookkeeping across techniques (§7).
 //! * [`scan_set`] — the scan sets all techniques operate on (§2).
 
+#![warn(missing_docs)]
+
 pub mod filter;
 pub mod flow;
 pub mod join;

@@ -28,6 +28,7 @@ pub enum LimitOutcome {
     PrunedToMany(usize),
 }
 
+/// Why LIMIT pruning did not apply.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum UnsupportedReason {
     /// The LIMIT could not be pushed down to a table scan (§4.3).
@@ -39,12 +40,16 @@ pub enum UnsupportedReason {
 /// Result of LIMIT pruning on one scan set.
 #[derive(Clone, Debug)]
 pub struct LimitPruneResult {
+    /// Surviving partitions after LIMIT pruning.
     pub scan_set: ScanSet,
+    /// What the pruning attempt concluded.
     pub outcome: LimitOutcome,
+    /// Partition count before LIMIT pruning.
     pub partitions_before: usize,
 }
 
 impl LimitPruneResult {
+    /// Fraction of the input partitions removed.
     pub fn pruning_ratio(&self) -> f64 {
         crate::scan_set::pruning_ratio(self.partitions_before, self.scan_set.len())
     }

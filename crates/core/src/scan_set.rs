@@ -8,15 +8,20 @@ use snowprune_types::MatchClass;
 /// from filter pruning.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ScanEntry {
+    /// The partition's id.
     pub id: PartitionId,
+    /// Filter-pruning match class (partially vs fully matching).
     pub class: MatchClass,
+    /// Rows in the partition.
     pub row_count: u64,
+    /// Serialized size of the partition.
     pub bytes: u64,
 }
 
 /// The ordered set of partitions a table scan will process.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ScanSet {
+    /// Surviving partitions, in processing order.
     pub entries: Vec<ScanEntry>,
 }
 
@@ -36,22 +41,27 @@ impl ScanSet {
         }
     }
 
+    /// Number of surviving partitions.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
+    /// True when no partition survived pruning.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
+    /// The surviving partition ids, in order.
     pub fn ids(&self) -> Vec<PartitionId> {
         self.entries.iter().map(|e| e.id).collect()
     }
 
+    /// Total rows across surviving partitions.
     pub fn total_rows(&self) -> u64 {
         self.entries.iter().map(|e| e.row_count).sum()
     }
 
+    /// Total bytes across surviving partitions.
     pub fn total_bytes(&self) -> u64 {
         self.entries.iter().map(|e| e.bytes).sum()
     }
@@ -63,6 +73,7 @@ impl ScanSet {
             .filter(|e| e.class == MatchClass::FullyMatching)
     }
 
+    /// Total rows in fully-matching partitions.
     pub fn fully_matching_rows(&self) -> u64 {
         self.fully_matching().map(|e| e.row_count).sum()
     }

@@ -44,6 +44,7 @@ pub struct Boundary {
 }
 
 impl Boundary {
+    /// Create an empty boundary for the given sort direction.
     pub fn new(desc: bool) -> Arc<Self> {
         Arc::new(Boundary {
             desc,
@@ -62,10 +63,12 @@ impl Boundary {
         })
     }
 
+    /// The sort direction the boundary tracks.
     pub fn desc(&self) -> bool {
         self.desc
     }
 
+    /// Current boundary value, if one has been published.
     pub fn get(&self) -> Option<Value> {
         self.value.read().0.clone()
     }
@@ -204,6 +207,7 @@ pub struct TopKHeap<T> {
 }
 
 impl<T> TopKHeap<T> {
+    /// Create a heap of capacity `k` sharing `boundary` with the scan.
     pub fn new(k: usize, desc: bool, boundary: Arc<Boundary>) -> Self {
         assert_eq!(boundary.desc(), desc);
         TopKHeap {
@@ -216,6 +220,7 @@ impl<T> TopKHeap<T> {
         }
     }
 
+    /// Rows currently held.
     pub fn len(&self) -> usize {
         if self.desc {
             self.desc_heap.len()
@@ -224,10 +229,12 @@ impl<T> TopKHeap<T> {
         }
     }
 
+    /// True when the heap holds no rows.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
+    /// True once `k` rows are held (the boundary is live from here on).
     pub fn is_full(&self) -> bool {
         self.len() >= self.k
     }
@@ -296,7 +303,10 @@ pub enum PartitionOrder {
     /// Keep the scan-set order as produced by earlier pruning.
     Unsorted,
     /// Deterministic random order (the paper's "None/random" baseline).
-    Random { seed: u64 },
+    Random {
+        /// Shuffle seed, so the baseline is reproducible.
+        seed: u64,
+    },
     /// Full sort by the ORDER BY column's max (DESC) / min (ASC): partitions
     /// likely to hold top values first.
     ByBoundary,
@@ -479,11 +489,14 @@ fn cumulative_bound(maps: &[&ZoneMap], k: u64, desc: bool) -> Option<Value> {
 /// Runtime statistics for top-k pruning on one scan.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TopKScanStats {
+    /// Partitions that reached the boundary check.
     pub partitions_considered: u64,
+    /// Partitions skipped because they could not beat the boundary.
     pub partitions_skipped: u64,
 }
 
 impl TopKScanStats {
+    /// Fraction of considered partitions skipped.
     pub fn pruning_ratio(&self) -> f64 {
         if self.partitions_considered == 0 {
             0.0

@@ -8,7 +8,7 @@ use std::sync::Arc;
 
 use snowprune_core::topk::Boundary;
 use snowprune_plan::AggFunc;
-use snowprune_storage::Schema;
+use snowprune_storage::{Bitmap, ColumnChunk, ColumnValues, Schema};
 use snowprune_types::{KeyValue, Result, Value};
 
 /// Running state of one aggregate function.
@@ -223,6 +223,199 @@ impl DistinctKeyTopK {
     }
 }
 
+/// Iterate `(row, group)` pairs with the validity check hoisted out of the
+/// loop, mirroring `expr::kernel`: the dense (no-nulls) case runs the fold
+/// alone, the sparse case masks through the bitmap first. Skipping an
+/// invalid row is exactly equivalent to the row path's
+/// `update(Some(&Null))` — a no-op for every aggregate kind.
+#[inline]
+fn for_each_valid(
+    rows: &[usize],
+    gids: &[usize],
+    validity: Option<&Bitmap>,
+    mut fold: impl FnMut(usize, usize),
+) {
+    match validity {
+        None => {
+            for (&i, &g) in rows.iter().zip(gids) {
+                fold(i, g);
+            }
+        }
+        Some(bits) => {
+            for (&i, &g) in rows.iter().zip(gids) {
+                if bits.get(i) {
+                    fold(i, g);
+                }
+            }
+        }
+    }
+}
+
+/// Fold one aggregate slot's column window into per-group states: for each
+/// selected row `rows[j]` (an absolute partition row index), fold its
+/// column value into `states[gids[j]][slot]`. `chunk` is `None` for
+/// `COUNT(*)`, which counts every selected row.
+///
+/// The numeric kinds run monomorphized loops straight over the typed
+/// column slices with the validity check hoisted ([`for_each_valid`]);
+/// each loop folds exactly the sequence of values the row path's
+/// [`AggState::update`] would fold for the same rows, in the same order,
+/// so accumulation — including float rounding and `total_cmp` NaN
+/// ordering — is bit-identical to [`aggregate_rows`]. Everything else
+/// (string min/max, cross-typed columns) takes the generic `value_at`
+/// fallback through `update` itself.
+pub(crate) fn fold_chunk_grouped(
+    states: &mut [Vec<AggState>],
+    slot: usize,
+    rows: &[usize],
+    gids: &[usize],
+    chunk: Option<&ColumnChunk>,
+) {
+    if rows.is_empty() {
+        return;
+    }
+    let Some(chunk) = chunk else {
+        // COUNT(*): every selected row counts, valid or not.
+        for &g in gids {
+            if let AggState::Count(c) = &mut states[g][slot] {
+                *c += 1;
+            }
+        }
+        return;
+    };
+    let validity = chunk.validity();
+    // All groups share one AggState variant per slot (it is fixed by the
+    // aggregate function and input type), so probe the first.
+    match (&states[gids[0]][slot], chunk.values()) {
+        (AggState::Count(_), _) => for_each_valid(rows, gids, validity, |_, g| {
+            if let AggState::Count(c) = &mut states[g][slot] {
+                *c += 1;
+            }
+        }),
+        (AggState::SumInt(..), ColumnValues::Int(vals)) => {
+            for_each_valid(rows, gids, validity, |i, g| {
+                if let AggState::SumInt(acc, seen) = &mut states[g][slot] {
+                    *acc += vals[i] as i128;
+                    *seen = true;
+                }
+            })
+        }
+        (AggState::SumFloat(..), ColumnValues::Float(vals)) => {
+            for_each_valid(rows, gids, validity, |i, g| {
+                if let AggState::SumFloat(acc, seen) = &mut states[g][slot] {
+                    *acc += vals[i];
+                    *seen = true;
+                }
+            })
+        }
+        (AggState::Avg { .. }, ColumnValues::Int(vals)) => {
+            for_each_valid(rows, gids, validity, |i, g| {
+                if let AggState::Avg { sum, count } = &mut states[g][slot] {
+                    *sum += vals[i] as f64;
+                    *count += 1;
+                }
+            })
+        }
+        (AggState::Avg { .. }, ColumnValues::Float(vals)) => {
+            for_each_valid(rows, gids, validity, |i, g| {
+                if let AggState::Avg { sum, count } = &mut states[g][slot] {
+                    *sum += vals[i];
+                    *count += 1;
+                }
+            })
+        }
+        (AggState::Min(_), ColumnValues::Int(vals)) => {
+            for_each_valid(rows, gids, validity, |i, g| {
+                if let AggState::Min(cur) = &mut states[g][slot] {
+                    match cur {
+                        Some(Value::Int(c)) => {
+                            if vals[i] < *c {
+                                *c = vals[i];
+                            }
+                        }
+                        _ => *cur = Some(Value::Int(vals[i])),
+                    }
+                }
+            })
+        }
+        (AggState::Max(_), ColumnValues::Int(vals)) => {
+            for_each_valid(rows, gids, validity, |i, g| {
+                if let AggState::Max(cur) = &mut states[g][slot] {
+                    match cur {
+                        Some(Value::Int(c)) => {
+                            if vals[i] > *c {
+                                *c = vals[i];
+                            }
+                        }
+                        _ => *cur = Some(Value::Int(vals[i])),
+                    }
+                }
+            })
+        }
+        (AggState::Min(_), ColumnValues::Float(vals)) => {
+            for_each_valid(rows, gids, validity, |i, g| {
+                if let AggState::Min(cur) = &mut states[g][slot] {
+                    match cur {
+                        // Same total_cmp arm as expr::kernel: NaN orders
+                        // greatest, so it never beats a finite minimum.
+                        Some(Value::Float(c)) => {
+                            if vals[i].total_cmp(c) == std::cmp::Ordering::Less {
+                                *c = vals[i];
+                            }
+                        }
+                        _ => *cur = Some(Value::Float(vals[i])),
+                    }
+                }
+            })
+        }
+        (AggState::Max(_), ColumnValues::Float(vals)) => {
+            for_each_valid(rows, gids, validity, |i, g| {
+                if let AggState::Max(cur) = &mut states[g][slot] {
+                    match cur {
+                        Some(Value::Float(c)) => {
+                            if vals[i].total_cmp(c) == std::cmp::Ordering::Greater {
+                                *c = vals[i];
+                            }
+                        }
+                        _ => *cur = Some(Value::Float(vals[i])),
+                    }
+                }
+            })
+        }
+        // Generic fallback: late-materialize just this cell and reuse the
+        // row-path fold verbatim.
+        _ => for_each_valid(rows, gids, validity, |i, g| {
+            states[g][slot].update(Some(&chunk.value_at(i)));
+        }),
+    }
+}
+
+/// Finalize grouped aggregation states into output rows (group key columns
+/// followed by aggregate values), sorted into the deterministic order both
+/// the row-at-a-time and batch-native paths share.
+pub(crate) fn finish_groups(
+    groups: impl IntoIterator<Item = (Vec<Value>, Vec<AggState>)>,
+) -> Vec<Vec<Value>> {
+    let mut out: Vec<Vec<Value>> = groups
+        .into_iter()
+        .map(|(mut key, states)| {
+            key.extend(states.iter().map(AggState::finish));
+            key
+        })
+        .collect();
+    // Deterministic output order for tests.
+    out.sort_by(|a, b| {
+        for (x, y) in a.iter().zip(b.iter()) {
+            match x.total_ord_cmp(y) {
+                std::cmp::Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    out
+}
+
 /// Hash-aggregate fully materialized rows.
 pub fn aggregate_rows(
     input_schema: &Schema,
@@ -269,24 +462,7 @@ pub fn aggregate_rows(
             state.update(idx.map(|i| &row[i]));
         }
     }
-    let mut out: Vec<Vec<Value>> = groups
-        .into_iter()
-        .map(|(mut key, states)| {
-            key.extend(states.iter().map(AggState::finish));
-            key
-        })
-        .collect();
-    // Deterministic output order for tests.
-    out.sort_by(|a, b| {
-        for (x, y) in a.iter().zip(b.iter()) {
-            match x.total_ord_cmp(y) {
-                std::cmp::Ordering::Equal => continue,
-                o => return o,
-            }
-        }
-        std::cmp::Ordering::Equal
-    });
-    Ok(out)
+    Ok(finish_groups(groups))
 }
 
 #[cfg(test)]
@@ -352,6 +528,102 @@ mod tests {
         .unwrap();
         assert_eq!(out[0][1], Value::Null);
         assert_eq!(out[0][2], Value::Null);
+    }
+
+    // ---- NULL / NaN semantics pins (batch-native parity) -----------------
+
+    fn assert_total_eq(a: &Value, b: &Value) {
+        assert_eq!(
+            a.total_ord_cmp(b),
+            std::cmp::Ordering::Equal,
+            "{a:?} vs {b:?}"
+        );
+    }
+
+    #[test]
+    fn empty_and_all_null_groups_finish_null_across_all_kinds() {
+        // SQL semantics pin: SUM/AVG/MIN/MAX over zero qualifying inputs
+        // are NULL — the batch-native kernels rely on these exact rules.
+        for (f, is_float) in [
+            (AggFunc::Sum("v".into()), false),
+            (AggFunc::Sum("v".into()), true),
+            (AggFunc::Avg("v".into()), false),
+            (AggFunc::Min("v".into()), true),
+            (AggFunc::Max("v".into()), false),
+        ] {
+            let mut st = AggState::new(&f, is_float);
+            assert_eq!(st.finish(), Value::Null, "empty {f:?}");
+            st.update(Some(&Value::Null));
+            st.update(Some(&Value::Null));
+            assert_eq!(st.finish(), Value::Null, "all-NULL {f:?}");
+        }
+        // COUNT(col) over all-NULL input is 0, not NULL.
+        let mut c = AggState::new(&AggFunc::Count("v".into()), false);
+        c.update(Some(&Value::Null));
+        assert_eq!(c.finish(), Value::Int(0));
+    }
+
+    #[test]
+    fn nan_min_max_order_like_the_comparison_kernels() {
+        // total_cmp pin: NaN sorts greatest, so it wins MAX and never
+        // beats a finite MIN — the same arms expr::kernel compiles.
+        let mut mn = AggState::new(&AggFunc::Min("v".into()), true);
+        let mut mx = AggState::new(&AggFunc::Max("v".into()), true);
+        for v in [f64::NAN, 1.0, 2.0] {
+            mn.update(Some(&Value::Float(v)));
+            mx.update(Some(&Value::Float(v)));
+        }
+        assert_eq!(mn.finish(), Value::Float(1.0));
+        let Value::Float(m) = mx.finish() else {
+            panic!("max of floats must stay a float");
+        };
+        assert!(m.is_nan(), "NaN orders greatest under total_cmp");
+    }
+
+    #[test]
+    fn columnar_fold_matches_row_fold_on_nulls_and_nan() {
+        // One group, a float column with a NULL slot and a NaN value: the
+        // typed loops must fold exactly what AggState::update folds.
+        let mut validity = Bitmap::new_set(4);
+        validity.set(3, false); // 99.0 below is a NULL placeholder
+        let chunk = ColumnChunk::new(
+            ColumnValues::Float(vec![1.0, f64::NAN, 2.0, 99.0]),
+            Some(validity),
+        );
+        let rows: Vec<usize> = (0..4).collect();
+        let gids = vec![0usize; 4];
+        let aggs = [
+            AggFunc::Count("v".into()),
+            AggFunc::Sum("v".into()),
+            AggFunc::Avg("v".into()),
+            AggFunc::Min("v".into()),
+            AggFunc::Max("v".into()),
+        ];
+        let fresh = || -> Vec<AggState> { aggs.iter().map(|a| AggState::new(a, true)).collect() };
+        let mut states = vec![fresh()];
+        for slot in 0..aggs.len() {
+            fold_chunk_grouped(&mut states, slot, &rows, &gids, Some(&chunk));
+        }
+        // Row-path oracle over the late-materialized values.
+        let mut oracle = fresh();
+        for i in 0..4 {
+            for st in oracle.iter_mut() {
+                st.update(Some(&chunk.value_at(i)));
+            }
+        }
+        for (s, o) in states[0].iter().zip(&oracle) {
+            assert_total_eq(&s.finish(), &o.finish());
+        }
+        // Folding only the masked row leaves every kind at its empty
+        // result: COUNT(col) at 0, everything else NULL.
+        let mut masked = vec![fresh()];
+        for slot in 0..aggs.len() {
+            fold_chunk_grouped(&mut masked, slot, &[3], &[0], Some(&chunk));
+        }
+        assert_eq!(masked[0][0].finish(), Value::Int(0));
+        for s in &masked[0][1..] {
+            assert_eq!(s.finish(), Value::Null);
+        }
     }
 
     #[test]

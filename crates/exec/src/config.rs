@@ -68,6 +68,14 @@ pub struct ExecConfig {
     /// partitions are still loaded (and I/O charged) whole, so it does not
     /// interact with `prefetch_depth`/`morsel_partitions` I/O capping.
     pub batch_rows: usize,
+    /// Batch-native joins and aggregations: hash-join probe and GROUP BY
+    /// consume column-major [`crate::vector::Batch`]es directly (late
+    /// materialization, per-batch partition provenance) instead of
+    /// dropping to row-at-a-time sinks at the first join or aggregate.
+    /// On by default; the differential suite turns it off to obtain the
+    /// row-fallback oracle, and the `joinagg` bench experiment compares
+    /// both settings. Results are bit-identical either way.
+    pub batch_native: bool,
     /// Zone-map filter pruning knobs (§3).
     pub filter: FilterPruneConfig,
     /// Simulated object-store cost model for I/O accounting.
@@ -108,6 +116,7 @@ impl Default for ExecConfig {
             predicate_cache_capacity: 256,
             predicate_cache_mode: PredicateCacheMode::Exact,
             batch_rows: 1024,
+            batch_native: true,
             filter: FilterPruneConfig::default(),
             io_cost: IoCostModel::default(),
         }
@@ -154,6 +163,14 @@ impl ExecConfig {
     /// Builder-style override for the vectorized batch size (clamped to ≥ 1).
     pub fn with_batch_rows(mut self, n: usize) -> Self {
         self.batch_rows = n.max(1);
+        self
+    }
+
+    /// Builder-style toggle for batch-native joins and aggregations.
+    /// `false` forces the row-at-a-time fallback operators — the
+    /// differential oracle the batch-native path must match bit-for-bit.
+    pub fn with_batch_native(mut self, on: bool) -> Self {
+        self.batch_native = on;
         self
     }
 }

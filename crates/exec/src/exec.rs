@@ -38,12 +38,14 @@ use snowprune_plan::{
 use snowprune_storage::{Catalog, IoSnapshot, IoStats, PartitionId, PartitionMeta, Schema, Table};
 use snowprune_types::{Error, Result, Value};
 
+use snowprune_plan::AggFunc;
+
 use crate::agg::{aggregate_rows, DistinctKeyTopK};
 use crate::config::{ExecConfig, PredicateCacheMode};
 use crate::pool::{MorselPool, QueryId, ScanJobSpec, ScanTicket};
 use crate::rows::RowSet;
 use crate::scan::{stream_scan, CompiledScan, ScanHooks, ScanRunStats};
-use crate::vector::BatchChain;
+use crate::vector::{Batch, BatchAggregator, BatchChain, JoinBuild};
 
 /// Execution report: core pruning accounting plus technique-level detail.
 #[derive(Clone, Debug, Default)]
@@ -145,6 +147,16 @@ struct CacheRecorder {
     /// Version of the table snapshot the recorded partitions refer to;
     /// captured when the target scan compiles. `None` aborts recording.
     snapshot_version: Option<u64>,
+    /// Other tables this query scanned (join build/probe sides), with the
+    /// versions it saw. Recorded as auxiliary dependencies on the entry:
+    /// a warm replay restricting the target scan is only sound while every
+    /// other side of the join is byte-identical, so lookups reject the
+    /// entry once any auxiliary table's version moves.
+    aux: Vec<(String, u64)>,
+    /// Set when an auxiliary table was seen at two different versions
+    /// within one query (concurrent DML mid-run): the recording is not a
+    /// consistent snapshot and must be discarded.
+    aux_poisoned: bool,
     /// Filter shape: partitions that emitted at least one selected row
     /// (pooled scan workers insert concurrently).
     survivors: Arc<Mutex<HashSet<PartitionId>>>,
@@ -174,9 +186,14 @@ impl CacheRecorder {
             kind,
             predicate_columns,
             snapshot_version,
+            mut aux,
+            aux_poisoned,
             survivors,
             topk,
         } = self;
+        if aux_poisoned {
+            return None;
+        }
         let table_version = snapshot_version?;
         let (kind, mut partitions) = match kind {
             RecordKind::Filter => {
@@ -191,6 +208,8 @@ impl CacheRecorder {
         };
         partitions.sort_unstable();
         partitions.dedup();
+        aux.sort();
+        aux.dedup();
         let saved_loads = partitions_total.saturating_sub(partitions.len() as u64);
         Some(CacheEntry {
             kind,
@@ -201,24 +220,54 @@ impl CacheRecorder {
             appended: Vec::new(),
             shape,
             saved_loads,
+            aux_tables: aux,
         })
     }
 }
 
-/// Which §8.2 shape a plan caches as: a top-k directly above a (filtered)
-/// scan, or a plain filter chain over one scan. Joins, aggregations, and
-/// LIMIT-without-ORDER-BY shapes are not cached — their contributing sets
-/// are either timing-dependent (early stop) or not partition-attributable.
+/// Which §8.2 shape a plan caches as: a top-k above a (filtered) scan —
+/// including through a join, now that joined rows carry the spine side's
+/// partition provenance — a filtered aggregation over one scan, or a plain
+/// filter chain over one scan. LIMIT-without-ORDER-BY shapes and top-k
+/// over GROUP BY are not cached: their contributing sets are either
+/// timing-dependent (early stop) or not partition-attributable
+/// (distinct-key filtering drops rows before the heap sees them).
 fn cacheable_shape(plan: &Plan, topk_enabled: bool) -> Option<(String, RecordKind)> {
     if let Some(spec) = detect_topk(plan) {
         // Only the heap execution path records survivor provenance.
-        if topk_enabled && spec.shape == TopKShape::AboveScan {
+        if !topk_enabled {
+            return None;
+        }
+        let provenance_exact = match spec.shape {
+            TopKShape::AboveScan => true,
+            // Joined rows carry the target-side partition per row, so the
+            // heap records an exact contributor set — provided the target
+            // table is scanned exactly once in the plan (a self-join's
+            // second scan would be wrongly restricted on replay). The
+            // other side's tables become auxiliary dependencies.
+            TopKShape::JoinProbeSide | TopKShape::OuterJoinBuildSide => {
+                count_scans_of(plan, &spec.target_table) == 1
+            }
+            TopKShape::AboveAggregation => false,
+        };
+        if provenance_exact {
             return Some((
                 spec.target_table,
                 RecordKind::TopK {
                     order_column: spec.order_column,
                 },
             ));
+        }
+        return None;
+    }
+    // Filtered aggregation over one scan: the aggregate folds exactly the
+    // chain's output rows, so the scan's filter survivors are a sound (and
+    // exact) replay set for the whole aggregation.
+    if let Plan::Aggregate { input, .. } = plan {
+        if let Some((_, table, predicate)) = split_chain(input) {
+            if predicate.is_some() {
+                return Some((table.to_owned(), RecordKind::Filter));
+            }
         }
         return None;
     }
@@ -375,9 +424,17 @@ impl Executor {
         let shape = (self.cfg.predicate_cache_mode == PredicateCacheMode::Shape)
             .then(|| shape_signature(plan))
             .flatten();
+        // Auxiliary-table freshness: entries recorded through a join also
+        // pin the versions of every *other* table the query scanned; the
+        // lookup rejects an entry whose auxiliary versions moved. (There is
+        // an unavoidable window between this check and the aux scans
+        // actually compiling — a DML in between falls back to the target
+        // restriction being validated against a stale-but-sound superset
+        // recorded at insert; the sequential test suites never race it.)
+        let aux_live = |t: &str| self.catalog.get(t).ok().map(|h| h.read().version());
         let served = match cache
             .lock()
-            .lookup_with_shape(fp, shape.as_ref(), live_version)
+            .lookup_with_aux(fp, shape.as_ref(), live_version, &aux_live)
         {
             CacheLookup::Hit(parts) => Some((CacheOutcome::Hit, parts)),
             CacheLookup::ShapeHit(parts) => Some((CacheOutcome::ShapeHit, parts)),
@@ -394,6 +451,8 @@ impl Executor {
                     kind,
                     predicate_columns: predicate_column_names(plan),
                     snapshot_version: None,
+                    aux: Vec::new(),
+                    aux_poisoned: false,
                     survivors: Arc::new(Mutex::new(HashSet::new())),
                     topk: None,
                 };
@@ -449,6 +508,13 @@ impl Executor {
                 group_by,
                 aggs,
             } => {
+                // Batch-native GROUP BY when the input is a chain over a
+                // scan: columns fold straight into typed accumulators.
+                if self.cfg.batch_native {
+                    if let Some(out) = self.exec_batch_aggregate(plan, input, group_by, aggs, st)? {
+                        return Ok(out);
+                    }
+                }
                 let input_rows = self.exec_node(input, st)?;
                 let rows =
                     aggregate_rows(&input_rows.schema, input_rows.rows, group_by, aggs, None)?;
@@ -568,12 +634,12 @@ impl Executor {
         };
         let stats = stream_scan(&scan, &self.io, &self.cfg.io_cost, &hooks, |batch| {
             let mut sel = batch.sel.clone();
-            bound_chain.refine(batch.part, &mut sel);
+            bound_chain.refine(&batch.part, &mut sel);
             for i in sel.iter() {
                 if out.len() >= need {
                     break;
                 }
-                out.push(bound_chain.materialize(batch.part, i));
+                out.push(bound_chain.materialize(&batch.part, i));
             }
             if out.len() >= need {
                 ControlFlow::Break(())
@@ -617,6 +683,23 @@ impl Executor {
         st.report.pruning.partitions_total += scan.partitions_total as u64;
         st.report.pruning.pruned_by_filter += scan.pruned_by_filter;
         st.report.pruning.fully_matching += scan.fully_matching;
+        // Auxiliary-dependency recording: while a recorder is armed, any
+        // scan of a table *other than* the record target (a join's other
+        // side) pins that table's version on the entry. Seeing the same
+        // auxiliary table at two versions within one query means a DML
+        // landed mid-run — the recording is inconsistent and is poisoned.
+        if let Some(cr) = &mut st.cache {
+            if let Some(rec) = &mut cr.record {
+                if cr.table != table {
+                    let v = scan.table.version();
+                    match rec.aux.iter().find(|(t, _)| t == table) {
+                        Some((_, seen)) if *seen != v => rec.aux_poisoned = true,
+                        Some(_) => {}
+                        None => rec.aux.push((table.to_owned(), v)),
+                    }
+                }
+            }
+        }
         // Cache hit: restrict the scan set to the cached contributors
         // before any morsel is generated — but only if the snapshot still
         // matches the version the lookup validated against (a concurrent
@@ -875,71 +958,124 @@ impl Executor {
         let spine_hook = spine.as_ref().map(|s| (s.spec, Arc::clone(s.boundary)));
         match join_type {
             JoinType::Inner => {
-                let build_rows = self.exec_node(build, st)?;
-                let bk = build_rows.schema.index_of(build_key)?;
-                let keys: Vec<Value> = build_rows.rows.iter().map(|r| r[bk].clone()).collect();
-                let summary = JoinSummary::build(keys.iter(), self.cfg.join_summary);
+                // Build side: batch-native bulk load when the side is a
+                // chain over a scan, row-at-a-time fallback otherwise (or
+                // when `batch_native` is off). Either way the same rows
+                // arrive in the same order, so the §6 summary and Bloom
+                // filter see identical key sequences.
+                let jb = match self.try_batch_join_side(build, build_key, None, st)? {
+                    Some(jb) => jb,
+                    None => {
+                        let build_rows = self.exec_node(build, st)?;
+                        let bk = build_rows.schema.index_of(build_key)?;
+                        let mut jb = JoinBuild::new();
+                        for row in build_rows.rows {
+                            let key = row[bk].clone();
+                            jb.push_row(row, key);
+                        }
+                        jb
+                    }
+                };
+                let summary = JoinSummary::build(jb.keys().iter(), self.cfg.join_summary);
                 st.report.join_summary_bytes += summary.serialized_bytes() as u64;
-                let mut table: std::collections::HashMap<Value, Vec<usize>> =
-                    std::collections::HashMap::new();
                 let mut bloom = self.cfg.join_bloom.then(|| {
-                    let mut bf = BloomFilter::with_capacity(build_rows.rows.len());
-                    for key in &keys {
+                    let mut bf = BloomFilter::with_capacity(jb.rows().len());
+                    for key in jb.keys() {
                         if !key.is_null() {
                             bf.insert(key);
                         }
                     }
                     bf
                 });
-                for (i, key) in keys.iter().enumerate() {
-                    if !key.is_null() {
-                        table.entry(key.clone()).or_default().push(i);
-                    }
-                }
-                if bloom.is_some() && table.is_empty() {
+                if bloom.is_some() && jb.no_matches_possible() {
                     bloom = None; // nothing to probe anyway
                 }
-                let bloom_skips = std::cell::Cell::new(0u64);
+                let mut bloom_skips = 0u64;
                 let summary_opt = self.cfg.enable_join_pruning.then_some(&summary);
-                let probe_schema = probe.schema()?;
-                let pk = probe_schema.index_of(probe_key)?;
+                let topk_hook = spine_hook.as_ref().map(|(spec, b)| (*spec, b));
                 {
                     let mut mat_sink = |r: Vec<Value>, _: Option<PartitionId>| out.push(r);
                     let row_sink: RowSink<'_> = match spine {
                         Some(sp) => &mut *sp.f,
                         None => &mut mat_sink,
                     };
-                    let mut emit = |probe_row: Vec<Value>| {
-                        let pk_val = &probe_row[pk];
-                        if pk_val.is_null() {
-                            return;
-                        }
-                        if let Some(bf) = &bloom {
-                            if !bf.might_contain(pk_val) {
-                                bloom_skips.set(bloom_skips.get() + 1);
-                                return;
-                            }
-                        }
-                        if let Some(matches) = table.get(pk_val) {
-                            for &bi in matches {
-                                let mut row = build_rows.rows[bi].clone();
-                                row.extend(probe_row.iter().cloned());
-                                // Joined rows have no single source
-                                // partition, so no cache provenance.
-                                row_sink(row, None);
-                            }
-                        }
+                    // Probe side. Joined rows carry the probe row's source
+                    // partition — the spine side of a top-k-over-join — so
+                    // §8.2 provenance survives the join (it used to be
+                    // dropped here, which silently disqualified every join
+                    // shape from cache admission).
+                    let batch_probe = if self.cfg.batch_native {
+                        self.prepare_side_scan(probe, summary_opt, probe_key, topk_hook, st)?
+                    } else {
+                        None
                     };
-                    self.exec_side_with_pruning(
-                        probe,
-                        summary_opt,
-                        probe_key,
-                        spine_hook.as_ref().map(|(spec, b)| (*spec, b)),
-                        st,
-                        &mut emit,
-                    )?;
+                    match batch_probe {
+                        Some(side) => {
+                            // Batch-native probe: rows stay column-major
+                            // through the hash lookup and materialize only
+                            // on a match (late materialization).
+                            let key_col =
+                                side.chain.column_of(probe.schema()?.index_of(probe_key)?);
+                            let boundary_hook =
+                                topk_hook.and_then(|(_, b)| side.order_col.map(|c| (b, c)));
+                            let stats = self.stream_chain_batches(
+                                &side.scan,
+                                st.lane,
+                                boundary_hook,
+                                &side.chain,
+                                &mut |batch| {
+                                    let pid = batch.part.meta.id;
+                                    bloom_skips += jb.probe_batch(
+                                        &batch,
+                                        key_col,
+                                        bloom.as_ref(),
+                                        |i, matches| {
+                                            let probe_row = side.chain.materialize(&batch.part, i);
+                                            for &bi in matches {
+                                                let mut row = jb.rows()[bi].clone();
+                                                row.extend(probe_row.iter().cloned());
+                                                row_sink(row, Some(pid));
+                                            }
+                                        },
+                                    );
+                                },
+                            );
+                            merge_side_stats(&mut st.report, &stats, side.order_col.is_some());
+                        }
+                        None => {
+                            let probe_schema = probe.schema()?;
+                            let pk = probe_schema.index_of(probe_key)?;
+                            let mut emit = |probe_row: Vec<Value>, pid: Option<PartitionId>| {
+                                let pk_val = &probe_row[pk];
+                                if pk_val.is_null() {
+                                    return;
+                                }
+                                if let Some(bf) = &bloom {
+                                    if !bf.might_contain(pk_val) {
+                                        bloom_skips += 1;
+                                        return;
+                                    }
+                                }
+                                if let Some(matches) = jb.matches(pk_val) {
+                                    for &bi in matches {
+                                        let mut row = jb.rows()[bi].clone();
+                                        row.extend(probe_row.iter().cloned());
+                                        row_sink(row, pid);
+                                    }
+                                }
+                            };
+                            self.exec_side_with_pruning(
+                                probe,
+                                summary_opt,
+                                probe_key,
+                                topk_hook,
+                                st,
+                                &mut emit,
+                            )?;
+                        }
+                    }
                 }
-                st.report.bloom_skipped_rows += bloom_skips.get();
+                st.report.bloom_skipped_rows += bloom_skips;
                 Ok(RowSet {
                     schema: out_schema,
                     rows: out,
@@ -953,21 +1089,9 @@ impl Executor {
                 // unpruned (its keys are needed before any build row flows).
                 let build_schema = build.schema()?;
                 let bk = build_schema.index_of(build_key)?;
-                let (probe_rows, prebuilt) = match spine {
-                    Some(_) => {
-                        let mut rows = Vec::new();
-                        let probe_schema = probe.schema()?;
-                        self.exec_side_with_pruning(probe, None, probe_key, None, st, &mut |r| {
-                            rows.push(r)
-                        })?;
-                        (
-                            RowSet {
-                                schema: probe_schema,
-                                rows,
-                            },
-                            None,
-                        )
-                    }
+                let probe_width = probe.schema()?.len();
+                let (lookup, prebuilt) = match spine {
+                    Some(_) => (self.outer_probe_lookup(probe, probe_key, None, st)?, None),
                     None => {
                         let build_rows = self.exec_node(build, st)?;
                         let keys: Vec<Value> =
@@ -975,54 +1099,36 @@ impl Executor {
                         let summary = JoinSummary::build(keys.iter(), self.cfg.join_summary);
                         st.report.join_summary_bytes += summary.serialized_bytes() as u64;
                         let summary_opt = self.cfg.enable_join_pruning.then_some(&summary);
-                        let mut rows = Vec::new();
-                        let probe_schema = probe.schema()?;
-                        self.exec_side_with_pruning(
-                            probe,
-                            summary_opt,
-                            probe_key,
-                            None,
-                            st,
-                            &mut |r| rows.push(r),
-                        )?;
-                        (
-                            RowSet {
-                                schema: probe_schema,
-                                rows,
-                            },
-                            Some(build_rows),
-                        )
+                        let lookup = self.outer_probe_lookup(probe, probe_key, summary_opt, st)?;
+                        (lookup, Some(build_rows))
                     }
                 };
-                let pk = probe_rows.schema.index_of(probe_key)?;
-                let mut lookup: std::collections::HashMap<Value, Vec<usize>> =
-                    std::collections::HashMap::new();
-                for (i, r) in probe_rows.rows.iter().enumerate() {
-                    if !r[pk].is_null() {
-                        lookup.entry(r[pk].clone()).or_default().push(i);
-                    }
-                }
-                let probe_width = probe_rows.schema.len();
                 {
                     let mut mat_sink = |r: Vec<Value>, _: Option<PartitionId>| out.push(r);
                     let (row_sink, spine_parts): (RowSink<'_>, SpineParts<'_>) = match spine {
                         Some(sp) => (&mut *sp.f, Some((sp.spec, sp.boundary))),
                         None => (&mut mat_sink, None),
                     };
-                    let mut join_one = |row: Vec<Value>, _: Option<PartitionId>| {
+                    // Preserved rows keep their source partition — the
+                    // build side is the spine of an OuterJoinBuildSide
+                    // top-k, so dropping the pid here used to abort §8.2
+                    // recording for every outer-join shape.
+                    let mut join_one = |row: Vec<Value>, pid: Option<PartitionId>| {
                         let key = &row[bk];
-                        match lookup.get(key) {
-                            Some(matches) if !key.is_null() => {
+                        // NULL build keys are never indexed, so a NULL key
+                        // falls straight to the preserved (null-padded) arm.
+                        match lookup.matches(key) {
+                            Some(matches) => {
                                 for &pi in matches {
                                     let mut joined = row.clone();
-                                    joined.extend(probe_rows.rows[pi].iter().cloned());
-                                    row_sink(joined, None);
+                                    joined.extend(lookup.rows()[pi].iter().cloned());
+                                    row_sink(joined, pid);
                                 }
                             }
-                            _ => {
+                            None => {
                                 let mut joined = row;
                                 joined.extend(std::iter::repeat_n(Value::Null, probe_width));
-                                row_sink(joined, None);
+                                row_sink(joined, pid);
                             }
                         }
                     };
@@ -1048,9 +1154,88 @@ impl Executor {
         }
     }
 
+    /// Compile a join side that is a Filter*/Project* chain over a scan:
+    /// apply §6 join pruning to its scan set and, when the side is the
+    /// top-k spine target, install the Figure-7b machinery (scan-set
+    /// ordering, boundary seeding, snapshot-version pinning for §8.2
+    /// recording). Returns `None` for non-chain shapes, having touched
+    /// nothing.
+    fn prepare_side_scan(
+        &self,
+        plan: &Plan,
+        summary: Option<&JoinSummary>,
+        key_column: &str,
+        topk: Option<(&TopKSpec, &Arc<Boundary>)>,
+        st: &mut RunState,
+    ) -> Result<Option<SideScan>> {
+        let Some((chain, table, predicate)) = split_chain(plan) else {
+            return Ok(None);
+        };
+        let mut scan = self.prepare_scan(table, predicate, st)?;
+        if let Some(summary) = summary {
+            if let Ok(key_idx) = scan.schema.index_of(key_column) {
+                let metas: Vec<PartitionMeta> =
+                    scan.table.metadata().into_iter().cloned().collect();
+                let res = prune_probe_side(summary, &scan.scan_set, &metas, key_idx);
+                st.report.pruning.pruned_by_join += res.pruned as u64;
+                scan.scan_set = res.scan_set;
+            }
+        }
+        // Figure 7b: when this side is the top-k spine target, install
+        // the boundary hook, order the scan set, and seed the boundary.
+        let mut order_col_hook = None;
+        if let Some((spec, boundary)) = topk {
+            if scan.table_name == spec.target_table {
+                if let Ok(order_col) = scan.schema.index_of(&spec.order_column) {
+                    let metas: Vec<PartitionMeta> =
+                        scan.table.metadata().into_iter().cloned().collect();
+                    order_scan_set(
+                        &mut scan.scan_set,
+                        &metas,
+                        order_col,
+                        spec.desc,
+                        self.cfg.topk_order,
+                    );
+                    if self.cfg.topk_init_boundary {
+                        if let Some(init) = initial_boundary(
+                            &scan.scan_set,
+                            &metas,
+                            order_col,
+                            spec.k + spec.offset,
+                            spec.desc,
+                        ) {
+                            boundary.tighten(&init);
+                        }
+                    }
+                    // Top-k cache recording through a join: the spine
+                    // target is this side's scan, so the snapshot version
+                    // the recorded partitions refer to pins here (without
+                    // it, join-shape recordings could never complete).
+                    if let Some(cr) = &mut st.cache {
+                        if cr.table == scan.table_name {
+                            if let Some(rec) = &mut cr.record {
+                                if rec.is_topk() {
+                                    rec.snapshot_version = Some(scan.table.version());
+                                }
+                            }
+                        }
+                    }
+                    order_col_hook = Some(order_col);
+                }
+            }
+        }
+        let chain = bind_chain(&chain, &scan.schema)?;
+        Ok(Some(SideScan {
+            scan,
+            chain,
+            order_col: order_col_hook,
+        }))
+    }
+
     /// Execute a probe side (Filter*/Project* chain over a scan) with
-    /// join pruning applied to its scan set, streaming rows into `sink`.
-    /// Falls back to materialized execution for other shapes.
+    /// join pruning applied to its scan set, streaming rows into `sink`
+    /// with their source partition. Falls back to materialized execution
+    /// (no provenance) for other shapes.
     fn exec_side_with_pruning(
         &self,
         plan: &Plan,
@@ -1058,74 +1243,280 @@ impl Executor {
         key_column: &str,
         topk: Option<(&TopKSpec, &Arc<Boundary>)>,
         st: &mut RunState,
-        sink: &mut dyn FnMut(Vec<Value>),
+        sink: &mut dyn FnMut(Vec<Value>, Option<PartitionId>),
     ) -> Result<()> {
-        if let Some((chain, table, predicate)) = split_chain(plan) {
-            let mut scan = self.prepare_scan(table, predicate, st)?;
-            if let Some(summary) = summary {
-                if let Ok(key_idx) = scan.schema.index_of(key_column) {
-                    let metas: Vec<PartitionMeta> =
-                        scan.table.metadata().into_iter().cloned().collect();
-                    let res = prune_probe_side(summary, &scan.scan_set, &metas, key_idx);
-                    st.report.pruning.pruned_by_join += res.pruned as u64;
-                    scan.scan_set = res.scan_set;
-                }
-            }
-            // Figure 7b: when this side is the top-k spine target, install
-            // the boundary hook, order the scan set, and seed the boundary.
-            let mut boundary_hook: Option<(&Arc<Boundary>, usize)> = None;
-            if let Some((spec, boundary)) = topk {
-                if scan.table_name == spec.target_table {
-                    if let Ok(order_col) = scan.schema.index_of(&spec.order_column) {
-                        let metas: Vec<PartitionMeta> =
-                            scan.table.metadata().into_iter().cloned().collect();
-                        order_scan_set(
-                            &mut scan.scan_set,
-                            &metas,
-                            order_col,
-                            spec.desc,
-                            self.cfg.topk_order,
-                        );
-                        if self.cfg.topk_init_boundary {
-                            if let Some(init) = initial_boundary(
-                                &scan.scan_set,
-                                &metas,
-                                order_col,
-                                spec.k + spec.offset,
-                                spec.desc,
-                            ) {
-                                boundary.tighten(&init);
-                            }
-                        }
-                        boundary_hook = Some((boundary, order_col));
-                    }
-                }
-            }
-            let bound_chain = bind_chain(&chain, &scan.schema)?;
+        if let Some(side) = self.prepare_side_scan(plan, summary, key_column, topk, st)? {
+            let boundary_hook = topk.and_then(|(_, b)| side.order_col.map(|c| (b, c)));
             let stats = self.stream_chain_rows(
-                &scan,
+                &side.scan,
                 st.lane,
                 boundary_hook,
-                &bound_chain,
-                // Join sides feed joined/materialized consumers that carry
-                // no per-row partition provenance.
-                &mut |r, _| sink(r),
+                &side.chain,
+                &mut |r, pid| sink(r, Some(pid)),
             );
-            if boundary_hook.is_some() {
-                let topk_pruned = stats.skipped_by_boundary + stats.cancelled_by_boundary;
-                st.report.topk_stats.partitions_considered += stats.considered;
-                st.report.topk_stats.partitions_skipped += topk_pruned;
-                st.report.pruning.pruned_by_topk += topk_pruned;
-            }
-            st.report.pruning.pruned_by_filter += stats.cancelled_by_runtime_filter;
-            st.report.scan_stats.merge(&stats);
+            merge_side_stats(&mut st.report, &stats, side.order_col.is_some());
             return Ok(());
         }
         let rows = self.exec_node(plan, st)?;
         for r in rows.rows {
-            sink(r);
+            sink(r, None);
         }
         Ok(())
+    }
+
+    /// Batch-native bulk load of a join side into a [`JoinBuild`]: when
+    /// `plan` is a Filter*/Project* chain over a scan (and the batch-native
+    /// path is on), collect its refined batches in scan-set order and push
+    /// rows + keys column-major. Returns `None` when the side needs the
+    /// generic row fallback.
+    fn try_batch_join_side(
+        &self,
+        plan: &Plan,
+        key_column: &str,
+        summary: Option<&JoinSummary>,
+        st: &mut RunState,
+    ) -> Result<Option<JoinBuild>> {
+        if !self.cfg.batch_native {
+            return Ok(None);
+        }
+        let Some(side) = self.prepare_side_scan(plan, summary, key_column, None, st)? else {
+            return Ok(None);
+        };
+        let key_out = plan.schema()?.index_of(key_column)?;
+        let mut jb = JoinBuild::new();
+        let (stats, batches) = self.collect_chain_batches(&side.scan, st.lane, &side.chain, None);
+        for b in &batches {
+            jb.push_batch(b, &side.chain, key_out);
+        }
+        merge_side_stats(&mut st.report, &stats, false);
+        Ok(Some(jb))
+    }
+
+    /// Load the outer join's probe (lookup) side into a [`JoinBuild`]:
+    /// batch-native bulk load when the side is a chain over a scan, row
+    /// streaming otherwise.
+    fn outer_probe_lookup(
+        &self,
+        probe: &Plan,
+        probe_key: &str,
+        summary: Option<&JoinSummary>,
+        st: &mut RunState,
+    ) -> Result<JoinBuild> {
+        if let Some(jb) = self.try_batch_join_side(probe, probe_key, summary, st)? {
+            return Ok(jb);
+        }
+        let probe_schema = probe.schema()?;
+        let pk = probe_schema.index_of(probe_key)?;
+        let mut jb = JoinBuild::new();
+        self.exec_side_with_pruning(probe, summary, probe_key, None, st, &mut |r, _| {
+            let key = r[pk].clone();
+            jb.push_row(r, key);
+        })?;
+        Ok(jb)
+    }
+
+    /// Stream a scan's *batches* — refined by `chain`'s filters but not
+    /// materialized — into a driver-side sequential sink. The batch-native
+    /// counterpart of [`Executor::stream_chain_rows`]: identical pooling,
+    /// boundary, and arrival-order semantics, but rows stay column-major
+    /// until the consumer (the join probe) decides what to materialize.
+    fn stream_chain_batches(
+        &self,
+        scan: &CompiledScan,
+        lane: QueryId,
+        boundary: Option<(&Arc<Boundary>, usize)>,
+        chain: &BatchChain,
+        sink: &mut dyn FnMut(Batch),
+    ) -> ScanRunStats {
+        if let Some(pool) = &self.pool {
+            let (tx, rx) = std::sync::mpsc::sync_channel::<Batch>(pool.worker_count() * 4);
+            let chain = Arc::new(chain.clone());
+            let ticket: ScanTicket = pool.submit(
+                lane,
+                ScanJobSpec {
+                    scan: scan.clone(),
+                    io: self.io.clone(),
+                    io_cost: self.cfg.io_cost,
+                    boundary: boundary.map(|(b, col)| (Arc::clone(b), col)),
+                    runtime_pruner: self.runtime_pruner_for(scan),
+                    morsel_partitions: self.cfg.morsel_partitions,
+                    prefetch_depth: self.cfg.prefetch_depth,
+                    batch_rows: self.cfg.batch_rows,
+                    sink: Box::new(move |_, batch| {
+                        let mut sel = batch.sel.clone();
+                        chain.refine(&batch.part, &mut sel);
+                        if !sel.is_empty() {
+                            let _ = tx.send(Batch {
+                                part: batch.part,
+                                sel,
+                            });
+                        }
+                    }),
+                    stop: Box::new(|| false),
+                    on_morsel_done: None,
+                },
+            );
+            // The job (and with it the sender) drops when its last morsel
+            // finishes, ending this loop.
+            for batch in rx {
+                sink(batch);
+            }
+            return ticket.wait();
+        }
+        let runtime_pruner = self.runtime_pruner_for(scan).map(Mutex::new);
+        let hooks = ScanHooks {
+            boundary,
+            runtime_pruner: runtime_pruner.as_ref(),
+            prefetch_depth: self.cfg.prefetch_depth,
+            batch_rows: self.cfg.batch_rows,
+        };
+        stream_scan(scan, &self.io, &self.cfg.io_cost, &hooks, |batch| {
+            let mut sel = batch.sel.clone();
+            chain.refine(&batch.part, &mut sel);
+            if !sel.is_empty() {
+                sink(Batch {
+                    part: batch.part,
+                    sel,
+                });
+            }
+            ControlFlow::Continue(())
+        })
+    }
+
+    /// Run a scan to completion and return its refined batches in exact
+    /// scan-set order — the batch-native analogue of
+    /// [`Executor::run_pooled_scan`]'s ordered row reassembly. Pooled
+    /// workers refine batches morsel-locally and park them in per-morsel
+    /// slots, so the returned order (and with it every order-sensitive
+    /// consumer: float accumulation, join-summary construction) is
+    /// byte-identical to the sequential scan no matter how morsels
+    /// interleave. `survivors`, when armed, records partitions that
+    /// emitted at least one scan-predicate-selected row *before* the chain
+    /// refines (the same contract as `exec_scan`).
+    fn collect_chain_batches(
+        &self,
+        scan: &CompiledScan,
+        lane: QueryId,
+        chain: &BatchChain,
+        survivors: Option<Arc<Mutex<HashSet<PartitionId>>>>,
+    ) -> (ScanRunStats, Vec<Batch>) {
+        if let Some(pool) = &self.pool {
+            let morsels = scan
+                .scan_set
+                .len()
+                .div_ceil(self.cfg.morsel_partitions.max(1));
+            let slots: Arc<Vec<Mutex<Vec<Batch>>>> =
+                Arc::new((0..morsels).map(|_| Mutex::new(Vec::new())).collect());
+            let sink_slots = Arc::clone(&slots);
+            let chain = chain.clone();
+            let sink: Box<crate::pool::PartitionSink> = Box::new(move |mi, batch| {
+                if !batch.is_empty() {
+                    if let Some(s) = &survivors {
+                        s.lock().insert(batch.part.meta.id);
+                    }
+                }
+                let mut sel = batch.sel.clone();
+                chain.refine(&batch.part, &mut sel);
+                if !sel.is_empty() {
+                    sink_slots[mi].lock().push(Batch {
+                        part: batch.part,
+                        sel,
+                    });
+                }
+            });
+            let stats = pool
+                .submit(
+                    lane,
+                    ScanJobSpec {
+                        scan: scan.clone(),
+                        io: self.io.clone(),
+                        io_cost: self.cfg.io_cost,
+                        boundary: None,
+                        runtime_pruner: self.runtime_pruner_for(scan),
+                        morsel_partitions: self.cfg.morsel_partitions,
+                        prefetch_depth: self.cfg.prefetch_depth,
+                        batch_rows: self.cfg.batch_rows,
+                        sink,
+                        stop: Box::new(|| false),
+                        on_morsel_done: None,
+                    },
+                )
+                .wait();
+            let batches = slots
+                .iter()
+                .flat_map(|slot| std::mem::take(&mut *slot.lock()))
+                .collect();
+            return (stats, batches);
+        }
+        let mut batches = Vec::new();
+        let runtime_pruner = self.runtime_pruner_for(scan).map(Mutex::new);
+        let hooks = ScanHooks {
+            boundary: None,
+            runtime_pruner: runtime_pruner.as_ref(),
+            prefetch_depth: self.cfg.prefetch_depth,
+            batch_rows: self.cfg.batch_rows,
+        };
+        let stats = stream_scan(scan, &self.io, &self.cfg.io_cost, &hooks, |batch| {
+            if !batch.is_empty() {
+                if let Some(s) = &survivors {
+                    s.lock().insert(batch.part.meta.id);
+                }
+            }
+            let mut sel = batch.sel.clone();
+            chain.refine(&batch.part, &mut sel);
+            if !sel.is_empty() {
+                batches.push(Batch {
+                    part: batch.part,
+                    sel,
+                });
+            }
+            ControlFlow::Continue(())
+        });
+        (stats, batches)
+    }
+
+    /// Batch-native GROUP BY over a Filter*/Project* chain: columns fold
+    /// straight into typed per-group accumulators
+    /// ([`crate::agg::fold_chunk_grouped`]) without ever materializing
+    /// input rows. Returns `None` for non-chain inputs (the row path
+    /// handles them).
+    fn exec_batch_aggregate(
+        &self,
+        plan: &Plan,
+        input: &Plan,
+        group_by: &[String],
+        aggs: &[AggFunc],
+        st: &mut RunState,
+    ) -> Result<Option<RowSet>> {
+        let Some((chain, table, predicate)) = split_chain(input) else {
+            return Ok(None);
+        };
+        let scan = self.prepare_scan(table, predicate, st)?;
+        // Filter-shape cache recording, same contract as `exec_scan`:
+        // remember every partition that emitted at least one selected row
+        // and pin the snapshot version the recording refers to.
+        let survivors = match &mut st.cache {
+            Some(cr) if cr.table == table => match &mut cr.record {
+                Some(rec) if !rec.is_topk() => {
+                    rec.snapshot_version = Some(scan.table.version());
+                    Some(Arc::clone(&rec.survivors))
+                }
+                _ => None,
+            },
+            _ => None,
+        };
+        let bound_chain = bind_chain(&chain, &scan.schema)?;
+        let input_schema = input.schema()?;
+        let mut agg = BatchAggregator::new(&bound_chain, &input_schema, group_by, aggs)?;
+        let (stats, batches) = self.collect_chain_batches(&scan, st.lane, &bound_chain, survivors);
+        for b in &batches {
+            agg.update(b);
+        }
+        merge_side_stats(&mut st.report, &stats, false);
+        Ok(Some(RowSet {
+            schema: plan.schema()?,
+            rows: agg.finish(),
+        }))
     }
 
     // ---- top-k ----------------------------------------------------------
@@ -1481,6 +1872,28 @@ impl LimitTracker {
     }
 }
 
+/// A join side compiled by [`Executor::prepare_side_scan`]: the (join- and
+/// cache-restricted) scan, the bound filter/project chain above it, and
+/// the order column when the Figure-7b boundary hook installed.
+struct SideScan {
+    scan: CompiledScan,
+    chain: BatchChain,
+    order_col: Option<usize>,
+}
+
+/// Merge one join-side scan's counters into the query report; `hooked`
+/// adds the top-k boundary tallies when the Figure-7b hook was installed.
+fn merge_side_stats(report: &mut ExecReport, stats: &ScanRunStats, hooked: bool) {
+    if hooked {
+        let topk_pruned = stats.skipped_by_boundary + stats.cancelled_by_boundary;
+        report.topk_stats.partitions_considered += stats.considered;
+        report.topk_stats.partitions_skipped += topk_pruned;
+        report.pruning.pruned_by_topk += topk_pruned;
+    }
+    report.pruning.pruned_by_filter += stats.cancelled_by_runtime_filter;
+    report.scan_stats.merge(stats);
+}
+
 /// A row consumer on the streaming path, with optional source-partition
 /// provenance (None for joined or materialized rows).
 type RowSink<'a> = &'a mut dyn FnMut(Vec<Value>, Option<PartitionId>);
@@ -1582,6 +1995,21 @@ fn sort_rows(input: RowSet, keys: &[SortKey]) -> Result<RowSet> {
         schema: input.schema,
         rows,
     })
+}
+
+/// How many `Scan` nodes of `table` appear in the plan. Cache admission of
+/// join shapes requires exactly one (self-joins scan the target twice, and
+/// restricting both scans to one side's contributors would be unsound).
+fn count_scans_of(plan: &Plan, table: &str) -> usize {
+    let mut n = 0;
+    plan.visit(&mut |p| {
+        if let Plan::Scan { table: t, .. } = p {
+            if t == table {
+                n += 1;
+            }
+        }
+    });
+    n
 }
 
 fn has_join(plan: &Plan) -> bool {

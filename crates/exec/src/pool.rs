@@ -45,7 +45,7 @@ pub type QueryId = u64;
 /// lets callers reassemble output in scan-set order regardless of which
 /// worker ran which morsel; the batch carries its partition (provenance)
 /// and the selected rows of one `batch_rows` window.
-pub type PartitionSink = dyn for<'a> Fn(usize, Batch<'a>) + Send + Sync;
+pub type PartitionSink = dyn Fn(usize, Batch) + Send + Sync;
 
 /// Early-stop signal (LIMIT-style). Checked before each partition except
 /// the scan's pre-assigned leading partitions (§4.4).

@@ -213,7 +213,7 @@ pub fn stream_scan(
     io: &IoStats,
     io_cost: &IoCostModel,
     hooks: &ScanHooks<'_>,
-    mut sink: impl FnMut(Batch<'_>) -> ControlFlow<()>,
+    mut sink: impl FnMut(Batch) -> ControlFlow<()>,
 ) -> ScanRunStats {
     let mut stats = ScanRunStats::default();
     run_scan_slice(
@@ -263,7 +263,7 @@ pub(crate) fn run_scan_slice(
     hooks: &ScanHooks<'_>,
     stop: &dyn Fn() -> bool,
     stats: &mut ScanRunStats,
-    sink: &mut dyn FnMut(Batch<'_>) -> ControlFlow<()>,
+    sink: &mut dyn FnMut(Batch) -> ControlFlow<()>,
 ) {
     let depth = hooks.prefetch_depth.max(1);
     let mut lake = AsyncLake::new(Arc::clone(&scan.table), io.clone(), *io_cost);
@@ -349,7 +349,7 @@ fn finish_load(
     slot: InflightSlot<'_>,
     stats: &mut ScanRunStats,
     halted: &mut bool,
-    sink: &mut dyn FnMut(Batch<'_>) -> ControlFlow<()>,
+    sink: &mut dyn FnMut(Batch) -> ControlFlow<()>,
 ) {
     let entry = &scan.scan_set.entries[slot.index];
     // §4.4 pre-assigned partitions are never cancelled by the runtime
@@ -400,7 +400,12 @@ fn finish_load(
         let len = batch_rows.min(n - start);
         let sel = select_range(scan, entry, &part, start, len);
         stats.rows_emitted += sel.len() as u64;
-        if sink(Batch { part: &part, sel }).is_break() {
+        if sink(Batch {
+            part: Arc::clone(&part),
+            sel,
+        })
+        .is_break()
+        {
             *halted = true;
         }
         start += len;

@@ -559,6 +559,226 @@ mod tests {
         assert_eq!(session.cache_stats().stale_rejections, 1);
     }
 
+    // ---- batch-native join/agg shapes in the cache ----------------------
+
+    use snowprune_plan::{AggFunc, JoinType};
+
+    /// dim(dk, name) × fact(k, dim_k, score): 1 000 fact rows in 20
+    /// natural-order partitions, unique pseudo-random scores, every
+    /// `dim_k` present in the 2-partition dim table.
+    fn star_catalog() -> Catalog {
+        let dim_schema = Schema::new(vec![
+            Field::new("dk", ScalarType::Int),
+            Field::new("name", ScalarType::Str),
+        ]);
+        let mut d = TableBuilder::new("dim", dim_schema).target_rows_per_partition(8);
+        for i in 0..16i64 {
+            d.push_row(vec![Value::Int(i), Value::Str(format!("d{i}"))]);
+        }
+        let fact_schema = Schema::new(vec![
+            Field::new("k", ScalarType::Int),
+            Field::new("dim_k", ScalarType::Int),
+            Field::new("score", ScalarType::Int),
+            Field::new("tag", ScalarType::Int),
+        ]);
+        let mut f = TableBuilder::new("fact", fact_schema).target_rows_per_partition(50);
+        for i in 0..1_000i64 {
+            f.push_row(vec![
+                Value::Int(i),
+                Value::Int(i % 16),
+                Value::Int((i * 7919) % 1_000_003),
+                // Unclustered: every partition's [min, max] straddles most
+                // tag values, so zone maps cannot prune a tag predicate.
+                Value::Int((i * 37) % 500),
+            ]);
+        }
+        let c = Catalog::new();
+        c.register(d.build());
+        c.register(f.build());
+        c
+    }
+
+    fn star_session(threads: usize) -> Session {
+        Session::new(
+            star_catalog(),
+            ExecConfig::default()
+                .with_scan_threads(threads)
+                .with_predicate_cache(true),
+        )
+    }
+
+    fn star_schema(session: &Session, table: &str) -> Schema {
+        session.catalog.get(table).unwrap().read().schema().clone()
+    }
+
+    /// Top-5 fact rows by score, joined through dim (Figure 7b shape:
+    /// the ORDER BY column comes from the probe side).
+    fn topk_over_join(session: &Session, k: u64) -> Plan {
+        let dim = star_schema(session, "dim");
+        let fact = star_schema(session, "fact");
+        PlanBuilder::scan("dim", dim)
+            .join(
+                PlanBuilder::scan("fact", fact),
+                "dk",
+                "dim_k",
+                JoinType::Inner,
+            )
+            .order_by("score", true)
+            .limit(k)
+            .build()
+    }
+
+    #[test]
+    fn topk_over_join_warm_replay_hits_and_restricts() {
+        // Regression: join shapes used to be shut out of cache admission
+        // because the row-fallback join discarded partition provenance —
+        // the heap could never attribute its survivors to fact partitions.
+        for threads in [1usize, 3] {
+            let session = star_session(threads);
+            let plan = topk_over_join(&session, 5);
+            let cold = session.run(&plan).unwrap();
+            assert_eq!(cold.report.cache, CacheOutcome::Miss);
+            let warm = session.run(&plan).unwrap();
+            assert_eq!(warm.report.cache, CacheOutcome::Hit, "threads {threads}");
+            assert_eq!(warm.rows.rows, cold.rows.rows);
+            assert!(warm.report.pruned_by_cache > 0, "probe scan not restricted");
+            // Cold-run boundary refinement may already have narrowed the
+            // probe scan to the contributing partitions, so `<=` (the
+            // restriction proof is the pruned_by_cache counter above).
+            assert!(warm.io.partitions_loaded <= cold.io.partitions_loaded);
+            let stats = session.cache_stats();
+            assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+        }
+    }
+
+    #[test]
+    fn fact_dml_keeps_join_topk_replays_correct() {
+        let session = star_session(2);
+        let plan = topk_over_join(&session, 5);
+        session.run(&plan).unwrap();
+        // INSERT a new global maximum on the target (probe) side: the
+        // entry survives via appended partitions and the warm hit must
+        // surface the new row through the join.
+        session
+            .insert_rows(
+                "fact",
+                vec![vec![
+                    Value::Int(5_000),
+                    Value::Int(3),
+                    Value::Int(9_999_999),
+                    Value::Int(0),
+                ]],
+            )
+            .unwrap();
+        let warm = session.run(&plan).unwrap();
+        assert_eq!(warm.report.cache, CacheOutcome::Hit);
+        assert_eq!(warm.rows.rows[0][4], Value::Int(9_999_999));
+        // DELETE on the target invalidates the top-k entry as usual.
+        session
+            .delete_rows("fact", |row| row[2] == Value::Int(9_999_999))
+            .unwrap();
+        let after = session.run(&plan).unwrap();
+        assert_eq!(after.report.cache, CacheOutcome::Miss);
+        assert!(session.cache_stats().invalidations >= 1);
+        let oracle = Executor::new(session.catalog.clone(), ExecConfig::no_pruning())
+            .run(&plan)
+            .unwrap();
+        assert_eq!(after.rows.rows, oracle.rows.rows);
+    }
+
+    #[test]
+    fn dml_on_aux_dim_table_invalidates_join_topk_entry() {
+        // Regression: the entry's restriction was computed against the old
+        // build side. Serving it after a dim DELETE would replay a top-k
+        // whose rows no longer join — the aux-table invalidation must fire.
+        let session = star_session(2);
+        let plan = topk_over_join(&session, 5);
+        session.run(&plan).unwrap();
+        assert_eq!(session.run(&plan).unwrap().report.cache, CacheOutcome::Hit);
+        session
+            .delete_rows("dim", |row| row[0] == Value::Int(3))
+            .unwrap();
+        let after = session.run(&plan).unwrap();
+        assert_eq!(after.report.cache, CacheOutcome::Miss, "stale aux served");
+        assert!(session.cache_stats().invalidations >= 1);
+        let oracle = Executor::new(session.catalog.clone(), ExecConfig::no_pruning())
+            .run(&plan)
+            .unwrap();
+        assert_eq!(after.rows.rows, oracle.rows.rows);
+    }
+
+    #[test]
+    fn untracked_aux_dml_is_rejected_as_stale() {
+        // A dim mutation behind the session's back (no on_dml): the
+        // lookup's aux-version check must reject the entry.
+        let session = star_session(2);
+        let plan = topk_over_join(&session, 5);
+        session.run(&plan).unwrap();
+        let handle = session.catalog.get("dim").unwrap();
+        handle
+            .write()
+            .insert_rows(vec![vec![Value::Int(777), Value::Str("ghost".into())]]);
+        let out = session.run(&plan).unwrap();
+        assert_eq!(out.report.cache, CacheOutcome::Miss);
+        assert_eq!(session.cache_stats().stale_rejections, 1);
+    }
+
+    #[test]
+    fn filtered_aggregate_warm_replay_hits_and_restricts() {
+        // Regression: aggregates were never admitted to the cache even
+        // though the scan's filter survivors are an exact replay set.
+        for threads in [1usize, 3] {
+            let session = star_session(threads);
+            let fact = star_schema(&session, "fact");
+            let plan = PlanBuilder::scan("fact", fact)
+                .filter(col("tag").eq(lit(123i64)))
+                .aggregate(
+                    vec!["dim_k"],
+                    vec![AggFunc::Sum("score".into()), AggFunc::CountStar],
+                )
+                .build();
+            let cold = session.run(&plan).unwrap();
+            assert_eq!(cold.report.cache, CacheOutcome::Miss);
+            let warm = session.run(&plan).unwrap();
+            assert_eq!(warm.report.cache, CacheOutcome::Hit, "threads {threads}");
+            assert_eq!(warm.rows.rows, cold.rows.rows);
+            assert!(warm.report.pruned_by_cache > 0, "scan set not restricted");
+        }
+    }
+
+    #[test]
+    fn filtered_aggregate_entry_tracks_inserts() {
+        let session = star_session(2);
+        let fact = star_schema(&session, "fact");
+        let plan = PlanBuilder::scan("fact", fact)
+            .filter(col("tag").eq(lit(123i64)))
+            .aggregate(
+                vec!["dim_k"],
+                vec![AggFunc::Sum("score".into()), AggFunc::CountStar],
+            )
+            .build();
+        session.run(&plan).unwrap();
+        // INSERT a row matching the filter: the appended partition rides
+        // along, so the warm hit reflects the new row.
+        session
+            .insert_rows(
+                "fact",
+                vec![vec![
+                    Value::Int(120),
+                    Value::Int(2),
+                    Value::Int(-50),
+                    Value::Int(123),
+                ]],
+            )
+            .unwrap();
+        let warm = session.run(&plan).unwrap();
+        assert_eq!(warm.report.cache, CacheOutcome::Hit);
+        let oracle = Executor::new(session.catalog.clone(), ExecConfig::no_pruning())
+            .run(&plan)
+            .unwrap();
+        assert_eq!(warm.rows.rows, oracle.rows.rows);
+    }
+
     #[test]
     fn update_of_predicate_column_does_not_poison_warm_filter() {
         let session = cached_session(2);

@@ -122,6 +122,18 @@ fn refine_cmp(part: &MicroPartition, col: usize, op: CmpOp, lit: &Value, sel: &m
     }
 }
 
+/// Drop rows whose value in column `col` is NULL. This is the Kleene
+/// join-key kernel: an equi-join key compares `UNKNOWN` against every
+/// build value when NULL, so NULL-key probe rows can be discarded before
+/// any hash or Bloom lookup. The dense (no-nulls) case is a no-op that
+/// keeps the selection's allocation-free `All` form.
+pub fn refine_valid(part: &MicroPartition, col: usize, sel: &mut SelVec) {
+    match part.column(col).validity() {
+        None => {}
+        Some(bits) => keep(sel, |i| bits.get(i)),
+    }
+}
+
 /// Hoist the validity check out of the row loop: the dense (no-nulls) case
 /// runs `test` alone, the sparse case masks through the bitmap first.
 #[inline]
@@ -136,17 +148,7 @@ fn keep_valid(sel: &mut SelVec, validity: Option<&Bitmap>, test: impl Fn(usize) 
 /// typed kernel compiles to a tight loop over its concrete column slice.
 #[inline]
 fn keep(sel: &mut SelVec, test: impl Fn(usize) -> bool) {
-    match sel {
-        SelVec::All(range) => {
-            let mut rows = Vec::with_capacity(range.len());
-            rows.extend(range.clone().filter(|&i| test(i)));
-            if rows.len() != range.len() {
-                *sel = SelVec::Rows(rows);
-            }
-            // else: every row passed — keep the allocation-free All form.
-        }
-        SelVec::Rows(rows) => rows.retain(|&i| test(i)),
-    }
+    sel.retain(test);
 }
 
 #[cfg(test)]
@@ -244,6 +246,17 @@ mod tests {
         let pred = col("x").gt(lit(0i64)).bind(&s).unwrap();
         // Rows 3..5 both have x > 0 and are valid: selection stays All.
         assert_eq!(select_range(&pred, &p, 3, 2), SelVec::All(3..5));
+    }
+
+    #[test]
+    fn refine_valid_drops_null_rows_only() {
+        let p = part();
+        // Column x has a NULL at row 2; column s at row 1.
+        let mut sel = SelVec::All(0..5);
+        refine_valid(&p, 0, &mut sel);
+        assert_eq!(sel.to_vec(), vec![0, 1, 3, 4]);
+        refine_valid(&p, 2, &mut sel);
+        assert_eq!(sel.to_vec(), vec![0, 3, 4]);
     }
 
     #[test]

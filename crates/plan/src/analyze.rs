@@ -23,8 +23,11 @@ pub enum LimitPushdown {
     NotALimitQuery,
     /// The LIMIT reaches this table with the given effective predicates.
     Supported {
+        /// The scanned table the LIMIT applies to.
         table: String,
+        /// Row budget of the LIMIT.
         k: u64,
+        /// Rows skipped before counting toward `k`.
         offset: u64,
         /// Conjunction of all predicates between the LIMIT and the scan
         /// (including the scan's own pushed-down predicate).
@@ -33,7 +36,10 @@ pub enum LimitPushdown {
     /// An operator between LIMIT and scan blocks the pushdown
     /// (aggregation, inner join probe-only path, ...). Feeds Table 2's
     /// "unsupported shapes".
-    Unsupported { blocker: &'static str },
+    Unsupported {
+        /// Name of the blocking operator, for the Table 2 breakdown.
+        blocker: &'static str,
+    },
 }
 
 /// Walk from the top of the plan and decide where the LIMIT lands.
@@ -101,11 +107,15 @@ pub enum TopKShape {
 /// A detected top-k query.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TopKSpec {
+    /// Row budget of the top-k (heap size).
     pub k: u64,
+    /// Rows skipped before emitting (heap holds `k + offset`).
     pub offset: u64,
     /// The ORDER BY column driving the pruning boundary.
     pub order_column: String,
+    /// Descending order when true.
     pub desc: bool,
+    /// Which Figure 7 shape the query matched.
     pub shape: TopKShape,
     /// Table whose scan can consume the boundary.
     pub target_table: String,
@@ -393,7 +403,9 @@ fn intersect_predicate(pred: &Expr, ranges: &mut BTreeMap<String, LiteralRange>)
 /// `Exact` keeps them (predicate-cache keys, §8.2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FingerprintMode {
+    /// Literal-abstracted: two plans differing only in literals collide.
     Shape,
+    /// Literal-sensitive: the full plan, literals included.
     Exact,
 }
 

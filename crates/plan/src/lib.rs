@@ -1,6 +1,8 @@
 //! Logical plans and the plan analyses behind LIMIT pruning (§4.3), top-k
 //! shape detection (Figure 7), and plan fingerprinting (Figure 12, §8.2).
 
+#![warn(missing_docs)]
+
 pub mod analyze;
 pub mod plan;
 

@@ -16,6 +16,7 @@ use snowprune_types::{Error, Result};
 /// Join types supported by the engine.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum JoinType {
+    /// Inner equi-join: only matching pairs are emitted.
     Inner,
     /// Outer join preserving the **build** side: every build row appears in
     /// the output at least once ("we can guarantee that all k rows from the
@@ -29,21 +30,29 @@ pub struct SortKey {
     /// The ordering expression; top-k pruning applies when this is a bare
     /// column (possibly via projections) produced by a prunable scan.
     pub expr: Expr,
+    /// Descending order when true, ascending otherwise.
     pub desc: bool,
 }
 
 /// Aggregate functions for GROUP BY plans.
 #[derive(Clone, Debug, PartialEq)]
 pub enum AggFunc {
+    /// `COUNT(*)`: counts every input row.
     CountStar,
+    /// `COUNT(col)`: counts non-NULL values of the column.
     Count(String),
+    /// `SUM(col)`; NULL over empty or all-NULL input.
     Sum(String),
+    /// `MIN(col)`; NULL over empty or all-NULL input.
     Min(String),
+    /// `MAX(col)`; NULL over empty or all-NULL input.
     Max(String),
+    /// `AVG(col)` as a float; NULL over empty or all-NULL input.
     Avg(String),
 }
 
 impl AggFunc {
+    /// Name of the output column this aggregate produces (e.g. `sum_b`).
     pub fn output_name(&self) -> String {
         match self {
             AggFunc::CountStar => "count".into(),
@@ -55,6 +64,7 @@ impl AggFunc {
         }
     }
 
+    /// The column the aggregate reads, or `None` for `COUNT(*)`.
     pub fn input_column(&self) -> Option<&str> {
         match self {
             AggFunc::CountStar => None,
@@ -84,40 +94,66 @@ pub enum Plan {
     /// Base table scan. `predicate` holds pushed-down filters (unbound;
     /// bound against the table schema at execution/pruning time).
     Scan {
+        /// Table name, resolved against the catalog at execution time.
         table: String,
+        /// The table's schema at plan-build time.
         schema: Schema,
+        /// Pushed-down filter conjunction, if any.
         predicate: Option<Expr>,
     },
+    /// Filter over an arbitrary input (filters directly above a scan are
+    /// pushed into the scan by [`PlanBuilder::filter`]).
     Filter {
+        /// The node the filter reads from.
         input: Box<Plan>,
+        /// The filter predicate (SQL three-valued logic: keep only TRUE).
         predicate: Expr,
     },
     /// Column projection by name.
     Project {
+        /// The node the projection reads from.
         input: Box<Plan>,
+        /// Output columns, by name, in output order.
         columns: Vec<String>,
     },
     /// Hash join: `build` (left) is materialized into the hash table,
     /// `probe` (right) streams. Keys are single equi-join columns.
     Join {
+        /// Build side (left); materialized into the hash table. For outer
+        /// joins this is the preserved side.
         build: Box<Plan>,
+        /// Probe side (right); streams against the build table.
         probe: Box<Plan>,
+        /// Equi-join key column on the build side.
         build_key: String,
+        /// Equi-join key column on the probe side.
         probe_key: String,
+        /// Inner vs outer-preserve-build semantics.
         join_type: JoinType,
     },
+    /// Hash aggregation with optional GROUP BY keys.
     Aggregate {
+        /// The node the aggregation reads from.
         input: Box<Plan>,
+        /// Grouping key columns; empty for a global aggregate.
         group_by: Vec<String>,
+        /// Aggregate functions, in output order after the group keys.
         aggs: Vec<AggFunc>,
     },
+    /// Total sort; directly below [`Plan::Limit`] it forms a top-k query.
     Sort {
+        /// The node the sort reads from.
         input: Box<Plan>,
+        /// Sort keys, major first.
         keys: Vec<SortKey>,
     },
+    /// Row-count limit with optional offset.
     Limit {
+        /// The node the limit reads from.
         input: Box<Plan>,
+        /// Maximum number of rows to emit.
         k: u64,
+        /// Rows to skip before emitting.
         offset: u64,
     },
 }
@@ -178,6 +214,7 @@ impl Plan {
         out
     }
 
+    /// Pre-order traversal calling `f` on every node (build before probe).
     pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Plan)) {
         f(self);
         match self {
@@ -236,6 +273,7 @@ pub struct PlanBuilder {
 }
 
 impl PlanBuilder {
+    /// Start a plan with a base-table scan.
     pub fn scan(table: impl Into<String>, schema: Schema) -> Self {
         PlanBuilder {
             plan: Plan::Scan {
@@ -270,6 +308,7 @@ impl PlanBuilder {
         self
     }
 
+    /// Project the named columns, in the given order.
     pub fn project(mut self, columns: Vec<&str>) -> Self {
         self.plan = Plan::Project {
             input: Box::new(self.plan),
@@ -296,6 +335,7 @@ impl PlanBuilder {
         self
     }
 
+    /// Group by the named columns and compute `aggs` per group.
     pub fn aggregate(mut self, group_by: Vec<&str>, aggs: Vec<AggFunc>) -> Self {
         self.plan = Plan::Aggregate {
             input: Box::new(self.plan),
@@ -305,6 +345,7 @@ impl PlanBuilder {
         self
     }
 
+    /// Sort by the given keys, major first.
     pub fn sort(mut self, keys: Vec<SortKey>) -> Self {
         self.plan = Plan::Sort {
             input: Box::new(self.plan),
@@ -313,6 +354,7 @@ impl PlanBuilder {
         self
     }
 
+    /// Sort by one bare column (the common top-k spelling).
     pub fn order_by(self, column: &str, desc: bool) -> Self {
         self.sort(vec![SortKey {
             expr: snowprune_expr::dsl::col(column),
@@ -320,6 +362,7 @@ impl PlanBuilder {
         }])
     }
 
+    /// Keep at most `k` rows.
     pub fn limit(mut self, k: u64) -> Self {
         self.plan = Plan::Limit {
             input: Box::new(self.plan),
@@ -329,6 +372,7 @@ impl PlanBuilder {
         self
     }
 
+    /// Keep at most `k` rows after skipping `offset`.
     pub fn limit_offset(mut self, k: u64, offset: u64) -> Self {
         self.plan = Plan::Limit {
             input: Box::new(self.plan),
@@ -338,6 +382,7 @@ impl PlanBuilder {
         self
     }
 
+    /// Finish and return the built plan.
     pub fn build(self) -> Plan {
         self.plan
     }

@@ -53,6 +53,26 @@ impl SelVec {
     pub fn to_vec(&self) -> Vec<usize> {
         self.iter().collect()
     }
+
+    /// Retain only the selected rows passing `test`, in place. A
+    /// fully-passing [`SelVec::All`] range keeps its allocation-free form;
+    /// dropping any row degrades it to an explicit index list. This is the
+    /// primitive behind every predicate kernel: monomorphized per call
+    /// site so each typed test compiles to a tight loop.
+    #[inline]
+    pub fn retain(&mut self, test: impl Fn(usize) -> bool) {
+        match self {
+            SelVec::All(range) => {
+                let mut rows = Vec::with_capacity(range.len());
+                rows.extend(range.clone().filter(|&i| test(i)));
+                if rows.len() != range.len() {
+                    *self = SelVec::Rows(rows);
+                }
+                // else: every row passed — keep the allocation-free form.
+            }
+            SelVec::Rows(rows) => rows.retain(|&i| test(i)),
+        }
+    }
 }
 
 impl<'a> IntoIterator for &'a SelVec {
@@ -120,5 +140,16 @@ mod tests {
         assert!(SelVec::empty().is_empty());
         assert!(SelVec::All(5..5).is_empty());
         assert_eq!(SelVec::All(5..5).to_vec(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn retain_keeps_all_form_when_everything_passes() {
+        let mut s = SelVec::All(2..6);
+        s.retain(|_| true);
+        assert_eq!(s, SelVec::All(2..6));
+        s.retain(|i| i % 2 == 0);
+        assert_eq!(s, SelVec::Rows(vec![2, 4]));
+        s.retain(|i| i > 2);
+        assert_eq!(s, SelVec::Rows(vec![4]));
     }
 }

@@ -826,19 +826,147 @@ fn prefetch_depths_match_sequential_oracle() {
 /// per-shape determinism contract as the pruning leg instead.
 #[test]
 fn vectorized_matches_row_oracle() {
+    run_batch_size_sweep(random_queries, 0xD1FF_0000, 0x5EED, ExecConfig::default());
+}
+
+// ---- the batch-native join/agg leg ---------------------------------------
+
+/// Join/aggregation shapes that historically dropped to the row-at-a-time
+/// fallback at the first join or GROUP BY. Both engines must agree on them
+/// whether the batch-native operators are on or off.
+fn joinagg_queries(rng: &mut StdRng, wl: &Workload) -> Vec<(Plan, Check)> {
+    let fs = &wl.fact_schema;
+    let ds = &wl.dim_schema;
+    let mut out = Vec::new();
+    // 1. Inner join: filtered dim build side, optionally filtered fact
+    //    probe side (batch-native build and probe).
+    {
+        let dim = PlanBuilder::scan("dim", ds.clone())
+            .filter(col("weight").lt(lit(rng.random_range(1i64..40))));
+        let mut probe = PlanBuilder::scan("fact", fs.clone());
+        if rng.random::<f64>() < 0.5 {
+            probe = probe.filter(random_predicate(rng, wl.fact_rows));
+        }
+        out.push((
+            dim.join(probe, "id", "b", JoinType::Inner).build(),
+            Check::Sorted,
+        ));
+    }
+    // 2. Outer preserve-build join: NULL-padded build rows ride along and
+    //    NULL join keys must never match (Kleene semantics).
+    {
+        let dim = PlanBuilder::scan("dim", ds.clone());
+        let probe =
+            PlanBuilder::scan("fact", fs.clone()).filter(random_predicate(rng, wl.fact_rows));
+        out.push((
+            dim.join(probe, "id", "b", JoinType::OuterPreserveBuild)
+                .build(),
+            Check::Sorted,
+        ));
+    }
+    // 3. Top-k over a join on the probe-side unique key (Figure 7b):
+    //    boundary logs above the join, per-row provenance through it.
+    {
+        let dim = PlanBuilder::scan("dim", ds.clone());
+        let mut probe = PlanBuilder::scan("fact", fs.clone());
+        if rng.random::<f64>() < 0.5 {
+            probe = probe.filter(random_predicate(rng, wl.fact_rows));
+        }
+        let k = rng.random_range(1u64..25);
+        out.push((
+            dim.join(probe, "id", "b", JoinType::Inner)
+                .order_by("a", rng.random::<bool>())
+                .limit(k)
+                .build(),
+            Check::Ordered,
+        ));
+    }
+    // 4. Filtered GROUP BY straight over the fact chain: the columnar
+    //    fold path, with NULLs in `b` exercising the skip semantics.
+    {
+        let mut b = PlanBuilder::scan("fact", fs.clone());
+        if rng.random::<f64>() < 0.7 {
+            b = b.filter(random_predicate(rng, wl.fact_rows));
+        }
+        out.push((
+            b.aggregate(
+                vec!["c"],
+                vec![
+                    AggFunc::CountStar,
+                    AggFunc::Count("b".into()),
+                    AggFunc::Sum("b".into()),
+                    AggFunc::Min("a".into()),
+                    AggFunc::Max("b".into()),
+                    AggFunc::Avg("b".into()),
+                ],
+            )
+            .build(),
+            Check::Ordered,
+        ));
+    }
+    // 5. GROUP BY over a join: the aggregation consumes joined rows (not
+    //    a chain), so it exercises the fallback boundary above a
+    //    batch-native join.
+    {
+        let dim = PlanBuilder::scan("dim", ds.clone());
+        let probe = PlanBuilder::scan("fact", fs.clone());
+        out.push((
+            dim.join(probe, "id", "b", JoinType::Inner)
+                .aggregate(
+                    vec!["c"],
+                    vec![AggFunc::CountStar, AggFunc::Sum("weight".into())],
+                )
+                .build(),
+            Check::Ordered,
+        ));
+    }
+    out
+}
+
+/// Join/aggregation differential: the batch-native operators at
+/// `batch_rows ∈ {1, 3, 1024}` must be indistinguishable from the
+/// row-at-a-time fallback oracle (`batch_native(false)` with
+/// whole-partition windows — exactly the pre-batch execution). On the
+/// sequential engine rows, the full [`IoSnapshot`], scan counters, the
+/// pruning report, and the bloom-skip accounting must all be
+/// bit-identical; pooled runs are held to the per-shape determinism
+/// contract.
+#[test]
+fn joinagg_batch_matches_row_oracle() {
+    run_batch_size_sweep(
+        joinagg_queries,
+        0x10A6_0000,
+        0xBA7C,
+        ExecConfig::default().with_batch_native(false),
+    );
+}
+
+/// Shared harness for the vectorized and join/agg legs: for each seeded
+/// workload, run `make_queries` shapes on sequential and pooled engines at
+/// `batch_rows ∈ {1, 3, 1024}` against a sequential whole-partition oracle
+/// built from `oracle_base` (row-fallback when `batch_native` is off).
+fn run_batch_size_sweep(
+    make_queries: fn(&mut StdRng, &Workload) -> Vec<(Plan, Check)>,
+    seed_base: u64,
+    seed_mix: u64,
+    oracle_base: ExecConfig,
+) {
     let threads = pool_threads();
     let base_cfg = ExecConfig::default().with_prefetch_depth(env_prefetch_depth());
     for w in 0..WORKLOADS {
-        let seed = 0xD1FF_0000 + w;
+        let seed = seed_base + w;
         let wl = build_workload(seed);
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
-        let queries = random_queries(&mut rng, &wl);
+        let mut rng = StdRng::seed_from_u64(seed ^ seed_mix);
+        let queries = make_queries(&mut rng, &wl);
         let plans: Vec<Plan> = queries.iter().map(|(p, _)| p.clone()).collect();
 
         // Whole-partition row-order oracle: sequential, all pruning on.
         let oracle = Executor::new(
             wl.catalog.clone(),
-            base_cfg.clone().with_batch_rows(usize::MAX),
+            oracle_base
+                .clone()
+                .with_prefetch_depth(env_prefetch_depth())
+                .with_batch_rows(usize::MAX),
         );
         let oracle_outs: Vec<QueryOutput> = plans
             .iter()
@@ -891,6 +1019,10 @@ fn vectorized_matches_row_oracle() {
                 assert_eq!(
                     ps.report.pruning, os.report.pruning,
                     "{ctx}: seq pruning report moved with the batch size"
+                );
+                assert_eq!(
+                    ps.report.bloom_skipped_rows, os.report.bloom_skipped_rows,
+                    "{ctx}: seq bloom-skip accounting diverged"
                 );
                 // Pooled: per-shape determinism contract.
                 match check {

@@ -117,6 +117,7 @@ fn predicate_cache_round_trip_with_dml() {
             table_version: handle.read().version(),
             appended: Vec::new(),
             shape: None,
+            aux_tables: Vec::new(),
             saved_loads: 0,
         },
     );
