@@ -8,9 +8,10 @@
 
 use snowprune_bench::snapshot::Snapshot;
 use snowprune_bench::{
-    experiments as e, joinagg_exp as j, pool_exp as p, prefetch_exp as pf, tpch_exp as t,
-    vector_exp as v,
+    experiments as e, joinagg_exp as j, pool_exp as p, prefetch_exp as pf, production_exp as pr,
+    tpch_exp as t, vector_exp as v,
 };
+use snowprune_workload::ProductionScaleConfig;
 
 /// Persist a tracked snapshot next to the report (`BENCH_<name>.json`,
 /// honoring `SNOWPRUNE_BENCH_DIR`) and return a report line saying where.
@@ -126,6 +127,35 @@ fn main() {
                 };
                 s + &emit(snap)
             }),
+            "production" => Some({
+                let (s, snap) = if smoke {
+                    let scale = ProductionScaleConfig {
+                        tenants: 24,
+                        queries: 96,
+                        fact_partitions: 400,
+                        rows_per_partition: 8,
+                        zipf_s: 1.1,
+                    };
+                    pr::ext_production_snap(seed, &scale, 4)
+                } else {
+                    // Tracked-baseline scale: hundreds of tenants over a
+                    // 20k-partition lake regenerates in minutes on one
+                    // core. The generator's own default
+                    // (`ProductionScaleConfig::default()`: 512 tenants,
+                    // 2048 arrivals, 100k partitions) is the full
+                    // production scale — pass it through
+                    // `ext_production` when wall-clock budget allows.
+                    let scale = ProductionScaleConfig {
+                        tenants: 256,
+                        queries: 512,
+                        fact_partitions: 20_000,
+                        rows_per_partition: 8,
+                        zipf_s: 1.1,
+                    };
+                    pr::ext_production_snap(seed, &scale, 8)
+                };
+                s + &emit(snap)
+            }),
             _ => None,
         }
     };
@@ -148,6 +178,7 @@ fn main() {
         "prefetch",
         "vectorized",
         "joinagg",
+        "production",
     ];
     if which == "all" {
         for id in ids {

@@ -8,6 +8,7 @@ pub mod experiments;
 pub mod joinagg_exp;
 pub mod pool_exp;
 pub mod prefetch_exp;
+pub mod production_exp;
 pub mod report;
 pub mod snapshot;
 pub mod tpch_exp;

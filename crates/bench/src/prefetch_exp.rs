@@ -92,9 +92,11 @@ pub fn ext_prefetch_snap(
         let mut ec = ExecConfig::default()
             .with_scan_threads(2)
             .with_prefetch_depth(depth);
-        // The pooled pipeline drains at each morsel boundary, so morsels
-        // must be at least as large as the deepest depth in the sweep for
-        // the depths to differ at all.
+        // Keep morsels as large as the deepest depth so per-depth walls are
+        // directly comparable to the pre-chaining baselines (chain claiming
+        // now carries the window across morsels either way, but a chain
+        // never splits a partially-covered morsel, so tail overlap still
+        // depends slightly on the morsel grid).
         ec.morsel_partitions = *DEPTHS.iter().max().unwrap();
         ec.io_cost = overlap_model();
         let session = Session::new(wl.catalog.clone(), ec);

@@ -39,10 +39,10 @@ pub struct ExecConfig {
     /// evaluate, serially); ≥ 2 overlaps simulated object-store GETs with
     /// predicate evaluation, and lets a boundary that tightens mid-flight
     /// *cancel* a load before its I/O cost is ever charged. On pooled
-    /// scans the pipeline runs per morsel and drains at the morsel
-    /// boundary (another worker may own the next morsel), so the effective
-    /// in-flight count is additionally capped by `morsel_partitions`;
-    /// raise both to prefetch deeper.
+    /// scans a worker claims consecutive morsels of the same lane as one
+    /// chain covering the depth, so the window carries across morsel
+    /// boundaries and `prefetch_depth > morsel_partitions` overlaps
+    /// exactly as deeply as on a sequential scan.
     pub prefetch_depth: usize,
     /// Enable the §8.2 predicate cache: `Session` (and `Executor`) keep a
     /// shared fingerprint-keyed cache of contributing-partition sets and
@@ -68,6 +68,28 @@ pub struct ExecConfig {
     /// partitions are still loaded (and I/O charged) whole, so it does not
     /// interact with `prefetch_depth`/`morsel_partitions` I/O capping.
     pub batch_rows: usize,
+    /// Queries a single tenant may have in flight at once under admission
+    /// control (see [`crate::admission`]). Admitted queries of one tenant
+    /// start in arrival order, and a query may not start until every query
+    /// `tenant_max_concurrent` positions earlier has finished — the
+    /// windowed-FIFO discipline that keeps the adaptive-depth fold
+    /// deterministic. Clamped to ≥ 1.
+    pub tenant_max_concurrent: usize,
+    /// Queries a tenant may hold *queued* behind its in-flight window when
+    /// a burst arrives. Arrivals beyond
+    /// `tenant_max_concurrent + admission_queue_cap` are rejected with
+    /// [`crate::admission::Admission::Rejected`] instead of fanning in
+    /// unboundedly.
+    pub admission_queue_cap: usize,
+    /// Feedback-tuned prefetch depth under admission control: each
+    /// tenant's lane starts at `prefetch_depth` and, after every completed
+    /// query, doubles/halves from the observed
+    /// `io_overlapped_ns / simulated_cpu_ns` ratio, bounded to
+    /// `[1, prefetch_max_depth]`. Off by default so every existing
+    /// fixed-depth fingerprint stays bit-identical.
+    pub adaptive_prefetch: bool,
+    /// Upper bound of the adaptive prefetch depth walk.
+    pub prefetch_max_depth: usize,
     /// Batch-native joins and aggregations: hash-join probe and GROUP BY
     /// consume column-major [`crate::vector::Batch`]es directly (late
     /// materialization, per-batch partition provenance) instead of
@@ -115,6 +137,10 @@ impl Default for ExecConfig {
             predicate_cache: false,
             predicate_cache_capacity: 256,
             predicate_cache_mode: PredicateCacheMode::Exact,
+            tenant_max_concurrent: 1,
+            admission_queue_cap: 16,
+            adaptive_prefetch: false,
+            prefetch_max_depth: 8,
             batch_rows: 1024,
             batch_native: true,
             filter: FilterPruneConfig::default(),
@@ -166,6 +192,33 @@ impl ExecConfig {
         self
     }
 
+    /// Builder-style override for the per-tenant in-flight cap (clamped
+    /// to ≥ 1).
+    pub fn with_tenant_max_concurrent(mut self, n: usize) -> Self {
+        self.tenant_max_concurrent = n.max(1);
+        self
+    }
+
+    /// Builder-style override for the per-tenant admission queue capacity.
+    pub fn with_admission_queue_cap(mut self, n: usize) -> Self {
+        self.admission_queue_cap = n;
+        self
+    }
+
+    /// Builder-style toggle for feedback-tuned prefetch depth under
+    /// admission control.
+    pub fn with_adaptive_prefetch(mut self, on: bool) -> Self {
+        self.adaptive_prefetch = on;
+        self
+    }
+
+    /// Builder-style override for the adaptive-depth upper bound (clamped
+    /// to ≥ 1).
+    pub fn with_prefetch_max_depth(mut self, n: usize) -> Self {
+        self.prefetch_max_depth = n.max(1);
+        self
+    }
+
     /// Builder-style toggle for batch-native joins and aggregations.
     /// `false` forces the row-at-a-time fallback operators — the
     /// differential oracle the batch-native path must match bit-for-bit.
@@ -195,11 +248,19 @@ pub fn prefetch_depth_from_env() -> Option<usize> {
 /// environment variable (`1`/`0`, `true`/`false`, `on`/`off`). Applied
 /// explicitly by the differential cache leg (the CI matrix runs both
 /// settings), never implicitly by `ExecConfig::default()`.
+///
+/// # Panics
+/// On a malformed value (anything other than the accepted spellings), so a
+/// typo'd CI matrix fails loudly instead of silently running defaults.
 pub fn predicate_cache_from_env() -> Option<bool> {
-    match std::env::var("SNOWPRUNE_PREDICATE_CACHE").ok()?.trim() {
+    let raw = std::env::var("SNOWPRUNE_PREDICATE_CACHE").ok()?;
+    match raw.trim() {
         "1" | "true" | "on" => Some(true),
         "0" | "false" | "off" => Some(false),
-        _ => None,
+        _ => panic!(
+            "SNOWPRUNE_PREDICATE_CACHE={raw:?} is not a valid toggle \
+             (expected 1/0, true/false, or on/off)"
+        ),
     }
 }
 
@@ -207,16 +268,18 @@ pub fn predicate_cache_from_env() -> Option<bool> {
 /// `SNOWPRUNE_PREDICATE_CACHE_MODE` environment variable (`exact` or
 /// `shape`). Applied explicitly by the differential cache leg (the CI
 /// matrix sweeps both modes), never implicitly by `ExecConfig::default()`.
+///
+/// # Panics
+/// On a malformed value (anything other than `exact`/`shape`).
 pub fn predicate_cache_mode_from_env() -> Option<PredicateCacheMode> {
-    match std::env::var("SNOWPRUNE_PREDICATE_CACHE_MODE")
-        .ok()?
-        .trim()
-        .to_ascii_lowercase()
-        .as_str()
-    {
+    let raw = std::env::var("SNOWPRUNE_PREDICATE_CACHE_MODE").ok()?;
+    match raw.trim().to_ascii_lowercase().as_str() {
         "exact" => Some(PredicateCacheMode::Exact),
         "shape" => Some(PredicateCacheMode::Shape),
-        _ => None,
+        _ => panic!(
+            "SNOWPRUNE_PREDICATE_CACHE_MODE={raw:?} is not a valid mode \
+             (expected exact or shape)"
+        ),
     }
 }
 
@@ -228,11 +291,146 @@ pub fn batch_rows_from_env() -> Option<usize> {
     env_usize("SNOWPRUNE_BATCH_ROWS")
 }
 
+/// Per-tenant in-flight cap override from the
+/// `SNOWPRUNE_TENANT_MAX_CONCURRENT` environment variable. Applied
+/// explicitly by the admission stress/differential legs (the CI pool
+/// matrix sweeps it), never implicitly by `ExecConfig::default()`.
+pub fn tenant_max_concurrent_from_env() -> Option<usize> {
+    env_usize("SNOWPRUNE_TENANT_MAX_CONCURRENT")
+}
+
+/// Admission queue-capacity override from the
+/// `SNOWPRUNE_ADMISSION_QUEUE_CAP` environment variable. Unlike the other
+/// numeric knobs, `0` is meaningful (reject anything beyond the in-flight
+/// window), so only non-numeric values are malformed.
+pub fn admission_queue_cap_from_env() -> Option<usize> {
+    let raw = std::env::var("SNOWPRUNE_ADMISSION_QUEUE_CAP").ok()?;
+    match raw.trim().parse() {
+        Ok(n) => Some(n),
+        Err(_) => panic!(
+            "SNOWPRUNE_ADMISSION_QUEUE_CAP={raw:?} is not a valid queue \
+             capacity (expected a non-negative integer)"
+        ),
+    }
+}
+
+/// All env knobs must fail loudly on malformed values: a typo'd CI matrix
+/// entry (`SNOWPRUNE_PREFETCH_DEPTH=abc`) used to silently run defaults
+/// and green-light a sweep that never happened. Unset variables still
+/// return `None` — absence is the documented "use the default" signal.
 fn env_usize(var: &str) -> Option<usize> {
-    std::env::var(var)
-        .ok()?
-        .trim()
-        .parse()
-        .ok()
-        .filter(|&n: &usize| n >= 1)
+    let raw = std::env::var(var).ok()?;
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => panic!("{var}={raw:?} is not a valid value (expected an integer >= 1)"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard, PoisonError};
+
+    /// `std::env` is process-global; serialize the tests that mutate it.
+    fn env_lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn with_var<R>(var: &str, value: Option<&str>, f: impl FnOnce() -> R) -> R {
+        let _guard = env_lock();
+        match value {
+            Some(v) => std::env::set_var(var, v),
+            None => std::env::remove_var(var),
+        }
+        let out = f();
+        std::env::remove_var(var);
+        out
+    }
+
+    fn panics(f: impl FnOnce() + std::panic::UnwindSafe) -> bool {
+        std::panic::catch_unwind(f).is_err()
+    }
+
+    #[test]
+    fn unset_env_knobs_mean_defaults() {
+        with_var("SNOWPRUNE_PREFETCH_DEPTH", None, || {
+            assert_eq!(prefetch_depth_from_env(), None);
+        });
+        with_var("SNOWPRUNE_PREDICATE_CACHE", None, || {
+            assert_eq!(predicate_cache_from_env(), None);
+        });
+    }
+
+    #[test]
+    fn well_formed_env_knobs_parse() {
+        with_var("SNOWPRUNE_PREFETCH_DEPTH", Some(" 8 "), || {
+            assert_eq!(prefetch_depth_from_env(), Some(8));
+        });
+        with_var("SNOWPRUNE_SCAN_THREADS", Some("4"), || {
+            assert_eq!(scan_threads_from_env(), Some(4));
+        });
+        with_var("SNOWPRUNE_TENANT_MAX_CONCURRENT", Some("2"), || {
+            assert_eq!(tenant_max_concurrent_from_env(), Some(2));
+        });
+        with_var("SNOWPRUNE_ADMISSION_QUEUE_CAP", Some("0"), || {
+            assert_eq!(admission_queue_cap_from_env(), Some(0));
+        });
+        with_var("SNOWPRUNE_PREDICATE_CACHE", Some("on"), || {
+            assert_eq!(predicate_cache_from_env(), Some(true));
+        });
+        with_var("SNOWPRUNE_PREDICATE_CACHE_MODE", Some("Shape"), || {
+            assert_eq!(
+                predicate_cache_mode_from_env(),
+                Some(PredicateCacheMode::Shape)
+            );
+        });
+    }
+
+    #[test]
+    fn malformed_env_knobs_panic_with_var_and_value() {
+        let msg = |f: Box<dyn FnOnce() + std::panic::UnwindSafe>| -> String {
+            match std::panic::catch_unwind(f) {
+                Err(e) => e
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .unwrap_or_else(|| "non-string panic".into()),
+                Ok(()) => panic!("expected a panic"),
+            }
+        };
+        with_var("SNOWPRUNE_PREFETCH_DEPTH", Some("abc"), || {
+            let m = msg(Box::new(|| {
+                prefetch_depth_from_env();
+            }));
+            assert!(m.contains("SNOWPRUNE_PREFETCH_DEPTH"), "{m}");
+            assert!(m.contains("abc"), "{m}");
+        });
+        with_var("SNOWPRUNE_SCAN_THREADS", Some("0"), || {
+            assert!(panics(|| {
+                scan_threads_from_env();
+            }));
+        });
+        with_var("SNOWPRUNE_BATCH_ROWS", Some("-3"), || {
+            assert!(panics(|| {
+                batch_rows_from_env();
+            }));
+        });
+        with_var("SNOWPRUNE_ADMISSION_QUEUE_CAP", Some("lots"), || {
+            assert!(panics(|| {
+                admission_queue_cap_from_env();
+            }));
+        });
+        with_var("SNOWPRUNE_PREDICATE_CACHE", Some("maybe"), || {
+            let m = msg(Box::new(|| {
+                predicate_cache_from_env();
+            }));
+            assert!(m.contains("SNOWPRUNE_PREDICATE_CACHE"), "{m}");
+            assert!(m.contains("maybe"), "{m}");
+        });
+        with_var("SNOWPRUNE_PREDICATE_CACHE_MODE", Some("fuzzy"), || {
+            assert!(panics(|| {
+                predicate_cache_mode_from_env();
+            }));
+        });
+    }
 }

@@ -10,6 +10,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod agg;
 pub mod config;
 pub mod exec;
@@ -19,9 +20,11 @@ pub mod scan;
 pub mod session;
 pub mod vector;
 
+pub use admission::{Admission, AdmissionRun, TenantId, TenantStats};
 pub use config::{
-    batch_rows_from_env, predicate_cache_from_env, predicate_cache_mode_from_env,
-    prefetch_depth_from_env, scan_threads_from_env, ExecConfig, PredicateCacheMode,
+    admission_queue_cap_from_env, batch_rows_from_env, predicate_cache_from_env,
+    predicate_cache_mode_from_env, prefetch_depth_from_env, scan_threads_from_env,
+    tenant_max_concurrent_from_env, ExecConfig, PredicateCacheMode,
 };
 pub use exec::{CacheOutcome, ExecReport, Executor, QueryOutput};
 pub use pool::{MorselPool, QueryId, ScanJobSpec, ScanTicket};

@@ -35,7 +35,7 @@ use snowprune_core::filter::FilterPruner;
 use snowprune_core::topk::Boundary;
 use snowprune_storage::{IoCostModel, IoStats};
 
-use crate::scan::{run_scan_slice, CompiledScan, ScanHooks, ScanRunStats};
+use crate::scan::{CompiledScan, ScanHooks, ScanPipeline, ScanRunStats};
 use crate::vector::Batch;
 
 /// Identifies one query's FIFO lane in the injector queue.
@@ -181,6 +181,14 @@ impl Injector {
     /// Round-robin pop: take the front lane's next morsel, rotating the
     /// lane to the back if it still has work (per-query FIFO, cross-query
     /// fairness).
+    ///
+    /// Fairness audit: the pop rule has no fixed starting cursor to bias —
+    /// the *lane itself* rotates to the back of the lane queue on every
+    /// pop, and a newly submitted lane joins at the back, so under
+    /// contention every waiting lane is served exactly once per round
+    /// regardless of lane id or submission order. The regression test
+    /// `eight_contending_lanes_share_one_worker_fairly` pins the resulting
+    /// max wait-gap.
     fn pop(&mut self) -> Option<Morsel> {
         let mut lane = self.lanes.pop_front()?;
         let morsel = lane.morsels.pop_front();
@@ -188,6 +196,40 @@ impl Injector {
             self.lanes.push_back(lane);
         }
         morsel
+    }
+
+    /// Round-robin pop of a *chain*: the front lane's next morsel plus as
+    /// many consecutive same-job successors as it takes to cover the
+    /// job's `prefetch_depth` in scan-set entries. The worker runs the
+    /// chain through one shared [`ScanPipeline`], so a prefetch window
+    /// deeper than one morsel actually spans morsel boundaries instead of
+    /// draining at each one (`prefetch_depth` used to be silently capped
+    /// at `morsel_partitions`). Chain boundaries depend only on the lane's
+    /// FIFO content — all of a job's morsels are enqueued atomically at
+    /// submit — so they are deterministic under any worker interleaving,
+    /// which keeps the virtual-clock overlap accounting bit-identical
+    /// across runs. With `prefetch_depth <= morsel_partitions` every chain
+    /// is a single morsel and scheduling is unchanged.
+    fn pop_chain(&mut self) -> Option<Vec<Morsel>> {
+        let mut lane = self.lanes.pop_front()?;
+        let first = lane.morsels.pop_front()?;
+        let depth = first.job.prefetch_depth;
+        let mut entries = first.range.len();
+        let mut chain = vec![first];
+        while entries < depth {
+            match lane.morsels.front() {
+                Some(next) if Arc::ptr_eq(&next.job, &chain[0].job) => {
+                    let m = lane.morsels.pop_front().expect("front just observed");
+                    entries += m.range.len();
+                    chain.push(m);
+                }
+                _ => break,
+            }
+        }
+        if !lane.morsels.is_empty() {
+            self.lanes.push_back(lane);
+        }
+        Some(chain)
     }
 
     fn push(&mut self, query: QueryId, morsels: VecDeque<Morsel>) {
@@ -326,22 +368,27 @@ fn worker_loop(shared: &PoolShared) {
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
-        if let Some(morsel) = guard.pop() {
+        if let Some(chain) = guard.pop_chain() {
             drop(guard);
             // A panicking sink/predicate must not hang the driver in
             // `ScanTicket::wait` or kill the worker: record it, complete
-            // the morsel, and let `wait()` re-raise (matching the panic
-            // propagation of the old scoped-thread model).
-            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_morsel(&morsel)))
-                .is_err()
+            // every claimed morsel, and let `wait()` re-raise (matching
+            // the panic propagation of the old scoped-thread model).
+            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_chain(&chain))).is_err()
             {
-                morsel.job.progress.panicked.store(true, Ordering::Release);
+                chain[0]
+                    .job
+                    .progress
+                    .panicked
+                    .store(true, Ordering::Release);
             }
-            complete_morsel(&morsel);
-            // Drop the morsel — and with it, possibly the job's last Arc
+            for morsel in &chain {
+                complete_morsel(morsel);
+            }
+            // Drop the chain — and with it, possibly the job's last Arc
             // (sink closure, channel senders, CompiledScan) — before
             // re-contending the pool-wide injector lock.
-            drop(morsel);
+            drop(chain);
             guard = lock(&shared.injector);
         } else {
             guard = shared
@@ -352,13 +399,20 @@ fn worker_loop(shared: &PoolShared) {
     }
 }
 
-/// Execute one morsel through the shared load/evaluate prefetch pipeline
-/// (`scan::run_scan_slice`) — identical per-entry semantics to the
-/// sequential `stream_scan`, with §4.4 pre-assignment and the job's stop
-/// signal wired in. Counters accumulate locally and merge into the job's
-/// totals once the morsel finishes (readers only look after `wait()`).
-fn run_morsel(morsel: &Morsel) {
-    let job = &morsel.job;
+/// Execute a chain of same-job morsels through ONE shared load/evaluate
+/// prefetch pipeline — identical per-entry semantics to the sequential
+/// `stream_scan`, with §4.4 pre-assignment and the job's stop signal
+/// wired in. Because the [`ScanPipeline`] (and its `AsyncLake`) persists
+/// across the chained morsels, in-flight loads submitted under one morsel
+/// keep overlapping with evaluation of the next — this is what lets
+/// `prefetch_depth > morsel_partitions` actually deepen the window
+/// instead of draining at every morsel boundary. Counters accumulate
+/// locally and merge into the job's totals once the whole chain finishes
+/// (readers only look after `wait()`); `on_morsel_done` still fires once
+/// per morsel, in index order, after that morsel's entries have all been
+/// submitted-or-skipped and completed.
+fn run_chain(chain: &[Morsel]) {
+    let job = &chain[0].job;
     let hooks = ScanHooks {
         boundary: job.boundary.as_ref().map(|(b, col)| (b, *col)),
         runtime_pruner: job.runtime_pruner.as_ref(),
@@ -366,23 +420,30 @@ fn run_morsel(morsel: &Morsel) {
         batch_rows: job.batch_rows,
     };
     let mut stats = ScanRunStats::default();
-    run_scan_slice(
-        &job.scan,
-        morsel.range.clone(),
-        morsel.unconditional,
-        &job.io,
-        &job.io_cost,
-        &hooks,
-        &|| (job.stop)(),
-        &mut stats,
-        &mut |batch| {
-            (job.sink)(morsel.index, batch);
-            std::ops::ControlFlow::Continue(())
-        },
-    );
+    let mut pipeline = ScanPipeline::new(&job.scan, &job.io, &job.io_cost);
+    let mut sink = |tag: usize, batch: Batch| {
+        (job.sink)(tag, batch);
+        std::ops::ControlFlow::Continue(())
+    };
+    for morsel in chain {
+        pipeline.run_slice(
+            &job.scan,
+            morsel.range.clone(),
+            morsel.unconditional,
+            morsel.index,
+            &hooks,
+            &|| (job.stop)(),
+            &mut stats,
+            &mut sink,
+        );
+    }
+    pipeline.drain(&job.scan, &hooks, &|| (job.stop)(), &mut stats, &mut sink);
+    pipeline.finish();
     job.progress.totals.lock().merge(&stats);
     if let Some(done) = &job.on_morsel_done {
-        done(morsel.index);
+        for morsel in chain {
+            done(morsel.index);
+        }
     }
 }
 
@@ -600,6 +661,107 @@ mod tests {
         assert_eq!(stats.loaded, 4);
         assert_eq!(stats.cancelled_by_stop, 0, "pre-assigned never cancelled");
         assert_eq!(io.snapshot().partitions_loaded, 4);
+    }
+
+    #[test]
+    fn prefetch_depth_deeper_than_morsel_still_overlaps() {
+        // Regression: pooled scans used to drain the prefetch pipeline at
+        // every morsel boundary, silently capping the effective in-flight
+        // depth at `morsel_partitions` — depth 8 over morsels of 4 produced
+        // exactly the same `io_overlapped_ns` as depth 4. Chain claiming
+        // carries the window across consecutive morsels of the lane, so a
+        // deeper window now hides strictly more I/O while loading exactly
+        // the same bytes.
+        let t = table(200); // 20 partitions of 10 rows
+        let cost = IoCostModel {
+            latency_ns_per_request: 10_000,
+            throughput_bytes_per_sec: u64::MAX,
+            metadata_ns_per_read: 0,
+            eval_ns_per_row: 1_000, // per-partition eval == per-load latency
+        };
+        let run = |depth: usize| {
+            let io = IoStats::new();
+            let scan = compile(&t, &io, None);
+            let pool = MorselPool::new(4);
+            let rows = Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let mut spec = spec_collecting(scan, &io, &rows);
+            spec.io_cost = cost;
+            spec.morsel_partitions = 4;
+            spec.prefetch_depth = depth;
+            let stats = pool.submit(pool.next_lane(), spec).wait();
+            let emitted = rows.lock().len();
+            (stats, io.snapshot(), emitted)
+        };
+        let (s4, io4, n4) = run(4);
+        let (s8, io8, n8) = run(8);
+        assert_eq!(s4, s8, "depth must never change which partitions load");
+        assert_eq!(n4, n8);
+        assert_eq!(io4.bytes_loaded, io8.bytes_loaded, "bytes unchanged");
+        assert_eq!(io4.partitions_loaded, io8.partitions_loaded);
+        // Depth 4 drains per 4-entry window: 3 of every 4 loads hidden.
+        // Depth 8 chains two morsels: 7 of every 8 loads hidden.
+        assert!(
+            io8.io_overlapped_ns > io4.io_overlapped_ns,
+            "depth 8 over morsels of 4 must hide strictly more I/O \
+             (depth 4: {} ns, depth 8: {} ns)",
+            io4.io_overlapped_ns,
+            io8.io_overlapped_ns
+        );
+    }
+
+    #[test]
+    fn eight_contending_lanes_share_one_worker_fairly() {
+        // Satellite audit: prove the round-robin pop rule has no positional
+        // bias. Eight lanes contend for ONE worker; we log the global order
+        // in which morsels execute and assert every lane is served exactly
+        // once per round — i.e. the gap between consecutive services of the
+        // same lane never exceeds the lane count.
+        let t = table(200); // 20 partitions ⇒ 5 morsels of 4 per lane
+        let pool = MorselPool::new(1);
+        let order = Arc::new(parking_lot::Mutex::new(Vec::<usize>::new()));
+        // Hold the worker at the gate until all eight lanes are queued, so
+        // the pop order reflects queue discipline rather than a race with
+        // submission.
+        let gate = Arc::new(AtomicBool::new(false));
+        let ios: Vec<IoStats> = (0..8).map(|_| IoStats::new()).collect();
+        let tickets: Vec<ScanTicket> = ios
+            .iter()
+            .enumerate()
+            .map(|(lane, io)| {
+                let scan = compile(&t, io, None);
+                let order = Arc::clone(&order);
+                let gate = Arc::clone(&gate);
+                let mut spec = spec_collecting(scan, io, &Arc::default());
+                spec.morsel_partitions = 4;
+                spec.prefetch_depth = 1;
+                spec.sink = Box::new(move |_, _| {
+                    while !gate.load(Ordering::Acquire) {
+                        std::thread::yield_now();
+                    }
+                });
+                spec.on_morsel_done = Some(Box::new(move |_| order.lock().push(lane)));
+                pool.submit(pool.next_lane(), spec)
+            })
+            .collect();
+        gate.store(true, Ordering::Release);
+        for ticket in tickets {
+            ticket.wait();
+        }
+        let order = order.lock().clone();
+        assert_eq!(order.len(), 8 * 5);
+        let mut last_seen = [None::<usize>; 8];
+        let mut max_gap = 0usize;
+        for (pos, &lane) in order.iter().enumerate() {
+            if let Some(prev) = last_seen[lane] {
+                max_gap = max_gap.max(pos - prev);
+            }
+            last_seen[lane] = Some(pos);
+        }
+        assert!(
+            max_gap <= 8,
+            "a lane waited {max_gap} pops between services; \
+             round-robin over 8 lanes must bound the gap at 8"
+        );
     }
 
     #[test]

@@ -231,28 +231,12 @@ pub fn stream_scan(
 }
 
 /// Run one contiguous slice of the scan set through the load/evaluate
-/// prefetch pipeline — THE per-partition scan implementation, shared by
-/// the sequential [`stream_scan`] (whole scan set, `unconditional = 0`)
-/// and the pool's morsel workers (one morsel, §4.4 pre-assignment as
-/// `unconditional`).
-///
-/// Submit stage, per entry: early-stop check (beyond the pre-assigned
-/// prefix), `considered` bump, submit-time boundary skip, then an
-/// [`AsyncLake::submit_load`]. At most `hooks.prefetch_depth` loads stay
-/// in flight; the oldest is resolved before the next submission, and
-/// everything drains at slice end.
-///
-/// Completion stage, per in-flight load (FIFO, preserving scan-set output
-/// order byte-identically): non-pre-assigned loads are re-checked against
-/// the early stop and the (possibly tightened) boundary, and *every* load
-/// runs the deferred filter pruner — any hit cancels the load with zero
-/// I/O charged. §4.4 pre-assigned loads are exempt only from the runtime
-/// *coordination* signals (stop, boundary), matching the blocking pool's
-/// semantics where pre-assignment gated the stop check alone; a
-/// partition's own deferred filter verdict still prunes it. Survivors
-/// complete through [`complete_load`], get evaluated, and flow to `sink`;
-/// a `Break` from the sink halts submission and cancels the rest of the
-/// pipeline.
+/// prefetch pipeline — the single-slice wrapper over [`ScanPipeline`],
+/// used by the sequential [`stream_scan`] (whole scan set,
+/// `unconditional = 0`) and the single-morsel unit tests. The pool's
+/// workers drive [`ScanPipeline`] directly so the prefetch window can
+/// *carry across consecutive morsels of one query lane* instead of
+/// draining at every morsel boundary.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_scan_slice(
     scan: &CompiledScan,
@@ -265,154 +249,227 @@ pub(crate) fn run_scan_slice(
     stats: &mut ScanRunStats,
     sink: &mut dyn FnMut(Batch) -> ControlFlow<()>,
 ) {
-    let depth = hooks.prefetch_depth.max(1);
-    let mut lake = AsyncLake::new(Arc::clone(&scan.table), io.clone(), *io_cost);
-    let mut inflight: VecDeque<InflightSlot> = VecDeque::new();
-    let mut halted = false;
-    for (offset, index) in range.enumerate() {
-        while inflight.len() >= depth {
-            let slot = inflight.pop_front().expect("in-flight queue non-empty");
-            finish_load(
-                scan,
-                &mut lake,
-                hooks,
-                stop,
-                unconditional,
-                slot,
-                stats,
-                &mut halted,
-                sink,
-            );
+    let mut pipeline = ScanPipeline::new(scan, io, io_cost);
+    let mut tagged = |_tag: usize, batch: Batch| sink(batch);
+    pipeline.run_slice(
+        scan,
+        range,
+        unconditional,
+        0,
+        hooks,
+        stop,
+        stats,
+        &mut tagged,
+    );
+    pipeline.drain(scan, hooks, stop, stats, &mut tagged);
+    pipeline.finish();
+}
+
+/// The load/evaluate prefetch pipeline over one [`AsyncLake`] lane,
+/// reusable across several contiguous slices of the same scan.
+///
+/// Submit stage ([`ScanPipeline::run_slice`]), per entry: early-stop check
+/// (beyond the pre-assigned prefix), `considered` bump, submit-time
+/// boundary skip, then an [`AsyncLake::submit_load`]. At most
+/// `hooks.prefetch_depth` loads stay in flight; the oldest is resolved
+/// before the next submission. Nothing drains at slice end — the caller
+/// chains further slices (the cross-morsel carry) and calls
+/// [`ScanPipeline::drain`] + [`ScanPipeline::finish`] once.
+///
+/// Completion stage, per in-flight load (FIFO, preserving scan-set output
+/// order byte-identically): non-pre-assigned loads are re-checked against
+/// the early stop and the (possibly tightened) boundary, and *every* load
+/// runs the deferred filter pruner — any hit cancels the load with zero
+/// I/O charged. §4.4 pre-assigned loads are exempt only from the runtime
+/// *coordination* signals (stop, boundary), matching the blocking pool's
+/// semantics where pre-assignment gated the stop check alone; a
+/// partition's own deferred filter verdict still prunes it. The verdict is
+/// pinned per slot at submit time, so a slot completing during a *later*
+/// slice keeps its own slice's pre-assignment. Survivors complete through
+/// [`complete_load`], get evaluated, and flow to `sink` tagged with the
+/// slot's slice tag (the pool's morsel index — output reassembly stays
+/// exact when a batch completes during a later morsel); a `Break` from
+/// the sink halts submission and cancels the rest of the pipeline.
+pub(crate) struct ScanPipeline<'s> {
+    lake: AsyncLake,
+    inflight: VecDeque<InflightSlot<'s>>,
+    halted: bool,
+}
+
+impl<'s> ScanPipeline<'s> {
+    /// A fresh pipeline (one virtual-clock lane) over `scan`.
+    pub(crate) fn new(scan: &'s CompiledScan, io: &IoStats, io_cost: &IoCostModel) -> Self {
+        ScanPipeline {
+            lake: AsyncLake::new(Arc::clone(&scan.table), io.clone(), *io_cost),
+            inflight: VecDeque::new(),
+            halted: false,
         }
-        if offset >= unconditional && (halted || stop()) {
-            halted = true;
-            break;
-        }
-        let entry = &scan.scan_set.entries[index];
-        // An unresolvable entry (impossible with immutable table
-        // snapshots) is dropped before it is counted, preserving the
-        // `considered == loaded + skipped + cancelled` identity.
-        let Ok(meta) = scan.table.partition_meta(entry.id) else {
-            continue;
-        };
-        stats.considered += 1;
-        if let Some((boundary, col)) = hooks.boundary {
-            if boundary.should_skip(&meta.zone_maps[col]) {
-                stats.skipped_by_boundary += 1;
+    }
+
+    /// Submit one contiguous slice (see the type docs). `tag` labels every
+    /// slot submitted here and rides to the sink with its batches.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_slice(
+        &mut self,
+        scan: &'s CompiledScan,
+        range: Range<usize>,
+        unconditional: usize,
+        tag: usize,
+        hooks: &ScanHooks<'_>,
+        stop: &dyn Fn() -> bool,
+        stats: &mut ScanRunStats,
+        sink: &mut dyn FnMut(usize, Batch) -> ControlFlow<()>,
+    ) {
+        let depth = hooks.prefetch_depth.max(1);
+        for (offset, index) in range.enumerate() {
+            while self.inflight.len() >= depth {
+                self.finish_next(scan, hooks, stop, stats, sink);
+            }
+            if offset >= unconditional && (self.halted || stop()) {
+                self.halted = true;
+                break;
+            }
+            let entry = &scan.scan_set.entries[index];
+            // An unresolvable entry (impossible with immutable table
+            // snapshots) is dropped before it is counted, preserving the
+            // `considered == loaded + skipped + cancelled` identity.
+            let Ok(meta) = scan.table.partition_meta(entry.id) else {
                 continue;
+            };
+            stats.considered += 1;
+            if let Some((boundary, col)) = hooks.boundary {
+                if boundary.should_skip(&meta.zone_maps[col]) {
+                    stats.skipped_by_boundary += 1;
+                    continue;
+                }
+            }
+            let ticket = self.lake.submit_load(entry.id, meta.bytes);
+            self.inflight.push_back(InflightSlot {
+                unconditional: offset < unconditional,
+                index,
+                tag,
+                meta,
+                ticket,
+            });
+        }
+    }
+
+    /// Resolve every still-in-flight load (FIFO).
+    pub(crate) fn drain(
+        &mut self,
+        scan: &'s CompiledScan,
+        hooks: &ScanHooks<'_>,
+        stop: &dyn Fn() -> bool,
+        stats: &mut ScanRunStats,
+        sink: &mut dyn FnMut(usize, Batch) -> ControlFlow<()>,
+    ) {
+        while !self.inflight.is_empty() {
+            self.finish_next(scan, hooks, stop, stats, sink);
+        }
+    }
+
+    /// Close the lane, recording its makespan as simulated wall-clock.
+    pub(crate) fn finish(mut self) {
+        self.lake.finish();
+    }
+
+    /// Completion stage for the oldest in-flight load (see the type docs).
+    fn finish_next(
+        &mut self,
+        scan: &'s CompiledScan,
+        hooks: &ScanHooks<'_>,
+        stop: &dyn Fn() -> bool,
+        stats: &mut ScanRunStats,
+        sink: &mut dyn FnMut(usize, Batch) -> ControlFlow<()>,
+    ) {
+        let slot = self
+            .inflight
+            .pop_front()
+            .expect("in-flight queue non-empty");
+        let entry = &scan.scan_set.entries[slot.index];
+        // §4.4 pre-assigned partitions are never cancelled by the runtime
+        // *coordination* signals (early stop, top-k boundary): they model
+        // scan-set ranges already handed to workers before any LIMIT/top-k
+        // coordination, matching the blocking pool, where pre-assignment
+        // gated only the stop check.
+        if !slot.unconditional {
+            if self.halted || stop() {
+                self.lake.cancel(slot.ticket);
+                stats.cancelled_by_stop += 1;
+                return;
+            }
+            if let Some((boundary, col)) = hooks.boundary {
+                if boundary.should_skip(&slot.meta.zone_maps[col]) {
+                    self.lake.cancel(slot.ticket);
+                    stats.cancelled_by_boundary += 1;
+                    return;
+                }
             }
         }
-        let ticket = lake.submit_load(entry.id, meta.bytes);
-        inflight.push_back(InflightSlot {
-            offset,
-            index,
-            meta,
-            ticket,
-        });
+        // The deferred filter verdict is the partition's own (§3.2), not a
+        // coordination signal — it applies to pre-assigned entries too, and
+        // runs here (completion, FIFO) so the adaptive pruner sees each
+        // deferred partition exactly once, in scan order, on every path.
+        if let Some(pruner) = hooks.runtime_pruner {
+            if scan.deferred_ids.contains(&entry.id)
+                && pruner.lock().evaluate(&slot.meta.zone_maps).prunable()
+            {
+                self.lake.cancel(slot.ticket);
+                stats.cancelled_by_runtime_filter += 1;
+                return;
+            }
+        }
+        let Some(part) = complete_load(&mut self.lake, slot.ticket, &mut || stats.loaded += 1)
+        else {
+            return;
+        };
+        let n = part.row_count();
+        let batch_rows = hooks.batch_rows.max(1);
+        self.lake.note_evaluated(n as u64);
+        // Chunked delivery. Every window of a loaded partition flows to the
+        // sink even after it breaks (sticky break): early stop stays
+        // partition-granular, so `rows_emitted` and the per-partition I/O
+        // accounting are bit-identical at every batch size — the
+        // differential and stress fingerprints depend on this.
+        let mut start = 0usize;
+        loop {
+            let len = batch_rows.min(n - start);
+            let sel = select_range(scan, entry, &part, start, len);
+            stats.rows_emitted += sel.len() as u64;
+            if sink(
+                slot.tag,
+                Batch {
+                    part: Arc::clone(&part),
+                    sel,
+                },
+            )
+            .is_break()
+            {
+                self.halted = true;
+            }
+            start += len;
+            if start >= n {
+                break;
+            }
+        }
     }
-    while let Some(slot) = inflight.pop_front() {
-        finish_load(
-            scan,
-            &mut lake,
-            hooks,
-            stop,
-            unconditional,
-            slot,
-            stats,
-            &mut halted,
-            sink,
-        );
-    }
-    lake.finish();
 }
 
 /// One submitted-but-unresolved load in the pipeline.
 struct InflightSlot<'a> {
-    /// Position within the slice (for the §4.4 pre-assignment rule).
-    offset: usize,
+    /// §4.4 verdict pinned at submit time: this slot sat inside its
+    /// slice's pre-assigned prefix, so coordination signals never cancel
+    /// it — even when it completes during a later chained slice.
+    unconditional: bool,
     /// Index into the scan set.
     index: usize,
+    /// Caller tag of the slice that submitted this slot (the pool's morsel
+    /// index), echoed to the sink for exact output reassembly.
+    tag: usize,
     /// Resolved at submit time; partitions are immutable snapshots, so the
     /// completion-stage re-checks can reuse it instead of re-resolving.
     meta: &'a PartitionMeta,
     ticket: LoadTicket,
-}
-
-/// Completion stage for one in-flight load (see [`run_scan_slice`]).
-#[allow(clippy::too_many_arguments)]
-fn finish_load(
-    scan: &CompiledScan,
-    lake: &mut AsyncLake,
-    hooks: &ScanHooks<'_>,
-    stop: &dyn Fn() -> bool,
-    unconditional: usize,
-    slot: InflightSlot<'_>,
-    stats: &mut ScanRunStats,
-    halted: &mut bool,
-    sink: &mut dyn FnMut(Batch) -> ControlFlow<()>,
-) {
-    let entry = &scan.scan_set.entries[slot.index];
-    // §4.4 pre-assigned partitions are never cancelled by the runtime
-    // *coordination* signals (early stop, top-k boundary): they model
-    // scan-set ranges already handed to workers before any LIMIT/top-k
-    // coordination, matching the blocking pool, where pre-assignment
-    // gated only the stop check.
-    if slot.offset >= unconditional {
-        if *halted || stop() {
-            lake.cancel(slot.ticket);
-            stats.cancelled_by_stop += 1;
-            return;
-        }
-        if let Some((boundary, col)) = hooks.boundary {
-            if boundary.should_skip(&slot.meta.zone_maps[col]) {
-                lake.cancel(slot.ticket);
-                stats.cancelled_by_boundary += 1;
-                return;
-            }
-        }
-    }
-    // The deferred filter verdict is the partition's own (§3.2), not a
-    // coordination signal — it applies to pre-assigned entries too, and
-    // runs here (completion, FIFO) so the adaptive pruner sees each
-    // deferred partition exactly once, in scan order, on every path.
-    if let Some(pruner) = hooks.runtime_pruner {
-        if scan.deferred_ids.contains(&entry.id)
-            && pruner.lock().evaluate(&slot.meta.zone_maps).prunable()
-        {
-            lake.cancel(slot.ticket);
-            stats.cancelled_by_runtime_filter += 1;
-            return;
-        }
-    }
-    let Some(part) = complete_load(lake, slot.ticket, &mut || stats.loaded += 1) else {
-        return;
-    };
-    let n = part.row_count();
-    let batch_rows = hooks.batch_rows.max(1);
-    lake.note_evaluated(n as u64);
-    // Chunked delivery. Every window of a loaded partition flows to the
-    // sink even after it breaks (sticky break): early stop stays
-    // partition-granular, so `rows_emitted` and the per-partition I/O
-    // accounting are bit-identical at every batch size — the differential
-    // and stress fingerprints depend on this.
-    let mut start = 0usize;
-    loop {
-        let len = batch_rows.min(n - start);
-        let sel = select_range(scan, entry, &part, start, len);
-        stats.rows_emitted += sel.len() as u64;
-        if sink(Batch {
-            part: Arc::clone(&part),
-            sel,
-        })
-        .is_break()
-        {
-            *halted = true;
-        }
-        start += len;
-        if start >= n {
-            break;
-        }
-    }
 }
 
 /// The single load/record step shared by the blocking (depth-1) and

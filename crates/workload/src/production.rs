@@ -447,6 +447,150 @@ pub fn topk_tighten_burst(cfg: &WorkloadConfig, seed: u64) -> ProductionWorkload
     ProductionWorkload { catalog, queries }
 }
 
+/// Parameters for the production-*scale* multi-tenant burst: a lake with
+/// orders of magnitude more micro-partitions than the calibrated stream
+/// workload, and arrivals attributed to tenants under a skewed (Zipf)
+/// popularity distribution — a few tenants dominate the burst, a long
+/// tail contributes single queries, mirroring fleet telemetry.
+#[derive(Clone, Debug)]
+pub struct ProductionScaleConfig {
+    /// Distinct tenant sessions contributing arrivals.
+    pub tenants: usize,
+    /// Total arrivals in the burst.
+    pub queries: usize,
+    /// Micro-partitions in the scale fact table (default 100k).
+    pub fact_partitions: usize,
+    /// Rows per micro-partition (small: the scale axis is partitions, and
+    /// scans over the lake stay I/O-bound under the default cost model).
+    pub rows_per_partition: usize,
+    /// Zipf exponent for tenant arrival skew (higher = more skewed).
+    pub zipf_s: f64,
+}
+
+impl Default for ProductionScaleConfig {
+    fn default() -> Self {
+        ProductionScaleConfig {
+            tenants: 512,
+            queries: 2048,
+            fact_partitions: 100_000,
+            rows_per_partition: 8,
+            zipf_s: 1.1,
+        }
+    }
+}
+
+/// A production-scale burst: the lake plus `(tenant, query)` arrivals in
+/// arrival order, ready for `Session::run_admitted`.
+pub struct ProductionScaleWorkload {
+    /// The catalog holding the scale lake.
+    pub catalog: Catalog,
+    /// Arrivals in order: tenant id plus the generated query.
+    pub arrivals: Vec<(u64, GeneratedQuery)>,
+}
+
+fn scale_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("ts", ScalarType::Int),
+        Field::new("tenant_key", ScalarType::Int),
+        Field::new("metric", ScalarType::Int),
+    ])
+}
+
+/// Generate the production-scale multi-tenant burst.
+///
+/// Every query shape here has a partition set decided at compile time (ts
+/// ranges over a strictly-clustered fact) or derived from a deterministic
+/// build side (dimension joins) — no top-k boundaries or LIMIT stop
+/// signals — so per-query counters are bit-identical under any pool
+/// interleaving and the burst is safe to fingerprint in the stress suite.
+pub fn production_scale(cfg: &ProductionScaleConfig, seed: u64) -> ProductionScaleWorkload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let catalog = Catalog::new();
+
+    // The scale lake: all-integer columns, strictly increasing ts, no rng
+    // in the row loop — building 100k+ partitions has to be cheap.
+    let rows = (cfg.rows_per_partition * cfg.fact_partitions) as i64;
+    let mut fact = TableBuilder::new("scale_events", scale_schema())
+        .target_rows_per_partition(cfg.rows_per_partition)
+        .layout(Layout::ClusterBy(vec!["ts".into()]));
+    for i in 0..rows {
+        fact.push_row(vec![
+            Value::Int(i * 10),
+            Value::Int(i % 4096),
+            Value::Int((i * 7919) % 1_000_000),
+        ]);
+    }
+    catalog.register(fact.build());
+    let mut dim = TableBuilder::new("scale_dim", dim_schema()).target_rows_per_partition(64);
+    for i in 0..256i64 {
+        dim.push_row(vec![
+            Value::Int(i),
+            Value::Str(format!("tenant-{i}")),
+            Value::Int(i % 100),
+        ]);
+    }
+    catalog.register(dim.build());
+
+    // Zipf CDF over tenant ranks: tenant r arrives with weight 1/(r+1)^s.
+    let weights: Vec<f64> = (0..cfg.tenants.max(1))
+        .map(|r| 1.0 / ((r + 1) as f64).powf(cfg.zipf_s))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+
+    let max_ts = rows * 10;
+    let arrivals = (0..cfg.queries)
+        .map(|_| {
+            let u: f64 = rng.random();
+            let tenant = cdf.partition_point(|&c| c < u).min(cdf.len() - 1) as u64;
+            let r: f64 = rng.random();
+            let plan = if r < 0.70 {
+                // Narrow dashboard slice: 0.05% - 1% of the key space.
+                let width = ((max_ts as f64) * rng.random_range(0.0005..0.01)) as i64;
+                let lo = rng.random_range(0..(max_ts - width).max(1));
+                PlanBuilder::scan("scale_events", scale_schema())
+                    .filter(col("ts").between(lit(lo), lit(lo + width)))
+                    .build()
+            } else if r < 0.90 {
+                // Moderate report window: 2% - 8%.
+                let width = ((max_ts as f64) * rng.random_range(0.02..0.08)) as i64;
+                let lo = rng.random_range(0..(max_ts - width).max(1));
+                PlanBuilder::scan("scale_events", scale_schema())
+                    .filter(col("ts").between(lit(lo), lit(lo + width)))
+                    .project(vec!["ts", "metric"])
+                    .build()
+            } else {
+                // Dimension join: the build side is a deterministic dim
+                // slice, so the probe's partition set is too.
+                let lo = rng.random_range(0i64..200);
+                let hi = lo + rng.random_range(8i64..56);
+                PlanBuilder::scan("scale_dim", dim_schema())
+                    .filter(col("id").between(lit(lo), lit(hi)))
+                    .join(
+                        PlanBuilder::scan("scale_events", scale_schema()),
+                        "id",
+                        "tenant_key",
+                        JoinType::Inner,
+                    )
+                    .build()
+            };
+            let sql = to_sql(&plan);
+            let kind = if r < 0.90 {
+                QueryKind::FilteredSelect
+            } else {
+                QueryKind::Join
+            };
+            (tenant, GeneratedQuery { plan, sql, kind })
+        })
+        .collect();
+    ProductionScaleWorkload { catalog, arrivals }
+}
+
 /// Figure 12: repetitiveness model. Draws `n` top-k queries where shapes
 /// follow a heavy-tailed popularity distribution calibrated so that ~85%
 /// of observed shapes occur exactly once over a 3-day-sized window.
@@ -594,6 +738,40 @@ mod tests {
             q.plan.check().unwrap();
             assert_eq!(q.kind, QueryKind::TopK);
         }
+    }
+
+    #[test]
+    fn production_scale_burst_is_skewed_and_valid() {
+        let cfg = ProductionScaleConfig {
+            tenants: 32,
+            queries: 400,
+            fact_partitions: 200,
+            rows_per_partition: 8,
+            zipf_s: 1.1,
+        };
+        let wl = production_scale(&cfg, 11);
+        assert_eq!(wl.arrivals.len(), 400);
+        let mut per_tenant = vec![0usize; cfg.tenants];
+        for (tenant, q) in &wl.arrivals {
+            q.plan.check().unwrap();
+            per_tenant[*tenant as usize] += 1;
+        }
+        // Zipf skew: the most popular tenant dominates the median tenant.
+        let max = *per_tenant.iter().max().unwrap();
+        let busy = per_tenant.iter().filter(|&&c| c > 0).count();
+        assert!(busy >= cfg.tenants / 2, "long tail exists ({busy} active)");
+        assert!(
+            max >= 400 / cfg.tenants * 4,
+            "head tenant ({max} arrivals) must dominate a uniform share"
+        );
+        // The scale axis is partitions: the fact table really has them.
+        let parts = wl
+            .catalog
+            .get("scale_events")
+            .unwrap()
+            .read()
+            .partition_count();
+        assert_eq!(parts, cfg.fact_partitions);
     }
 
     #[test]

@@ -25,8 +25,9 @@
 //! whole-partition row-order oracle.
 
 use snowprune::exec::{
-    batch_rows_from_env, predicate_cache_from_env, predicate_cache_mode_from_env,
-    prefetch_depth_from_env, scan_threads_from_env, CacheOutcome, PredicateCacheMode,
+    admission_queue_cap_from_env, batch_rows_from_env, predicate_cache_from_env,
+    predicate_cache_mode_from_env, prefetch_depth_from_env, scan_threads_from_env,
+    tenant_max_concurrent_from_env, CacheOutcome, PredicateCacheMode,
 };
 use snowprune::prelude::*;
 
@@ -939,6 +940,125 @@ fn joinagg_batch_matches_row_oracle() {
         0xBA7C,
         ExecConfig::default().with_batch_native(false),
     );
+}
+
+// ---- the admission leg ---------------------------------------------------
+
+/// Admission differential: the same seeded workloads' query shapes, run as
+/// admission-controlled multi-tenant bursts (`Session::run_admitted` with
+/// tight per-tenant caps and adaptive prefetch depth), must satisfy the
+/// exact per-shape determinism contract against the sequential pruned
+/// engine — and the rejections themselves must be a pure function of
+/// arrival order and the caps. Afterwards the *same* session re-runs every
+/// plan (including the just-rejected ones) as an ordinary pooled batch: a
+/// rejected query must leave no stranded morsels or lane state behind, so
+/// the follow-up batch completes and matches the oracle too.
+///
+/// The caps honour `SNOWPRUNE_TENANT_MAX_CONCURRENT` /
+/// `SNOWPRUNE_ADMISSION_QUEUE_CAP` (the CI pool matrix sweeps the
+/// concurrency cap); the default 1 running + 1 queued rejects each
+/// tenant's third arrival, while wider caps exercise the all-admitted
+/// windowed dispatch path.
+#[test]
+fn admitted_bursts_match_sequential_oracle_and_leave_no_residue() {
+    let threads = pool_threads();
+    let c = tenant_max_concurrent_from_env().unwrap_or(1);
+    let q = admission_queue_cap_from_env().unwrap_or(1);
+    // Per-tenant admission window: arrivals past `c + q` are rejected.
+    let cap = c + q;
+    let cfg = ExecConfig::default()
+        .with_prefetch_depth(env_prefetch_depth())
+        .with_batch_rows(env_batch_rows())
+        .with_scan_threads(threads)
+        .with_tenant_max_concurrent(c)
+        .with_admission_queue_cap(q)
+        .with_adaptive_prefetch(true)
+        .with_prefetch_max_depth(6);
+    for w in 0..WORKLOADS / 2 {
+        let seed = 0xD1FF_0000 + w;
+        let wl = build_workload(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+        let queries = random_queries(&mut rng, &wl);
+        let plans: Vec<Plan> = queries.iter().map(|(p, _)| p.clone()).collect();
+        let arrivals: Vec<(u64, Plan)> = plans
+            .iter()
+            .enumerate()
+            .map(|(i, p)| ((i % 2) as u64, p.clone()))
+            .collect();
+
+        let oracle = Executor::new(
+            wl.catalog.clone(),
+            ExecConfig::default()
+                .with_prefetch_depth(env_prefetch_depth())
+                .with_batch_rows(env_batch_rows()),
+        );
+        let session = Session::new(wl.catalog.clone(), cfg.clone());
+        let run = session.run_admitted(&arrivals);
+        assert_eq!(run.outcomes.len(), arrivals.len());
+
+        let check_output = |out: &QueryOutput, qi: usize, label: &str| {
+            let ctx = format!("workload {w} query {qi} (threads {threads})");
+            assert_pipeline_invariant(out, &format!("{ctx} {label}"));
+            let os = oracle
+                .run(&plans[qi])
+                .unwrap_or_else(|e| panic!("{ctx}: {e:?}"));
+            match &queries[qi].1 {
+                Check::Sorted => assert_eq!(
+                    canonical(out.rows.rows.clone()),
+                    canonical(os.rows.rows),
+                    "{ctx}: {label} diverged from the sequential oracle"
+                ),
+                Check::Ordered => assert_eq!(
+                    &out.rows.rows, &os.rows.rows,
+                    "{ctx}: {label} diverged from the sequential oracle (ordered)"
+                ),
+                Check::Limited { k, unlimited } => {
+                    let full = canonical(oracle.run(unlimited).unwrap().rows.rows);
+                    assert_eq!(
+                        out.rows.len(),
+                        (*k).min(full.len()),
+                        "{ctx}: {label} row count"
+                    );
+                    for row in &out.rows.rows {
+                        assert!(
+                            full.binary_search_by(|probe| cmp_rows(probe, row)).is_ok(),
+                            "{ctx}: {label} returned a row outside the oracle result"
+                        );
+                    }
+                }
+            }
+        };
+
+        for (qi, outcome) in run.outcomes.iter().enumerate() {
+            // Burst admission over alternating arrivals: arrival `qi` is
+            // its tenant's `qi / 2`-th query, rejected exactly when that
+            // index overflows the `cap`-wide window — independent of
+            // timing, depth, or pool size.
+            if qi / 2 >= cap {
+                assert!(
+                    outcome.is_rejected(),
+                    "workload {w}: arrival {qi} overflowed its tenant window (cap {cap}) \
+                     and must be rejected"
+                );
+                continue;
+            }
+            let out = outcome
+                .output()
+                .unwrap_or_else(|| panic!("workload {w}: arrival {qi} must be admitted"));
+            check_output(out, qi, "admitted");
+        }
+
+        // No residue: the same session (same pool, same lanes) runs every
+        // plan again as a plain batch — the rejected arrivals' lanes must
+        // not exist, and nothing may block or diverge.
+        let batch = session.run_batch(&plans);
+        for (qi, res) in batch.iter().enumerate() {
+            let out = res
+                .as_ref()
+                .unwrap_or_else(|e| panic!("workload {w} follow-up query {qi}: {e:?}"));
+            check_output(out, qi, "follow-up batch");
+        }
+    }
 }
 
 /// Shared harness for the vectorized and join/agg legs: for each seeded

@@ -206,6 +206,88 @@ fn sixteen_queries_on_shared_pool_are_exactly_reproducible() {
     }
 }
 
+/// Production-scale admission leg: 256 queries across 64 tenants with
+/// Zipf-skewed arrivals on a small shared pool, run through the
+/// admission-controlled windowed FIFO with adaptive prefetch depth. The
+/// fingerprint covers every admitted query's counters and rows **plus**
+/// the per-tenant [`snowprune::exec::TenantStats`] (queue waits, lane
+/// gaps, morsel counts, depth histories) — all of it must be bit-identical
+/// across 100 repetitions, because both the stats and the adaptive depths
+/// are computed from virtual clocks and the windowed-FIFO discipline, not
+/// from host scheduling.
+#[test]
+fn admitted_multi_tenant_burst_is_exactly_reproducible() {
+    use snowprune::exec::TenantStats;
+    use snowprune::workload::{production_scale, ProductionScaleConfig};
+
+    let scale = ProductionScaleConfig {
+        tenants: 64,
+        queries: 256,
+        fact_partitions: 96,
+        rows_per_partition: 8,
+        zipf_s: 1.1,
+    };
+    let wl = production_scale(&scale, 0x5eed);
+    // Every one of the 64 tenant sessions contributes at least one query
+    // (the leading arrivals cycle through the fleet); the rest of the
+    // burst keeps the generator's Zipf skew.
+    let arrivals: Vec<(u64, Plan)> = wl
+        .arrivals
+        .iter()
+        .enumerate()
+        .map(|(i, (t, q))| {
+            let tenant = if i < scale.tenants { i as u64 } else { *t };
+            (tenant, q.plan.clone())
+        })
+        .collect();
+    let cfg = ExecConfig::default()
+        .with_scan_threads(pool_threads())
+        .with_prefetch_depth(env_prefetch_depth())
+        .with_batch_rows(env_batch_rows())
+        .with_tenant_max_concurrent(2)
+        .with_admission_queue_cap(6)
+        .with_adaptive_prefetch(true)
+        .with_prefetch_max_depth(8);
+
+    let run_once = || -> (Vec<Option<Fingerprint>>, Vec<TenantStats>) {
+        let session = Session::new(wl.catalog.clone(), cfg.clone());
+        let run = session.run_admitted(&arrivals);
+        let outcomes = run
+            .outcomes
+            .iter()
+            .map(|o| o.output().map(fingerprint))
+            .collect();
+        (outcomes, run.tenants)
+    };
+
+    let (ref_outcomes, ref_tenants) = run_once();
+    // The skewed burst must actually exercise admission control: the Zipf
+    // head tenants overflow their 2-running + 6-queued windows.
+    let rejected = ref_outcomes.iter().filter(|o| o.is_none()).count();
+    assert!(rejected > 0, "no rejections: the burst never hit the caps");
+    assert!(
+        ref_outcomes.len() - rejected >= 128,
+        "most of the burst should still be admitted"
+    );
+    assert_eq!(ref_tenants.len(), scale.tenants);
+    for t in &ref_tenants {
+        assert!(
+            t.depth_hist.iter().all(|&d| (1..=8).contains(&d)),
+            "tenant {} adaptive depth out of bounds: {:?}",
+            t.tenant,
+            t.depth_hist
+        );
+    }
+
+    for run in 1..RUNS {
+        let (outcomes, tenants) = run_once();
+        for (qi, (g, r)) in outcomes.iter().zip(&ref_outcomes).enumerate() {
+            assert_eq!(g, r, "run {run} arrival {qi} diverged under admission");
+        }
+        assert_eq!(tenants, ref_tenants, "run {run} TenantStats diverged");
+    }
+}
+
 /// The 16-query burst with *heterogeneous* prefetch depths — queries are
 /// assigned depths 1, 2, 8 round-robin but share one worker pool — must be
 /// just as reproducible: per-query counters and the full `IoSnapshot`
