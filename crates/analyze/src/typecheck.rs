@@ -1,0 +1,409 @@
+//! Expression type inference under SQL's Kleene three-valued semantics.
+//!
+//! The checker mirrors the *runtime* rules of `snowprune_expr::eval`
+//! exactly, and only reports an error when an expression is **provably
+//! degenerate** — it evaluates to NULL/UNKNOWN on every possible row, so
+//! the query author cannot have meant it:
+//!
+//! * comparisons between statically incomparable types
+//!   ([`Value::sql_cmp`](snowprune_types::Value::sql_cmp) returns `None`
+//!   for `Int` vs `Str`, `Date` vs `Timestamp`, …),
+//! * comparisons against the NULL literal (always UNKNOWN; `IS NULL` is
+//!   the operator that observes NULLs),
+//! * boolean combinators over provably non-boolean operands,
+//! * arithmetic over provably non-numeric operands,
+//! * `LIKE`/`STARTS WITH` over provably non-string operands.
+//!
+//! Anything that *could* be well-typed on some row — branches of `IF`
+//! with different types, columns that failed to resolve (already reported
+//! as [`DiagCode::UnknownColumn`]) — infers as a top element and is never
+//! re-reported, so one root cause yields one diagnostic.
+
+use snowprune_expr::{ArithOp, Expr};
+use snowprune_storage::Schema;
+use snowprune_types::{DiagCode, Diagnostic, ScalarType, Value};
+
+/// Inferred static type of an expression.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Ty {
+    /// A single known scalar type.
+    Known(ScalarType),
+    /// `Int` or `Float`, branch-dependent (e.g. an `IF` mixing the two);
+    /// comparable with any numeric.
+    Numeric,
+    /// The NULL literal: untyped, compares UNKNOWN against everything.
+    Null,
+    /// Unknown or dynamically mixed; never provably wrong.
+    Any,
+}
+
+impl Ty {
+    /// Human-readable spelling for diagnostics.
+    pub fn describe(self) -> String {
+        match self {
+            Ty::Known(t) => t.to_string(),
+            Ty::Numeric => "numeric (BIGINT or DOUBLE)".into(),
+            Ty::Null => "NULL".into(),
+            Ty::Any => "unknown".into(),
+        }
+    }
+
+    /// Can a comparison between these types ever be non-UNKNOWN?
+    fn comparable_with(self, other: Ty) -> bool {
+        match (self, other) {
+            (Ty::Any, _) | (_, Ty::Any) => true,
+            (Ty::Null, _) | (_, Ty::Null) => false,
+            (Ty::Numeric, Ty::Numeric) => true,
+            (Ty::Numeric, Ty::Known(k)) | (Ty::Known(k), Ty::Numeric) => k.is_numeric(),
+            (Ty::Known(a), Ty::Known(b)) => a.comparable_with(b),
+        }
+    }
+
+    /// Could this type be boolean on some row? (`Null` is a legal Kleene
+    /// UNKNOWN operand.)
+    fn boolean_ok(self) -> bool {
+        matches!(self, Ty::Any | Ty::Null | Ty::Known(ScalarType::Bool))
+    }
+
+    /// Could this type be numeric on some row?
+    fn numeric_ok(self) -> bool {
+        match self {
+            Ty::Any | Ty::Null | Ty::Numeric => true,
+            Ty::Known(k) => k.is_numeric(),
+        }
+    }
+
+    /// Could this type be a string on some row?
+    fn string_ok(self) -> bool {
+        matches!(self, Ty::Any | Ty::Null | Ty::Known(ScalarType::Str))
+    }
+
+    /// Least upper bound of two branch types (for `IF`/`COALESCE`).
+    fn unify(self, other: Ty) -> Ty {
+        match (self, other) {
+            (a, b) if a == b => a,
+            (Ty::Null, t) | (t, Ty::Null) => t,
+            (Ty::Any, _) | (_, Ty::Any) => Ty::Any,
+            (a, b) if a.numeric_ok() && b.numeric_ok() => Ty::Numeric,
+            // Provably mixed non-numeric branches: dynamic, not an error
+            // (the runtime picks one branch per row).
+            _ => Ty::Any,
+        }
+    }
+}
+
+/// Infer the type of `expr` against `schema`, appending diagnostics for
+/// every provably degenerate sub-expression. `path` anchors diagnostics in
+/// the plan tree.
+pub fn infer(expr: &Expr, schema: &Schema, path: &str, diags: &mut Vec<Diagnostic>) -> Ty {
+    match expr {
+        Expr::Literal(v) => literal_ty(v),
+        Expr::Column(c) => match schema.fields().iter().find(|f| f.name == c.name) {
+            Some(f) => Ty::Known(f.ty),
+            None => {
+                diags.push(Diagnostic::error(
+                    DiagCode::UnknownColumn,
+                    path,
+                    format!(
+                        "column `{}` is not in the input schema [{}]",
+                        c.name,
+                        schema
+                            .fields()
+                            .iter()
+                            .map(|f| f.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                ));
+                Ty::Any
+            }
+        },
+        Expr::Cmp(_, a, b) => {
+            let (ta, tb) = (infer(a, schema, path, diags), infer(b, schema, path, diags));
+            if ta == Ty::Null || tb == Ty::Null {
+                diags.push(Diagnostic::error(
+                    DiagCode::NullComparison,
+                    path,
+                    "comparison against the NULL literal is UNKNOWN on every row; \
+                     use IS NULL to observe NULLs",
+                ));
+            } else if !ta.comparable_with(tb) {
+                diags.push(Diagnostic::error(
+                    DiagCode::IncomparableCmp,
+                    path,
+                    format!(
+                        "comparison between {} and {} is UNKNOWN on every row",
+                        ta.describe(),
+                        tb.describe()
+                    ),
+                ));
+            }
+            Ty::Known(ScalarType::Bool)
+        }
+        Expr::And(xs) | Expr::Or(xs) => {
+            let op = if matches!(expr, Expr::And(_)) {
+                "AND"
+            } else {
+                "OR"
+            };
+            for x in xs {
+                let t = infer(x, schema, path, diags);
+                if !t.boolean_ok() {
+                    diags.push(Diagnostic::error(
+                        DiagCode::NonBooleanPredicate,
+                        path,
+                        format!("operand of {op} has type {}, never boolean", t.describe()),
+                    ));
+                }
+            }
+            Ty::Known(ScalarType::Bool)
+        }
+        Expr::Not(x) => {
+            let t = infer(x, schema, path, diags);
+            if !t.boolean_ok() {
+                diags.push(Diagnostic::error(
+                    DiagCode::NonBooleanPredicate,
+                    path,
+                    format!("operand of NOT has type {}, never boolean", t.describe()),
+                ));
+            }
+            Ty::Known(ScalarType::Bool)
+        }
+        Expr::IsNull(x) => {
+            infer(x, schema, path, diags);
+            Ty::Known(ScalarType::Bool)
+        }
+        Expr::Arith(op, a, b) => {
+            let (ta, tb) = (infer(a, schema, path, diags), infer(b, schema, path, diags));
+            let mut degenerate = false;
+            for t in [ta, tb] {
+                if !t.numeric_ok() {
+                    degenerate = true;
+                    diags.push(Diagnostic::error(
+                        DiagCode::NonNumericArith,
+                        path,
+                        format!("arithmetic over {} is NULL on every row", t.describe()),
+                    ));
+                }
+            }
+            if degenerate {
+                return Ty::Any;
+            }
+            if matches!(op, ArithOp::Div) {
+                // SQL division always yields a float (÷0 yields NULL).
+                return Ty::Known(ScalarType::Float);
+            }
+            match (ta, tb) {
+                (Ty::Known(ScalarType::Int), Ty::Known(ScalarType::Int)) => {
+                    Ty::Known(ScalarType::Int)
+                }
+                (Ty::Known(ScalarType::Float), Ty::Known(_))
+                | (Ty::Known(_), Ty::Known(ScalarType::Float)) => Ty::Known(ScalarType::Float),
+                (Ty::Null, Ty::Null) => Ty::Null,
+                (Ty::Null, t) | (t, Ty::Null) => t,
+                _ => Ty::Numeric,
+            }
+        }
+        Expr::Neg(x) | Expr::Abs(x) => {
+            let t = infer(x, schema, path, diags);
+            if !t.numeric_ok() {
+                diags.push(Diagnostic::error(
+                    DiagCode::NonNumericArith,
+                    path,
+                    format!(
+                        "{} over {} is NULL on every row",
+                        if matches!(expr, Expr::Neg(_)) {
+                            "negation"
+                        } else {
+                            "ABS"
+                        },
+                        t.describe()
+                    ),
+                ));
+                return Ty::Any;
+            }
+            t
+        }
+        Expr::If(c, t, e) => {
+            let tc = infer(c, schema, path, diags);
+            if !tc.boolean_ok() {
+                diags.push(Diagnostic::error(
+                    DiagCode::NonBooleanPredicate,
+                    path,
+                    format!("IF condition has type {}, never boolean", tc.describe()),
+                ));
+            }
+            let tt = infer(t, schema, path, diags);
+            let te = infer(e, schema, path, diags);
+            tt.unify(te)
+        }
+        Expr::Like(x, _) | Expr::StartsWith(x, _) => {
+            let t = infer(x, schema, path, diags);
+            if !t.string_ok() {
+                diags.push(Diagnostic::error(
+                    DiagCode::NonStringPattern,
+                    path,
+                    format!(
+                        "{} over {} is UNKNOWN on every row",
+                        if matches!(expr, Expr::Like(..)) {
+                            "LIKE"
+                        } else {
+                            "STARTS WITH"
+                        },
+                        t.describe()
+                    ),
+                ));
+            }
+            Ty::Known(ScalarType::Bool)
+        }
+        Expr::InList(x, vals) => {
+            let tx = infer(x, schema, path, diags);
+            if tx == Ty::Null {
+                diags.push(Diagnostic::error(
+                    DiagCode::NullComparison,
+                    path,
+                    "NULL IN (...) is UNKNOWN on every row",
+                ));
+            } else {
+                let non_null: Vec<Ty> = vals
+                    .iter()
+                    .filter(|v| !v.is_null())
+                    .map(literal_ty)
+                    .collect();
+                if !vals.is_empty() && non_null.is_empty() {
+                    diags.push(Diagnostic::error(
+                        DiagCode::NullComparison,
+                        path,
+                        "IN list holds only NULLs; membership is UNKNOWN on every row",
+                    ));
+                } else if !non_null.is_empty() && non_null.iter().all(|t| !tx.comparable_with(*t)) {
+                    diags.push(Diagnostic::error(
+                        DiagCode::IncomparableCmp,
+                        path,
+                        format!(
+                            "no IN-list element is comparable with {}; membership is \
+                             UNKNOWN on every row",
+                            tx.describe()
+                        ),
+                    ));
+                }
+            }
+            Ty::Known(ScalarType::Bool)
+        }
+        Expr::Coalesce(xs) => {
+            let mut ty = Ty::Null;
+            for x in xs {
+                ty = ty.unify(infer(x, schema, path, diags));
+            }
+            ty
+        }
+    }
+}
+
+/// Check an expression used in predicate position (scan/filter predicate):
+/// infer its type and require it to be possibly-boolean.
+pub fn check_predicate(expr: &Expr, schema: &Schema, path: &str, diags: &mut Vec<Diagnostic>) {
+    let t = infer(expr, schema, path, diags);
+    if !t.boolean_ok() {
+        diags.push(Diagnostic::error(
+            DiagCode::NonBooleanPredicate,
+            path,
+            format!(
+                "predicate has type {}, never boolean: no row can qualify",
+                t.describe()
+            ),
+        ));
+    }
+}
+
+fn literal_ty(v: &Value) -> Ty {
+    match v.scalar_type() {
+        Some(t) => Ty::Known(t),
+        None => Ty::Null,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snowprune_expr::dsl::{col, if_, lit};
+    use snowprune_storage::Field;
+    use snowprune_types::Value;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("a", ScalarType::Int),
+            Field::new("s", ScalarType::Str),
+            Field::new("d", ScalarType::Date),
+        ])
+    }
+
+    fn diags_of(e: &Expr) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        check_predicate(e, &schema(), "test", &mut out);
+        out
+    }
+
+    #[test]
+    fn well_typed_predicates_are_clean() {
+        assert!(diags_of(&col("a").gt(lit(3i64))).is_empty());
+        assert!(diags_of(&col("s").like("x%").and(col("a").le(lit(2.5)))).is_empty());
+        assert!(diags_of(&col("a").is_null().not()).is_empty());
+        // IF mixing Int and Float branches unifies to numeric.
+        let e = if_(
+            col("s").eq(lit("feet")),
+            col("a").mul(lit(0.3048)),
+            col("a"),
+        )
+        .gt(lit(10i64));
+        assert!(diags_of(&e).is_empty(), "{:?}", diags_of(&e));
+    }
+
+    #[test]
+    fn incomparable_comparison_is_flagged() {
+        let ds = diags_of(&col("a").eq(lit("x")));
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, DiagCode::IncomparableCmp);
+        let ds = diags_of(&col("d").lt(Expr::Literal(Value::Timestamp(5))));
+        assert_eq!(ds[0].code, DiagCode::IncomparableCmp);
+    }
+
+    #[test]
+    fn null_literal_comparison_is_flagged() {
+        let ds = diags_of(&col("a").eq(Expr::Literal(Value::Null)));
+        assert_eq!(ds[0].code, DiagCode::NullComparison);
+    }
+
+    #[test]
+    fn non_boolean_positions_are_flagged() {
+        let ds = diags_of(&col("a").and(col("a").gt(lit(0i64))));
+        assert_eq!(ds[0].code, DiagCode::NonBooleanPredicate);
+        // A bare column as the whole predicate.
+        let ds = diags_of(&col("s"));
+        assert_eq!(ds[0].code, DiagCode::NonBooleanPredicate);
+    }
+
+    #[test]
+    fn non_numeric_arithmetic_and_pattern_are_flagged() {
+        let ds = diags_of(&col("s").add(lit(1i64)).gt(lit(0i64)));
+        assert_eq!(ds[0].code, DiagCode::NonNumericArith);
+        let ds = diags_of(&col("a").like("3%"));
+        assert_eq!(ds[0].code, DiagCode::NonStringPattern);
+    }
+
+    #[test]
+    fn unknown_column_reports_once_and_suppresses_cascades() {
+        let ds = diags_of(&col("nope").add(lit(1i64)).gt(lit(0i64)));
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        assert_eq!(ds[0].code, DiagCode::UnknownColumn);
+    }
+
+    #[test]
+    fn in_list_typing() {
+        assert!(diags_of(&col("a").in_list(vec![Value::Int(1), Value::Null])).is_empty());
+        let ds = diags_of(&col("a").in_list(vec![Value::Str("x".into())]));
+        assert_eq!(ds[0].code, DiagCode::IncomparableCmp);
+        let ds = diags_of(&col("a").in_list(vec![Value::Null]));
+        assert_eq!(ds[0].code, DiagCode::NullComparison);
+    }
+}

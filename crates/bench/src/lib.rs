@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 #![allow(clippy::field_reassign_with_default)] // config tweak idiom
 
 //! `snowprune-bench`: the reproduction harness (one runner per table and

@@ -3,12 +3,19 @@
 /// Five-number summary plus mean, the shape behind the paper's box plots.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct DistSummary {
+    /// Sample size.
     pub n: usize,
+    /// Smallest sample value.
     pub min: f64,
+    /// First quartile.
     pub p25: f64,
+    /// Median.
     pub median: f64,
+    /// Third quartile.
     pub p75: f64,
+    /// Largest sample value.
     pub max: f64,
+    /// Arithmetic mean.
     pub mean: f64,
 }
 
@@ -35,6 +42,7 @@ pub fn summarize(values: &[f64]) -> DistSummary {
 }
 
 impl DistSummary {
+    /// One formatted table row (values rendered as percentages).
     pub fn row(&self, label: &str) -> String {
         format!(
             "{label:<18} n={:<6} min={:>6.1}% p25={:>6.1}% med={:>6.1}% p75={:>6.1}% max={:>6.1}% mean={:>6.1}%",

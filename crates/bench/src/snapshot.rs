@@ -116,8 +116,8 @@ impl Snapshot {
 /// Directory snapshots are written to: `SNOWPRUNE_BENCH_DIR` if set (the
 /// directory is created if missing), otherwise the current directory.
 pub fn bench_dir() -> PathBuf {
-    match std::env::var("SNOWPRUNE_BENCH_DIR") {
-        Ok(dir) if !dir.trim().is_empty() => {
+    match snowprune_types::knobs::path("SNOWPRUNE_BENCH_DIR") {
+        Some(dir) if !dir.trim().is_empty() => {
             let p = PathBuf::from(dir);
             let _ = std::fs::create_dir_all(&p);
             p

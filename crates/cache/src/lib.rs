@@ -31,6 +31,7 @@
 //! remains as the offline/oracle population pass used by benches and the
 //! property suite.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;

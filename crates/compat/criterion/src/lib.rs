@@ -21,6 +21,7 @@
 //! * `SNOWPRUNE_BENCH_WARMUP_MS` — warm-up budget per benchmark in
 //!   milliseconds (default 50).
 
+#![forbid(unsafe_code)]
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

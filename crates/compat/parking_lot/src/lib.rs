@@ -5,6 +5,7 @@
 //! clear poison instead of propagating it (a panicking thread while
 //! holding the lock aborts the invariant anyway in this codebase's usage).
 
+#![forbid(unsafe_code)]
 use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual-exclusion lock with parking_lot's non-poisoning `lock()`.

@@ -23,6 +23,7 @@
 //!   sequences of literal characters and `[...]` classes (with `a-z`
 //!   ranges), each optionally quantified by `{m,n}`, `{n}`, `?`, `*`, `+`.
 
+#![forbid(unsafe_code)]
 use std::marker::PhantomData;
 use std::ops::Range;
 use std::sync::Arc;

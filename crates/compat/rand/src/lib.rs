@@ -8,6 +8,7 @@
 //! (ChaCha12) is fine: all workspace callers treat the stream as an
 //! arbitrary deterministic source, never as a cross-crate fixture.
 
+#![forbid(unsafe_code)]
 use std::ops::{Range, RangeInclusive};
 
 pub mod rngs {

@@ -4,6 +4,7 @@
 //! marker traits under the same names so both the macro and trait
 //! namespaces resolve. See `serde_derive`'s crate docs for why this exists.
 
+#![forbid(unsafe_code)]
 pub use serde_derive::{Deserialize, Serialize};
 
 /// Marker trait mirroring `serde::Serialize` (no methods in the shim).

@@ -7,6 +7,7 @@
 //! wire-ready for a future PR — so emitting no impls is sufficient. When
 //! real serialization lands, these expansions grow with it.
 
+#![forbid(unsafe_code)]
 use proc_macro::TokenStream;
 
 #[proc_macro_derive(Serialize)]

@@ -10,6 +10,7 @@
 //! * [`flow`] — composition bookkeeping across techniques (§7).
 //! * [`scan_set`] — the scan sets all techniques operate on (§2).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod filter;

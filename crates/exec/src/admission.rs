@@ -34,6 +34,8 @@
 //! signals only ever under-prune).
 
 use std::sync::atomic::{AtomicBool, Ordering};
+// STD-SYNC-OK: admission shares the pool's poisoning-based worker-panic
+// propagation (see pool.rs); parking_lot locks cannot observe a panic.
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 use snowprune_plan::Plan;
@@ -228,6 +230,7 @@ impl Sched {
         t.done[query_idx] = true;
         t.snaps[query_idx] = snap;
         while t.completed_prefix < t.admitted.len() && t.done[t.completed_prefix] {
+            // PANIC-OK: depth_hist is seeded at construction, never emptied.
             let last = *t.depth_hist.last().expect("seeded with initial depth");
             let next = match (&t.snaps[t.completed_prefix], adaptive) {
                 (Some(snap), true) => next_depth(last, snap, max_depth),
@@ -341,11 +344,13 @@ pub(crate) fn run_admitted(session: &Session, arrivals: &[(TenantId, Plan)]) -> 
         }
     });
     if driver_panicked.load(Ordering::Acquire) {
+        // PANIC-OK: deliberate panic propagation from a worker thread.
         panic!("a query panicked inside an admitted burst");
     }
 
     let outcomes: Vec<Admission> = lock(&results)
         .drain(..)
+        // PANIC-OK: the burst drivers above filled every slot or panicked.
         .map(|o| o.expect("every admitted query ran"))
         .collect();
     let sched = lock(&sched);
@@ -377,6 +382,7 @@ pub(crate) fn run_admitted(session: &Session, arrivals: &[(TenantId, Plan)]) -> 
                     .enumerate()
                     .min_by_key(|&(i, &busy)| (busy, i))
                     .map(|(i, _)| i)
+                    // PANIC-OK: tenant_max_concurrent is clamped to >= 1.
                     .expect("cap >= 1");
                 let start = lanes[lane];
                 stats.total_queue_wait_ns += start;

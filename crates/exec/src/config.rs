@@ -4,6 +4,7 @@ use snowprune_core::filter::FilterPruneConfig;
 use snowprune_core::join::SummaryKind;
 use snowprune_core::topk::PartitionOrder;
 use snowprune_storage::IoCostModel;
+use snowprune_types::knobs;
 
 /// Knobs controlling the pruning behaviour of the [`crate::Executor`].
 /// Every paper experiment toggles some subset of these.
@@ -98,6 +99,16 @@ pub struct ExecConfig {
     /// row-fallback oracle, and the `joinagg` bench experiment compares
     /// both settings. Results are bit-identical either way.
     pub batch_native: bool,
+    /// Run the static plan verifier (`snowprune-analyze`) at admission:
+    /// before morsel generation, every plan is schema-resolved and
+    /// type-checked and the engine invariants (sort-key validity, join-key
+    /// comparability, aggregate input typing) are enforced. Plans with any
+    /// error-severity diagnostic are rejected with
+    /// [`snowprune_types::Error::PlanRejected`]. On by default — the
+    /// analyzer is sound (zero false positives on every valid plan), so
+    /// the only reason to disable it (`SNOWPRUNE_VERIFY_PLANS=0`) is to
+    /// measure its admission-time cost.
+    pub verify_plans: bool,
     /// Zone-map filter pruning knobs (§3).
     pub filter: FilterPruneConfig,
     /// Simulated object-store cost model for I/O accounting.
@@ -143,6 +154,7 @@ impl Default for ExecConfig {
             prefetch_max_depth: 8,
             batch_rows: 1024,
             batch_native: true,
+            verify_plans: true,
             filter: FilterPruneConfig::default(),
             io_cost: IoCostModel::default(),
         }
@@ -226,14 +238,28 @@ impl ExecConfig {
         self.batch_native = on;
         self
     }
+
+    /// Builder-style toggle for the admission-time static plan verifier.
+    pub fn with_verify_plans(mut self, on: bool) -> Self {
+        self.verify_plans = on;
+        self
+    }
 }
+
+// Every reader below goes through the [`snowprune_types::knobs`] registry
+// — the single env-var choke point enforced by `cargo xtask lint`. The
+// registry panics on malformed values with the variable name and raw value
+// in the message: a typo'd CI matrix entry (`SNOWPRUNE_PREFETCH_DEPTH=abc`)
+// used to silently run defaults and green-light a sweep that never
+// happened. Unset variables still return `None` — absence is the
+// documented "use the default" signal.
 
 /// Scan-thread override from the `SNOWPRUNE_SCAN_THREADS` environment
 /// variable. The CI thread-count matrix uses this to run the differential
 /// and stress suites at 1, 4, and 8 workers without code changes; defaults
 /// stay env-independent so counter-exact unit tests are unaffected.
 pub fn scan_threads_from_env() -> Option<usize> {
-    env_usize("SNOWPRUNE_SCAN_THREADS")
+    knobs::usize_min1("SNOWPRUNE_SCAN_THREADS")
 }
 
 /// Prefetch-depth override from the `SNOWPRUNE_PREFETCH_DEPTH` environment
@@ -241,7 +267,7 @@ pub fn scan_threads_from_env() -> Option<usize> {
 /// the differential/stress suites (CI matrix runs depths 1 and 8), never
 /// implicitly by `ExecConfig::default()`.
 pub fn prefetch_depth_from_env() -> Option<usize> {
-    env_usize("SNOWPRUNE_PREFETCH_DEPTH")
+    knobs::usize_min1("SNOWPRUNE_PREFETCH_DEPTH")
 }
 
 /// Predicate-cache override from the `SNOWPRUNE_PREDICATE_CACHE`
@@ -253,15 +279,7 @@ pub fn prefetch_depth_from_env() -> Option<usize> {
 /// On a malformed value (anything other than the accepted spellings), so a
 /// typo'd CI matrix fails loudly instead of silently running defaults.
 pub fn predicate_cache_from_env() -> Option<bool> {
-    let raw = std::env::var("SNOWPRUNE_PREDICATE_CACHE").ok()?;
-    match raw.trim() {
-        "1" | "true" | "on" => Some(true),
-        "0" | "false" | "off" => Some(false),
-        _ => panic!(
-            "SNOWPRUNE_PREDICATE_CACHE={raw:?} is not a valid toggle \
-             (expected 1/0, true/false, or on/off)"
-        ),
-    }
+    knobs::toggle("SNOWPRUNE_PREDICATE_CACHE")
 }
 
 /// Predicate-cache fingerprint-mode override from the
@@ -272,14 +290,11 @@ pub fn predicate_cache_from_env() -> Option<bool> {
 /// # Panics
 /// On a malformed value (anything other than `exact`/`shape`).
 pub fn predicate_cache_mode_from_env() -> Option<PredicateCacheMode> {
-    let raw = std::env::var("SNOWPRUNE_PREDICATE_CACHE_MODE").ok()?;
-    match raw.trim().to_ascii_lowercase().as_str() {
+    match knobs::choice("SNOWPRUNE_PREDICATE_CACHE_MODE", &["exact", "shape"])? {
         "exact" => Some(PredicateCacheMode::Exact),
         "shape" => Some(PredicateCacheMode::Shape),
-        _ => panic!(
-            "SNOWPRUNE_PREDICATE_CACHE_MODE={raw:?} is not a valid mode \
-             (expected exact or shape)"
-        ),
+        // PANIC-OK: `choice` only returns variants from the registry entry.
+        other => unreachable!("choice() returned unregistered variant {other:?}"),
     }
 }
 
@@ -288,7 +303,7 @@ pub fn predicate_cache_mode_from_env() -> Option<PredicateCacheMode> {
 /// differential/stress suites (the CI matrix runs 1 and 1024), never
 /// implicitly by `ExecConfig::default()`.
 pub fn batch_rows_from_env() -> Option<usize> {
-    env_usize("SNOWPRUNE_BATCH_ROWS")
+    knobs::usize_min1("SNOWPRUNE_BATCH_ROWS")
 }
 
 /// Per-tenant in-flight cap override from the
@@ -296,7 +311,7 @@ pub fn batch_rows_from_env() -> Option<usize> {
 /// explicitly by the admission stress/differential legs (the CI pool
 /// matrix sweeps it), never implicitly by `ExecConfig::default()`.
 pub fn tenant_max_concurrent_from_env() -> Option<usize> {
-    env_usize("SNOWPRUNE_TENANT_MAX_CONCURRENT")
+    knobs::usize_min1("SNOWPRUNE_TENANT_MAX_CONCURRENT")
 }
 
 /// Admission queue-capacity override from the
@@ -304,26 +319,18 @@ pub fn tenant_max_concurrent_from_env() -> Option<usize> {
 /// numeric knobs, `0` is meaningful (reject anything beyond the in-flight
 /// window), so only non-numeric values are malformed.
 pub fn admission_queue_cap_from_env() -> Option<usize> {
-    let raw = std::env::var("SNOWPRUNE_ADMISSION_QUEUE_CAP").ok()?;
-    match raw.trim().parse() {
-        Ok(n) => Some(n),
-        Err(_) => panic!(
-            "SNOWPRUNE_ADMISSION_QUEUE_CAP={raw:?} is not a valid queue \
-             capacity (expected a non-negative integer)"
-        ),
-    }
+    knobs::usize_any("SNOWPRUNE_ADMISSION_QUEUE_CAP")
 }
 
-/// All env knobs must fail loudly on malformed values: a typo'd CI matrix
-/// entry (`SNOWPRUNE_PREFETCH_DEPTH=abc`) used to silently run defaults
-/// and green-light a sweep that never happened. Unset variables still
-/// return `None` — absence is the documented "use the default" signal.
-fn env_usize(var: &str) -> Option<usize> {
-    let raw = std::env::var(var).ok()?;
-    match raw.trim().parse::<usize>() {
-        Ok(n) if n >= 1 => Some(n),
-        _ => panic!("{var}={raw:?} is not a valid value (expected an integer >= 1)"),
-    }
+/// Static-plan-verifier override from the `SNOWPRUNE_VERIFY_PLANS`
+/// environment variable (`1`/`0`, `true`/`false`, `on`/`off`). Unlike the
+/// other knobs the verifier is **on** by default; the env var exists to
+/// switch it off for admission-cost measurements.
+///
+/// # Panics
+/// On a malformed value (anything other than the accepted spellings).
+pub fn verify_plans_from_env() -> Option<bool> {
+    knobs::toggle("SNOWPRUNE_VERIFY_PLANS")
 }
 
 #[cfg(test)]

@@ -69,6 +69,11 @@ pub struct ExecReport {
     pub cache: CacheOutcome,
     /// Compiled scan-set entries dropped by the cache-hit restriction.
     pub pruned_by_cache: u64,
+    /// Structured cache-shape eligibility explanation from the static
+    /// analyzer: why this plan is or isn't predicate-cacheable (§8.2).
+    /// Computed on every run, whether or not a cache is attached; the
+    /// executor debug-asserts it agrees with its own admission decision.
+    pub cacheability: Option<snowprune_analyze::CacheReport>,
 }
 
 /// How a query interacted with the predicate cache.
@@ -362,14 +367,46 @@ impl Executor {
     }
 
     /// Execute a plan, returning rows plus the pruning report.
+    ///
+    /// # Errors
+    /// Besides the structural [`Plan::check`] errors, when
+    /// [`ExecConfig::verify_plans`] is set (the default) the static plan
+    /// analyzer runs at admission and ill-formed plans — unresolvable
+    /// columns, provably-degenerate predicate typing, incomparable join
+    /// keys, empty sort keys, mistyped aggregate inputs — are rejected
+    /// with [`Error::PlanRejected`] before any morsel is generated.
     pub fn run(&self, plan: &Plan) -> Result<QueryOutput> {
         plan.check()?;
+        let cacheability = if self.cfg.verify_plans {
+            snowprune_analyze::verify_with(plan, self.cfg.enable_topk_pruning)?.cacheability
+        } else {
+            snowprune_analyze::explain_cacheability(plan, self.cfg.enable_topk_pruning)
+        };
+        // Keep the analyzer's public explanation and the executor's private
+        // admission decision from drifting: every debug-mode run checks
+        // they agree on both eligibility and the target table/shape.
+        #[cfg(debug_assertions)]
+        {
+            let mirror = cacheable_shape(plan, self.cfg.enable_topk_pruning)
+                .map(|(t, k)| (t, matches!(k, RecordKind::TopK { .. })));
+            let analyzed = cacheability.shape.as_ref().map(|s| match s {
+                snowprune_analyze::CacheShape::TopK { table, .. } => (table.clone(), true),
+                snowprune_analyze::CacheShape::Filter { table } => (table.clone(), false),
+            });
+            debug_assert_eq!(
+                analyzed, mirror,
+                "static analyzer cacheability explanation drifted from the \
+                 executor's cacheable_shape: {:?}",
+                cacheability.reasons
+            );
+        }
         let io_before = self.io.snapshot();
         let start = Instant::now();
         let mut st = RunState {
             lane: self.pool.as_ref().map_or(0, |p| p.next_lane()),
             ..RunState::default()
         };
+        st.report.cacheability = Some(cacheability);
         if let Some(cache) = &self.cache {
             st.cache = self.consult_cache(plan, cache, &mut st.report);
         }
@@ -1143,6 +1180,7 @@ impl Executor {
                                 join_one(r, None);
                             }
                         }
+                        // PANIC-OK: the planner prebuilds every non-spine side.
                         (None, None) => unreachable!("non-spine path prebuilds"),
                     }
                 }

@@ -8,6 +8,7 @@
 //! free). See `pool.rs` for the worker model and `session.rs` for the
 //! multi-query driver.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod admission;
@@ -24,11 +25,12 @@ pub use admission::{Admission, AdmissionRun, TenantId, TenantStats};
 pub use config::{
     admission_queue_cap_from_env, batch_rows_from_env, predicate_cache_from_env,
     predicate_cache_mode_from_env, prefetch_depth_from_env, scan_threads_from_env,
-    tenant_max_concurrent_from_env, ExecConfig, PredicateCacheMode,
+    tenant_max_concurrent_from_env, verify_plans_from_env, ExecConfig, PredicateCacheMode,
 };
 pub use exec::{CacheOutcome, ExecReport, Executor, QueryOutput};
 pub use pool::{MorselPool, QueryId, ScanJobSpec, ScanTicket};
 pub use rows::RowSet;
 pub use scan::{CompiledScan, ScanHooks, ScanRunStats};
 pub use session::Session;
+pub use snowprune_analyze::{CacheReport, CacheShape};
 pub use vector::{Batch, BatchChain};

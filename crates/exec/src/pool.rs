@@ -28,6 +28,9 @@
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+// STD-SYNC-OK: the pool *wants* poisoning semantics — a worker panic must
+// propagate to every thread blocked on the job's condvar, which
+// parking_lot's non-poisoning locks cannot signal.
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
@@ -148,6 +151,7 @@ impl ScanTicket {
         }
         drop(done);
         if self.progress.panicked.load(Ordering::Acquire) {
+            // PANIC-OK: deliberate panic propagation from a worker thread.
             panic!("a scan worker panicked while executing this job");
         }
         self.progress.stats()
@@ -219,6 +223,7 @@ impl Injector {
         while entries < depth {
             match lane.morsels.front() {
                 Some(next) if Arc::ptr_eq(&next.job, &chain[0].job) => {
+                    // PANIC-OK: the queue is locked; front() just returned Some.
                     let m = lane.morsels.pop_front().expect("front just observed");
                     entries += m.range.len();
                     chain.push(m);
@@ -277,6 +282,7 @@ impl MorselPool {
                 std::thread::Builder::new()
                     .name(format!("snowprune-scan-{i}"))
                     .spawn(move || worker_loop(&shared))
+                    // PANIC-OK: thread spawn failure at startup is unrecoverable.
                     .expect("spawn scan worker")
             })
             .collect();

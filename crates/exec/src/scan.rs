@@ -385,6 +385,7 @@ impl<'s> ScanPipeline<'s> {
         let slot = self
             .inflight
             .pop_front()
+            // PANIC-OK: callers drain only while the queue is non-empty.
             .expect("in-flight queue non-empty");
         let entry = &scan.scan_set.entries[slot.index];
         // §4.4 pre-assigned partitions are never cancelled by the runtime

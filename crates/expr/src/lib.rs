@@ -14,6 +14,7 @@
 //!   fully-matching partitions.
 //! * [`kernel`] — selection-vector predicate kernels for batch execution.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ast;

@@ -8,6 +8,8 @@
 //! threshold θ. These implementations exist to (a) document that lineage
 //! in executable form and (b) serve as ablation baselines in the benches.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 pub mod lists;
 pub mod ta;
 pub mod wand;

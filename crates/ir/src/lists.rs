@@ -4,14 +4,18 @@
 /// One posting.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Posting {
+    /// Document id.
     pub doc: u32,
+    /// Term score contribution for this document.
     pub score: f64,
 }
 
 /// A document with its aggregated score.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ScoredDoc {
+    /// Document id.
     pub doc: u32,
+    /// Aggregated score across query terms.
     pub score: f64,
 }
 
@@ -22,14 +26,18 @@ pub struct Block {
     pub start: usize,
     /// Last doc id covered by the block.
     pub last_doc: u32,
+    /// Max score within the block (the block-max bound).
     pub max_score: f64,
 }
 
 /// A doc-sorted posting list with block-max metadata.
 #[derive(Clone, Debug)]
 pub struct PostingList {
+    /// Postings sorted by doc id (deduplicated).
     pub postings: Vec<Posting>,
+    /// Max score over the whole list (the WAND list bound).
     pub max_score: f64,
+    /// Block-max metadata at fixed posting spans.
     pub blocks: Vec<Block>,
 }
 
@@ -57,10 +65,12 @@ impl PostingList {
         }
     }
 
+    /// Number of postings.
     pub fn len(&self) -> usize {
         self.postings.len()
     }
 
+    /// True when the list has no postings.
     pub fn is_empty(&self) -> bool {
         self.postings.is_empty()
     }

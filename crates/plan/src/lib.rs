@@ -1,6 +1,7 @@
 //! Logical plans and the plan analyses behind LIMIT pruning (§4.3), top-k
 //! shape detection (Figure 7), and plan fingerprinting (Figure 12, §8.2).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analyze;

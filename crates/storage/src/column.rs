@@ -354,6 +354,8 @@ impl ColumnBuilder {
             (ColumnValues::Date(c), Value::Null) => c.push(0),
             (ColumnValues::Timestamp(c), Value::Timestamp(x)) => c.push(x),
             (ColumnValues::Timestamp(c), Value::Null) => c.push(0),
+            // PANIC-OK: builders are constructed from the table schema; a
+            // mismatched push is a storage-layer programming error.
             (vals, v) => panic!(
                 "type mismatch pushing {:?} into {:?} column",
                 v.scalar_type(),

@@ -6,6 +6,7 @@
 //! Iceberg/Parquet-like [`lake`] format with layered, backfillable
 //! metadata (§8.1).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod catalog;

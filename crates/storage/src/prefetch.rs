@@ -129,6 +129,7 @@ impl AsyncLake {
             .iter()
             .position(|f| f.seq == ticket.seq)
             .ok_or_else(|| Error::NotFound(format!("load ticket {}", ticket.seq)))?;
+        // PANIC-OK: position() just returned this index under &mut self.
         Ok(self.inflight.remove(pos).expect("position just found"))
     }
 

@@ -115,6 +115,8 @@ fn apply_layout(rows: &mut [Vec<Value>], schema: &Schema, layout: &Layout) {
         Layout::ClusterBy(cols) => {
             let idxs: Vec<usize> = cols
                 .iter()
+                // PANIC-OK: clustering layout is validated against the schema
+                // by the table builder before rows are partitioned.
                 .map(|c| schema.index_of(c).expect("clustering column exists"))
                 .collect();
             rows.sort_by(|a, b| {

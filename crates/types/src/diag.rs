@@ -1,0 +1,204 @@
+//! Plan diagnostics: the typed findings emitted by the static plan
+//! analyzer (`snowprune-analyze`) and carried by
+//! [`Error::PlanRejected`](crate::Error::PlanRejected).
+//!
+//! Diagnostics live in this dependency-light crate (rather than in the
+//! analyzer) so that the shared [`Error`](crate::Error) enum can embed
+//! them without creating a dependency cycle: every crate already depends
+//! on `snowprune-types`, and the analyzer re-exports these names.
+
+use std::fmt;
+
+/// How serious a [`Diagnostic`] is.
+///
+/// Only [`Severity::Error`] diagnostics reject a plan at admission;
+/// warnings and infos ride along in the analyzer's report (soundness
+/// hints, cacheability explanations) without blocking execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory context (e.g. why a plan is or isn't cacheable).
+    Info,
+    /// Suspicious but executable (e.g. provenance not attributable).
+    Warning,
+    /// The plan is ill-formed and must not execute.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Stable machine-readable code identifying a class of plan finding.
+///
+/// Codes are the contract of the mutation-style property suite: a mutated
+/// plan must produce a diagnostic with the *expected* code, not merely any
+/// diagnostic, so each code names one failure class precisely.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DiagCode {
+    /// A referenced column does not exist in the input schema.
+    UnknownColumn,
+    /// A comparison whose operand types can never compare: under SQL's
+    /// Kleene semantics it evaluates to UNKNOWN on every row.
+    IncomparableCmp,
+    /// A comparison against the NULL literal: always UNKNOWN; the plan
+    /// almost certainly wanted `IS NULL`.
+    NullComparison,
+    /// A predicate position (filter, AND/OR operand, IF condition) holds a
+    /// provably non-boolean expression: always UNKNOWN as a predicate.
+    NonBooleanPredicate,
+    /// Arithmetic or negation over a provably non-numeric operand: always
+    /// NULL.
+    NonNumericArith,
+    /// `LIKE`/`STARTS WITH` over a provably non-string operand: always
+    /// UNKNOWN.
+    NonStringPattern,
+    /// Join keys with statically incomparable types: the equi-join can
+    /// never match a pair.
+    JoinKeyMismatch,
+    /// `SUM`/`AVG` over a provably non-numeric input column.
+    BadAggregateInput,
+    /// A `Sort` node with no keys: the order (and any LIMIT above it) is
+    /// unspecified.
+    EmptySortKeys,
+    /// A cacheable-looking spine whose row provenance cannot be attributed
+    /// to partitions of a single target scan (e.g. the target table is
+    /// scanned more than once, or rows pass through distinct-key
+    /// filtering).
+    ProvenanceNotAttributable,
+    /// Why the plan is *not* eligible for the §8.2 predicate cache.
+    NotCacheable,
+    /// The plan is eligible for the §8.2 predicate cache.
+    Cacheable,
+    /// How many of a scan predicate's conjuncts the zone-map pruner can
+    /// evaluate (pruning-soundness precondition detection).
+    ZoneMapEligibility,
+    /// A predicated scan where *no* conjunct is zone-map eligible: filter
+    /// pruning cannot skip any partition for this scan.
+    NoPrunableConjunct,
+}
+
+impl DiagCode {
+    /// The stable kebab-case spelling used in reports and docs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DiagCode::UnknownColumn => "unknown-column",
+            DiagCode::IncomparableCmp => "incomparable-comparison",
+            DiagCode::NullComparison => "null-comparison",
+            DiagCode::NonBooleanPredicate => "non-boolean-predicate",
+            DiagCode::NonNumericArith => "non-numeric-arithmetic",
+            DiagCode::NonStringPattern => "non-string-pattern",
+            DiagCode::JoinKeyMismatch => "join-key-type-mismatch",
+            DiagCode::BadAggregateInput => "bad-aggregate-input",
+            DiagCode::EmptySortKeys => "empty-sort-keys",
+            DiagCode::ProvenanceNotAttributable => "provenance-not-attributable",
+            DiagCode::NotCacheable => "not-cacheable",
+            DiagCode::Cacheable => "cacheable",
+            DiagCode::ZoneMapEligibility => "zone-map-eligibility",
+            DiagCode::NoPrunableConjunct => "no-prunable-conjunct",
+        }
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding of the static plan analyzer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Machine-readable finding class.
+    pub code: DiagCode,
+    /// Whether this finding rejects the plan ([`Severity::Error`]) or
+    /// merely annotates it.
+    pub severity: Severity,
+    /// Where in the plan tree the finding anchors, as a root-to-node path
+    /// such as `Limit/Sort/Scan(fact).predicate`.
+    pub plan_path: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// An [`Severity::Error`] diagnostic.
+    pub fn error(code: DiagCode, plan_path: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            plan_path: plan_path.into(),
+            message: message.into(),
+        }
+    }
+
+    /// A [`Severity::Warning`] diagnostic.
+    pub fn warning(
+        code: DiagCode,
+        plan_path: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Warning,
+            plan_path: plan_path.into(),
+            message: message.into(),
+        }
+    }
+
+    /// A [`Severity::Info`] diagnostic.
+    pub fn info(code: DiagCode, plan_path: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Info,
+            plan_path: plan_path.into(),
+            message: message.into(),
+        }
+    }
+
+    /// True for [`Severity::Error`] diagnostics.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] at {}: {}",
+            self.severity, self.code, self.plan_path, self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_grep_friendly() {
+        let d = Diagnostic::error(
+            DiagCode::UnknownColumn,
+            "Filter/Scan(t).predicate",
+            "no `x`",
+        );
+        assert_eq!(
+            d.to_string(),
+            "error[unknown-column] at Filter/Scan(t).predicate: no `x`"
+        );
+        assert!(d.is_error());
+        assert!(!Diagnostic::info(DiagCode::Cacheable, "Scan(t)", "ok").is_error());
+    }
+
+    #[test]
+    fn severity_orders_error_highest() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+}

@@ -5,12 +5,17 @@
 //! workspace. See `DESIGN.md` at the repository root for how these pieces
 //! map onto the paper.
 
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod knobs;
 pub mod range;
 pub mod selvec;
 pub mod value;
 pub mod verdict;
 pub mod zonemap;
 
+pub use diag::{DiagCode, Diagnostic, Severity};
 pub use range::{LiteralRange, RangeBound, ShapeKey, ValueRange};
 pub use selvec::{SelIter, SelVec};
 pub use value::{arith, KeyValue, ScalarType, Value};
@@ -28,6 +33,10 @@ pub enum Error {
     NotFound(String),
     /// The request is structurally invalid (e.g. malformed plan).
     Invalid(String),
+    /// The static plan analyzer rejected the plan at admission. Carries
+    /// every error-severity [`Diagnostic`] the analyzer produced (never
+    /// empty).
+    PlanRejected(Vec<Diagnostic>),
 }
 
 impl std::fmt::Display for Error {
@@ -39,6 +48,17 @@ impl std::fmt::Display for Error {
             }
             Error::NotFound(what) => write!(f, "not found: {what}"),
             Error::Invalid(msg) => write!(f, "invalid request: {msg}"),
+            Error::PlanRejected(diags) => {
+                write!(f, "plan rejected by static analysis ({} error", diags.len())?;
+                if diags.len() != 1 {
+                    write!(f, "s")?;
+                }
+                write!(f, ")")?;
+                for d in diags {
+                    write!(f, "; {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }

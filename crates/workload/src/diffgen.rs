@@ -1,0 +1,356 @@
+//! The seeded random workload generator behind the differential
+//! pruning-oracle suite (`tests/differential.rs`) — extracted here so the
+//! static-analyzer property suite (`crates/analyze/tests/prop_analyze.rs`)
+//! exercises the *identical* plan corpus: every plan the differential
+//! harness executes must analyze clean, and the harness in turn
+//! executes every plan this module can produce.
+//!
+//! Determinism contract: all randomness flows through the caller's
+//! seeded [`StdRng`], and the call sequence is part of the public
+//! behaviour — reordering draws would silently change every downstream
+//! differential fingerprint.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use snowprune_expr::dsl::{col, lit};
+use snowprune_expr::Expr;
+use snowprune_plan::{AggFunc, JoinType, Plan, PlanBuilder};
+use snowprune_storage::{Catalog, Field, Layout, Schema, TableBuilder};
+use snowprune_types::{ScalarType, Value};
+
+/// One generated workload: a `fact`/`dim` catalog with randomized schema
+/// order, layout, and partitioning.
+pub struct Workload {
+    /// The generated `fact` and `dim` tables.
+    pub catalog: Catalog,
+    /// Schema of the fact table (column order is randomized per seed).
+    pub fact_schema: Schema,
+    /// Schema of the dim table.
+    pub dim_schema: Schema,
+    /// Number of rows in the fact table (LIMIT determinism bookkeeping).
+    pub fact_rows: usize,
+}
+
+/// How a query's result must be compared against the oracle.
+pub enum Check {
+    /// Multiset equality (canonical row order).
+    Sorted,
+    /// Exact ordered equality (deterministic ORDER BY on the unique key).
+    Ordered,
+    /// LIMIT-without-ORDER-BY: `min(k, |matching|)` rows, all contained in
+    /// the oracle result of `unlimited`.
+    Limited {
+        /// The LIMIT count.
+        k: usize,
+        /// The same plan without the LIMIT (the containment oracle).
+        unlimited: Plan,
+    },
+}
+
+/// Build the seeded random `fact`/`dim` workload: shuffled column order,
+/// an optional pad column, random partition count/size/layout, `a` unique
+/// (the deterministic ORDER BY key), `b` nullable, `c` categorical.
+pub fn build_workload(seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Random schema: core columns in shuffled order plus an optional pad
+    // column, so column indices differ across workloads.
+    let mut fields = vec![
+        Field::new("a", ScalarType::Int),
+        Field::new("b", ScalarType::Int),
+        Field::new("c", ScalarType::Str),
+    ];
+    if rng.random::<f64>() < 0.5 {
+        fields.push(Field::new("d", ScalarType::Int));
+    }
+    for i in (1..fields.len()).rev() {
+        let j = rng.random_range(0..(i + 1));
+        fields.swap(i, j);
+    }
+    let fact_schema = Schema::new(fields);
+
+    let partitions = rng.random_range(8usize..24);
+    let rows_per_part = rng.random_range(16usize..40);
+    let fact_rows = partitions * rows_per_part;
+    let layout = match rng.random_range(0u32..3) {
+        0 => Layout::ClusterBy(vec!["a".into()]),
+        1 => Layout::Natural,
+        _ => Layout::Shuffle(rng.random_range(1u64..64)),
+    };
+    let cats = ["red", "green", "blue", "teal"];
+    let mut fact = TableBuilder::new("fact", fact_schema.clone())
+        .target_rows_per_partition(rows_per_part)
+        .layout(layout);
+    for i in 0..fact_rows as i64 {
+        let mut row = Vec::with_capacity(fact_schema.len());
+        for f in fact_schema.fields() {
+            row.push(match f.name.as_str() {
+                // `a` is unique: the deterministic ORDER BY key.
+                "a" => Value::Int(i),
+                "b" => {
+                    if rng.random::<f64>() < 0.08 {
+                        Value::Null
+                    } else {
+                        Value::Int(rng.random_range(-500i64..500))
+                    }
+                }
+                "c" => Value::Str(cats[rng.random_range(0usize..cats.len())].into()),
+                _ => Value::Int(rng.random_range(0i64..1000)),
+            });
+        }
+        fact.push_row(row);
+    }
+
+    let dim_schema = Schema::new(vec![
+        Field::new("id", ScalarType::Int),
+        Field::new("weight", ScalarType::Int),
+    ]);
+    let mut dim = TableBuilder::new("dim", dim_schema.clone()).target_rows_per_partition(32);
+    for id in 0..rng.random_range(40i64..120) {
+        dim.push_row(vec![Value::Int(id), Value::Int(rng.random_range(0i64..50))]);
+    }
+
+    let catalog = Catalog::new();
+    catalog.register(fact.build());
+    catalog.register(dim.build());
+    Workload {
+        catalog,
+        fact_schema,
+        dim_schema,
+        fact_rows,
+    }
+}
+
+/// One of five random single/two-column fact predicates (range on `a`,
+/// threshold on nullable `b`, category equality on `c`, a conjunction,
+/// and an open range).
+pub fn random_predicate(rng: &mut StdRng, fact_rows: usize) -> Expr {
+    let hi = fact_rows as i64;
+    match rng.random_range(0u32..5) {
+        0 => {
+            let lo = rng.random_range(0..hi);
+            let width = rng.random_range(1..hi / 2 + 2);
+            col("a").between(lit(lo), lit((lo + width).min(hi)))
+        }
+        1 => col("b").ge(lit(rng.random_range(-400i64..400))),
+        2 => col("c").eq(lit(
+            ["red", "green", "blue", "teal"][rng.random_range(0usize..4)]
+        )),
+        3 => {
+            let lo = rng.random_range(0..hi);
+            col("a")
+                .ge(lit(lo))
+                .and(col("b").lt(lit(rng.random_range(-100i64..450))))
+        }
+        _ => col("a").lt(lit(rng.random_range(1..hi))),
+    }
+}
+
+/// The six-arm random query mix of the core differential legs: filtered
+/// select, projected scan, top-k on the unique key, top-k above GROUP BY
+/// (Figure 7d), dim⋈fact join, and LIMIT-with-predicate.
+pub fn random_queries(rng: &mut StdRng, wl: &Workload) -> Vec<(Plan, Check)> {
+    let fs = &wl.fact_schema;
+    let mut out = Vec::new();
+    // 1. Filtered select.
+    out.push((
+        PlanBuilder::scan("fact", fs.clone())
+            .filter(random_predicate(rng, wl.fact_rows))
+            .build(),
+        Check::Sorted,
+    ));
+    // 2. Projected (optionally filtered) scan.
+    {
+        let mut b = PlanBuilder::scan("fact", fs.clone());
+        if rng.random::<f64>() < 0.5 {
+            b = b.filter(random_predicate(rng, wl.fact_rows));
+        }
+        out.push((b.project(vec!["a", "c"]).build(), Check::Sorted));
+    }
+    // 3. Top-k on the unique key (exact ordered check).
+    {
+        let mut b = PlanBuilder::scan("fact", fs.clone());
+        if rng.random::<f64>() < 0.6 {
+            b = b.filter(random_predicate(rng, wl.fact_rows));
+        }
+        let k = rng.random_range(1u64..30);
+        let desc = rng.random::<bool>();
+        out.push((b.order_by("a", desc).limit(k).build(), Check::Ordered));
+    }
+    // 4. Top-k above GROUP BY on the grouping key (Figure 7d shape).
+    {
+        let k = rng.random_range(1u64..20);
+        out.push((
+            PlanBuilder::scan("fact", fs.clone())
+                .aggregate(vec!["a"], vec![AggFunc::CountStar])
+                .order_by("a", rng.random::<bool>())
+                .limit(k)
+                .build(),
+            Check::Ordered,
+        ));
+    }
+    // 5. Join: filtered dim build side, fact probe side on `b`.
+    {
+        let dim = PlanBuilder::scan("dim", wl.dim_schema.clone())
+            .filter(col("weight").lt(lit(rng.random_range(1i64..40))));
+        let mut probe = PlanBuilder::scan("fact", fs.clone());
+        if rng.random::<f64>() < 0.4 {
+            probe = probe.filter(random_predicate(rng, wl.fact_rows));
+        }
+        out.push((
+            dim.join(probe, "id", "b", JoinType::Inner).build(),
+            Check::Sorted,
+        ));
+    }
+    // 6. LIMIT with predicate, no ORDER BY.
+    {
+        let pred = random_predicate(rng, wl.fact_rows);
+        let k = rng.random_range(1u64..60);
+        let unlimited = PlanBuilder::scan("fact", fs.clone())
+            .filter(pred.clone())
+            .build();
+        out.push((
+            PlanBuilder::scan("fact", fs.clone())
+                .filter(pred)
+                .limit(k)
+                .build(),
+            Check::Limited {
+                k: k as usize,
+                unlimited,
+            },
+        ));
+    }
+    out
+}
+
+/// The §8.2 cacheable-shape mix of the predicate-cache differential leg:
+/// filtered chains (bare and projected), an optionally-filtered top-k,
+/// and an unfiltered top-k.
+pub fn cacheable_queries(rng: &mut StdRng, wl: &Workload) -> Vec<(Plan, Check)> {
+    let fs = &wl.fact_schema;
+    let mut out = Vec::new();
+    out.push((
+        PlanBuilder::scan("fact", fs.clone())
+            .filter(random_predicate(rng, wl.fact_rows))
+            .build(),
+        Check::Sorted,
+    ));
+    out.push((
+        PlanBuilder::scan("fact", fs.clone())
+            .filter(random_predicate(rng, wl.fact_rows))
+            .project(vec!["a", "c"])
+            .build(),
+        Check::Sorted,
+    ));
+    {
+        let mut b = PlanBuilder::scan("fact", fs.clone());
+        if rng.random::<f64>() < 0.6 {
+            b = b.filter(random_predicate(rng, wl.fact_rows));
+        }
+        let k = rng.random_range(1u64..30);
+        out.push((
+            b.order_by("a", rng.random::<bool>()).limit(k).build(),
+            Check::Ordered,
+        ));
+    }
+    out.push((
+        PlanBuilder::scan("fact", fs.clone())
+            .order_by("a", rng.random::<bool>())
+            .limit(rng.random_range(1u64..20))
+            .build(),
+        Check::Ordered,
+    ));
+    out
+}
+
+/// The join/aggregation mix of the batch-native differential leg: inner
+/// and outer-preserve-build joins, top-k over a join (Figure 7b), a
+/// filtered GROUP BY chain with every aggregate function, and GROUP BY
+/// over a join.
+pub fn joinagg_queries(rng: &mut StdRng, wl: &Workload) -> Vec<(Plan, Check)> {
+    let fs = &wl.fact_schema;
+    let ds = &wl.dim_schema;
+    let mut out = Vec::new();
+    // 1. Inner join: filtered dim build side, optionally filtered fact
+    //    probe side (batch-native build and probe).
+    {
+        let dim = PlanBuilder::scan("dim", ds.clone())
+            .filter(col("weight").lt(lit(rng.random_range(1i64..40))));
+        let mut probe = PlanBuilder::scan("fact", fs.clone());
+        if rng.random::<f64>() < 0.5 {
+            probe = probe.filter(random_predicate(rng, wl.fact_rows));
+        }
+        out.push((
+            dim.join(probe, "id", "b", JoinType::Inner).build(),
+            Check::Sorted,
+        ));
+    }
+    // 2. Outer preserve-build join: NULL-padded build rows ride along and
+    //    NULL join keys must never match (Kleene semantics).
+    {
+        let dim = PlanBuilder::scan("dim", ds.clone());
+        let probe =
+            PlanBuilder::scan("fact", fs.clone()).filter(random_predicate(rng, wl.fact_rows));
+        out.push((
+            dim.join(probe, "id", "b", JoinType::OuterPreserveBuild)
+                .build(),
+            Check::Sorted,
+        ));
+    }
+    // 3. Top-k over a join on the probe-side unique key (Figure 7b):
+    //    boundary logs above the join, per-row provenance through it.
+    {
+        let dim = PlanBuilder::scan("dim", ds.clone());
+        let mut probe = PlanBuilder::scan("fact", fs.clone());
+        if rng.random::<f64>() < 0.5 {
+            probe = probe.filter(random_predicate(rng, wl.fact_rows));
+        }
+        let k = rng.random_range(1u64..25);
+        out.push((
+            dim.join(probe, "id", "b", JoinType::Inner)
+                .order_by("a", rng.random::<bool>())
+                .limit(k)
+                .build(),
+            Check::Ordered,
+        ));
+    }
+    // 4. Filtered GROUP BY straight over the fact chain: the columnar
+    //    fold path, with NULLs in `b` exercising the skip semantics.
+    {
+        let mut b = PlanBuilder::scan("fact", fs.clone());
+        if rng.random::<f64>() < 0.7 {
+            b = b.filter(random_predicate(rng, wl.fact_rows));
+        }
+        out.push((
+            b.aggregate(
+                vec!["c"],
+                vec![
+                    AggFunc::CountStar,
+                    AggFunc::Count("b".into()),
+                    AggFunc::Sum("b".into()),
+                    AggFunc::Min("a".into()),
+                    AggFunc::Max("b".into()),
+                    AggFunc::Avg("b".into()),
+                ],
+            )
+            .build(),
+            Check::Ordered,
+        ));
+    }
+    // 5. GROUP BY over a join: the aggregation consumes joined rows (not
+    //    a chain), so it exercises the fallback boundary above a
+    //    batch-native join.
+    {
+        let dim = PlanBuilder::scan("dim", ds.clone());
+        let probe = PlanBuilder::scan("fact", fs.clone());
+        out.push((
+            dim.join(probe, "id", "b", JoinType::Inner)
+                .aggregate(
+                    vec!["c"],
+                    vec![AggFunc::CountStar, AggFunc::Sum("weight".into())],
+                )
+                .build(),
+            Check::Ordered,
+        ));
+    }
+    out
+}

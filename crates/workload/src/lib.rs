@@ -2,7 +2,10 @@
 //! calibrated to the paper's published statistics, and a TPC-H dbgen with
 //! the 22 queries' pruning skeletons (§8.3).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 pub mod classify;
+pub mod diffgen;
 pub mod kdist;
 pub mod production;
 pub mod tpch;

@@ -37,14 +37,18 @@ pub enum QueryKind {
 /// A generated query.
 #[derive(Clone, Debug)]
 pub struct GeneratedQuery {
+    /// The logical plan to execute.
     pub plan: Plan,
+    /// SQL rendering of the plan (for logs and corpus dumps).
     pub sql: String,
+    /// Which generator arm produced it.
     pub kind: QueryKind,
 }
 
 /// Workload generation parameters.
 #[derive(Clone, Debug)]
 pub struct WorkloadConfig {
+    /// Number of queries to generate.
     pub queries: usize,
     /// Rows per micro-partition for the generated tables.
     pub rows_per_partition: usize,
@@ -64,7 +68,9 @@ impl Default for WorkloadConfig {
 
 /// A generated catalog + query stream.
 pub struct ProductionWorkload {
+    /// The generated tables.
     pub catalog: Catalog,
+    /// The generated query stream.
     pub queries: Vec<GeneratedQuery>,
 }
 

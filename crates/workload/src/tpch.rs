@@ -39,6 +39,7 @@ pub struct TpchConfig {
     /// Cluster lineitem by `l_shipdate` and orders by `o_orderdate`
     /// (the Figure 13 configuration); `false` keeps dbgen order.
     pub clustered: bool,
+    /// RNG seed for data generation.
     pub seed: u64,
 }
 
@@ -53,7 +54,9 @@ impl Default for TpchConfig {
     }
 }
 
+/// First order date in the generated data (year, month, day).
 pub const START: (i32, u32, u32) = (1992, 1, 1);
+/// Last order date in the generated data (year, month, day).
 pub const END: (i32, u32, u32) = (1998, 12, 31);
 
 const SEGMENTS: [&str; 5] = [
@@ -267,6 +270,7 @@ pub fn generate_tpch(cfg: &TpchConfig) -> Catalog {
     catalog
 }
 
+/// The `lineitem` table schema (the pruning-relevant columns).
 pub fn lineitem_schema() -> Schema {
     Schema::new(vec![
         Field::new("l_orderkey", ScalarType::Int),
@@ -286,6 +290,7 @@ pub fn lineitem_schema() -> Schema {
     ])
 }
 
+/// The `orders` table schema.
 pub fn orders_schema() -> Schema {
     Schema::new(vec![
         Field::new("o_orderkey", ScalarType::Int),
@@ -298,6 +303,7 @@ pub fn orders_schema() -> Schema {
     ])
 }
 
+/// The `customer` table schema.
 pub fn customer_schema() -> Schema {
     Schema::new(vec![
         Field::new("c_custkey", ScalarType::Int),
@@ -309,6 +315,7 @@ pub fn customer_schema() -> Schema {
     ])
 }
 
+/// The `part` table schema.
 pub fn part_schema() -> Schema {
     Schema::new(vec![
         Field::new("p_partkey", ScalarType::Int),
@@ -321,6 +328,7 @@ pub fn part_schema() -> Schema {
     ])
 }
 
+/// The `supplier` table schema.
 pub fn supplier_schema() -> Schema {
     Schema::new(vec![
         Field::new("s_suppkey", ScalarType::Int),
@@ -330,6 +338,7 @@ pub fn supplier_schema() -> Schema {
     ])
 }
 
+/// The `partsupp` table schema.
 pub fn partsupp_schema() -> Schema {
     Schema::new(vec![
         Field::new("ps_partkey", ScalarType::Int),
@@ -339,6 +348,7 @@ pub fn partsupp_schema() -> Schema {
     ])
 }
 
+/// The `nation` table schema.
 pub fn nation_schema() -> Schema {
     Schema::new(vec![
         Field::new("n_nationkey", ScalarType::Int),
@@ -347,6 +357,7 @@ pub fn nation_schema() -> Schema {
     ])
 }
 
+/// The `region` table schema.
 pub fn region_schema() -> Schema {
     Schema::new(vec![
         Field::new("r_regionkey", ScalarType::Int),

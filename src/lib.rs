@@ -45,6 +45,7 @@
 //! the `snowprune-bench` crate for the harness regenerating every table
 //! and figure of the paper.
 
+#![forbid(unsafe_code)]
 pub use snowprune_cache as cache;
 pub use snowprune_core as core;
 pub use snowprune_exec as exec;

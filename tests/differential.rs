@@ -27,9 +27,12 @@
 use snowprune::exec::{
     admission_queue_cap_from_env, batch_rows_from_env, predicate_cache_from_env,
     predicate_cache_mode_from_env, prefetch_depth_from_env, scan_threads_from_env,
-    tenant_max_concurrent_from_env, CacheOutcome, PredicateCacheMode,
+    tenant_max_concurrent_from_env, verify_plans_from_env, CacheOutcome, PredicateCacheMode,
 };
 use snowprune::prelude::*;
+use snowprune::workload::diffgen::{
+    build_workload, cacheable_queries, joinagg_queries, random_queries, Check, Workload,
+};
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -48,6 +51,10 @@ fn env_batch_rows() -> usize {
     batch_rows_from_env().unwrap_or(ExecConfig::default().batch_rows)
 }
 
+fn env_verify_plans() -> bool {
+    verify_plans_from_env().unwrap_or(ExecConfig::default().verify_plans)
+}
+
 /// The prefetch pipeline's counter invariant: every considered scan-set
 /// entry was loaded, skipped before submission, or cancelled in flight.
 fn assert_pipeline_invariant(out: &QueryOutput, ctx: &str) {
@@ -64,190 +71,10 @@ fn assert_pipeline_invariant(out: &QueryOutput, ctx: &str) {
 }
 
 // ---- random workload generation -----------------------------------------
-
-struct Workload {
-    catalog: Catalog,
-    fact_schema: Schema,
-    dim_schema: Schema,
-    /// Number of rows in the fact table (LIMIT determinism bookkeeping).
-    fact_rows: usize,
-}
-
-fn build_workload(seed: u64) -> Workload {
-    let mut rng = StdRng::seed_from_u64(seed);
-    // Random schema: core columns in shuffled order plus an optional pad
-    // column, so column indices differ across workloads.
-    let mut fields = vec![
-        Field::new("a", ScalarType::Int),
-        Field::new("b", ScalarType::Int),
-        Field::new("c", ScalarType::Str),
-    ];
-    if rng.random::<f64>() < 0.5 {
-        fields.push(Field::new("d", ScalarType::Int));
-    }
-    for i in (1..fields.len()).rev() {
-        let j = rng.random_range(0..(i + 1));
-        fields.swap(i, j);
-    }
-    let fact_schema = Schema::new(fields);
-
-    let partitions = rng.random_range(8usize..24);
-    let rows_per_part = rng.random_range(16usize..40);
-    let fact_rows = partitions * rows_per_part;
-    let layout = match rng.random_range(0u32..3) {
-        0 => Layout::ClusterBy(vec!["a".into()]),
-        1 => Layout::Natural,
-        _ => Layout::Shuffle(rng.random_range(1u64..64)),
-    };
-    let cats = ["red", "green", "blue", "teal"];
-    let mut fact = TableBuilder::new("fact", fact_schema.clone())
-        .target_rows_per_partition(rows_per_part)
-        .layout(layout);
-    for i in 0..fact_rows as i64 {
-        let mut row = Vec::with_capacity(fact_schema.len());
-        for f in fact_schema.fields() {
-            row.push(match f.name.as_str() {
-                // `a` is unique: the deterministic ORDER BY key.
-                "a" => Value::Int(i),
-                "b" => {
-                    if rng.random::<f64>() < 0.08 {
-                        Value::Null
-                    } else {
-                        Value::Int(rng.random_range(-500i64..500))
-                    }
-                }
-                "c" => Value::Str(cats[rng.random_range(0usize..cats.len())].into()),
-                _ => Value::Int(rng.random_range(0i64..1000)),
-            });
-        }
-        fact.push_row(row);
-    }
-
-    let dim_schema = Schema::new(vec![
-        Field::new("id", ScalarType::Int),
-        Field::new("weight", ScalarType::Int),
-    ]);
-    let mut dim = TableBuilder::new("dim", dim_schema.clone()).target_rows_per_partition(32);
-    for id in 0..rng.random_range(40i64..120) {
-        dim.push_row(vec![Value::Int(id), Value::Int(rng.random_range(0i64..50))]);
-    }
-
-    let catalog = Catalog::new();
-    catalog.register(fact.build());
-    catalog.register(dim.build());
-    Workload {
-        catalog,
-        fact_schema,
-        dim_schema,
-        fact_rows,
-    }
-}
-
-fn random_predicate(rng: &mut StdRng, fact_rows: usize) -> Expr {
-    let hi = fact_rows as i64;
-    match rng.random_range(0u32..5) {
-        0 => {
-            let lo = rng.random_range(0..hi);
-            let width = rng.random_range(1..hi / 2 + 2);
-            col("a").between(lit(lo), lit((lo + width).min(hi)))
-        }
-        1 => col("b").ge(lit(rng.random_range(-400i64..400))),
-        2 => col("c").eq(lit(
-            ["red", "green", "blue", "teal"][rng.random_range(0usize..4)]
-        )),
-        3 => {
-            let lo = rng.random_range(0..hi);
-            col("a")
-                .ge(lit(lo))
-                .and(col("b").lt(lit(rng.random_range(-100i64..450))))
-        }
-        _ => col("a").lt(lit(rng.random_range(1..hi))),
-    }
-}
-
-enum Check {
-    /// Multiset equality (canonical row order).
-    Sorted,
-    /// Exact ordered equality (deterministic ORDER BY on the unique key).
-    Ordered,
-    /// LIMIT-without-ORDER-BY: `min(k, |matching|)` rows, all contained in
-    /// the oracle result of `unlimited`.
-    Limited { k: usize, unlimited: Plan },
-}
-
-fn random_queries(rng: &mut StdRng, wl: &Workload) -> Vec<(Plan, Check)> {
-    let fs = &wl.fact_schema;
-    let mut out = Vec::new();
-    // 1. Filtered select.
-    out.push((
-        PlanBuilder::scan("fact", fs.clone())
-            .filter(random_predicate(rng, wl.fact_rows))
-            .build(),
-        Check::Sorted,
-    ));
-    // 2. Projected (optionally filtered) scan.
-    {
-        let mut b = PlanBuilder::scan("fact", fs.clone());
-        if rng.random::<f64>() < 0.5 {
-            b = b.filter(random_predicate(rng, wl.fact_rows));
-        }
-        out.push((b.project(vec!["a", "c"]).build(), Check::Sorted));
-    }
-    // 3. Top-k on the unique key (exact ordered check).
-    {
-        let mut b = PlanBuilder::scan("fact", fs.clone());
-        if rng.random::<f64>() < 0.6 {
-            b = b.filter(random_predicate(rng, wl.fact_rows));
-        }
-        let k = rng.random_range(1u64..30);
-        let desc = rng.random::<bool>();
-        out.push((b.order_by("a", desc).limit(k).build(), Check::Ordered));
-    }
-    // 4. Top-k above GROUP BY on the grouping key (Figure 7d shape).
-    {
-        let k = rng.random_range(1u64..20);
-        out.push((
-            PlanBuilder::scan("fact", fs.clone())
-                .aggregate(vec!["a"], vec![AggFunc::CountStar])
-                .order_by("a", rng.random::<bool>())
-                .limit(k)
-                .build(),
-            Check::Ordered,
-        ));
-    }
-    // 5. Join: filtered dim build side, fact probe side on `b`.
-    {
-        let dim = PlanBuilder::scan("dim", wl.dim_schema.clone())
-            .filter(col("weight").lt(lit(rng.random_range(1i64..40))));
-        let mut probe = PlanBuilder::scan("fact", fs.clone());
-        if rng.random::<f64>() < 0.4 {
-            probe = probe.filter(random_predicate(rng, wl.fact_rows));
-        }
-        out.push((
-            dim.join(probe, "id", "b", JoinType::Inner).build(),
-            Check::Sorted,
-        ));
-    }
-    // 6. LIMIT with predicate, no ORDER BY.
-    {
-        let pred = random_predicate(rng, wl.fact_rows);
-        let k = rng.random_range(1u64..60);
-        let unlimited = PlanBuilder::scan("fact", fs.clone())
-            .filter(pred.clone())
-            .build();
-        out.push((
-            PlanBuilder::scan("fact", fs.clone())
-                .filter(pred)
-                .limit(k)
-                .build(),
-            Check::Limited {
-                k: k as usize,
-                unlimited,
-            },
-        ));
-    }
-    out
-}
+//
+// The generator lives in `snowprune::workload::diffgen` so the analyzer
+// property suite (`crates/analyze/tests/prop_analyze.rs`) runs over the
+// identical plan corpus this harness executes.
 
 // ---- comparison helpers --------------------------------------------------
 
@@ -273,10 +100,12 @@ fn pruning_is_result_invariant_across_50_workloads() {
     let threads = pool_threads();
     let pruned_cfg = ExecConfig::default()
         .with_prefetch_depth(env_prefetch_depth())
-        .with_batch_rows(env_batch_rows());
+        .with_batch_rows(env_batch_rows())
+        .with_verify_plans(env_verify_plans());
     let oracle_cfg = ExecConfig::no_pruning()
         .with_prefetch_depth(env_prefetch_depth())
-        .with_batch_rows(env_batch_rows());
+        .with_batch_rows(env_batch_rows())
+        .with_verify_plans(env_verify_plans());
     for w in 0..WORKLOADS {
         let seed = 0xD1FF_0000 + w;
         let wl = build_workload(seed);
@@ -463,43 +292,6 @@ fn apply_random_dml(rng: &mut StdRng, session: &Session, wl: &Workload, next_a: 
 /// leg. LIMIT-without-ORDER-BY is deliberately absent: its result set is
 /// legally nondeterministic, so "byte-identical to a cold oracle" is not a
 /// meaningful contract for it (and the engine does not cache it).
-fn cacheable_queries(rng: &mut StdRng, wl: &Workload) -> Vec<(Plan, Check)> {
-    let fs = &wl.fact_schema;
-    let mut out = Vec::new();
-    out.push((
-        PlanBuilder::scan("fact", fs.clone())
-            .filter(random_predicate(rng, wl.fact_rows))
-            .build(),
-        Check::Sorted,
-    ));
-    out.push((
-        PlanBuilder::scan("fact", fs.clone())
-            .filter(random_predicate(rng, wl.fact_rows))
-            .project(vec!["a", "c"])
-            .build(),
-        Check::Sorted,
-    ));
-    {
-        let mut b = PlanBuilder::scan("fact", fs.clone());
-        if rng.random::<f64>() < 0.6 {
-            b = b.filter(random_predicate(rng, wl.fact_rows));
-        }
-        let k = rng.random_range(1u64..30);
-        out.push((
-            b.order_by("a", rng.random::<bool>()).limit(k).build(),
-            Check::Ordered,
-        ));
-    }
-    out.push((
-        PlanBuilder::scan("fact", fs.clone())
-            .order_by("a", rng.random::<bool>())
-            .limit(rng.random_range(1u64..20))
-            .build(),
-        Check::Ordered,
-    ));
-    out
-}
-
 /// Fingerprint modes to sweep: the env override when set (the CI
 /// cache-matrix pins one mode per job), both modes otherwise.
 fn cache_modes() -> Vec<PredicateCacheMode> {
@@ -525,6 +317,7 @@ fn predicate_cache_warm_replays_match_cold_oracle() {
         let cfg = ExecConfig::default()
             .with_prefetch_depth(env_prefetch_depth())
             .with_batch_rows(env_batch_rows())
+            .with_verify_plans(env_verify_plans())
             .with_scan_threads(threads)
             .with_predicate_cache(cache_on)
             .with_predicate_cache_mode(mode);
@@ -621,6 +414,7 @@ fn predicate_cache_shape_subsumption_matches_cold_oracle() {
         let cfg = ExecConfig::default()
             .with_prefetch_depth(env_prefetch_depth())
             .with_batch_rows(env_batch_rows())
+            .with_verify_plans(env_verify_plans())
             .with_scan_threads(threads)
             .with_predicate_cache(true)
             .with_predicate_cache_mode(mode);
@@ -728,7 +522,8 @@ fn prefetch_depths_match_sequential_oracle() {
     let threads = pool_threads();
     let oracle_cfg = ExecConfig::no_pruning()
         .with_prefetch_depth(1)
-        .with_batch_rows(env_batch_rows());
+        .with_batch_rows(env_batch_rows())
+        .with_verify_plans(env_verify_plans());
     for w in 0..WORKLOADS {
         let seed = 0xD1FF_0000 + w;
         let wl = build_workload(seed);
@@ -761,7 +556,8 @@ fn prefetch_depths_match_sequential_oracle() {
         for depth in [1usize, 4] {
             let cfg = ExecConfig::default()
                 .with_prefetch_depth(depth)
-                .with_batch_rows(env_batch_rows());
+                .with_batch_rows(env_batch_rows())
+                .with_verify_plans(env_verify_plans());
             let seq = Executor::new(wl.catalog.clone(), cfg.clone());
             let pool = Session::new(wl.catalog.clone(), cfg.with_scan_threads(threads));
             let batch = pool.run_batch(&plans);
@@ -835,95 +631,6 @@ fn vectorized_matches_row_oracle() {
 /// Join/aggregation shapes that historically dropped to the row-at-a-time
 /// fallback at the first join or GROUP BY. Both engines must agree on them
 /// whether the batch-native operators are on or off.
-fn joinagg_queries(rng: &mut StdRng, wl: &Workload) -> Vec<(Plan, Check)> {
-    let fs = &wl.fact_schema;
-    let ds = &wl.dim_schema;
-    let mut out = Vec::new();
-    // 1. Inner join: filtered dim build side, optionally filtered fact
-    //    probe side (batch-native build and probe).
-    {
-        let dim = PlanBuilder::scan("dim", ds.clone())
-            .filter(col("weight").lt(lit(rng.random_range(1i64..40))));
-        let mut probe = PlanBuilder::scan("fact", fs.clone());
-        if rng.random::<f64>() < 0.5 {
-            probe = probe.filter(random_predicate(rng, wl.fact_rows));
-        }
-        out.push((
-            dim.join(probe, "id", "b", JoinType::Inner).build(),
-            Check::Sorted,
-        ));
-    }
-    // 2. Outer preserve-build join: NULL-padded build rows ride along and
-    //    NULL join keys must never match (Kleene semantics).
-    {
-        let dim = PlanBuilder::scan("dim", ds.clone());
-        let probe =
-            PlanBuilder::scan("fact", fs.clone()).filter(random_predicate(rng, wl.fact_rows));
-        out.push((
-            dim.join(probe, "id", "b", JoinType::OuterPreserveBuild)
-                .build(),
-            Check::Sorted,
-        ));
-    }
-    // 3. Top-k over a join on the probe-side unique key (Figure 7b):
-    //    boundary logs above the join, per-row provenance through it.
-    {
-        let dim = PlanBuilder::scan("dim", ds.clone());
-        let mut probe = PlanBuilder::scan("fact", fs.clone());
-        if rng.random::<f64>() < 0.5 {
-            probe = probe.filter(random_predicate(rng, wl.fact_rows));
-        }
-        let k = rng.random_range(1u64..25);
-        out.push((
-            dim.join(probe, "id", "b", JoinType::Inner)
-                .order_by("a", rng.random::<bool>())
-                .limit(k)
-                .build(),
-            Check::Ordered,
-        ));
-    }
-    // 4. Filtered GROUP BY straight over the fact chain: the columnar
-    //    fold path, with NULLs in `b` exercising the skip semantics.
-    {
-        let mut b = PlanBuilder::scan("fact", fs.clone());
-        if rng.random::<f64>() < 0.7 {
-            b = b.filter(random_predicate(rng, wl.fact_rows));
-        }
-        out.push((
-            b.aggregate(
-                vec!["c"],
-                vec![
-                    AggFunc::CountStar,
-                    AggFunc::Count("b".into()),
-                    AggFunc::Sum("b".into()),
-                    AggFunc::Min("a".into()),
-                    AggFunc::Max("b".into()),
-                    AggFunc::Avg("b".into()),
-                ],
-            )
-            .build(),
-            Check::Ordered,
-        ));
-    }
-    // 5. GROUP BY over a join: the aggregation consumes joined rows (not
-    //    a chain), so it exercises the fallback boundary above a
-    //    batch-native join.
-    {
-        let dim = PlanBuilder::scan("dim", ds.clone());
-        let probe = PlanBuilder::scan("fact", fs.clone());
-        out.push((
-            dim.join(probe, "id", "b", JoinType::Inner)
-                .aggregate(
-                    vec!["c"],
-                    vec![AggFunc::CountStar, AggFunc::Sum("weight".into())],
-                )
-                .build(),
-            Check::Ordered,
-        ));
-    }
-    out
-}
-
 /// Join/aggregation differential: the batch-native operators at
 /// `batch_rows ∈ {1, 3, 1024}` must be indistinguishable from the
 /// row-at-a-time fallback oracle (`batch_native(false)` with
@@ -969,6 +676,7 @@ fn admitted_bursts_match_sequential_oracle_and_leave_no_residue() {
     let cfg = ExecConfig::default()
         .with_prefetch_depth(env_prefetch_depth())
         .with_batch_rows(env_batch_rows())
+        .with_verify_plans(env_verify_plans())
         .with_scan_threads(threads)
         .with_tenant_max_concurrent(c)
         .with_admission_queue_cap(q)
@@ -990,7 +698,8 @@ fn admitted_bursts_match_sequential_oracle_and_leave_no_residue() {
             wl.catalog.clone(),
             ExecConfig::default()
                 .with_prefetch_depth(env_prefetch_depth())
-                .with_batch_rows(env_batch_rows()),
+                .with_batch_rows(env_batch_rows())
+                .with_verify_plans(env_verify_plans()),
         );
         let session = Session::new(wl.catalog.clone(), cfg.clone());
         let run = session.run_admitted(&arrivals);
