@@ -13,11 +13,14 @@
 //! * **Minimal shrinking.** On a failing case the `proptest!` runner
 //!   greedily probes each argument's [`Strategy::shrink`] candidates
 //!   (integer ranges shrink toward their lower bound, `collection::vec`
-//!   halves its length) with the panic hook silenced, prints the minimal
-//!   failing input it converged on, and re-runs it uncaught so the real
-//!   assertion message fails the test. Strategies without a `shrink`
-//!   override (maps, unions, regex strings) report the original value.
-//!   The run is deterministic (fixed per-case seeds), so any failure is
+//!   halves its length, regex strings drop repetitions and lower each
+//!   character to its class minimum, `prop_oneof!` unions forward to
+//!   every branch whose range covers the value, and `boxed()` preserves
+//!   the inner strategy's shrinker) with the panic hook silenced, prints
+//!   the minimal failing input it converged on, and re-runs it uncaught
+//!   so the real assertion message fails the test. Strategies without a
+//!   `shrink` override (maps) report the original value. The run is
+//!   deterministic (fixed per-case seeds), so any failure is
 //!   reproducible by re-running the test.
 //! * **Regex strategies** support only the subset the tests use:
 //!   sequences of literal characters and `[...]` classes (with `a-z`
@@ -100,8 +103,13 @@ pub trait Strategy: Clone {
     fn boxed(self) -> BoxedStrategy<Self::Value>
     where
         Self: Sized + 'static,
+        Self::Value: 'static,
     {
-        BoxedStrategy(Arc::new(move |rng| self.generate(rng)))
+        let shrinker = self.clone();
+        BoxedStrategy {
+            generate: Arc::new(move |rng| self.generate(rng)),
+            shrink: Arc::new(move |v| shrinker.shrink(v)),
+        }
     }
 
     /// Build a recursive strategy: `recurse` receives a strategy for the
@@ -132,19 +140,33 @@ pub trait Strategy: Clone {
     }
 }
 
+type Generator<T> = Arc<dyn Fn(&mut TestRng) -> T>;
+type Shrinker<T> = Arc<dyn Fn(&T) -> Vec<T>>;
+
 /// Type-erased strategy; `Arc` so recursive closures can clone it freely.
-pub struct BoxedStrategy<T>(Arc<dyn Fn(&mut TestRng) -> T>);
+/// Boxing preserves the inner strategy's shrinker, so `prop_oneof!`
+/// branches and recursive strategies still simplify failing inputs.
+pub struct BoxedStrategy<T> {
+    generate: Generator<T>,
+    shrink: Shrinker<T>,
+}
 
 impl<T> Clone for BoxedStrategy<T> {
     fn clone(&self) -> Self {
-        Self(Arc::clone(&self.0))
+        Self {
+            generate: Arc::clone(&self.generate),
+            shrink: Arc::clone(&self.shrink),
+        }
     }
 }
 
 impl<T> Strategy for BoxedStrategy<T> {
     type Value = T;
     fn generate(&self, rng: &mut TestRng) -> T {
-        (self.0)(rng)
+        (self.generate)(rng)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        (self.shrink)(value)
     }
 }
 
@@ -216,6 +238,18 @@ impl<T> Strategy for Union<T> {
         }
         unreachable!("weight bookkeeping out of sync")
     }
+    /// The union does not know which branch produced the failing value,
+    /// so it concatenates every branch's candidates. Branch shrinkers
+    /// return nothing for values outside their own output range (the
+    /// integer-range shrinker guards both bounds), so foreign values
+    /// simply contribute no candidates.
+    fn shrink(&self, value: &T) -> Vec<T> {
+        let mut out = Vec::new();
+        for (_, branch) in &self.branches {
+            out.extend(branch.shrink(value));
+        }
+        out
+    }
 }
 
 macro_rules! int_range_strategy {
@@ -228,9 +262,11 @@ macro_rules! int_range_strategy {
             /// Shrink toward the range's lower bound: the bound itself,
             /// then the midpoint (halving the distance), then one step
             /// down — a binary descent to the smallest failing value.
+            /// Values outside the range (a `prop_oneof!` sibling branch
+            /// asking on behalf of the union) contribute no candidates.
             fn shrink(&self, v: &$t) -> Vec<$t> {
                 let lo = self.start;
-                if *v <= lo {
+                if *v <= lo || *v >= self.end {
                     return Vec::new();
                 }
                 let mut out = vec![lo];
@@ -517,6 +553,53 @@ fn parse_pattern(pattern: &str) -> Vec<RegexPart> {
     parts
 }
 
+fn atom_matches(atom: &RegexAtom, c: char) -> bool {
+    match atom {
+        RegexAtom::Literal(l) => *l == c,
+        RegexAtom::Class(ranges) => ranges.iter().any(|(lo, hi)| (*lo..=*hi).contains(&c)),
+    }
+}
+
+/// The smallest character an atom can produce: the shrink target for
+/// character substitution.
+fn atom_min(atom: &RegexAtom) -> char {
+    match atom {
+        RegexAtom::Literal(l) => *l,
+        RegexAtom::Class(ranges) => ranges
+            .iter()
+            .map(|(lo, _)| *lo)
+            .min()
+            .expect("empty character class"),
+    }
+}
+
+/// Backtracking match of `chars` against `parts`: per-part repetition
+/// counts such that consuming `counts[i]` matching characters for each
+/// part exactly exhausts the input. Greedy (longest repetition first),
+/// backing off when a later part cannot match. `None` when the value
+/// could not have come from this pattern — e.g. a `prop_oneof!` sibling
+/// branch asking on behalf of the union.
+fn match_parts(parts: &[RegexPart], chars: &[char]) -> Option<Vec<usize>> {
+    fn go(parts: &[RegexPart], chars: &[char], counts: &mut Vec<usize>) -> bool {
+        let Some((part, rest)) = parts.split_first() else {
+            return chars.is_empty();
+        };
+        let cap = part.max.min(chars.len());
+        for n in (part.min..=cap).rev() {
+            if chars[..n].iter().all(|c| atom_matches(&part.atom, *c)) {
+                counts.push(n);
+                if go(rest, &chars[n..], counts) {
+                    return true;
+                }
+                counts.pop();
+            }
+        }
+        false
+    }
+    let mut counts = Vec::with_capacity(parts.len());
+    go(parts, chars, &mut counts).then_some(counts)
+}
+
 /// `&str` patterns are strategies producing matching `String`s, mirroring
 /// proptest's regex support (restricted to the subset documented above).
 impl Strategy for &'static str {
@@ -535,6 +618,54 @@ impl Strategy for &'static str {
                             .expect("char class range produced invalid scalar");
                         out.push(c);
                     }
+                }
+            }
+        }
+        out
+    }
+
+    /// Shrink a matching string three ways, most aggressive first: each
+    /// over-minimum part collapses to its minimum repetition count, then
+    /// sheds one repetition, then every character steps down to its
+    /// atom's smallest producible character. Values that do not match
+    /// the pattern contribute no candidates.
+    fn shrink(&self, v: &String) -> Vec<String> {
+        let parts = parse_pattern(self);
+        let chars: Vec<char> = v.chars().collect();
+        let Some(counts) = match_parts(&parts, &chars) else {
+            return Vec::new();
+        };
+        // Segment offsets: part `i` owns `chars[offsets[i]..offsets[i+1]]`.
+        let mut offsets = vec![0usize];
+        for n in &counts {
+            offsets.push(offsets[offsets.len() - 1] + n);
+        }
+        let rebuild = |segs: &[&[char]]| -> String { segs.concat().into_iter().collect() };
+        let mut out = Vec::new();
+        for (i, part) in parts.iter().enumerate() {
+            if counts[i] > part.min {
+                let seg = &chars[offsets[i]..offsets[i + 1]];
+                out.push(rebuild(&[
+                    &chars[..offsets[i]],
+                    &seg[..part.min],
+                    &chars[offsets[i + 1]..],
+                ]));
+                if counts[i] - 1 > part.min {
+                    out.push(rebuild(&[
+                        &chars[..offsets[i]],
+                        &seg[..counts[i] - 1],
+                        &chars[offsets[i + 1]..],
+                    ]));
+                }
+            }
+        }
+        for (i, part) in parts.iter().enumerate() {
+            let target = atom_min(&part.atom);
+            for j in offsets[i]..offsets[i + 1] {
+                if chars[j] != target {
+                    let mut next = chars.clone();
+                    next[j] = target;
+                    out.push(next.into_iter().collect());
                 }
             }
         }
@@ -786,6 +917,94 @@ mod tests {
         // Greedy binary descent must land exactly on the smallest
         // failing value before re-running it uncaught.
         assert_eq!(msg, "boom at 50");
+    }
+
+    #[test]
+    fn union_shrink_concatenates_covering_branches() {
+        let u = prop_oneof![50i64..1000, 50i64..600];
+        // 700 is outside the second branch, which must stay silent.
+        let c = u.shrink(&700);
+        assert_eq!(c, vec![50, 375, 699]);
+        // 300 is inside both branches: both contribute the same descent.
+        let c = u.shrink(&300);
+        assert_eq!(c, vec![50, 175, 299, 50, 175, 299]);
+        assert!(u.shrink(&50).is_empty());
+    }
+
+    #[test]
+    fn runner_shrinks_through_a_union_to_the_smallest_branch_bound() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            fn failing_union_prop(x in prop_oneof![50i64..1000, 50i64..600]) {
+                if x >= 50 {
+                    panic!("boom at {x}");
+                }
+            }
+        }
+        let err = std::panic::catch_unwind(failing_union_prop)
+            .expect_err("the property fails for every generated value");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic payload is the formatted message");
+        assert_eq!(msg, "boom at 50");
+    }
+
+    #[test]
+    fn string_shrink_reduces_reps_and_characters() {
+        let s = "[a-c]{2,8}";
+        let c = s.shrink(&"cbcb".to_string());
+        // Collapse-to-min first, then drop-one, then char descents.
+        assert_eq!(c[0], "cb");
+        assert_eq!(c[1], "cbc");
+        assert!(c.contains(&"abcb".to_string()), "{c:?}");
+        assert!(s.shrink(&"aa".to_string()).is_empty(), "minimal already");
+        assert!(
+            s.shrink(&"zz".to_string()).is_empty(),
+            "foreign value contributes no candidates"
+        );
+    }
+
+    #[test]
+    fn runner_shrinks_strings_to_the_minimal_failing_form() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            fn failing_string_prop(s in "[a-c]{2,8}") {
+                if s.len() >= 3 {
+                    panic!("boom on {s:?}");
+                }
+            }
+        }
+        let err = std::panic::catch_unwind(failing_string_prop)
+            .expect_err("the property fails for len >= 3");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic payload is the formatted message");
+        assert_eq!(msg, "boom on \"aaa\"");
+    }
+
+    #[test]
+    fn runner_shrinks_a_statement_pattern_to_the_minimal_statement() {
+        // The SQL robustness suite draws whole statements from patterns
+        // like this one; a failure must come back as the least noisy
+        // statement that still trips the property.
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn failing_stmt_prop(s in "SELECT [a-z]{1,8} FROM t") {
+                panic!("stmt {s:?}");
+            }
+        }
+        let err =
+            std::panic::catch_unwind(failing_stmt_prop).expect_err("the property always fails");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic payload is the formatted message");
+        assert_eq!(msg, "stmt \"SELECT a FROM t\"");
+    }
+
+    #[test]
+    fn boxed_strategies_preserve_the_inner_shrinker() {
+        let b = (10i64..100).boxed();
+        assert_eq!(b.shrink(&77), (10i64..100).shrink(&77));
     }
 
     #[test]

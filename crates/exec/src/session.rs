@@ -79,6 +79,12 @@ impl Session {
         &self.cfg
     }
 
+    /// The catalog this session serves (used by the SQL front-end to
+    /// resolve table and column names at bind time).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
     /// The session-shared predicate cache, when enabled.
     pub fn cache(&self) -> Option<&Arc<Mutex<PredicateCache>>> {
         self.cache.as_ref()

@@ -76,7 +76,9 @@ impl AggFunc {
         }
     }
 
-    fn sql(&self) -> String {
+    /// The aggregate's SQL spelling (`COUNT(*)`, `SUM(b)`, …), as the SQL
+    /// front-end parses it.
+    pub fn sql(&self) -> String {
         match self {
             AggFunc::CountStar => "COUNT(*)".into(),
             AggFunc::Count(c) => format!("COUNT({c})"),
@@ -380,6 +382,12 @@ impl PlanBuilder {
             offset,
         };
         self
+    }
+
+    /// The plan built so far, without consuming the builder (used by the
+    /// SQL binder to resolve ORDER BY keys against the current schema).
+    pub fn peek(&self) -> &Plan {
+        &self.plan
     }
 
     /// Finish and return the built plan.

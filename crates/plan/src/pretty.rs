@@ -1,0 +1,154 @@
+//! Canonical plan pretty-printer.
+//!
+//! Unlike the EXPLAIN-style `Display` impl — which elides scan schemas —
+//! this renderer is *canonical*: two plans produce the same text if and
+//! only if they would compare equal modulo column-binding state. Scans
+//! include their column names, predicates and sort keys render through
+//! the expression `Display`, and nesting is two-space indentation. The
+//! SQL round-trip harness pins its goldens against this form.
+
+use crate::plan::{AggFunc, Plan};
+
+/// Render the canonical multi-line form of `plan` (trailing newline
+/// included, like `Display`).
+pub fn pretty(plan: &Plan) -> String {
+    let mut out = String::new();
+    go(plan, 0, &mut out);
+    out
+}
+
+fn go(p: &Plan, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    match p {
+        Plan::Scan {
+            table,
+            schema,
+            predicate,
+        } => {
+            let cols: Vec<&str> = schema.fields().iter().map(|f| f.name.as_str()).collect();
+            out.push_str(&pad);
+            out.push_str("Scan ");
+            out.push_str(table);
+            out.push('(');
+            out.push_str(&cols.join(", "));
+            out.push(')');
+            if let Some(e) = predicate {
+                out.push_str(&format!(" [{e}]"));
+            }
+            out.push('\n');
+        }
+        Plan::Filter { input, predicate } => {
+            out.push_str(&format!("{pad}Filter [{predicate}]\n"));
+            go(input, depth + 1, out);
+        }
+        Plan::Project { input, columns } => {
+            out.push_str(&format!("{pad}Project [{}]\n", columns.join(", ")));
+            go(input, depth + 1, out);
+        }
+        Plan::Join {
+            build,
+            probe,
+            build_key,
+            probe_key,
+            join_type,
+        } => {
+            out.push_str(&format!(
+                "{pad}Join {join_type:?} [{build_key} = {probe_key}]\n"
+            ));
+            go(build, depth + 1, out);
+            go(probe, depth + 1, out);
+        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let aggs_s: Vec<String> = aggs.iter().map(AggFunc::output_name).collect();
+            out.push_str(&format!(
+                "{pad}Aggregate [group by {}; {}]\n",
+                group_by.join(", "),
+                aggs_s.join(", ")
+            ));
+            go(input, depth + 1, out);
+        }
+        Plan::Sort { input, keys } => {
+            let ks: Vec<String> = keys
+                .iter()
+                .map(|k| format!("{}{}", k.expr, if k.desc { " DESC" } else { " ASC" }))
+                .collect();
+            out.push_str(&format!("{pad}Sort [{}]\n", ks.join(", ")));
+            go(input, depth + 1, out);
+        }
+        Plan::Limit { input, k, offset } => {
+            out.push_str(&format!("{pad}Limit [{k} OFFSET {offset}]\n"));
+            go(input, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{JoinType, PlanBuilder};
+    use snowprune_expr::dsl::{col, lit};
+    use snowprune_storage::{Field, Schema};
+    use snowprune_types::ScalarType;
+
+    fn fact() -> Schema {
+        Schema::new(vec![
+            Field::new("a", ScalarType::Int),
+            Field::new("b", ScalarType::Int),
+        ])
+    }
+
+    fn dim() -> Schema {
+        Schema::new(vec![
+            Field::new("id", ScalarType::Int),
+            Field::new("weight", ScalarType::Int),
+        ])
+    }
+
+    #[test]
+    fn scan_lines_include_schema_columns() {
+        let p = PlanBuilder::scan("fact", fact())
+            .filter(col("a").ge(lit(5i64)))
+            .build();
+        assert_eq!(pretty(&p), "Scan fact(a, b) [(a >= 5)]\n");
+    }
+
+    #[test]
+    fn canonical_form_distinguishes_offset_and_sort_direction() {
+        let asc = PlanBuilder::scan("fact", fact())
+            .order_by("a", false)
+            .limit(3)
+            .build();
+        let desc = PlanBuilder::scan("fact", fact())
+            .order_by("a", true)
+            .limit(3)
+            .build();
+        assert_ne!(pretty(&asc), pretty(&desc));
+        assert_eq!(
+            pretty(&asc),
+            "Limit [3 OFFSET 0]\n  Sort [a ASC]\n    Scan fact(a, b)\n"
+        );
+    }
+
+    #[test]
+    fn join_renders_both_sides_in_build_probe_order() {
+        let p = PlanBuilder::scan("dim", dim())
+            .filter(col("weight").lt(lit(10i64)))
+            .join(
+                PlanBuilder::scan("fact", fact()),
+                "id",
+                "b",
+                JoinType::Inner,
+            )
+            .build();
+        assert_eq!(
+            pretty(&p),
+            "Join Inner [id = b]\n  \
+             Scan dim(id, weight) [(weight < 10)]\n  \
+             Scan fact(a, b)\n"
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! The spanned SQL syntax tree the parser produces and the binder
+//! consumes.
+//!
+//! Every name and expression carries its source [`Span`] so bind errors
+//! (unknown column, ambiguous reference, bad aggregate input) can point a
+//! caret at the offending characters — the plan IR itself stays
+//! span-free.
+
+use snowprune_types::{Span, Value};
+
+/// A name (table, column, function argument) with its source span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Name {
+    /// The identifier as written.
+    pub text: String,
+    /// Where it was written.
+    pub span: Span,
+}
+
+/// A possibly table-qualified column reference (`b` or `fact.b`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColumnName {
+    /// Qualifying table name, when written.
+    pub table: Option<Name>,
+    /// The column identifier.
+    pub column: Name,
+}
+
+impl ColumnName {
+    /// Span covering the whole (possibly qualified) reference.
+    pub fn span(&self) -> Span {
+        match &self.table {
+            Some(t) => t.span.to(self.column.span),
+            None => self.column.span,
+        }
+    }
+}
+
+/// A scalar expression with source spans on every node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SqlExpr {
+    /// The node itself.
+    pub kind: SqlExprKind,
+    /// Source coverage of the node (operands included).
+    pub span: Span,
+}
+
+/// Comparison operators, mirroring `snowprune_expr::CmpOp`.
+pub use snowprune_expr::{ArithOp, CmpOp};
+
+/// Expression node kinds; a spanned mirror of `snowprune_expr::Expr`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SqlExprKind {
+    /// A literal value.
+    Literal(Value),
+    /// A column reference.
+    Column(ColumnName),
+    /// Binary comparison.
+    Cmp(CmpOp, Box<SqlExpr>, Box<SqlExpr>),
+    /// N-ary AND, flattened per syntactic level (parentheses keep nesting).
+    And(Vec<SqlExpr>),
+    /// N-ary OR, flattened per syntactic level.
+    Or(Vec<SqlExpr>),
+    /// `NOT expr`.
+    Not(Box<SqlExpr>),
+    /// `expr IS NULL`.
+    IsNull(Box<SqlExpr>),
+    /// Binary arithmetic.
+    Arith(ArithOp, Box<SqlExpr>, Box<SqlExpr>),
+    /// Unary minus over a non-literal operand.
+    Neg(Box<SqlExpr>),
+    /// `IF(cond, then, else)`.
+    If(Box<SqlExpr>, Box<SqlExpr>, Box<SqlExpr>),
+    /// `expr LIKE 'pattern'`.
+    Like(Box<SqlExpr>, String),
+    /// `STARTSWITH(expr, 'prefix')`.
+    StartsWith(Box<SqlExpr>, String),
+    /// `expr IN (v1, v2, …)` over literal values.
+    InList(Box<SqlExpr>, Vec<Value>),
+    /// `COALESCE(e1, e2, …)`.
+    Coalesce(Vec<SqlExpr>),
+    /// `ABS(expr)`.
+    Abs(Box<SqlExpr>),
+    /// `expr BETWEEN lo AND hi`; lowers to `expr >= lo AND expr <= hi`.
+    Between(Box<SqlExpr>, Box<SqlExpr>, Box<SqlExpr>),
+}
+
+/// One item of a SELECT list.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SelectItem {
+    /// `*` — every input column.
+    Star(Span),
+    /// A bare (possibly qualified) column.
+    Column(ColumnName),
+    /// An aggregate call (`COUNT(*)`, `SUM(b)`, …).
+    Agg(AggCall),
+}
+
+/// Aggregate function names the grammar accepts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggName {
+    /// `COUNT`
+    Count,
+    /// `SUM`
+    Sum,
+    /// `AVG`
+    Avg,
+    /// `MIN`
+    Min,
+    /// `MAX`
+    Max,
+}
+
+/// A parsed aggregate call.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AggCall {
+    /// Which function.
+    pub func: AggName,
+    /// The argument column; `None` for `COUNT(*)`.
+    pub arg: Option<ColumnName>,
+    /// Span of the whole call.
+    pub span: Span,
+}
+
+/// `JOIN table ON left = right` (optionally `LEFT JOIN`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct JoinClause {
+    /// The joined (probe-side) table.
+    pub table: Name,
+    /// Left side of the ON equality.
+    pub left: ColumnName,
+    /// Right side of the ON equality.
+    pub right: ColumnName,
+    /// True for `LEFT JOIN` (outer join preserving the FROM side).
+    pub outer: bool,
+}
+
+/// One `ORDER BY` key.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OrderItem {
+    /// The ordering column.
+    pub column: ColumnName,
+    /// `DESC` when true.
+    pub desc: bool,
+}
+
+/// A parsed `SELECT` statement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SelectStmt {
+    /// The SELECT list.
+    pub items: Vec<SelectItem>,
+    /// The FROM table.
+    pub from: Name,
+    /// Optional single equi-join.
+    pub join: Option<JoinClause>,
+    /// Optional WHERE predicate.
+    pub selection: Option<SqlExpr>,
+    /// GROUP BY columns (empty when absent).
+    pub group_by: Vec<ColumnName>,
+    /// ORDER BY keys (empty when absent).
+    pub order_by: Vec<OrderItem>,
+    /// `LIMIT k [OFFSET o]`, with the span of the LIMIT clause.
+    pub limit: Option<LimitClause>,
+}
+
+/// `LIMIT k [OFFSET o]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LimitClause {
+    /// Row cap.
+    pub k: u64,
+    /// Rows skipped before emitting.
+    pub offset: u64,
+    /// Span of the clause (for diagnostics).
+    pub span: Span,
+}
+
+/// A parsed statement of any kind.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `SELECT …`.
+    Select(Box<SelectStmt>),
+    /// `INSERT INTO t VALUES (…), (…)`.
+    Insert {
+        /// Target table.
+        table: Name,
+        /// Literal rows to append.
+        rows: Vec<Vec<SqlExpr>>,
+    },
+    /// `DELETE FROM t [WHERE …]`.
+    Delete {
+        /// Target table.
+        table: Name,
+        /// Optional predicate; absent deletes every row.
+        selection: Option<SqlExpr>,
+    },
+    /// `UPDATE t SET c = e, … [WHERE …]`.
+    Update {
+        /// Target table.
+        table: Name,
+        /// Assignments, in statement order.
+        sets: Vec<(Name, SqlExpr)>,
+        /// Optional predicate; absent updates every row.
+        selection: Option<SqlExpr>,
+    },
+}
+
+impl Stmt {
+    /// The statement's target/source table name.
+    pub fn table(&self) -> &Name {
+        match self {
+            Stmt::Select(s) => &s.from,
+            Stmt::Insert { table, .. }
+            | Stmt::Delete { table, .. }
+            | Stmt::Update { table, .. } => table,
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! The `snowprune` CLI: serve SQL over the demo lake.
+//!
+//! ```text
+//! snowprune [--cache off|exact|shape] [--threads N] [--prompt]
+//! ```
+//!
+//! Reads one statement per line from stdin (so scripts can be piped in),
+//! prints result rows plus a pruning/cache stats line per query, and
+//! renders every rejection with a `line:col` caret. `.tables`,
+//! `.schema <t>`, and `.quit` are available as dot-commands.
+
+use std::io::{stdin, stdout, BufWriter, Write};
+use std::process::ExitCode;
+
+use snowprune_exec::{ExecConfig, PredicateCacheMode, Session};
+use snowprune_sql::{demo_catalog, run_repl, ReplOptions};
+
+fn usage() -> &'static str {
+    "usage: snowprune [--cache off|exact|shape] [--threads N] [--prompt]"
+}
+
+fn main() -> ExitCode {
+    let mut cfg = ExecConfig::default().with_scan_threads(2);
+    let mut cache = "shape".to_owned();
+    let mut opts = ReplOptions::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--cache" => match args.next() {
+                Some(v) => cache = v,
+                None => {
+                    eprintln!("{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--threads" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => cfg = cfg.with_scan_threads(n),
+                None => {
+                    eprintln!("{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--prompt" => opts.prompt = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag `{other}`\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    cfg = match cache.as_str() {
+        "off" => cfg.with_predicate_cache(false),
+        "exact" => cfg
+            .with_predicate_cache(true)
+            .with_predicate_cache_mode(PredicateCacheMode::Exact),
+        "shape" => cfg
+            .with_predicate_cache(true)
+            .with_predicate_cache_mode(PredicateCacheMode::Shape),
+        other => {
+            eprintln!("unknown cache mode `{other}`\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let session = Session::new(demo_catalog(), cfg);
+    let out = stdout();
+    let mut out = BufWriter::new(out.lock());
+    match run_repl(&session, stdin().lock(), &mut out, &opts).and_then(|()| out.flush()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("io error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

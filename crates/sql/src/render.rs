@@ -1,0 +1,113 @@
+//! Diagnostic rendering: spanned diagnostics → `line:col` carets.
+//!
+//! The plan-level `Diagnostic` display stays span-free; the SQL
+//! front-end, which holds the source text, renders each spanned finding
+//! as a three-line block — header, the offending source line, and a
+//! caret underline.
+
+use snowprune_types::{Diagnostic, Error};
+
+/// Render diagnostics against their source statement.
+///
+/// Spanned findings render as:
+///
+/// ```text
+/// error[sql-syntax] at 1:17: expected `FROM`, found `WHRE`
+///   SELECT a FROM t WHRE x < 1
+///                   ^^^^
+/// ```
+///
+/// Span-free findings fall back to the standard `Diagnostic` display.
+pub fn render_diagnostics(src: &str, diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        match d.span {
+            None => out.push_str(&d.to_string()),
+            Some(span) => {
+                let (line, col) = span.line_col(src);
+                out.push_str(&format!(
+                    "{}[{}] at {line}:{col}: {}",
+                    d.severity, d.code, d.message
+                ));
+                let at = span.start.min(src.len());
+                let line_start = src[..at].rfind('\n').map(|i| i + 1).unwrap_or(0);
+                let line_end = src[at..].find('\n').map(|i| at + i).unwrap_or(src.len());
+                let line_text = &src[line_start..line_end];
+                if !line_text.is_empty() {
+                    out.push_str("\n  ");
+                    out.push_str(line_text);
+                }
+                // Caret width: the span clamped to this line, at least 1.
+                let width = span.end.min(line_end).saturating_sub(at).max(1);
+                out.push_str("\n  ");
+                out.push_str(&" ".repeat(at - line_start));
+                out.push_str(&"^".repeat(width));
+            }
+        }
+    }
+    out
+}
+
+/// Render any [`Error`] against its source statement: plan rejections
+/// get carets, everything else the plain error display.
+pub fn render_error(src: &str, err: &Error) -> String {
+    match err {
+        Error::PlanRejected(diags) => render_diagnostics(src, diags),
+        other => format!("error: {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snowprune_types::{DiagCode, Span};
+
+    #[test]
+    fn caret_points_at_the_offending_token() {
+        let src = "SELECT a FROM t WHRE x < 1";
+        let d = Diagnostic::error(DiagCode::SqlSyntax, "sql", "expected `FROM`, found `WHRE`")
+            .with_span(Span::new(16, 20));
+        assert_eq!(
+            render_diagnostics(src, &[d]),
+            format!(
+                "error[sql-syntax] at 1:17: expected `FROM`, found `WHRE`\n  \
+                 SELECT a FROM t WHRE x < 1\n  {}^^^^",
+                " ".repeat(16)
+            )
+        );
+    }
+
+    #[test]
+    fn caret_on_second_line_counts_lines() {
+        let src = "SELECT a\nFROM nope";
+        let d = Diagnostic::error(DiagCode::UnknownTable, "sql", "no table `nope`")
+            .with_span(Span::new(14, 18));
+        let r = render_diagnostics(src, &[d]);
+        assert!(r.starts_with("error[unknown-table] at 2:6: no table `nope`"));
+        assert!(r.ends_with("  FROM nope\n       ^^^^"));
+    }
+
+    #[test]
+    fn point_span_at_end_of_input_renders_one_caret() {
+        let src = "SELECT * FROM";
+        let d = Diagnostic::error(DiagCode::SqlSyntax, "sql", "expected a table name")
+            .with_span(Span::point(src.len()));
+        let r = render_diagnostics(src, &[d]);
+        assert!(
+            r.ends_with(&format!("\n  {}^", " ".repeat(src.len()))),
+            "{r}"
+        );
+    }
+
+    #[test]
+    fn span_free_diagnostics_fall_back_to_display() {
+        let d = Diagnostic::error(DiagCode::UnknownColumn, "Scan(t).predicate", "no `x`");
+        assert_eq!(
+            render_diagnostics("SELECT 1", &[d]),
+            "error[unknown-column] at Scan(t).predicate: no `x`"
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Executing bound statements on a [`Session`].
+//!
+//! The SQL crate sits *above* the executor, so the "run SQL on a
+//! session" entry point is an extension trait rather than an inherent
+//! method: `use snowprune_sql::SessionSqlExt` and call
+//! `session.run_sql("SELECT …")`.
+
+use snowprune_exec::{QueryOutput, Session};
+use snowprune_expr::{eval_predicate, eval_value, Expr};
+use snowprune_types::{Result, Value};
+
+use crate::bind::{bind_sql, Statement};
+
+/// What running one SQL statement produced.
+#[derive(Clone, Debug)]
+pub enum SqlOutcome {
+    /// A SELECT: result rows plus the executor's pruning/cache report.
+    Rows(Box<QueryOutput>),
+    /// A DML statement: what it did, to how many rows.
+    Dml {
+        /// The SQL verb (`INSERT`, `DELETE`, `UPDATE`).
+        verb: &'static str,
+        /// Target table.
+        table: String,
+        /// Rows inserted/deleted/updated.
+        rows_affected: u64,
+    },
+}
+
+/// SQL entry point for [`Session`]: parse, bind against the session's
+/// catalog, verify, and execute.
+pub trait SessionSqlExt {
+    /// Run one SQL statement. SELECTs execute on the session's shared
+    /// morsel pool and predicate cache; DML goes through the session's
+    /// cache-consistent DML wrappers.
+    fn run_sql(&self, sql: &str) -> Result<SqlOutcome>;
+}
+
+fn row_qualifies(predicate: &Option<Expr>, row: &[Value]) -> bool {
+    match predicate {
+        None => true,
+        Some(p) => eval_predicate(p, row).qualifies(),
+    }
+}
+
+impl SessionSqlExt for Session {
+    fn run_sql(&self, sql: &str) -> Result<SqlOutcome> {
+        match bind_sql(sql, self.catalog())? {
+            Statement::Query(plan) => self.run(&plan).map(|o| SqlOutcome::Rows(Box::new(o))),
+            Statement::Insert { table, rows } => {
+                let affected = rows.len() as u64;
+                self.insert_rows(&table, rows)?;
+                Ok(SqlOutcome::Dml {
+                    verb: "INSERT",
+                    table,
+                    rows_affected: affected,
+                })
+            }
+            Statement::Delete { table, predicate } => {
+                let res = self.delete_rows(&table, |row| row_qualifies(&predicate, row))?;
+                Ok(SqlOutcome::Dml {
+                    verb: "DELETE",
+                    table,
+                    rows_affected: res.rows_affected,
+                })
+            }
+            Statement::Update {
+                table,
+                sets,
+                predicate,
+            } => {
+                let res = self.update_rows(&table, |row| {
+                    if !row_qualifies(&predicate, row) {
+                        return row.to_vec();
+                    }
+                    let mut out = row.to_vec();
+                    // Assignments all read the *old* row, SQL-style.
+                    for (idx, e) in &sets {
+                        out[*idx] = eval_value(e, row);
+                    }
+                    out
+                })?;
+                Ok(SqlOutcome::Dml {
+                    verb: "UPDATE",
+                    table,
+                    rows_affected: res.rows_affected,
+                })
+            }
+        }
+    }
+}

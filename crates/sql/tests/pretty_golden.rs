@@ -1,0 +1,64 @@
+//! Canonical plan renderings of SQL-lowered plans, pinned end to end:
+//! statement text in, `snowprune_plan::pretty` text out. These goldens
+//! double as grammar documentation — each shows exactly which plan a
+//! statement lowers to.
+
+use snowprune_plan::pretty;
+use snowprune_sql::{bind_sql, demo_catalog, Statement};
+
+#[track_caller]
+fn lowered(sql: &str) -> String {
+    match bind_sql(sql, &demo_catalog()) {
+        Ok(Statement::Query(plan)) => pretty(&plan),
+        Ok(_) => panic!("{sql:?} bound to a DML statement"),
+        Err(e) => panic!("{sql:?} failed to bind: {e}"),
+    }
+}
+
+#[test]
+fn filtered_scan_folds_where_into_the_scan() {
+    assert_eq!(
+        lowered("SELECT * FROM fact WHERE a >= 5 AND b < 3"),
+        "Scan fact(a, b, c) [((a >= 5) AND (b < 3))]\n"
+    );
+}
+
+#[test]
+fn projection_sorts_and_limits_stack_in_spine_order() {
+    assert_eq!(
+        lowered("SELECT a, c FROM fact WHERE c = 'red' ORDER BY a DESC LIMIT 7"),
+        "Limit [7 OFFSET 0]\n  \
+         Sort [a DESC]\n    \
+         Project [a, c]\n      \
+         Scan fact(a, b, c) [(c = 'red')]\n"
+    );
+}
+
+#[test]
+fn join_where_conjuncts_route_to_their_scans() {
+    assert_eq!(
+        lowered("SELECT * FROM dim JOIN fact ON id = b WHERE weight < 10 AND a >= 100"),
+        "Join Inner [id = b]\n  \
+         Scan dim(id, weight) [(weight < 10)]\n  \
+         Scan fact(a, b, c) [(a >= 100)]\n"
+    );
+}
+
+#[test]
+fn left_join_preserves_the_from_side() {
+    assert_eq!(
+        lowered("SELECT * FROM dim LEFT JOIN fact ON id = b WHERE a >= 100"),
+        "Join OuterPreserveBuild [id = b]\n  \
+         Scan dim(id, weight)\n  \
+         Scan fact(a, b, c) [(a >= 100)]\n"
+    );
+}
+
+#[test]
+fn group_by_lowers_keys_then_aggregates() {
+    assert_eq!(
+        lowered("SELECT c, COUNT(*), SUM(b) FROM fact GROUP BY c"),
+        "Aggregate [group by c; count, sum_b]\n  \
+         Scan fact(a, b, c)\n"
+    );
+}

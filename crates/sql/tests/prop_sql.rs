@@ -1,0 +1,196 @@
+//! SQL front-end robustness suite.
+//!
+//! Three legs, all over seeded random inputs:
+//!
+//! 1. **Valid statements** — a grammar-directed generator emits
+//!    statements against the demo catalog; every one must lex, parse,
+//!    and bind cleanly.
+//! 2. **Printable-byte soup** — arbitrary printable strings must never
+//!    panic the front-end, and every rejection must carry at least one
+//!    diagnostic whose span lies inside the input.
+//! 3. **Token soup** — random sequences of *real* SQL vocabulary get
+//!    much deeper into the parser than byte soup; the same
+//!    never-panic / spans-in-bounds invariant holds.
+
+use proptest::collection;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use snowprune_sql::{bind_sql, demo_catalog, parse_statement};
+use snowprune_types::Error;
+
+/// Every rejection must be a `PlanRejected` with at least one
+/// diagnostic, and every spanned diagnostic must point inside `src`.
+fn assert_well_formed_rejection(src: &str, err: &Error) {
+    let Error::PlanRejected(diags) = err else {
+        panic!("rejection of {src:?} is not PlanRejected: {err}");
+    };
+    assert!(!diags.is_empty(), "empty diagnostics for {src:?}");
+    for d in diags {
+        let span = d
+            .span
+            .unwrap_or_else(|| panic!("span-free front-end diagnostic for {src:?}: {d}"));
+        assert!(
+            span.start <= span.end && span.end <= src.len(),
+            "span {}..{} outside input of length {} for {src:?}",
+            span.start,
+            span.end,
+            src.len()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Leg 1: grammar-directed valid statements always parse and bind.
+// ---------------------------------------------------------------------------
+
+/// A random predicate over the demo `fact` table (columns `a`, `b`
+/// integer, `c` string), depth-limited so conjunctions stay small.
+fn random_fact_pred(rng: &mut StdRng, depth: u32) -> String {
+    let arm = if depth == 0 {
+        rng.random_range(0u32..8)
+    } else {
+        rng.random_range(0u32..10)
+    };
+    match arm {
+        0 => format!("a >= {}", rng.random_range(-100i64..1200)),
+        1 => {
+            let lo = rng.random_range(0i64..600);
+            format!("a BETWEEN {lo} AND {}", lo + rng.random_range(1i64..400))
+        }
+        2 => format!(
+            "c = '{}'",
+            ["red", "green", "blue", "teal"][rng.random_range(0usize..4)]
+        ),
+        3 => "b IS NOT NULL".into(),
+        4 => "b IS NULL".into(),
+        5 => format!(
+            "c LIKE '{}'",
+            ["red", "gr%", "%e%"][rng.random_range(0usize..3)]
+        ),
+        6 => format!(
+            "a IN (1, 2, {}, {})",
+            rng.random_range(3i64..600),
+            rng.random_range(3i64..600)
+        ),
+        7 => format!("NOT (b < {})", rng.random_range(0i64..60)),
+        8 => format!(
+            "({} AND {})",
+            random_fact_pred(rng, depth - 1),
+            random_fact_pred(rng, depth - 1)
+        ),
+        _ => format!(
+            "({} OR {})",
+            random_fact_pred(rng, depth - 1),
+            random_fact_pred(rng, depth - 1)
+        ),
+    }
+}
+
+/// A random statement that must survive the whole front-end: lexer,
+/// parser, binder, and the static plan verifier.
+fn random_valid_statement(rng: &mut StdRng) -> String {
+    match rng.random_range(0u32..8) {
+        0 => format!("SELECT * FROM fact WHERE {}", random_fact_pred(rng, 1)),
+        1 => {
+            let k = rng.random_range(1u32..40);
+            let dir = if rng.random::<bool>() { " DESC" } else { "" };
+            format!(
+                "SELECT a, c FROM fact WHERE {} ORDER BY a{dir} LIMIT {k}",
+                random_fact_pred(rng, 1)
+            )
+        }
+        2 => format!(
+            "SELECT c, COUNT(*), SUM(b), MIN(a) FROM fact WHERE {} GROUP BY c",
+            random_fact_pred(rng, 0)
+        ),
+        3 => format!(
+            "SELECT * FROM dim JOIN fact ON id = b WHERE weight < {}",
+            rng.random_range(1i64..50)
+        ),
+        4 => format!(
+            "SELECT * FROM dim LEFT JOIN fact ON id = b WHERE {}",
+            random_fact_pred(rng, 0)
+        ),
+        5 => format!(
+            "INSERT INTO dim VALUES ({}, {})",
+            rng.random_range(1000i64..2000),
+            rng.random_range(0i64..50)
+        ),
+        6 => format!(
+            "DELETE FROM fact WHERE a > {}",
+            rng.random_range(0i64..1200)
+        ),
+        _ => format!(
+            "UPDATE fact SET b = {} WHERE {}",
+            rng.random_range(0i64..60),
+            random_fact_pred(rng, 0)
+        ),
+    }
+}
+
+#[test]
+fn valid_statements_always_parse_and_bind() {
+    let catalog = demo_catalog();
+    let mut rng = StdRng::seed_from_u64(0x5A11_D5EE);
+    for i in 0..512 {
+        let sql = random_valid_statement(&mut rng);
+        parse_statement(&sql).unwrap_or_else(|e| panic!("case {i}: {sql:?} failed to parse: {e}"));
+        bind_sql(&sql, &catalog)
+            .unwrap_or_else(|e| panic!("case {i}: {sql:?} failed to bind: {e}"));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Legs 2 and 3: soup must never panic, and rejections must be spanned.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn printable_byte_soup_never_panics(src in "[ -~]{0,48}") {
+        let catalog = demo_catalog();
+        if let Err(e) = parse_statement(&src) {
+            assert_well_formed_rejection(&src, &e);
+        }
+        if let Err(e) = bind_sql(&src, &catalog) {
+            assert_well_formed_rejection(&src, &e);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn token_soup_never_panics(
+        toks in collection::vec(
+            prop_oneof![
+                Just("SELECT"), Just("FROM"), Just("WHERE"), Just("GROUP"),
+                Just("ORDER"), Just("BY"), Just("LIMIT"), Just("OFFSET"),
+                Just("JOIN"), Just("LEFT"), Just("ON"), Just("AND"),
+                Just("OR"), Just("NOT"), Just("IS"), Just("NULL"),
+                Just("LIKE"), Just("IN"), Just("BETWEEN"), Just("INSERT"),
+                Just("INTO"), Just("VALUES"), Just("DELETE"), Just("UPDATE"),
+                Just("SET"), Just("COUNT"), Just("SUM"), Just("AVG"),
+                Just("fact"), Just("dim"), Just("a"), Just("b"), Just("c"),
+                Just("id"), Just("weight"), Just("nope"), Just("*"),
+                Just(","), Just("("), Just(")"), Just(";"), Just("."),
+                Just("="), Just("!="), Just("<"), Just(">="), Just("+"),
+                Just("-"), Just("/"), Just("0"), Just("7"), Just("42"),
+                Just("'red'"), Just("'"), Just("3.5"),
+            ],
+            0..14,
+        ),
+    ) {
+        let src = toks.join(" ");
+        let catalog = demo_catalog();
+        if let Err(e) = parse_statement(&src) {
+            assert_well_formed_rejection(&src, &e);
+        }
+        if let Err(e) = bind_sql(&src, &catalog) {
+            assert_well_formed_rejection(&src, &e);
+        }
+    }
+}

@@ -9,6 +9,50 @@
 
 use std::fmt;
 
+/// A half-open byte range into some source text (SQL statement, config
+/// string). Spans are attached to diagnostics by front-ends that have a
+/// source text to point into; plan-level analyzer findings carry none.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// Byte offset of the first byte covered.
+    pub start: usize,
+    /// Byte offset one past the last byte covered (`start == end` marks a
+    /// point, e.g. unexpected end of input).
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `start..end`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// A zero-width span at `at` (e.g. end of input).
+    pub fn point(at: usize) -> Self {
+        Span { start: at, end: at }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// 1-based line and column of the span start within `src`.
+    ///
+    /// Columns count bytes since the last newline — adequate for the ASCII
+    /// SQL the front-end accepts. Out-of-range starts clamp to the end.
+    pub fn line_col(self, src: &str) -> (usize, usize) {
+        let at = self.start.min(src.len());
+        let before = &src[..at];
+        let line = before.bytes().filter(|b| *b == b'\n').count() + 1;
+        let col = at - before.rfind('\n').map(|i| i + 1).unwrap_or(0) + 1;
+        (line, col)
+    }
+}
+
 /// How serious a [`Diagnostic`] is.
 ///
 /// Only [`Severity::Error`] diagnostics reject a plan at admission;
@@ -81,6 +125,15 @@ pub enum DiagCode {
     /// A predicated scan where *no* conjunct is zone-map eligible: filter
     /// pruning cannot skip any partition for this scan.
     NoPrunableConjunct,
+    /// The SQL front-end could not lex or parse the statement.
+    SqlSyntax,
+    /// A referenced table does not exist in the catalog.
+    UnknownTable,
+    /// An unqualified column name resolves in more than one joined table.
+    AmbiguousColumn,
+    /// Syntactically valid SQL using a feature the front-end does not
+    /// lower (e.g. a SELECT list the plan IR cannot express).
+    SqlUnsupported,
 }
 
 impl DiagCode {
@@ -101,6 +154,10 @@ impl DiagCode {
             DiagCode::Cacheable => "cacheable",
             DiagCode::ZoneMapEligibility => "zone-map-eligibility",
             DiagCode::NoPrunableConjunct => "no-prunable-conjunct",
+            DiagCode::SqlSyntax => "sql-syntax",
+            DiagCode::UnknownTable => "unknown-table",
+            DiagCode::AmbiguousColumn => "ambiguous-column",
+            DiagCode::SqlUnsupported => "sql-unsupported",
         }
     }
 }
@@ -124,6 +181,10 @@ pub struct Diagnostic {
     pub plan_path: String,
     /// Human-readable explanation.
     pub message: String,
+    /// Source location, when the finding came from a front-end holding
+    /// source text (the SQL parser/binder); `None` for plan-level
+    /// analyzer findings.
+    pub span: Option<Span>,
 }
 
 impl Diagnostic {
@@ -134,6 +195,7 @@ impl Diagnostic {
             severity: Severity::Error,
             plan_path: plan_path.into(),
             message: message.into(),
+            span: None,
         }
     }
 
@@ -148,6 +210,7 @@ impl Diagnostic {
             severity: Severity::Warning,
             plan_path: plan_path.into(),
             message: message.into(),
+            span: None,
         }
     }
 
@@ -158,7 +221,14 @@ impl Diagnostic {
             severity: Severity::Info,
             plan_path: plan_path.into(),
             message: message.into(),
+            span: None,
         }
+    }
+
+    /// Attach a source span (builder style).
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = Some(span);
+        self
     }
 
     /// True for [`Severity::Error`] diagnostics.
@@ -194,6 +264,25 @@ mod tests {
         );
         assert!(d.is_error());
         assert!(!Diagnostic::info(DiagCode::Cacheable, "Scan(t)", "ok").is_error());
+    }
+
+    #[test]
+    fn span_line_col_counts_from_one() {
+        let src = "SELECT *\nFROM t\nWHERE x";
+        assert_eq!(Span::new(0, 6).line_col(src), (1, 1));
+        assert_eq!(Span::new(9, 13).line_col(src), (2, 1));
+        assert_eq!(Span::new(22, 23).line_col(src), (3, 7));
+        assert_eq!(Span::point(src.len()).line_col(src), (3, 8));
+        assert_eq!(Span::new(2, 3).to(Span::new(9, 13)), Span::new(2, 13));
+    }
+
+    #[test]
+    fn with_span_rides_along() {
+        let d =
+            Diagnostic::error(DiagCode::SqlSyntax, "sql", "bad token").with_span(Span::new(4, 7));
+        assert_eq!(d.span, Some(Span::new(4, 7)));
+        // Display stays span-free: front-ends render carets themselves.
+        assert_eq!(d.to_string(), "error[sql-syntax] at sql: bad token");
     }
 
     #[test]

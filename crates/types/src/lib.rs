@@ -15,7 +15,7 @@ pub mod value;
 pub mod verdict;
 pub mod zonemap;
 
-pub use diag::{DiagCode, Diagnostic, Severity};
+pub use diag::{DiagCode, Diagnostic, Severity, Span};
 pub use range::{LiteralRange, RangeBound, ShapeKey, ValueRange};
 pub use selvec::{SelIter, SelVec};
 pub use value::{arith, KeyValue, ScalarType, Value};

@@ -14,7 +14,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use snowprune_expr::dsl::{col, lit};
 use snowprune_expr::Expr;
-use snowprune_plan::{AggFunc, JoinType, Plan, PlanBuilder};
+use snowprune_plan::{AggFunc, JoinType, Plan, PlanBuilder, SortKey};
 use snowprune_storage::{Catalog, Field, Layout, Schema, TableBuilder};
 use snowprune_types::{ScalarType, Value};
 
@@ -353,4 +353,285 @@ pub fn joinagg_queries(rng: &mut StdRng, wl: &Workload) -> Vec<(Plan, Check)> {
         ));
     }
     out
+}
+
+// ---------------------------------------------------------------------------
+// SQL emission for the round-trip differential leg
+// ---------------------------------------------------------------------------
+
+/// Reserved words of the SQL front-end grammar: a column or table whose
+/// name collides with one of these cannot be emitted as a bare
+/// identifier. Kept in sync with the parser's reserved-word list.
+const SQL_RESERVED: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "BY", "LIMIT", "OFFSET", "JOIN", "LEFT", "INNER",
+    "ON", "AND", "OR", "NOT", "IS", "NULL", "TRUE", "FALSE", "LIKE", "IN", "BETWEEN", "AS", "ASC",
+    "DESC", "INSERT", "INTO", "VALUES", "DELETE", "UPDATE", "SET",
+];
+
+/// True when `name` lexes as a single bare identifier the SQL grammar
+/// accepts (and is not a reserved word), so it can be emitted unquoted.
+fn sql_ident(name: &str) -> bool {
+    let mut chars = name.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && !SQL_RESERVED.iter().any(|k| name.eq_ignore_ascii_case(k))
+}
+
+/// True when a literal's `Display` text parses back to the same value:
+/// floats can print like integers (`400.0` → `400`) and dates have no
+/// literal syntax, so only NULL/boolean/integer/string round-trip.
+fn literal_round_trips(v: &Value) -> bool {
+    matches!(
+        v,
+        Value::Null | Value::Bool(_) | Value::Int(_) | Value::Str(_)
+    )
+}
+
+/// True when `e`'s `Display` text parses back to a structurally equal
+/// expression through the SQL front-end grammar.
+fn expr_round_trips(e: &Expr) -> bool {
+    match e {
+        Expr::Literal(v) => literal_round_trips(v),
+        Expr::Column(c) => sql_ident(&c.name),
+        Expr::Cmp(_, a, b) | Expr::Arith(_, a, b) => expr_round_trips(a) && expr_round_trips(b),
+        Expr::And(xs) | Expr::Or(xs) | Expr::Coalesce(xs) => xs.iter().all(expr_round_trips),
+        Expr::Not(x) | Expr::IsNull(x) | Expr::Like(x, _) | Expr::StartsWith(x, _) => {
+            expr_round_trips(x)
+        }
+        // The parser folds a unary minus over a numeric literal into the
+        // literal itself, so `Neg(Literal)` would come back reshaped.
+        Expr::Neg(x) | Expr::Abs(x) => !matches!(**x, Expr::Literal(_)) && expr_round_trips(x),
+        Expr::If(c, t, f) => [c, t, f].iter().all(|x| expr_round_trips(x)),
+        Expr::InList(x, vs) => expr_round_trips(x) && vs.iter().all(literal_round_trips),
+    }
+}
+
+/// Emit the SQL text of `plan` for the round-trip differential leg:
+/// parsing the returned statement and lowering it through the binder
+/// must produce a plan structurally equal to `plan`.
+///
+/// Returns `None` for shapes the grammar cannot express faithfully —
+/// residual filters above a join, computed sort keys, float or date
+/// literals, nested joins, or joins whose two schemas share a column
+/// name (every emitted column reference is unqualified, so a shared
+/// name would be ambiguous).
+pub fn emit_sql(plan: &Plan) -> Option<String> {
+    // Strict spine walk: Limit? Sort? (Aggregate | Project)? (Join | Scan).
+    let mut node = plan;
+    let mut limit = None;
+    if let Plan::Limit { input, k, offset } = node {
+        limit = Some((*k, *offset));
+        node = input;
+    }
+    let mut order: Option<&[SortKey]> = None;
+    if let Plan::Sort { input, keys } = node {
+        order = Some(keys);
+        node = input;
+    }
+    let mut group: Option<(&[String], &[AggFunc])> = None;
+    let mut project: Option<&[String]> = None;
+    match node {
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            group = Some((group_by, aggs));
+            node = input;
+        }
+        Plan::Project { input, columns } => {
+            project = Some(columns);
+            node = input;
+        }
+        _ => {}
+    }
+
+    // The relation: one scan, or a join of exactly two scans.
+    fn scan(p: &Plan) -> Option<(&str, &Schema, Option<&Expr>)> {
+        match p {
+            Plan::Scan {
+                table,
+                schema,
+                predicate,
+            } => Some((table, schema, predicate.as_ref())),
+            _ => None,
+        }
+    }
+
+    let mut from = String::new();
+    // WHERE conjuncts, one per scan predicate. Each predicate's `Display`
+    // text is fully parenthesized, so it survives as a single AND-term
+    // and the binder routes it back to its scan whole.
+    let mut conjuncts: Vec<String> = Vec::new();
+    match node {
+        Plan::Join {
+            build,
+            probe,
+            build_key,
+            probe_key,
+            join_type,
+        } => {
+            let (bt, bs, bp) = scan(build)?;
+            let (pt, ps, pp) = scan(probe)?;
+            if !sql_ident(bt) || !sql_ident(pt) || bt == pt {
+                return None;
+            }
+            // Unqualified references must resolve to exactly one side.
+            if bs.fields().iter().any(|f| ps.contains(&f.name)) {
+                return None;
+            }
+            if !sql_ident(build_key) || !sql_ident(probe_key) {
+                return None;
+            }
+            let kw = match join_type {
+                JoinType::Inner => "JOIN",
+                JoinType::OuterPreserveBuild => "LEFT JOIN",
+            };
+            from = format!("{bt} {kw} {pt} ON {build_key} = {probe_key}");
+            for pred in [bp, pp].into_iter().flatten() {
+                if !expr_round_trips(pred) {
+                    return None;
+                }
+                conjuncts.push(pred.to_string());
+            }
+        }
+        _ => {
+            let (t, _, pred) = scan(node)?;
+            if !sql_ident(t) {
+                return None;
+            }
+            from.push_str(t);
+            if let Some(pred) = pred {
+                if !expr_round_trips(pred) {
+                    return None;
+                }
+                conjuncts.push(pred.to_string());
+            }
+        }
+    }
+
+    // SELECT list: group keys + aggregate spellings, projected columns,
+    // or `*`.
+    let select_list = match (group, project) {
+        (Some((keys, aggs)), _) => {
+            if !keys.iter().all(|k| sql_ident(k)) {
+                return None;
+            }
+            if !aggs.iter().all(|a| a.input_column().is_none_or(sql_ident)) {
+                return None;
+            }
+            let mut items: Vec<String> = keys.to_vec();
+            items.extend(aggs.iter().map(AggFunc::sql));
+            items.join(", ")
+        }
+        (None, Some(cols)) => {
+            if !cols.iter().all(|c| sql_ident(c)) {
+                return None;
+            }
+            cols.join(", ")
+        }
+        (None, None) => "*".into(),
+    };
+
+    let mut sql = format!("SELECT {select_list} FROM {from}");
+    if !conjuncts.is_empty() {
+        sql.push_str(" WHERE ");
+        sql.push_str(&conjuncts.join(" AND "));
+    }
+    if let Some((keys, _)) = group {
+        sql.push_str(" GROUP BY ");
+        sql.push_str(&keys.join(", "));
+    }
+    if let Some(keys) = order {
+        let mut parts = Vec::with_capacity(keys.len());
+        for k in keys {
+            // Only bare column sort keys have an ORDER BY spelling.
+            let Expr::Column(c) = &k.expr else {
+                return None;
+            };
+            if !sql_ident(&c.name) {
+                return None;
+            }
+            parts.push(if k.desc {
+                format!("{} DESC", c.name)
+            } else {
+                c.name.clone()
+            });
+        }
+        sql.push_str(" ORDER BY ");
+        sql.push_str(&parts.join(", "));
+    }
+    if let Some((k, offset)) = limit {
+        sql.push_str(&format!(" LIMIT {k}"));
+        if offset > 0 {
+            sql.push_str(&format!(" OFFSET {offset}"));
+        }
+    }
+    Some(sql)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_random_query_shape_has_a_sql_spelling() {
+        for w in 0..8u64 {
+            let wl = build_workload(0xD1FF_0000 + w);
+            let mut rng = StdRng::seed_from_u64((0xD1FF_0000 + w) ^ 0x5EED);
+            for (i, (plan, _)) in random_queries(&mut rng, &wl).iter().enumerate() {
+                assert!(
+                    emit_sql(plan).is_some(),
+                    "workload {w} query {i} has no SQL spelling:\n{plan}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn emitted_sql_spells_the_join_and_spine_clauses() {
+        let wl = build_workload(1);
+        let dim =
+            PlanBuilder::scan("dim", wl.dim_schema.clone()).filter(col("weight").lt(lit(10i64)));
+        let plan = dim
+            .join(
+                PlanBuilder::scan("fact", wl.fact_schema.clone())
+                    .filter(col("a").ge(lit(5i64)).and(col("b").lt(lit(3i64)))),
+                "id",
+                "b",
+                JoinType::Inner,
+            )
+            .order_by("a", true)
+            .limit(7)
+            .build();
+        assert_eq!(
+            emit_sql(&plan).as_deref(),
+            Some(
+                "SELECT * FROM dim JOIN fact ON id = b \
+                 WHERE (weight < 10) AND ((a >= 5) AND (b < 3)) \
+                 ORDER BY a DESC LIMIT 7"
+            )
+        );
+    }
+
+    #[test]
+    fn unexpressible_shapes_emit_none() {
+        let wl = build_workload(2);
+        // Float literals can print like integers, so they never round-trip.
+        let float_pred = PlanBuilder::scan("fact", wl.fact_schema.clone())
+            .filter(col("a").ge(lit(4.0f64)))
+            .build();
+        assert_eq!(emit_sql(&float_pred), None);
+        // A join of two scans over the same table would make every
+        // unqualified column ambiguous.
+        let self_join = PlanBuilder::scan("fact", wl.fact_schema.clone())
+            .join(
+                PlanBuilder::scan("fact", wl.fact_schema.clone()),
+                "a",
+                "b",
+                JoinType::Inner,
+            )
+            .build();
+        assert_eq!(emit_sql(&self_join), None);
+    }
 }

@@ -11,6 +11,7 @@ pub mod production;
 pub mod tpch;
 
 pub use classify::{classify_sql, classify_workload, SqlClass};
+pub use diffgen::emit_sql;
 pub use kdist::{cdf_at, sample_k};
 pub use production::{
     generate, io_bound_burst, occurrence_histogram, production_scale, repetition_shape_ids,

@@ -52,6 +52,7 @@ pub use snowprune_exec as exec;
 pub use snowprune_expr as expr;
 pub use snowprune_ir as ir;
 pub use snowprune_plan as plan;
+pub use snowprune_sql as sql;
 pub use snowprune_storage as storage;
 pub use snowprune_types as types;
 pub use snowprune_workload as workload;
@@ -69,6 +70,7 @@ pub mod prelude {
     pub use snowprune_expr::dsl::{coalesce, col, if_, lit};
     pub use snowprune_expr::Expr;
     pub use snowprune_plan::{AggFunc, JoinType, Plan, PlanBuilder, SortKey};
+    pub use snowprune_sql::{SessionSqlExt, SqlOutcome, Statement};
     pub use snowprune_storage::{
         Catalog, Field, IoCostModel, IoStats, LakeTable, Layout, Schema, Table, TableBuilder,
     };

@@ -883,3 +883,104 @@ fn run_batch_size_sweep(
         }
     }
 }
+
+// ---- the SQL round-trip leg ----------------------------------------------
+//
+// Every plan shape the generator produces must survive the full SQL loop:
+// emit SQL text, lex/parse/bind it against the workload catalog, and get
+// back a *structurally identical* plan — then execution of the lowered
+// plan must be byte-identical (rows and IO counters) to the hand-built
+// plan, sequentially and on the shared morsel pool.
+
+#[test]
+fn sql_round_trip_is_byte_identical_across_50_workloads() {
+    use snowprune::sql::{bind_sql, Statement};
+    use snowprune::workload::emit_sql;
+
+    let threads = pool_threads();
+    let cfg = ExecConfig::default()
+        .with_prefetch_depth(env_prefetch_depth())
+        .with_batch_rows(env_batch_rows())
+        .with_verify_plans(env_verify_plans());
+    for w in 0..WORKLOADS {
+        let seed = 0xD1FF_0000 + w;
+        let wl = build_workload(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+        let queries = random_queries(&mut rng, &wl);
+
+        // Emit + parse + bind: the lowered plan must equal the hand-built
+        // one structurally, before anything executes.
+        let mut lowered_plans = Vec::with_capacity(queries.len());
+        for (qi, (plan, _)) in queries.iter().enumerate() {
+            let ctx = format!("workload {w} query {qi}");
+            let sql =
+                emit_sql(plan).unwrap_or_else(|| panic!("{ctx}: no SQL spelling for\n{plan}"));
+            let lowered = match bind_sql(&sql, &wl.catalog) {
+                Ok(Statement::Query(p)) => p,
+                Ok(_) => panic!("{ctx}: `{sql}` bound to a DML statement"),
+                Err(e) => panic!("{ctx}: `{sql}` failed to bind: {e}"),
+            };
+            assert_eq!(lowered, *plan, "{ctx}: `{sql}` lowered to a different plan");
+            lowered_plans.push(lowered);
+        }
+
+        // Sequential: fresh engines per side, so per-query IO snapshots of
+        // structurally equal plans must agree bit for bit.
+        let hand_seq = Executor::new(wl.catalog.clone(), cfg.clone());
+        let sql_seq = Executor::new(wl.catalog.clone(), cfg.clone());
+        for (qi, (plan, _)) in queries.iter().enumerate() {
+            let ctx = format!("workload {w} query {qi} (sequential)");
+            let h = hand_seq
+                .run(plan)
+                .unwrap_or_else(|e| panic!("{ctx}: hand-built: {e:?}"));
+            let s = sql_seq
+                .run(&lowered_plans[qi])
+                .unwrap_or_else(|e| panic!("{ctx}: lowered: {e:?}"));
+            assert_eq!(s.rows.rows, h.rows.rows, "{ctx}: rows diverge");
+            assert_eq!(s.io, h.io, "{ctx}: IO snapshots diverge");
+            assert_eq!(
+                s.report.pruning.partitions_scanned, h.report.pruning.partitions_scanned,
+                "{ctx}: pruning effectiveness diverges"
+            );
+        }
+
+        // Pooled: the whole lowered workload runs as one concurrent batch;
+        // compare against the hand-built batch under each shape's check
+        // contract (pool scheduling may legally reorder Sorted results).
+        let hand_pool = Session::new(wl.catalog.clone(), cfg.clone().with_scan_threads(threads));
+        let sql_pool = Session::new(wl.catalog.clone(), cfg.clone().with_scan_threads(threads));
+        let hand_plans: Vec<Plan> = queries.iter().map(|(p, _)| p.clone()).collect();
+        let hand_batch = hand_pool.run_batch(&hand_plans);
+        let sql_batch = sql_pool.run_batch(&lowered_plans);
+        for (qi, (_, check)) in queries.iter().enumerate() {
+            let ctx = format!("workload {w} query {qi} (pooled, threads {threads})");
+            let h = hand_batch[qi]
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{ctx}: hand-built: {e:?}"));
+            let s = sql_batch[qi]
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{ctx}: lowered: {e:?}"));
+            match check {
+                Check::Sorted => assert_eq!(
+                    canonical(s.rows.rows.clone()),
+                    canonical(h.rows.rows.clone()),
+                    "{ctx}: row multisets diverge"
+                ),
+                Check::Ordered => {
+                    assert_eq!(s.rows.rows, h.rows.rows, "{ctx}: ordered rows diverge")
+                }
+                Check::Limited { k, unlimited } => {
+                    let full = canonical(hand_seq.run(unlimited).unwrap().rows.rows);
+                    let expect_len = (*k).min(full.len());
+                    assert_eq!(s.rows.len(), expect_len, "{ctx}: lowered row count");
+                    for row in &s.rows.rows {
+                        assert!(
+                            full.binary_search_by(|probe| cmp_rows(probe, row)).is_ok(),
+                            "{ctx}: lowered plan returned a row outside the oracle result"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -364,6 +364,7 @@ const MISSING_DOCS_CRATES: &[&str] = &[
     "crates/core",
     "crates/cache",
     "crates/exec",
+    "crates/sql",
     "crates/workload",
     "crates/bench",
 ];
