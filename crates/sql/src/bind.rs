@@ -62,6 +62,13 @@ fn reject(code: DiagCode, message: impl Into<String>, span: Span) -> Error {
     Error::PlanRejected(vec![Diagnostic::error(code, "sql", message).with_span(span)])
 }
 
+/// True when `err` is an ambiguous-column rejection (which must always
+/// surface, even where an unknown name would fall back to another
+/// resolution path).
+fn is_ambiguous(err: &Error) -> bool {
+    matches!(err, Error::PlanRejected(ds) if ds.iter().any(|d| d.code == DiagCode::AmbiguousColumn))
+}
+
 /// Parse and bind one statement against `catalog`.
 pub fn bind_sql(src: &str, catalog: &Catalog) -> Result<Statement> {
     bind(&parse_statement(src)?, catalog)
@@ -368,7 +375,14 @@ fn bind_select(s: &SelectStmt, catalog: &Catalog) -> Result<Plan> {
 
         // Route WHERE conjuncts: all-build → build scan, all-probe →
         // probe scan (both before the join, enabling pruning), mixed →
-        // residual filter above the join.
+        // residual filter above the join. Build-side pushdown is valid
+        // for both join types (LEFT JOIN preserves build rows, whose
+        // columns are never null-extended, so filtering them commutes
+        // with the join); probe-side pushdown is valid only for inner
+        // joins — standard SQL applies WHERE *after* null-extension, so
+        // under LEFT JOIN a probe-side predicate is UNKNOWN on every
+        // unmatched (null-padded) build row and must drop it, which only
+        // the residual filter above the join does.
         let mut build_filters = Vec::new();
         let mut probe_filters = Vec::new();
         let mut residual = Vec::new();
@@ -381,7 +395,7 @@ fn bind_select(s: &SelectStmt, catalog: &Catalog) -> Result<Plan> {
                 let mut sides = 0u8;
                 let lowered = scope.lower(c, &mut sides)?;
                 match sides {
-                    PROBE => probe_filters.push(lowered),
+                    PROBE if !j.outer => probe_filters.push(lowered),
                     s if s & PROBE == 0 => build_filters.push(lowered),
                     _ => {
                         let mut again = 0u8;
@@ -554,12 +568,17 @@ fn finish_select(
         })?;
         let mut keys = Vec::with_capacity(s.order_by.len());
         for o in &s.order_by {
-            let name = match &o.column.table {
-                Some(_) => {
-                    let (side, name) = scope.resolve(&o.column)?;
-                    scope.output_name(side, &name)
-                }
-                None => o.column.column.text.clone(),
+            // Sort keys resolve through the scope like every other
+            // reference, so an unqualified name both tables export is
+            // rejected as ambiguous here too. Names the scope does not
+            // know may still be output-schema columns the scope cannot
+            // see (aggregate outputs like `count` or `sum_b`), so an
+            // unqualified UnknownColumn falls through to the
+            // output-schema check below.
+            let name = match scope.resolve(&o.column) {
+                Ok((side, name)) => scope.output_name(side, &name),
+                Err(e) if o.column.table.is_some() || is_ambiguous(&e) => return Err(e),
+                Err(_) => o.column.column.text.clone(),
             };
             if !schema.contains(&name) {
                 return Err(reject(
@@ -584,4 +603,133 @@ fn finish_select(
         };
     }
     Ok(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snowprune_exec::{ExecConfig, Session};
+    use snowprune_plan::pretty;
+    use snowprune_storage::{Field, TableBuilder};
+    use snowprune_types::ScalarType;
+
+    /// `dim(id, weight)` with an unmatched row, `fact(a, b)` joining on
+    /// `b = id` — small enough to assert exact LEFT JOIN results.
+    fn join_catalog() -> Catalog {
+        let dim_schema = Schema::new(vec![
+            Field::new("id", ScalarType::Int),
+            Field::new("weight", ScalarType::Int),
+        ]);
+        let mut dim = TableBuilder::new("dim", dim_schema);
+        dim.push_row(vec![Value::Int(1), Value::Int(10)]);
+        dim.push_row(vec![Value::Int(2), Value::Int(20)]);
+        dim.push_row(vec![Value::Int(3), Value::Int(30)]);
+        let fact_schema = Schema::new(vec![
+            Field::new("a", ScalarType::Int),
+            Field::new("b", ScalarType::Int),
+        ]);
+        let mut fact = TableBuilder::new("fact", fact_schema);
+        fact.push_row(vec![Value::Int(100), Value::Int(1)]);
+        fact.push_row(vec![Value::Int(200), Value::Int(1)]);
+        let catalog = Catalog::new();
+        catalog.register(dim.build());
+        catalog.register(fact.build());
+        catalog
+    }
+
+    /// Both tables export `x`, so unqualified references are ambiguous.
+    fn shared_column_catalog() -> Catalog {
+        let left = Schema::new(vec![
+            Field::new("k", ScalarType::Int),
+            Field::new("x", ScalarType::Int),
+        ]);
+        let right = Schema::new(vec![
+            Field::new("fk", ScalarType::Int),
+            Field::new("x", ScalarType::Int),
+        ]);
+        let mut l = TableBuilder::new("l", left);
+        l.push_row(vec![Value::Int(1), Value::Int(10)]);
+        let mut r = TableBuilder::new("r", right);
+        r.push_row(vec![Value::Int(1), Value::Int(99)]);
+        let catalog = Catalog::new();
+        catalog.register(l.build());
+        catalog.register(r.build());
+        catalog
+    }
+
+    fn lowered(sql: &str, catalog: &Catalog) -> Plan {
+        match bind_sql(sql, catalog).expect(sql) {
+            Statement::Query(p) => p,
+            other => panic!("{sql}: bound to {other:?}"),
+        }
+    }
+
+    #[test]
+    fn left_join_keeps_probe_conjuncts_above_the_join() {
+        let catalog = join_catalog();
+        // Inner join: the probe-only conjunct pushes into the probe scan.
+        assert_eq!(
+            pretty(&lowered(
+                "SELECT * FROM dim JOIN fact ON id = b WHERE a >= 150",
+                &catalog
+            )),
+            "Join Inner [id = b]\n  \
+             Scan dim(id, weight)\n  \
+             Scan fact(a, b) [(a >= 150)]\n"
+        );
+        // LEFT JOIN: the same conjunct must stay above the join (WHERE
+        // applies after null-extension), while a build-only conjunct may
+        // still push into the build scan.
+        assert_eq!(
+            pretty(&lowered(
+                "SELECT * FROM dim LEFT JOIN fact ON id = b WHERE a >= 150 AND weight <= 20",
+                &catalog
+            )),
+            "Filter [(a >= 150)]\n  \
+             Join OuterPreserveBuild [id = b]\n    \
+             Scan dim(id, weight) [(weight <= 20)]\n    \
+             Scan fact(a, b)\n"
+        );
+    }
+
+    #[test]
+    fn left_join_where_drops_unmatched_build_rows() {
+        let catalog = join_catalog();
+        let session = Session::new(catalog.clone(), ExecConfig::default());
+        let run = |sql: &str| {
+            let mut rows = session.run(&lowered(sql, &catalog)).expect(sql).rows.rows;
+            rows.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+            rows
+        };
+        // Without WHERE, dim ids 2 and 3 survive null-padded.
+        assert_eq!(run("SELECT * FROM dim LEFT JOIN fact ON id = b").len(), 4);
+        // WHERE on a probe column is UNKNOWN on the null-padded rows and
+        // must drop them — standard SQL, not pre-join probe filtering
+        // (which would keep ids 2 and 3 null-padded).
+        assert_eq!(
+            run("SELECT * FROM dim LEFT JOIN fact ON id = b WHERE a >= 150"),
+            vec![vec![
+                Value::Int(1),
+                Value::Int(10),
+                Value::Int(200),
+                Value::Int(1)
+            ]]
+        );
+    }
+
+    #[test]
+    fn order_by_rejects_ambiguous_unqualified_columns() {
+        let catalog = shared_column_catalog();
+        let err = bind_sql("SELECT * FROM l JOIN r ON k = fk ORDER BY x", &catalog)
+            .expect_err("ambiguous ORDER BY must be rejected");
+        assert!(is_ambiguous(&err), "got {err}");
+        // Qualifying the column resolves it: the probe side's collided
+        // name sorts under its join-output name `probe_x`.
+        let plan = lowered("SELECT * FROM l JOIN r ON k = fk ORDER BY r.x", &catalog);
+        assert!(
+            pretty(&plan).contains("Sort [probe_x ASC]"),
+            "{}",
+            pretty(&plan)
+        );
+    }
 }

@@ -40,10 +40,15 @@ pub fn render_diagnostics(src: &str, diags: &[Diagnostic]) -> String {
                     out.push_str("\n  ");
                     out.push_str(line_text);
                 }
-                // Caret width: the span clamped to this line, at least 1.
-                let width = span.end.min(line_end).saturating_sub(at).max(1);
+                // Indent and caret width count *chars*, not bytes, so a
+                // multi-byte character earlier on the line (legal inside
+                // string literals) doesn't shift the caret off target.
+                let width = src[at..span.end.min(line_end).max(at)]
+                    .chars()
+                    .count()
+                    .max(1);
                 out.push_str("\n  ");
-                out.push_str(&" ".repeat(at - line_start));
+                out.push_str(&" ".repeat(src[line_start..at].chars().count()));
                 out.push_str(&"^".repeat(width));
             }
         }
@@ -99,6 +104,25 @@ mod tests {
         assert!(
             r.ends_with(&format!("\n  {}^", " ".repeat(src.len()))),
             "{r}"
+        );
+    }
+
+    #[test]
+    fn multibyte_text_before_the_span_does_not_shift_the_caret() {
+        // 'α' and 'β' are 2 bytes each; indent and header column must
+        // count chars so the caret still sits under `nope`.
+        let src = "SELECT 'αβ' FROM nope";
+        let at = src.find("nope").unwrap();
+        let d = Diagnostic::error(DiagCode::UnknownTable, "sql", "no table `nope`")
+            .with_span(Span::new(at, at + 4));
+        let chars_before = src[..at].chars().count();
+        assert_eq!(
+            render_diagnostics(src, &[d]),
+            format!(
+                "error[unknown-table] at 1:{}: no table `nope`\n  {src}\n  {}^^^^",
+                chars_before + 1,
+                " ".repeat(chars_before)
+            )
         );
     }
 

@@ -46,11 +46,27 @@ fn join_where_conjuncts_route_to_their_scans() {
 
 #[test]
 fn left_join_preserves_the_from_side() {
+    // WHERE applies after null-extension (standard SQL), so the
+    // probe-side conjunct stays above the join — pushing it into the
+    // fact scan would keep unmatched dim rows null-padded.
     assert_eq!(
         lowered("SELECT * FROM dim LEFT JOIN fact ON id = b WHERE a >= 100"),
+        "Filter [(a >= 100)]\n  \
+         Join OuterPreserveBuild [id = b]\n    \
+         Scan dim(id, weight)\n    \
+         Scan fact(a, b, c)\n"
+    );
+}
+
+#[test]
+fn left_join_build_conjuncts_still_push_into_the_build_scan() {
+    // Build rows are preserved (never null-extended), so filtering them
+    // pre-join commutes with the join and keeps pruning effective.
+    assert_eq!(
+        lowered("SELECT * FROM dim LEFT JOIN fact ON id = b WHERE weight < 10"),
         "Join OuterPreserveBuild [id = b]\n  \
-         Scan dim(id, weight)\n  \
-         Scan fact(a, b, c) [(a >= 100)]\n"
+         Scan dim(id, weight) [(weight < 10)]\n  \
+         Scan fact(a, b, c)\n"
     );
 }
 

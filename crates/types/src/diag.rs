@@ -42,13 +42,15 @@ impl Span {
 
     /// 1-based line and column of the span start within `src`.
     ///
-    /// Columns count bytes since the last newline — adequate for the ASCII
-    /// SQL the front-end accepts. Out-of-range starts clamp to the end.
+    /// Columns count *chars* since the last newline, so multi-byte text
+    /// earlier on the line (legal inside SQL string literals) doesn't
+    /// inflate the column. Out-of-range starts clamp to the end.
     pub fn line_col(self, src: &str) -> (usize, usize) {
         let at = self.start.min(src.len());
         let before = &src[..at];
         let line = before.bytes().filter(|b| *b == b'\n').count() + 1;
-        let col = at - before.rfind('\n').map(|i| i + 1).unwrap_or(0) + 1;
+        let line_start = before.rfind('\n').map(|i| i + 1).unwrap_or(0);
+        let col = src[line_start..at].chars().count() + 1;
         (line, col)
     }
 }
@@ -274,6 +276,14 @@ mod tests {
         assert_eq!(Span::new(22, 23).line_col(src), (3, 7));
         assert_eq!(Span::point(src.len()).line_col(src), (3, 8));
         assert_eq!(Span::new(2, 3).to(Span::new(9, 13)), Span::new(2, 13));
+    }
+
+    #[test]
+    fn span_line_col_counts_chars_not_bytes() {
+        // 'é' is 2 bytes, 1 char: the column after it advances by one.
+        let src = "a'é'b";
+        let at = src.find('b').unwrap();
+        assert_eq!(Span::point(at).line_col(src), (1, 5));
     }
 
     #[test]

@@ -411,10 +411,12 @@ fn expr_round_trips(e: &Expr) -> bool {
 /// must produce a plan structurally equal to `plan`.
 ///
 /// Returns `None` for shapes the grammar cannot express faithfully —
-/// residual filters above a join, computed sort keys, float or date
-/// literals, nested joins, or joins whose two schemas share a column
-/// name (every emitted column reference is unqualified, so a shared
-/// name would be ambiguous).
+/// residual filters above a join, probe-scan predicates under an
+/// outer-preserve-build join (WHERE applies after null-extension, so
+/// the binder keeps probe-side conjuncts above the join), computed sort
+/// keys, float or date literals, nested joins, or joins whose two
+/// schemas share a column name (every emitted column reference is
+/// unqualified, so a shared name would be ambiguous).
 pub fn emit_sql(plan: &Plan) -> Option<String> {
     // Strict spine walk: Limit? Sort? (Aggregate | Project)? (Join | Scan).
     let mut node = plan;
@@ -487,6 +489,13 @@ pub fn emit_sql(plan: &Plan) -> Option<String> {
                 JoinType::Inner => "JOIN",
                 JoinType::OuterPreserveBuild => "LEFT JOIN",
             };
+            // A probe-scan predicate under LEFT JOIN has no WHERE
+            // spelling: standard SQL applies WHERE after null-extension,
+            // so the binder lowers a probe-side WHERE conjunct to a
+            // residual filter above the join, not back onto the scan.
+            if matches!(join_type, JoinType::OuterPreserveBuild) && pp.is_some() {
+                return None;
+            }
             from = format!("{bt} {kw} {pt} ON {build_key} = {probe_key}");
             for pred in [bp, pp].into_iter().flatten() {
                 if !expr_round_trips(pred) {
@@ -611,6 +620,38 @@ mod tests {
                  WHERE (weight < 10) AND ((a >= 5) AND (b < 3)) \
                  ORDER BY a DESC LIMIT 7"
             )
+        );
+    }
+
+    #[test]
+    fn left_join_probe_predicates_have_no_where_spelling() {
+        let wl = build_workload(3);
+        // Probe-scan predicate under LEFT JOIN: a WHERE conjunct would
+        // bind to a residual filter above the join (standard SQL applies
+        // WHERE after null-extension), so there is no faithful spelling.
+        let probe_filtered = PlanBuilder::scan("dim", wl.dim_schema.clone())
+            .join(
+                PlanBuilder::scan("fact", wl.fact_schema.clone()).filter(col("a").ge(lit(5i64))),
+                "id",
+                "b",
+                JoinType::OuterPreserveBuild,
+            )
+            .build();
+        assert_eq!(emit_sql(&probe_filtered), None);
+        // Build-scan predicates commute with the preserve-build join, so
+        // they keep their WHERE spelling.
+        let build_filtered = PlanBuilder::scan("dim", wl.dim_schema.clone())
+            .filter(col("weight").lt(lit(10i64)))
+            .join(
+                PlanBuilder::scan("fact", wl.fact_schema.clone()),
+                "id",
+                "b",
+                JoinType::OuterPreserveBuild,
+            )
+            .build();
+        assert_eq!(
+            emit_sql(&build_filtered).as_deref(),
+            Some("SELECT * FROM dim LEFT JOIN fact ON id = b WHERE (weight < 10)")
         );
     }
 
